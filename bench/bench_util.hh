@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses: named configurations
+ * evaluated over the pointer-intensive suite, speedup aggregation, and
+ * table emission. Each bench binary regenerates one table/figure of
+ * the paper (see DESIGN.md's experiment index).
+ */
+
+#ifndef ECDP_BENCH_BENCH_UTIL_HH
+#define ECDP_BENCH_BENCH_UTIL_HH
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "stats/stats.hh"
+#include "stats/table.hh"
+#include "workloads/workload.hh"
+
+namespace ecdp
+{
+namespace bench
+{
+
+/** A named system configuration, possibly per-benchmark (hints). */
+struct NamedConfig
+{
+    std::string key;
+    std::function<SystemConfig(ExperimentContext &,
+                               const std::string &)>
+        make;
+};
+
+inline NamedConfig
+fixedConfig(std::string key, SystemConfig cfg)
+{
+    return {std::move(key),
+            [cfg](ExperimentContext &, const std::string &) {
+                return cfg;
+            }};
+}
+
+/** Configs used again and again across the benches. */
+inline NamedConfig
+cfgBaseline()
+{
+    return fixedConfig("base", configs::baseline());
+}
+
+inline NamedConfig
+cfgCdp()
+{
+    return fixedConfig("cdp", configs::streamCdp());
+}
+
+inline NamedConfig
+cfgEcdp()
+{
+    return {"ecdp", [](ExperimentContext &ctx, const std::string &b) {
+                return configs::streamEcdp(&ctx.hints(b));
+            }};
+}
+
+inline NamedConfig
+cfgCdpThrottled()
+{
+    return fixedConfig("cdp+thr", configs::streamCdpThrottled());
+}
+
+inline NamedConfig
+cfgFull()
+{
+    return {"full", [](ExperimentContext &ctx, const std::string &b) {
+                return configs::fullProposal(&ctx.hints(b));
+            }};
+}
+
+/** Run one benchmark under a named config (memoized in the ctx). */
+inline const RunStats &
+run(ExperimentContext &ctx, const std::string &benchmark,
+    const NamedConfig &config)
+{
+    return ctx.run(benchmark, config.make(ctx, benchmark),
+                   config.key);
+}
+
+/** Geometric-mean speedup of `config` over `base` across a suite. */
+inline double
+gmeanSpeedup(ExperimentContext &ctx,
+             const std::vector<std::string> &names,
+             const NamedConfig &config, const NamedConfig &base)
+{
+    std::vector<double> ratios;
+    for (const std::string &name : names) {
+        ratios.push_back(run(ctx, name, config).ipc /
+                         run(ctx, name, base).ipc);
+    }
+    return gmean(ratios);
+}
+
+/** Names without the `health` outlier (the paper reports both). */
+inline std::vector<std::string>
+withoutHealth(std::vector<std::string> names)
+{
+    std::erase(names, "health");
+    return names;
+}
+
+} // namespace bench
+} // namespace ecdp
+
+#endif // ECDP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 2 + Table 1: the effect of adding the original (greedy)
+ * content-directed prefetcher to the stream-prefetching baseline —
+ * performance, bandwidth (BPKI), and CDP accuracy per benchmark.
+ */
+
+#include "bench_util.hh"
+
+using namespace ecdp;
+using namespace ecdp::bench;
+
+int
+main()
+{
+    ExperimentContext ctx;
+    const std::vector<std::string> names = pointerIntensiveNames();
+    NamedConfig base = cfgBaseline();
+    NamedConfig cdp = cfgCdp();
+
+    TablePrinter table("Figure 2 / Table 1: original CDP vs baseline");
+    table.header({"bench", "ipc-delta%", "bpki-base", "bpki-cdp",
+                  "bpki-delta%", "cdp-accuracy%"});
+    std::vector<double> bpki_ratio;
+    for (const std::string &name : names) {
+        const RunStats &b = run(ctx, name, base);
+        const RunStats &c = run(ctx, name, cdp);
+        bpki_ratio.push_back(c.bpki / b.bpki);
+        table.row()
+            .cell(name)
+            .cell(percentDelta(c.ipc, b.ipc), 1)
+            .cell(b.bpki, 1)
+            .cell(c.bpki, 1)
+            .cell(percentDelta(c.bpki, b.bpki), 1)
+            .cell(100.0 * c.accuracyDemanded(1), 1);
+    }
+    table.row()
+        .cell("gmean")
+        .cell(percentDelta(gmeanSpeedup(ctx, names, cdp, base), 1.0),
+              1)
+        .cell("-")
+        .cell("-")
+        .cell(percentDelta(gmean(bpki_ratio), 1.0), 1)
+        .cell("-");
+    table.print(std::cout);
+    std::cout << "\nPaper: original CDP degrades performance by 14% and\n"
+                 "increases bandwidth by 83.3% on average; accuracies\n"
+                 "range from 0.9% (xalancbmk) to 83.3% (perimeter).\n";
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 4: the fraction of pointer groups whose prefetches are
+ * mostly useful (beneficial) vs mostly useless (harmful), per
+ * benchmark, from the profiling pass over the train inputs.
+ */
+
+#include "bench_util.hh"
+
+#include "compiler/profiling_compiler.hh"
+
+using namespace ecdp;
+using namespace ecdp::bench;
+
+int
+main()
+{
+    ExperimentContext ctx;
+    TablePrinter table(
+        "Figure 4: beneficial vs harmful pointer groups (train)");
+    table.header({"bench", "PGs", "beneficial", "harmful",
+                  "beneficial-frac"});
+    for (const std::string &name : pointerIntensiveNames()) {
+        PgStatsMap stats =
+            ProfilingCompiler::profileStats(ctx.train(name));
+        std::uint64_t beneficial = 0, total = 0;
+        for (const auto &[pg, s] : stats) {
+            if (s.issued < 4)
+                continue;
+            ++total;
+            beneficial += s.usefulness() > 0.5;
+        }
+        table.row()
+            .cell(name)
+            .cell(total)
+            .cell(beneficial)
+            .cell(total - beneficial)
+            .cell(total ? static_cast<double>(beneficial) /
+                              static_cast<double>(total)
+                        : 0.0,
+                  2);
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper: in many benchmarks (astar, omnetpp, bisort,\n"
+                 "mst) a large fraction of PGs are harmful.\n";
+    return 0;
+}

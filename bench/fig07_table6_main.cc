@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 7 + Table 6: the headline result. Performance and bandwidth
+ * of (a) original CDP, (b) ECDP, (c) CDP + coordinated throttling,
+ * and (d) ECDP + coordinated throttling (the full proposal), all on
+ * top of the stream-prefetching baseline and normalized to it.
+ */
+
+#include "bench_util.hh"
+
+using namespace ecdp;
+using namespace ecdp::bench;
+
+int
+main()
+{
+    ExperimentContext ctx;
+    const std::vector<std::string> names = pointerIntensiveNames();
+    NamedConfig base = cfgBaseline();
+    std::vector<NamedConfig> configs_to_run{cfgCdp(), cfgEcdp(),
+                                            cfgCdpThrottled(),
+                                            cfgFull()};
+
+    TablePrinter perf("Figure 7 (top): IPC normalized to baseline");
+    perf.header({"bench", "cdp", "ecdp", "cdp+thr", "full"});
+    TablePrinter bw("Figure 7 (bottom): BPKI (bus accesses / 1k instr)");
+    bw.header({"bench", "base", "cdp", "ecdp", "cdp+thr", "full"});
+    TablePrinter summary(
+        "Table 6: IPC delta and BPKI delta of the full proposal");
+    summary.header({"bench", "IPC-delta%", "BPKI-delta"});
+
+    for (const std::string &name : names) {
+        const RunStats &b = run(ctx, name, base);
+        auto &prow = perf.row().cell(name);
+        auto &brow = bw.row().cell(name).cell(b.bpki, 1);
+        for (const NamedConfig &config : configs_to_run) {
+            const RunStats &s = run(ctx, name, config);
+            prow.cell(s.ipc / b.ipc, 3);
+            brow.cell(s.bpki, 1);
+        }
+        const RunStats &full = run(ctx, name, configs_to_run.back());
+        summary.row()
+            .cell(name)
+            .cell(percentDelta(full.ipc, b.ipc), 1)
+            .cell(full.bpki - b.bpki, 1);
+    }
+
+    auto gmean_row = [&](TablePrinter &t, const char *label,
+                         const std::vector<std::string> &set) {
+        auto &row = t.row().cell(label);
+        for (const NamedConfig &config : configs_to_run)
+            row.cell(gmeanSpeedup(ctx, set, config, base), 3);
+    };
+    gmean_row(perf, "gmean", names);
+    gmean_row(perf, "gmean-no-health", withoutHealth(names));
+
+    // Aggregate BPKI change of the full proposal.
+    std::vector<double> bpki_ratio, bpki_ratio_nh;
+    for (const std::string &name : names) {
+        double r = run(ctx, name, configs_to_run.back()).bpki /
+                   run(ctx, name, base).bpki;
+        bpki_ratio.push_back(r);
+        if (name != "health")
+            bpki_ratio_nh.push_back(r);
+    }
+    summary.row()
+        .cell("gmean")
+        .cell(percentDelta(
+                  gmeanSpeedup(ctx, names, configs_to_run.back(),
+                               base),
+                  1.0),
+              1)
+        .cell(percentDelta(gmean(bpki_ratio), 1.0), 1);
+    summary.row()
+        .cell("gmean-no-health")
+        .cell(percentDelta(gmeanSpeedup(ctx, withoutHealth(names),
+                                        configs_to_run.back(), base),
+                           1.0),
+              1)
+        .cell(percentDelta(gmean(bpki_ratio_nh), 1.0), 1);
+
+    perf.print(std::cout);
+    std::cout << '\n';
+    bw.print(std::cout);
+    std::cout << '\n';
+    summary.print(std::cout);
+    std::cout
+        << "\nPaper: ECDP+throttling improves performance by 22.5%\n"
+           "(16% w/o health) and cuts bandwidth by 25% (27.1% w/o\n"
+           "health); CDP alone degrades performance by 14%.\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 12 (Section 6.4): hardware prefetch filtering (Zhuang-Lee)
+ * applied to CDP, alone and with coordinated throttling, against
+ * ECDP-based filtering.
+ */
+
+#include "bench_util.hh"
+
+using namespace ecdp;
+using namespace ecdp::bench;
+
+int
+main()
+{
+    ExperimentContext ctx;
+    const std::vector<std::string> names = pointerIntensiveNames();
+    NamedConfig base = cfgBaseline();
+    std::vector<NamedConfig> configs_to_run{
+        cfgCdp(),
+        fixedConfig("cdp+filter", configs::streamCdpHwFilter(false)),
+        fixedConfig("cdp+filter+thr",
+                    configs::streamCdpHwFilter(true)),
+        cfgFull()};
+
+    TablePrinter perf("Figure 12 (top): IPC normalized to baseline");
+    perf.header({"bench", "cdp", "cdp+filter", "cdp+filter+thr",
+                 "full"});
+    TablePrinter bw("Figure 12 (bottom): BPKI");
+    bw.header({"bench", "base", "cdp", "cdp+filter",
+               "cdp+filter+thr", "full"});
+    for (const std::string &name : names) {
+        const RunStats &b = run(ctx, name, base);
+        auto &prow = perf.row().cell(name);
+        auto &brow = bw.row().cell(name).cell(b.bpki, 1);
+        for (const NamedConfig &config : configs_to_run) {
+            const RunStats &s = run(ctx, name, config);
+            prow.cell(s.ipc / b.ipc, 3);
+            brow.cell(s.bpki, 1);
+        }
+    }
+    for (const char *label : {"gmean", "gmean-no-health"}) {
+        auto set = std::string(label) == "gmean" ? names
+                                                 : withoutHealth(names);
+        auto &row = perf.row().cell(label);
+        for (const NamedConfig &config : configs_to_run)
+            row.cell(gmeanSpeedup(ctx, set, config, base), 3);
+    }
+    perf.print(std::cout);
+    std::cout << '\n';
+    bw.print(std::cout);
+    std::cout
+        << "\nPaper: the 8 KB hardware filter alone gains only 4.4%\n"
+           "(1.5% w/o health); ECDP+throttling beats filter-based\n"
+           "configurations by 17% while saving 25.8% bandwidth.\n";
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Figure 14 (Section 6.6): dual-core results. Twelve two-benchmark
+ * mixes (pointer-intensive paired with pointer- and non-pointer-
+ * intensive partners); weighted speedup, hmean speedup, and bus
+ * traffic for the full proposal and the DBP/Markov/GHB comparisons.
+ */
+
+#include "bench_util.hh"
+
+#include "sim/multicore.hh"
+
+using namespace ecdp;
+using namespace ecdp::bench;
+
+namespace
+{
+
+const std::vector<std::pair<std::string, std::string>> kMixes = {
+    {"xalancbmk", "astar"},   {"mcf", "omnetpp"},
+    {"health", "mst"},        {"bisort", "perlbench"},
+    {"ammp", "voronoi"},      {"pfast", "parser"},
+    {"mcf", "milc"},          {"omnetpp", "libquantum"},
+    {"health", "bzip2"},      {"astar", "lbm"},
+    {"gemsfdtd", "h264ref"},  {"milc", "libquantum"},
+};
+
+struct MixResult
+{
+    double weighted = 0.0;
+    double hmean_speedup = 0.0;
+    std::uint64_t bus = 0;
+};
+
+MixResult
+runMix(ExperimentContext &ctx, const NamedConfig &config,
+       const std::pair<std::string, std::string> &mix)
+{
+    SystemConfig cfg_a = config.make(ctx, mix.first);
+    SystemConfig cfg_b = config.make(ctx, mix.second);
+    // Weighted speedup uses the *baseline system's* alone-IPC as the
+    // denominator for every mechanism, so mechanisms are compared on
+    // one common scale (improving single-core IPC must not inflate
+    // the denominator).
+    double alone_a =
+        ctx.run(mix.first, configs::baseline(), "base-alone").ipc;
+    double alone_b =
+        ctx.run(mix.second, configs::baseline(), "base-alone").ipc;
+    // Hints differ per benchmark; for mixed runs we use a combined
+    // table: the PCs are disjoint across benchmarks, so merging is
+    // exact.
+    static std::vector<std::unique_ptr<HintTable>> merged_keeper;
+    auto merged = std::make_unique<HintTable>();
+    if (cfg_a.hints) {
+        for (const auto &[pc, hint] : *cfg_a.hints)
+            merged->entry(pc) = hint;
+    }
+    if (cfg_b.hints) {
+        for (const auto &[pc, hint] : *cfg_b.hints)
+            merged->entry(pc) = hint;
+    }
+    SystemConfig shared = cfg_a;
+    if (shared.hints)
+        shared.hints = merged.get();
+    merged_keeper.push_back(std::move(merged));
+
+    const Workload &a = ctx.ref(mix.first);
+    const Workload &b = ctx.ref(mix.second);
+    MultiCoreResult result =
+        simulateMultiCore(shared, {&a, &b}, {alone_a, alone_b});
+    return {result.weightedSpeedup, result.hmeanSpeedup,
+            result.busTransactions};
+}
+
+} // namespace
+
+int
+main()
+{
+    ExperimentContext ctx;
+    std::vector<NamedConfig> configs_to_run{
+        cfgBaseline(),
+        fixedConfig("dbp", configs::streamDbp()),
+        fixedConfig("markov", configs::streamMarkov()),
+        fixedConfig("ghb", configs::ghbAlone()),
+        cfgFull()};
+
+    TablePrinter ws("Figure 14: dual-core weighted speedup");
+    ws.header({"mix", "base", "dbp", "markov", "ghb", "full"});
+    TablePrinter bus("Figure 14: dual-core bus transactions (k)");
+    bus.header({"mix", "base", "dbp", "markov", "ghb", "full"});
+
+    std::vector<std::vector<double>> ws_cols(configs_to_run.size());
+    std::vector<std::vector<double>> hm_cols(configs_to_run.size());
+    std::vector<std::vector<double>> bus_cols(configs_to_run.size());
+    for (const auto &mix : kMixes) {
+        std::string label = mix.first + "+" + mix.second;
+        auto &wrow = ws.row().cell(label);
+        auto &brow = bus.row().cell(label);
+        for (std::size_t c = 0; c < configs_to_run.size(); ++c) {
+            MixResult r = runMix(ctx, configs_to_run[c], mix);
+            ws_cols[c].push_back(r.weighted);
+            hm_cols[c].push_back(r.hmean_speedup);
+            bus_cols[c].push_back(static_cast<double>(r.bus));
+            wrow.cell(r.weighted, 3);
+            brow.cell(static_cast<double>(r.bus) / 1000.0, 1);
+        }
+    }
+    auto &wmean = ws.row().cell("amean");
+    auto &bmean = bus.row().cell("amean");
+    for (std::size_t c = 0; c < configs_to_run.size(); ++c) {
+        wmean.cell(amean(ws_cols[c]), 3);
+        bmean.cell(amean(bus_cols[c]) / 1000.0, 1);
+    }
+    ws.print(std::cout);
+    std::cout << '\n';
+    bus.print(std::cout);
+
+    std::cout << "\nRelative to the dual-core baseline:\n";
+    for (std::size_t c = 1; c < configs_to_run.size(); ++c) {
+        std::cout << "  " << configs_to_run[c].key
+                  << ": weighted-speedup "
+                  << percentDelta(amean(ws_cols[c]), amean(ws_cols[0]))
+                  << "%, hmean-speedup "
+                  << percentDelta(amean(hm_cols[c]), amean(hm_cols[0]))
+                  << "%, bus "
+                  << percentDelta(amean(bus_cols[c]),
+                                  amean(bus_cols[0]))
+                  << "%\n";
+    }
+    std::cout << "\nPaper: the proposal improves dual-core weighted\n"
+                 "speedup by 10.4% (hmean 9.9%) and cuts bus traffic\n"
+                 "by 14.9%; Markov +4.1% with +19.5% traffic, GHB\n"
+                 "+6.2% with -5% traffic, DBP ineffective.\n";
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 15 (Section 6.6): four-core case studies — one all-pointer
+ * mix, two mixed, one mostly-streaming — weighted/hmean speedup and
+ * bus traffic for the baseline, Markov, GHB, and the full proposal.
+ */
+
+#include "bench_util.hh"
+
+#include <memory>
+
+#include "sim/multicore.hh"
+
+using namespace ecdp;
+using namespace ecdp::bench;
+
+namespace
+{
+
+const std::vector<std::vector<std::string>> kMixes = {
+    {"mcf", "omnetpp", "health", "mst"},           // all pointer
+    {"xalancbmk", "astar", "milc", "libquantum"},  // mixed
+    {"ammp", "bisort", "gemsfdtd", "bzip2"},       // mixed
+    {"perlbench", "h264ref", "lbm", "libquantum"}, // mostly stream
+};
+
+} // namespace
+
+int
+main()
+{
+    ExperimentContext ctx;
+    std::vector<NamedConfig> configs_to_run{
+        cfgBaseline(),
+        fixedConfig("markov", configs::streamMarkov()),
+        fixedConfig("ghb", configs::ghbAlone()),
+        cfgFull()};
+
+    TablePrinter ws("Figure 15: 4-core weighted speedup");
+    ws.header({"mix", "base", "markov", "ghb", "full"});
+    TablePrinter bus("Figure 15: 4-core bus transactions (k)");
+    bus.header({"mix", "base", "markov", "ghb", "full"});
+
+    std::vector<std::unique_ptr<HintTable>> keeper;
+    std::vector<std::vector<double>> ws_cols(configs_to_run.size());
+    std::vector<std::vector<double>> hm_cols(configs_to_run.size());
+    std::vector<std::vector<double>> bus_cols(configs_to_run.size());
+    for (const auto &mix : kMixes) {
+        std::string label;
+        for (const std::string &name : mix)
+            label += (label.empty() ? "" : "+") + name;
+        auto &wrow = ws.row().cell(label);
+        auto &brow = bus.row().cell(label);
+        for (std::size_t c = 0; c < configs_to_run.size(); ++c) {
+            const NamedConfig &config = configs_to_run[c];
+            std::vector<const Workload *> workloads;
+            std::vector<double> alone;
+            auto merged = std::make_unique<HintTable>();
+            SystemConfig shared =
+                config.make(ctx, mix.front());
+            for (const std::string &name : mix) {
+                SystemConfig cfg = config.make(ctx, name);
+                // Common denominator: the baseline system's alone-IPC.
+                alone.push_back(
+                    ctx.run(name, configs::baseline(), "base-alone")
+                        .ipc);
+                workloads.push_back(&ctx.ref(name));
+                if (cfg.hints) {
+                    for (const auto &[pc, hint] : *cfg.hints)
+                        merged->entry(pc) = hint;
+                }
+            }
+            if (shared.hints)
+                shared.hints = merged.get();
+            keeper.push_back(std::move(merged));
+            MultiCoreResult result =
+                simulateMultiCore(shared, workloads, alone);
+            ws_cols[c].push_back(result.weightedSpeedup);
+            hm_cols[c].push_back(result.hmeanSpeedup);
+            bus_cols[c].push_back(
+                static_cast<double>(result.busTransactions));
+            wrow.cell(result.weightedSpeedup, 3);
+            brow.cell(static_cast<double>(result.busTransactions) /
+                          1000.0,
+                      1);
+        }
+    }
+    auto &wmean = ws.row().cell("amean");
+    auto &bmean = bus.row().cell("amean");
+    for (std::size_t c = 0; c < configs_to_run.size(); ++c) {
+        wmean.cell(amean(ws_cols[c]), 3);
+        bmean.cell(amean(bus_cols[c]) / 1000.0, 1);
+    }
+    ws.print(std::cout);
+    std::cout << '\n';
+    bus.print(std::cout);
+
+    std::cout << "\nRelative to the 4-core baseline:\n";
+    for (std::size_t c = 1; c < configs_to_run.size(); ++c) {
+        std::cout << "  " << configs_to_run[c].key
+                  << ": weighted-speedup "
+                  << percentDelta(amean(ws_cols[c]), amean(ws_cols[0]))
+                  << "%, hmean-speedup "
+                  << percentDelta(amean(hm_cols[c]), amean(hm_cols[0]))
+                  << "%, bus "
+                  << percentDelta(amean(bus_cols[c]),
+                                  amean(bus_cols[0]))
+                  << "%\n";
+    }
+    std::cout << "\nPaper: the proposal improves 4-core weighted\n"
+                 "speedup by 9.5% (hmean 9.7%) while cutting bus\n"
+                 "traffic by 15.3%.\n";
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the prefetcher hot paths: the
+ * per-fill CDP block scan, the per-miss stream trigger, and the
+ * comparison predictors' lookup costs. These bound the simulation
+ * overhead of each mechanism (and, loosely, its hardware complexity).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "prefetch/cdp.hh"
+#include "prefetch/dbp.hh"
+#include "prefetch/ghb_prefetcher.hh"
+#include "prefetch/markov_prefetcher.hh"
+#include "prefetch/stream_prefetcher.hh"
+
+namespace
+{
+
+using namespace ecdp;
+
+void
+BM_CdpScan(benchmark::State &state)
+{
+    ContentDirectedPrefetcher cdp(8, 128);
+    std::uint8_t block[128] = {};
+    // Plant pointers in half the slots.
+    for (unsigned slot = 0; slot < 32; slot += 2) {
+        std::uint32_t ptr = 0x40000000u + slot * 4096;
+        for (unsigned b = 0; b < 4; ++b)
+            block[slot * 4 + b] =
+                static_cast<std::uint8_t>(ptr >> (8 * b));
+    }
+    ContentDirectedPrefetcher::ScanContext ctx;
+    ctx.demandFill = true;
+    ctx.loadPc = 0x1000;
+    std::vector<PrefetchRequest> out;
+    for (auto _ : state) {
+        out.clear();
+        cdp.scan(0x40001000, block, ctx, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_CdpScan);
+
+void
+BM_StreamTrigger(benchmark::State &state)
+{
+    StreamPrefetcher stream;
+    std::vector<PrefetchRequest> out;
+    Addr addr = 0x40000000;
+    for (auto _ : state) {
+        out.clear();
+        stream.trigger(addr, out);
+        addr += 128;
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_StreamTrigger);
+
+void
+BM_GhbMiss(benchmark::State &state)
+{
+    GhbPrefetcher ghb;
+    std::vector<PrefetchRequest> out;
+    Addr addr = 0x40000000;
+    for (auto _ : state) {
+        out.clear();
+        ghb.onDemandMiss(addr, out);
+        addr += 128;
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_GhbMiss);
+
+void
+BM_MarkovMiss(benchmark::State &state)
+{
+    MarkovPrefetcher markov;
+    std::vector<PrefetchRequest> out;
+    std::mt19937 rng(7);
+    for (auto _ : state) {
+        out.clear();
+        markov.onDemandMiss(0x40000000 + (rng() % 4096) * 128, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_MarkovMiss);
+
+void
+BM_DbpIssueAndComplete(benchmark::State &state)
+{
+    DependenceBasedPrefetcher dbp;
+    std::vector<PrefetchRequest> out;
+    std::mt19937 rng(7);
+    for (auto _ : state) {
+        out.clear();
+        Addr value = 0x40000000 + (rng() % 65536) * 64;
+        dbp.onLoadComplete(0x1000 + rng() % 64, value, out);
+        dbp.onLoadIssue(0x2000, value + 8);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_DbpIssueAndComplete);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Section 6.1.6: sensitivity of ECDP to the profiling input set —
+ * hints profiled on the train input vs hints profiled on the ref
+ * input itself, both evaluated on the ref input.
+ */
+
+#include "bench_util.hh"
+
+using namespace ecdp;
+using namespace ecdp::bench;
+
+int
+main()
+{
+    ExperimentContext ctx;
+    const std::vector<std::string> names = pointerIntensiveNames();
+    NamedConfig train_hints = cfgFull();
+    NamedConfig ref_hints{
+        "full-refprofile",
+        [](ExperimentContext &c, const std::string &b) {
+            return configs::fullProposal(&c.hintsFromRef(b));
+        }};
+
+    TablePrinter table(
+        "Section 6.1.6: profiling input sensitivity (IPC)");
+    table.header({"bench", "train-profile", "ref-profile", "delta%"});
+    unsigned sensitive = 0;
+    for (const std::string &name : names) {
+        const RunStats &t = run(ctx, name, train_hints);
+        const RunStats &r = run(ctx, name, ref_hints);
+        double delta = percentDelta(r.ipc, t.ipc);
+        sensitive += delta > 1.0;
+        table.row()
+            .cell(name)
+            .cell(t.ipc, 3)
+            .cell(r.ipc, 3)
+            .cell(delta, 2);
+    }
+    table.print(std::cout);
+    std::cout << "\nBenchmarks gaining more than 1% from same-input "
+                 "profiling: "
+              << sensitive
+              << "\nPaper: only mst gained more than 1% (by 4%): the\n"
+                 "mechanism is insensitive to the profiling input.\n";
+    return 0;
+}

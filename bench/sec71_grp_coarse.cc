@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Section 7.1: guided-region-prefetching-style coarse-grained gating
+ * (enable/disable ALL pointers of a load) vs ECDP's per-PG filtering.
+ * The paper found coarse gating provides a negligible 0.4% gain.
+ */
+
+#include "bench_util.hh"
+
+using namespace ecdp;
+using namespace ecdp::bench;
+
+int
+main()
+{
+    ExperimentContext ctx;
+    const std::vector<std::string> names = pointerIntensiveNames();
+    NamedConfig base = cfgBaseline();
+    NamedConfig grp{"grp-coarse",
+                    [](ExperimentContext &c, const std::string &b) {
+                        return configs::streamGrpCoarse(&c.hints(b));
+                    }};
+    NamedConfig ecdp = cfgEcdp();
+
+    TablePrinter table(
+        "Section 7.1: coarse (GRP-style) vs fine (ECDP) filtering");
+    table.header({"bench", "grp-ipc/base", "ecdp-ipc/base",
+                  "grp-bpki", "ecdp-bpki"});
+    for (const std::string &name : names) {
+        const RunStats &b = run(ctx, name, base);
+        const RunStats &g = run(ctx, name, grp);
+        const RunStats &e = run(ctx, name, ecdp);
+        table.row()
+            .cell(name)
+            .cell(g.ipc / b.ipc, 3)
+            .cell(e.ipc / b.ipc, 3)
+            .cell(g.bpki, 1)
+            .cell(e.bpki, 1);
+    }
+    table.row()
+        .cell("gmean")
+        .cell(gmeanSpeedup(ctx, names, grp, base), 3)
+        .cell(gmeanSpeedup(ctx, names, ecdp, base), 3)
+        .cell("-")
+        .cell("-");
+    table.print(std::cout);
+    std::cout << "\nPaper: controlling CDP in a coarse-grained fashion\n"
+                 "gains a negligible 0.4%; per-PG filtering is what\n"
+                 "makes the difference.\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Diagnostic overview of the whole benchmark suite: for each workload,
+ * the key statistics under the main configurations. Not a paper
+ * table; used to sanity-check workload shapes (footprints, miss
+ * rates, stream coverage, CDP accuracy) against the paper's
+ * qualitative descriptions.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "stats/table.hh"
+
+using namespace ecdp;
+
+int
+main()
+{
+    ExperimentContext ctx;
+    TablePrinter table("Suite overview (ref inputs)");
+    table.header({"bench", "accesses", "instrs", "ipc-np", "ipc-base",
+                  "ipc-cdp", "ipc-full", "ideal-lds%", "strm-cov",
+                  "cdp-acc", "bpki-base", "bpki-cdp", "bpki-full",
+                  "missK"});
+
+    for (const BenchmarkInfo &info : benchmarkSuite()) {
+        const std::string &name = info.name;
+        const Workload &wl = ctx.ref(name);
+        const RunStats &np =
+            ctx.run(name, configs::noPrefetch(), "noprefetch");
+        const RunStats &base = ctx.run(name, configs::baseline(),
+                                       "baseline");
+        const RunStats &cdp = ctx.run(name, configs::streamCdp(),
+                                      "streamcdp");
+        const RunStats &ideal = ctx.run(name, configs::idealLds(),
+                                        "ideallds");
+        const RunStats &full = ctx.run(
+            name, configs::fullProposal(&ctx.hints(name)), "full");
+
+        table.row()
+            .cell(name)
+            .cell(static_cast<std::uint64_t>(wl.trace.size()))
+            .cell(static_cast<std::uint64_t>(wl.instructionCount()))
+            .cell(np.ipc, 3)
+            .cell(base.ipc, 3)
+            .cell(cdp.ipc, 3)
+            .cell(full.ipc, 3)
+            .cell(100.0 * (ideal.ipc / base.ipc - 1.0), 1)
+            .cell(base.coverage(0), 2)
+            .cell(cdp.accuracy(1), 2)
+            .cell(base.bpki, 1)
+            .cell(cdp.bpki, 1)
+            .cell(full.bpki, 1)
+            .cell(base.l2DemandMisses / 1000, 0);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table 7: the hardware storage cost of the proposal (prefetched tag
+ * bits, feedback counters, per-MSHR ECDP context), compared with the
+ * storage of the prefetchers the paper evaluates against.
+ */
+
+#include <iostream>
+
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+#include "prefetch/dbp.hh"
+#include "prefetch/ghb_prefetcher.hh"
+#include "prefetch/hardware_filter.hh"
+#include "prefetch/markov_prefetcher.hh"
+#include "prefetch/stream_prefetcher.hh"
+#include "stats/table.hh"
+
+using namespace ecdp;
+
+int
+main()
+{
+    Cache l2("L2", 1024 * 1024, 8, 128);
+    MshrFile mshrs(32);
+
+    // The paper's accounting (Table 7): 11 sixteen-bit counters for
+    // feedback, 2 prefetched bits per L2 block, and per-MSHR storage
+    // for the block offset plus the hint bit vector. The paper's
+    // illustration uses a 16-bit vector (64 B blocks); our 128 B
+    // blocks carry 32+32 bits (see DESIGN.md).
+    const std::uint64_t counters = 11 * 16;
+    const std::uint64_t prefetched_bits =
+        l2.prefetchedBitsStorageBits();
+    const std::uint64_t mshr_paper = mshrs.ecdpStorageBits(16);
+    const std::uint64_t mshr_ours = mshrs.ecdpStorageBits(64);
+
+    TablePrinter table("Table 7: hardware cost of the proposal");
+    table.header({"component", "bits", "KB"});
+    auto row = [&table](const char *name, std::uint64_t bits) {
+        table.row().cell(name).cell(bits).cell(
+            static_cast<double>(bits) / 8 / 1024, 3);
+    };
+    row("prefetched bits (8192 blocks x 2)", prefetched_bits);
+    row("feedback counters (11 x 16)", counters);
+    row("MSHR offset+hints, paper 16-bit vector", mshr_paper);
+    row("MSHR offset+hints, this repo 64-bit vector", mshr_ours);
+    row("total (paper vector)",
+        prefetched_bits + counters + mshr_paper);
+    row("total (this repo)",
+        prefetched_bits + counters + mshr_ours);
+    table.print(std::cout);
+    std::cout << "\nPaper total: 17296 bits = 2.11 KB (0.206% of the"
+                 " 1 MB L2).\n\n";
+
+    TablePrinter rivals("Comparison prefetcher storage");
+    rivals.header({"mechanism", "bits", "KB"});
+    StreamPrefetcher stream;
+    DependenceBasedPrefetcher dbp;
+    MarkovPrefetcher markov;
+    GhbPrefetcher ghb;
+    HardwareFilter filter;
+    auto rrow = [&rivals](const char *name, std::uint64_t bits) {
+        rivals.row().cell(name).cell(bits).cell(
+            static_cast<double>(bits) / 8 / 1024, 2);
+    };
+    rrow("stream prefetcher (32 streams)", stream.storageBits());
+    rrow("DBP (128 PPW + 256 CT)", dbp.storageBits());
+    rrow("Markov (1 MB table)", markov.storageBits());
+    rrow("GHB G/DC (1k buffer)", ghb.storageBits());
+    rrow("Zhuang-Lee filter (8 KB)", filter.storageBits());
+    rivals.print(std::cout);
+    std::cout << "\nPaper: DBP ~3 KB, Markov 1 MB, GHB 12 KB, filter"
+                 " 8 KB vs our 2.11 KB proposal.\n";
+    return 0;
+}

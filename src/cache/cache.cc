@@ -1,0 +1,114 @@
+#include "cache/cache.hh"
+
+#include <bit>
+#include <cassert>
+#include <utility>
+
+namespace ecdp
+{
+
+Cache::Cache(std::string name, std::uint32_t size_bytes,
+             std::uint32_t assoc, std::uint32_t block_bytes)
+    : name_(std::move(name)),
+      blockBytes_(block_bytes),
+      blockMask_(block_bytes - 1),
+      blockShift_(static_cast<std::uint32_t>(std::countr_zero(block_bytes))),
+      assoc_(assoc)
+{
+    assert(std::has_single_bit(block_bytes));
+    assert(size_bytes % (assoc * block_bytes) == 0);
+    numSets_ = size_bytes / (assoc * block_bytes);
+    assert(std::has_single_bit(numSets_));
+    numBlocks_ = numSets_ * assoc_;
+    blocks_.resize(numBlocks_);
+}
+
+CacheBlock *
+Cache::lookup(Addr addr, bool update_lru)
+{
+    std::uint32_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        CacheBlock &block = blocks_[set * assoc_ + way];
+        if (block.valid && block.tag == tag) {
+            if (update_lru)
+                block.lastUse = ++lruClock_;
+            return &block;
+        }
+    }
+    return nullptr;
+}
+
+const CacheBlock *
+Cache::peek(Addr addr) const
+{
+    std::uint32_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        const CacheBlock &block = blocks_[set * assoc_ + way];
+        if (block.valid && block.tag == tag)
+            return &block;
+    }
+    return nullptr;
+}
+
+Cache::Victim
+Cache::insert(Addr addr, PrefetchSource source)
+{
+    std::uint32_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+
+    // Victim priority: matching tag (refresh) > invalid way > true LRU.
+    CacheBlock *victim_block = nullptr;
+    for (std::uint32_t way = 0; way < assoc_ && !victim_block; ++way) {
+        CacheBlock &block = blocks_[set * assoc_ + way];
+        if (block.valid && block.tag == tag)
+            victim_block = &block;
+    }
+    for (std::uint32_t way = 0; way < assoc_ && !victim_block; ++way) {
+        CacheBlock &block = blocks_[set * assoc_ + way];
+        if (!block.valid)
+            victim_block = &block;
+    }
+    if (!victim_block) {
+        for (std::uint32_t way = 0; way < assoc_; ++way) {
+            CacheBlock &block = blocks_[set * assoc_ + way];
+            if (!victim_block || block.lastUse < victim_block->lastUse)
+                victim_block = &block;
+        }
+    }
+
+    Victim victim;
+    if (victim_block->valid && victim_block->tag != tag) {
+        victim.valid = true;
+        victim.dirty = victim_block->dirty;
+        victim.addr = (victim_block->tag << blockShift_);
+        victim.wasPrefetchedPrimary = victim_block->prefetchedPrimary;
+        victim.wasPrefetchedLds = victim_block->prefetchedLds;
+        ++evictions_;
+    }
+
+    bool refresh = victim_block->valid && victim_block->tag == tag;
+    victim_block->valid = true;
+    victim_block->tag = tag;
+    victim_block->lastUse = ++lruClock_;
+    if (!refresh) {
+        victim_block->dirty = false;
+        victim_block->prefetchedPrimary = source == PrefetchSource::Primary;
+        victim_block->prefetchedLds = source == PrefetchSource::Lds;
+        victim_block->pgValid = false;
+        victim_block->pg = PgId{};
+        victim_block->cdpDepth = 0;
+        victim_block->prefetchLatency = 0;
+    }
+    return victim;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    if (CacheBlock *block = lookup(addr, false))
+        block->valid = false;
+}
+
+} // namespace ecdp

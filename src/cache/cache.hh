@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Set-associative cache model with the per-prefetcher "prefetched" tag
+ * bits the paper's feedback mechanism relies on (Section 4.1), plus
+ * pointer-group bookkeeping used for profiling and the Figure 4/10
+ * usefulness analyses.
+ */
+
+#ifndef ECDP_CACHE_CACHE_HH
+#define ECDP_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memsim/types.hh"
+
+namespace ecdp
+{
+
+/** Which prefetcher fetched a block (at most one at a time). */
+enum class PrefetchSource : std::uint8_t { None = 0, Primary, Lds };
+
+/**
+ * Identity of a pointer group PG(L, X): the static load L (by PC) and
+ * the signed pointer-slot offset X (in pointer-sized words) from the
+ * byte the load accessed (Section 3 of the paper).
+ */
+struct PgId
+{
+    Addr loadPc = 0;
+    std::int16_t slot = 0;
+
+    bool operator==(const PgId &other) const = default;
+};
+
+/** Hash functor so PgId can key unordered_map. */
+struct PgIdHash
+{
+    std::size_t operator()(const PgId &id) const
+    {
+        return std::hash<std::uint64_t>{}(
+            (std::uint64_t{id.loadPc} << 16) ^
+            static_cast<std::uint16_t>(id.slot));
+    }
+};
+
+/** State of one cache block. */
+struct CacheBlock
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr tag = 0;
+    /** LRU timestamp (global monotonic counter). */
+    std::uint64_t lastUse = 0;
+    /** The paper's prefetched-stream / prefetched-CDP tag bits. */
+    bool prefetchedPrimary = false;
+    bool prefetchedLds = false;
+    /** PG that caused the CDP prefetch of this block (stats only). */
+    bool pgValid = false;
+    PgId pg;
+    /** Recursion depth of the CDP prefetch that fetched the block. */
+    std::uint8_t cdpDepth = 0;
+    /** Issue-to-fill latency of the prefetch that fetched the block
+     *  (stats only; drives the Section 4 contention analysis). */
+    Cycle prefetchLatency = 0;
+};
+
+/**
+ * A single level of set-associative cache with true-LRU replacement.
+ *
+ * The cache is a tag store only: data values live in the simulator's
+ * SimMemory image. Timing lives in the memory system, not here.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param name Display name ("L1D", "L2").
+     * @param size_bytes Total capacity.
+     * @param assoc Ways per set.
+     * @param block_bytes Line size (power of two).
+     */
+    Cache(std::string name, std::uint32_t size_bytes, std::uint32_t assoc,
+          std::uint32_t block_bytes);
+
+    /** Address of the block containing @p addr. */
+    Addr blockAddr(Addr addr) const { return addr & ~blockMask_; }
+
+    /** Byte offset of @p addr within its block. */
+    std::uint32_t blockOffset(Addr addr) const
+    {
+        return addr & blockMask_;
+    }
+
+    std::uint32_t blockBytes() const { return blockBytes_; }
+    std::uint32_t numBlocks() const { return numBlocks_; }
+
+    /**
+     * Look up @p addr.
+     *
+     * @param update_lru When true, a hit refreshes LRU state.
+     * @return The block on a hit, nullptr on a miss.
+     */
+    CacheBlock *lookup(Addr addr, bool update_lru = true);
+    const CacheBlock *peek(Addr addr) const;
+
+    /** Evicted-block description returned by insert(). */
+    struct Victim
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr addr = 0;
+        bool wasPrefetchedPrimary = false;
+        bool wasPrefetchedLds = false;
+    };
+
+    /**
+     * Insert the block containing @p addr, evicting the LRU way.
+     *
+     * @param source Prefetcher that fetched the block (None = demand).
+     * @return Description of the victim (valid = a block was evicted).
+     */
+    Victim insert(Addr addr, PrefetchSource source = PrefetchSource::None);
+
+    /** Invalidate the block containing @p addr if present. */
+    void invalidate(Addr addr);
+
+    /** Number of evictions of valid blocks so far (interval clock). */
+    std::uint64_t evictions() const { return evictions_; }
+
+    const std::string &name() const { return name_; }
+
+    /** Extra tag storage (bits) for the two prefetched bits/block,
+     *  for the Table 7 hardware-cost accounting. */
+    std::uint64_t prefetchedBitsStorageBits() const
+    {
+        return std::uint64_t{numBlocks_} * 2;
+    }
+
+  private:
+    std::uint32_t setIndex(Addr addr) const
+    {
+        return (addr >> blockShift_) & (numSets_ - 1);
+    }
+
+    Addr tagOf(Addr addr) const { return addr >> blockShift_; }
+
+    std::string name_;
+    std::uint32_t blockBytes_;
+    std::uint32_t blockMask_;
+    std::uint32_t blockShift_;
+    std::uint32_t assoc_;
+    std::uint32_t numSets_;
+    std::uint32_t numBlocks_;
+    std::uint64_t lruClock_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::vector<CacheBlock> blocks_;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_CACHE_CACHE_HH

@@ -1,0 +1,61 @@
+#include "cache/mshr.hh"
+
+#include <cassert>
+
+namespace ecdp
+{
+
+MshrFile::MshrFile(unsigned entries)
+    : entries_(entries), free_(entries)
+{
+    assert(entries > 0);
+}
+
+Mshr *
+MshrFile::find(Addr block_addr)
+{
+    for (Mshr &entry : entries_) {
+        if (entry.valid && entry.blockAddr == block_addr)
+            return &entry;
+    }
+    return nullptr;
+}
+
+Mshr &
+MshrFile::allocate(Addr block_addr)
+{
+    assert(!full());
+    assert(!find(block_addr));
+    for (Mshr &entry : entries_) {
+        if (!entry.valid) {
+            entry = Mshr{};
+            entry.valid = true;
+            entry.blockAddr = block_addr;
+            --free_;
+            return entry;
+        }
+    }
+    assert(false && "MshrFile::allocate with no free entry");
+    __builtin_unreachable();
+}
+
+void
+MshrFile::release(Mshr &entry)
+{
+    assert(entry.valid);
+    entry.valid = false;
+    ++free_;
+}
+
+std::vector<Mshr *>
+MshrFile::ripe(Cycle now)
+{
+    std::vector<Mshr *> result;
+    for (Mshr &entry : entries_) {
+        if (entry.valid && entry.fillAt <= now)
+            result.push_back(&entry);
+    }
+    return result;
+}
+
+} // namespace ecdp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Miss status holding registers for the last-level cache.
+ *
+ * Besides the usual merge-and-track duties, each entry records the
+ * block offset and ECDP hint bit vector of the triggering load, which
+ * is exactly the per-MSHR storage the paper's Table 7 accounts for
+ * (32 entries x (7 + 16) bits): the content-directed prefetcher needs
+ * both at fill time to decide which pointers in the block to prefetch.
+ */
+
+#ifndef ECDP_CACHE_MSHR_HH
+#define ECDP_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "memsim/types.hh"
+
+namespace ecdp
+{
+
+/** One in-flight miss. */
+struct Mshr
+{
+    bool valid = false;
+    Addr blockAddr = 0;
+    /** Completion time of the fill, fixed when DRAM accepts it. */
+    Cycle fillAt = 0;
+    /** Cycle the request was accepted by DRAM. */
+    Cycle issuedAt = 0;
+    /** True once any demand request waits on this fill. */
+    bool demand = false;
+    /** True when a store wrote the block while it was in flight. */
+    bool dirty = false;
+    /** Prefetcher that created the entry (None for demand misses). */
+    PrefetchSource source = PrefetchSource::None;
+
+    /** @{ ECDP scan context (demand misses only). */
+    Addr loadPc = 0;
+    std::uint8_t blockByteOffset = 0;
+    bool scanOnFill = false;
+    /** @} */
+
+    /** @{ CDP recursion context (CDP prefetch misses only). */
+    std::uint8_t cdpDepth = 0;
+    PgId pgRoot{};
+    bool pgRootValid = false;
+    /** @} */
+};
+
+/**
+ * Fully-associative MSHR file with merge semantics.
+ */
+class MshrFile
+{
+  public:
+    /** @param entries Capacity (32 in the baseline, Table 5). */
+    explicit MshrFile(unsigned entries);
+
+    /** Find the in-flight entry for @p block_addr, or nullptr. */
+    Mshr *find(Addr block_addr);
+
+    /** True when no entry is free. */
+    bool full() const { return free_ == 0; }
+
+    /** Number of valid entries. */
+    unsigned inFlight() const
+    {
+        return static_cast<unsigned>(entries_.size()) - free_;
+    }
+
+    /**
+     * Allocate an entry for @p block_addr (must not be full, and no
+     * entry for the block may exist).
+     * @return The fresh entry for the caller to fill in.
+     */
+    Mshr &allocate(Addr block_addr);
+
+    /** Release @p entry after its fill completes. */
+    void release(Mshr &entry);
+
+    /** All valid entries whose fill time is <= @p now (fill order is
+     *  resolved by the memory system, which iterates this). */
+    std::vector<Mshr *> ripe(Cycle now);
+
+    /**
+     * Raw entry storage for the memory system's fill loop. Entries
+     * are stable (fixed vector); releasing during iteration is safe.
+     */
+    std::vector<Mshr> &entries() { return entries_; }
+
+    /** Earliest fill time among valid entries (max Cycle if none). */
+    Cycle earliestFill() const
+    {
+        Cycle earliest = ~Cycle{0};
+        for (const Mshr &entry : entries_) {
+            if (entry.valid && entry.fillAt < earliest)
+                earliest = entry.fillAt;
+        }
+        return earliest;
+    }
+
+    /** Table 7: per-entry ECDP storage (7-bit offset + hint vector). */
+    std::uint64_t ecdpStorageBits(unsigned hint_vector_bits) const
+    {
+        return entries_.size() * (7ull + hint_vector_bits);
+    }
+
+  private:
+    std::vector<Mshr> entries_;
+    unsigned free_;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_CACHE_MSHR_HH

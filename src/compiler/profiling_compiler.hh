@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The profiling "compiler" of Section 3.
+ *
+ * The paper's first profiling implementation simulates the cache
+ * hierarchy and prefetcher of the target machine on a training input,
+ * gathers per-pointer-group usefulness, and marks the beneficial PGs
+ * (majority of prefetches useful) in per-load hint bit vectors. This
+ * module does exactly that: it runs the training workload through the
+ * simulator with the original (unfiltered) CDP, then classifies every
+ * observed PG(L, X) and emits the HintTable the ECDP hardware consults
+ * at run time.
+ */
+
+#ifndef ECDP_COMPILER_PROFILING_COMPILER_HH
+#define ECDP_COMPILER_PROFILING_COMPILER_HH
+
+#include "prefetch/hint_table.hh"
+#include "sim/config.hh"
+#include "trace/trace.hh"
+
+namespace ecdp
+{
+
+/**
+ * Compiler-side PG classification.
+ */
+/** Profiling classification options. */
+struct ProfileOptions
+{
+    /** A PG is beneficial when more than this fraction of its
+     *  prefetches (including recursive ones) were useful. */
+    double usefulnessThreshold = 0.5;
+    /** PGs with fewer issued prefetches than this are noise and
+     *  stay disabled. */
+    std::uint64_t minIssued = 4;
+};
+
+class ProfilingCompiler
+{
+  public:
+    using Options = ProfileOptions;
+
+    /**
+     * Run the profiling pass on @p train and emit hints.
+     *
+     * @param train The training-input workload.
+     * @param target Target machine configuration; its prefetcher
+     *        selection is overridden to stream + original CDP for the
+     *        profiling run (profiling needs the unfiltered PG stream).
+     */
+    static HintTable profile(const Workload &train,
+                             SystemConfig target = {},
+                             ProfileOptions options = ProfileOptions());
+
+    /** The raw PG statistics of the functional profiling pass
+     *  (exposed for the Figure 4 / Figure 10 benches and tests). */
+    static PgStatsMap profileStats(const Workload &train,
+                                   SystemConfig target = {});
+
+    /**
+     * The paper's *second* profiling implementation (Section 3):
+     * hardware-assisted profiling with informing load operations
+     * (Horowitz et al.). The training run executes on the full
+     * timing simulator with the original CDP; the informing-load
+     * support tells the run-time which loads hit prefetched blocks,
+     * from which the compiler accumulates PG usefulness. Slower than
+     * the functional pass but needs no cache-hierarchy model in the
+     * compiler.
+     */
+    static HintTable profileWithInformingLoads(
+        const Workload &train, SystemConfig target = {},
+        ProfileOptions options = ProfileOptions());
+
+    /** Classify an already-collected PG statistics map. */
+    static HintTable fromPgStats(const PgStatsMap &stats,
+                                 ProfileOptions options = ProfileOptions());
+
+    /**
+     * Histogram of PG usefulness in quartiles (0-25, 25-50, 50-75,
+     * 75-100 percent useful) — the Figure 4 / Figure 10 data.
+     */
+    static void usefulnessHistogram(const PgStatsMap &stats,
+                                    std::uint64_t quartiles[4],
+                                    std::uint64_t min_issued = 1);
+};
+
+} // namespace ecdp
+
+#endif // ECDP_COMPILER_PROFILING_COMPILER_HH

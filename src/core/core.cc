@@ -1,0 +1,158 @@
+#include "core/core.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecdp
+{
+
+Core::Core(const Workload *workload, CoreMemoryInterface *memory,
+           const CoreParams &params)
+    : workload_(workload), memory_(memory), params_(params)
+{
+    assert(workload_ && memory_);
+    completion_.assign(workload_->trace.size(), kPending);
+}
+
+bool
+Core::depSatisfied(const TraceEntry &entry, Cycle now) const
+{
+    if (entry.dep == kNoDep)
+        return true;
+    Cycle ready = completion_[static_cast<std::size_t>(entry.dep)];
+    return ready != kPending && ready <= now;
+}
+
+void
+Core::retire(Cycle now)
+{
+    unsigned budget = params_.width;
+    while (budget > 0 && !rob_.empty()) {
+        RobEntry &head = rob_.front();
+        if (!head.isMem) {
+            std::uint32_t take = std::min<std::uint32_t>(budget,
+                                                         head.fillers);
+            head.fillers -= take;
+            robCount_ -= take;
+            retired_ += take;
+            budget -= take;
+            if (head.fillers == 0)
+                rob_.pop_front();
+            continue;
+        }
+        Cycle done = completion_[head.traceIdx];
+        if (done == kPending || done > now)
+            break;
+        rob_.pop_front();
+        --robCount_;
+        --lsqCount_;
+        ++retired_;
+        --budget;
+    }
+}
+
+void
+Core::issueLoads(Cycle now)
+{
+    if (pendingLoads_.empty())
+        return;
+    std::vector<std::size_t> still_pending;
+    still_pending.reserve(pendingLoads_.size());
+    unsigned issued = 0;
+    bool memory_stalled = false;
+    for (std::size_t idx : pendingLoads_) {
+        const TraceEntry &entry = workload_->trace[idx];
+        if (memory_stalled || issued >= params_.issuePerCycle ||
+            !depSatisfied(entry, now)) {
+            still_pending.push_back(idx);
+            continue;
+        }
+        std::optional<Cycle> done = memory_->load(entry, now);
+        if (!done) {
+            // The memory system is out of buffers; no point trying
+            // the remaining loads this cycle.
+            memory_stalled = true;
+            still_pending.push_back(idx);
+            continue;
+        }
+        completion_[idx] = std::max(*done, now + 1);
+        ++issued;
+    }
+    pendingLoads_ = std::move(still_pending);
+}
+
+void
+Core::dispatch(Cycle now)
+{
+    unsigned budget = params_.width;
+    const auto &trace = workload_->trace;
+    while (budget > 0 && cursor_ < trace.size()) {
+        const TraceEntry &entry = trace[cursor_];
+        if (!fillersPrimed_) {
+            fillersLeft_ = entry.nonMemBefore;
+            fillersPrimed_ = true;
+        }
+        unsigned rob_space = params_.robEntries - robCount_;
+        if (rob_space == 0)
+            break;
+        if (fillersLeft_ > 0) {
+            std::uint32_t take = std::min<std::uint32_t>(
+                {budget, fillersLeft_, rob_space});
+            RobEntry filler;
+            filler.fillers = take;
+            rob_.push_back(filler);
+            robCount_ += take;
+            budget -= take;
+            fillersLeft_ -= take;
+            continue;
+        }
+        if (lsqCount_ >= params_.lsqEntries)
+            break;
+        RobEntry mem_entry;
+        mem_entry.isMem = true;
+        mem_entry.traceIdx = cursor_;
+        rob_.push_back(mem_entry);
+        ++robCount_;
+        ++lsqCount_;
+        if (entry.kind == AccessKind::Store) {
+            memory_->store(entry, now);
+            completion_[cursor_] = now + 1;
+        } else {
+            completion_[cursor_] = kPending;
+            pendingLoads_.push_back(cursor_);
+        }
+        --budget;
+        ++cursor_;
+        fillersPrimed_ = false;
+    }
+}
+
+void
+Core::resetPass()
+{
+    cursor_ = 0;
+    fillersPrimed_ = false;
+    fillersLeft_ = 0;
+    pendingLoads_.clear();
+    std::fill(completion_.begin(), completion_.end(), kPending);
+}
+
+void
+Core::tick(Cycle now)
+{
+    retire(now);
+    issueLoads(now);
+    dispatch(now);
+
+    if (cursor_ == workload_->trace.size() && rob_.empty()) {
+        if (!finishedOnce_) {
+            finishedOnce_ = true;
+            finishCycle_ = now;
+            retiredFirstPass_ = retired_;
+        }
+        if (wrapAround_)
+            resetPass();
+    }
+}
+
+} // namespace ecdp

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Trace-driven out-of-order core timing model.
+ *
+ * The model captures the properties the paper's results hinge on:
+ *
+ *  - a 256-entry reorder buffer bounds memory-level parallelism,
+ *  - loads issue only after the load that produced their address
+ *    completes, so linked-data-structure traversals serialize their
+ *    misses while streaming loads overlap,
+ *  - 4-wide in-order retire, so a pending load at the ROB head stalls
+ *    the pipeline,
+ *  - a 32-entry load-store queue bounds in-flight memory operations.
+ *
+ * Non-memory instructions are represented by each trace entry's
+ * leading instruction count and consume dispatch/retire bandwidth and
+ * ROB space, but never stall.
+ */
+
+#ifndef ECDP_CORE_CORE_HH
+#define ECDP_CORE_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "memsim/types.hh"
+#include "trace/trace.hh"
+
+namespace ecdp
+{
+
+/** Core sizing (defaults per Table 5 of the paper). */
+struct CoreParams
+{
+    unsigned robEntries = 256;
+    unsigned width = 4;
+    unsigned lsqEntries = 32;
+    /** Loads the core may issue to the memory system per cycle. */
+    unsigned issuePerCycle = 4;
+};
+
+/**
+ * Interface the core uses to access the memory hierarchy. Implemented
+ * by sim::MemorySystem.
+ */
+class CoreMemoryInterface
+{
+  public:
+    virtual ~CoreMemoryInterface() = default;
+
+    /**
+     * Try to start a load.
+     * @return Completion cycle of the load's data, or nullopt if the
+     *         memory system cannot accept the request this cycle.
+     */
+    virtual std::optional<Cycle> load(const TraceEntry &entry,
+                                      Cycle now) = 0;
+
+    /** Perform a store (never stalls the core). */
+    virtual void store(const TraceEntry &entry, Cycle now) = 0;
+};
+
+/**
+ * One simulated core executing a Workload trace.
+ */
+class Core
+{
+  public:
+    /**
+     * @param workload Trace to execute (not owned).
+     * @param memory Memory hierarchy for this core (not owned).
+     * @param params Core sizing.
+     */
+    Core(const Workload *workload, CoreMemoryInterface *memory,
+         const CoreParams &params = {});
+
+    /** Advance one cycle: retire, issue ready loads, dispatch. */
+    void tick(Cycle now);
+
+    /** True once every trace entry has been retired at least once. */
+    bool finishedOnce() const { return finishedOnce_; }
+
+    /** Cycle at which the trace finished its first pass (valid only
+     *  after finishedOnce()). */
+    Cycle finishCycle() const { return finishCycle_; }
+
+    /** Instructions retired during the first pass of the trace. */
+    std::uint64_t retiredFirstPass() const { return retiredFirstPass_; }
+
+    /**
+     * When true (multi-core runs), the core restarts its trace after
+     * finishing so it keeps generating memory contention while other
+     * cores complete their first pass.
+     */
+    void setWrapAround(bool wrap) { wrapAround_ = wrap; }
+
+    /** Total retired instructions (all passes). */
+    std::uint64_t retired() const { return retired_; }
+
+  private:
+    struct RobEntry
+    {
+        /** Non-memory filler instructions represented by this entry
+         *  (0 for a memory operation). */
+        std::uint32_t fillers = 0;
+        /** Trace index of the memory op (valid when fillers == 0). */
+        std::size_t traceIdx = 0;
+        bool isMem = false;
+    };
+
+    /** Per-in-flight-load bookkeeping. */
+    enum class LoadState : std::uint8_t { WaitDep, Ready, Issued };
+
+    void retire(Cycle now);
+    void issueLoads(Cycle now);
+    void dispatch(Cycle now);
+    void resetPass();
+
+    bool depSatisfied(const TraceEntry &entry, Cycle now) const;
+
+    const Workload *workload_;
+    CoreMemoryInterface *memory_;
+    CoreParams params_;
+
+    /** Next trace entry to dispatch. */
+    std::size_t cursor_ = 0;
+    /** Fillers of trace[cursor_] still to dispatch. */
+    std::uint32_t fillersLeft_ = 0;
+    bool fillersPrimed_ = false;
+
+    std::deque<RobEntry> rob_;
+    /** Instructions currently in the ROB (fillers + memory ops). */
+    unsigned robCount_ = 0;
+    /** Memory ops currently in the ROB (LSQ occupancy). */
+    unsigned lsqCount_ = 0;
+
+    /** Completion cycle per trace entry for the current pass;
+     *  kPending when not yet complete. */
+    std::vector<Cycle> completion_;
+    static constexpr Cycle kPending = ~Cycle{0};
+
+    /** Dispatched, un-issued loads (trace indices). */
+    std::vector<std::size_t> pendingLoads_;
+
+    std::uint64_t retired_ = 0;
+    std::uint64_t retiredFirstPass_ = 0;
+    bool finishedOnce_ = false;
+    Cycle finishCycle_ = 0;
+    bool wrapAround_ = false;
+    bool passDone_ = false;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_CORE_CORE_HH

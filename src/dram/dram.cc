@@ -1,0 +1,76 @@
+#include "dram/dram.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecdp
+{
+
+DramSystem::DramSystem(const DramParams &params, unsigned cores)
+    : params_(params),
+      bufferCapacity_(params.requestBufferPerCore * cores),
+      bankFree_(params.banks, 0),
+      perCoreBus_(cores, 0)
+{
+    assert(cores > 0);
+    assert(params.banks > 0);
+}
+
+unsigned
+DramSystem::bankIndex(unsigned core, Addr block_addr) const
+{
+    // Fold several address ranges plus the core id so that regular
+    // strides and identical per-core heap layouts spread over banks.
+    std::uint32_t v = block_addr >> 7;
+    v ^= v >> 6;
+    v ^= core * 0x9e3779b9u;
+    return v % params_.banks;
+}
+
+unsigned
+DramSystem::bufferOccupancy(Cycle now)
+{
+    while (!inFlight_.empty() && inFlight_.top() <= now)
+        inFlight_.pop();
+    return static_cast<unsigned>(inFlight_.size());
+}
+
+Cycle
+DramSystem::reserve(unsigned core, Addr block_addr, Cycle now)
+{
+    unsigned bank = bankIndex(core, block_addr);
+    Cycle bank_start = std::max(now + params_.frontLatency,
+                                bankFree_[bank]);
+    Cycle bank_done = bank_start + params_.bankBusy;
+    bankFree_[bank] = bank_done;
+
+    Cycle bus_start = std::max(bank_done, busFree_);
+    Cycle bus_done = bus_start + params_.busTransfer;
+    busFree_ = bus_done;
+
+    ++busTransactions_;
+    ++perCoreBus_[core];
+    return bus_done;
+}
+
+std::optional<Cycle>
+DramSystem::read(unsigned core, Addr block_addr, Cycle now,
+                 unsigned reserved)
+{
+    unsigned usable = bufferCapacity_ > reserved
+        ? bufferCapacity_ - reserved
+        : 0;
+    if (bufferOccupancy(now) >= usable)
+        return std::nullopt;
+    Cycle done = reserve(core, block_addr, now);
+    inFlight_.push(done);
+    return done;
+}
+
+void
+DramSystem::writeback(unsigned core, Addr block_addr, Cycle now)
+{
+    reserve(core, block_addr, now);
+}
+
+} // namespace ecdp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Main-memory model: banked DRAM behind a shared core-to-memory bus.
+ *
+ * Matches the paper's Table 5 memory system: 450-cycle minimum
+ * latency, 8 banks, an 8-byte bus at a 5:1 frequency ratio (so a 128 B
+ * block occupies the bus for 16 beats = 80 core cycles), and a memory
+ * request buffer of 32 entries per core. Contention is modelled with
+ * time-stamped resources: each accepted request reserves its bank and
+ * a bus slot in arrival order, so bursts of useless prefetches push
+ * out the completion times of later demand requests -- the effect the
+ * coordinated throttling mechanism exists to manage.
+ */
+
+#ifndef ECDP_DRAM_DRAM_HH
+#define ECDP_DRAM_DRAM_HH
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "memsim/types.hh"
+
+namespace ecdp
+{
+
+/** DRAM timing and sizing parameters (defaults per Table 5). */
+struct DramParams
+{
+    unsigned banks = 8;
+    /** Cycles a bank stays busy per access (throughput limit). */
+    Cycle bankBusy = 50;
+    /** Bus occupancy of one block transfer: 128 B over an 8 B bus at a
+     *  5:1 frequency ratio = 16 beats x 5 core cycles. */
+    Cycle busTransfer = 80;
+    /** Fixed pipeline latency so an uncontended access takes
+     *  front + bankBusy + busTransfer = 450 cycles. */
+    Cycle frontLatency = 320;
+    /** Request buffer entries per core (total = entries x cores). */
+    unsigned requestBufferPerCore = 32;
+};
+
+/**
+ * The shared DRAM system.
+ *
+ * Completion times are computed at acceptance: the caller learns
+ * immediately when its fill will arrive, and the reserved bank/bus
+ * windows delay later requests.
+ */
+class DramSystem
+{
+  public:
+    /**
+     * @param params Timing parameters.
+     * @param cores Number of cores sharing the memory system.
+     */
+    DramSystem(const DramParams &params, unsigned cores);
+
+    /**
+     * Try to accept a read (fill) request.
+     *
+     * @param core Requesting core (bus accounting).
+     * @param block_addr Block-aligned address.
+     * @param now Current cycle.
+     * @param reserve Buffer entries to leave free (prefetch requests
+     *        pass a nonzero reserve so they cannot starve demands).
+     * @return Completion cycle, or nullopt if the request buffer is
+     *         full (the caller must retry).
+     */
+    std::optional<Cycle> read(unsigned core, Addr block_addr, Cycle now,
+                              unsigned reserve = 0);
+
+    /**
+     * Post a writeback. Writebacks reserve bank and bus time and count
+     * as bus transactions but nothing waits for them, and they bypass
+     * the request buffer (modelling a separate write buffer).
+     */
+    void writeback(unsigned core, Addr block_addr, Cycle now);
+
+    /** Total data-bus transactions (fills + writebacks) so far. */
+    std::uint64_t busTransactions() const { return busTransactions_; }
+
+    /** Bus transactions attributed to @p core. */
+    std::uint64_t busTransactions(unsigned core) const
+    {
+        return perCoreBus_[core];
+    }
+
+    /** Entries currently occupied in the request buffer at @p now. */
+    unsigned bufferOccupancy(Cycle now);
+
+    unsigned bufferCapacity() const { return bufferCapacity_; }
+
+  private:
+    /** Reserve bank + bus resources; returns the bus-done cycle. */
+    Cycle reserve(unsigned core, Addr block_addr, Cycle now);
+
+    unsigned bankIndex(unsigned core, Addr block_addr) const;
+
+    DramParams params_;
+    unsigned bufferCapacity_;
+    std::vector<Cycle> bankFree_;
+    Cycle busFree_ = 0;
+    /** Completion times of in-flight reads (buffer occupancy). */
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>
+        inFlight_;
+    std::uint64_t busTransactions_ = 0;
+    std::vector<std::uint64_t> perCoreBus_;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_DRAM_DRAM_HH

@@ -1,0 +1,25 @@
+#include "memsim/bump_allocator.hh"
+
+#include <cassert>
+
+namespace ecdp
+{
+
+Addr
+BumpAllocator::allocate(std::size_t bytes, std::size_t align)
+{
+    assert(bytes > 0);
+    assert(align > 0 && (align & (align - 1)) == 0);
+    Addr aligned = static_cast<Addr>((next_ + align - 1) & ~(align - 1));
+    next_ = aligned + static_cast<Addr>(bytes);
+    return aligned;
+}
+
+void
+BumpAllocator::alignTo(std::size_t boundary)
+{
+    assert(boundary > 0 && (boundary & (boundary - 1)) == 0);
+    next_ = static_cast<Addr>((next_ + boundary - 1) & ~(boundary - 1));
+}
+
+} // namespace ecdp

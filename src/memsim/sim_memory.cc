@@ -1,0 +1,81 @@
+#include "memsim/sim_memory.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace ecdp
+{
+
+const SimMemory::Page *
+SimMemory::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr >> kPageShift);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+SimMemory::Page &
+SimMemory::touchPage(Addr addr)
+{
+    auto &slot = pages_[addr >> kPageShift];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+void
+SimMemory::write(Addr addr, unsigned size, std::uint64_t value)
+{
+    assert(size == 1 || size == 2 || size == 4 || size == 8);
+    for (unsigned i = 0; i < size; ++i) {
+        Addr byte_addr = addr + i;
+        Page &page = touchPage(byte_addr);
+        page[byte_addr & (kPageBytes - 1)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+std::uint64_t
+SimMemory::read(Addr addr, unsigned size) const
+{
+    assert(size == 1 || size == 2 || size == 4 || size == 8);
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        Addr byte_addr = addr + i;
+        const Page *page = findPage(byte_addr);
+        std::uint8_t byte =
+            page ? (*page)[byte_addr & (kPageBytes - 1)] : 0;
+        value |= std::uint64_t{byte} << (8 * i);
+    }
+    return value;
+}
+
+SimMemory
+SimMemory::clone() const
+{
+    SimMemory copy;
+    for (const auto &[key, page] : pages_)
+        copy.pages_.emplace(key, std::make_unique<Page>(*page));
+    return copy;
+}
+
+void
+SimMemory::readBlock(Addr addr, std::uint8_t *out, std::size_t len) const
+{
+    std::size_t done = 0;
+    while (done < len) {
+        Addr cur = addr + static_cast<Addr>(done);
+        std::size_t in_page = kPageBytes - (cur & (kPageBytes - 1));
+        std::size_t chunk = std::min(in_page, len - done);
+        if (const Page *page = findPage(cur)) {
+            std::memcpy(out + done,
+                        page->data() + (cur & (kPageBytes - 1)), chunk);
+        } else {
+            std::memset(out + done, 0, chunk);
+        }
+        done += chunk;
+    }
+}
+
+} // namespace ecdp

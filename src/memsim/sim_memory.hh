@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Sparse byte-addressable image of the simulated 32-bit address space.
+ *
+ * Content-directed prefetching scans the *contents* of fetched cache
+ * blocks for pointer values, so the simulator must hold a faithful image
+ * of the simulated heap. SimMemory stores that image sparsely in 4 KB
+ * pages allocated on first touch.
+ */
+
+#ifndef ECDP_MEMSIM_SIM_MEMORY_HH
+#define ECDP_MEMSIM_SIM_MEMORY_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "memsim/types.hh"
+
+namespace ecdp
+{
+
+/**
+ * Sparse paged memory image.
+ *
+ * Reads of untouched memory return zero bytes, which is convenient: a
+ * zero word is never a heap pointer, so CDP ignores it.
+ */
+class SimMemory
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr std::size_t kPageBytes = std::size_t{1} << kPageShift;
+
+    SimMemory() = default;
+
+    /** Write @p size bytes (1, 2, 4 or 8) of @p value at @p addr. */
+    void write(Addr addr, unsigned size, std::uint64_t value);
+
+    /** Read @p size bytes (1, 2, 4 or 8) at @p addr, zero-extended. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write a simulated pointer (4 bytes). */
+    void writePointer(Addr addr, Addr value) { write(addr, 4, value); }
+
+    /** Read a simulated pointer (4 bytes). */
+    Addr readPointer(Addr addr) const
+    {
+        return static_cast<Addr>(read(addr, 4));
+    }
+
+    /**
+     * Copy @p len bytes starting at @p addr into @p out. Used by the
+     * content-directed prefetcher to scan a whole cache block.
+     */
+    void readBlock(Addr addr, std::uint8_t *out, std::size_t len) const;
+
+    /** Number of distinct pages touched so far (footprint / 4 KB). */
+    std::size_t pagesTouched() const { return pages_.size(); }
+
+    /** Footprint in bytes (pages touched times the page size). */
+    std::size_t footprintBytes() const
+    {
+        return pages_.size() * kPageBytes;
+    }
+
+    /** Drop all contents, returning the image to the all-zero state. */
+    void clear() { pages_.clear(); }
+
+    /** Deep-copy the image (SimMemory itself is move-only). */
+    SimMemory clone() const;
+
+  private:
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    /** Find the page containing @p addr, or null if untouched. */
+    const Page *findPage(Addr addr) const;
+
+    /** Find or allocate the page containing @p addr. */
+    Page &touchPage(Addr addr);
+
+    std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_MEMSIM_SIM_MEMORY_HH

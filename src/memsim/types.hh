@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental simulator-wide types.
+ *
+ * The simulated machine is x86-32: virtual addresses and pointers are
+ * 4 bytes wide (Section 5 of the paper). Cycle counts are 64-bit.
+ */
+
+#ifndef ECDP_MEMSIM_TYPES_HH
+#define ECDP_MEMSIM_TYPES_HH
+
+#include <cstdint>
+
+namespace ecdp
+{
+
+/** Simulated virtual address (x86-32, 4-byte pointers). */
+using Addr = std::uint32_t;
+
+/** Core clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Width of a simulated pointer in bytes. */
+inline constexpr unsigned kPointerBytes = 4;
+
+/** Base of the simulated heap. The high-order byte (0x40) is what the
+ *  CDP compare-bits predictor matches against (8 compare bits). */
+inline constexpr Addr kHeapBase = 0x40000000u;
+
+/** Base of the simulated global/static data segment. */
+inline constexpr Addr kGlobalBase = 0x10000000u;
+
+/** Base of the simulated stack segment (grows down). */
+inline constexpr Addr kStackBase = 0xbf000000u;
+
+} // namespace ecdp
+
+#endif // ECDP_MEMSIM_TYPES_HH

@@ -1,0 +1,94 @@
+#include "prefetch/cdp.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace ecdp
+{
+
+ContentDirectedPrefetcher::ContentDirectedPrefetcher(unsigned compare_bits,
+                                                     unsigned block_bytes)
+    : compareBits_(compare_bits), blockBytes_(block_bytes)
+{
+    assert(compare_bits >= 1 && compare_bits <= 31);
+    assert(std::has_single_bit(block_bytes));
+}
+
+bool
+ContentDirectedPrefetcher::isPointerCandidate(Addr block_vaddr,
+                                              std::uint32_t word) const
+{
+    if (word == 0)
+        return false;
+    unsigned shift = 32 - compareBits_;
+    return (word >> shift) == (block_vaddr >> shift);
+}
+
+void
+ContentDirectedPrefetcher::scan(Addr block_vaddr,
+                                const std::uint8_t *bytes,
+                                const ScanContext &ctx,
+                                std::vector<PrefetchRequest> &out) const
+{
+    const PrefetchHint *hint = nullptr;
+    if (ctx.demandFill && filterMode_ != FilterMode::None) {
+        hint = hints_ ? hints_->find(ctx.loadPc) : nullptr;
+        // A load with no beneficial PGs generates no prefetches; in
+        // GRP mode any beneficial PG enables the whole load.
+        if (!hint || hint->empty())
+            return;
+    }
+
+    const Addr block_mask = blockBytes_ - 1;
+    const unsigned slots = blockBytes_ / kPointerBytes;
+    const int access_word =
+        static_cast<int>((ctx.accessByteOffset & block_mask) /
+                         kPointerBytes);
+
+    // Dedupe targets within one scan so several pointers to the same
+    // block cost one request.
+    std::vector<Addr> seen;
+    seen.reserve(8);
+
+    for (unsigned slot = 0; slot < slots; ++slot) {
+        std::uint32_t word = 0;
+        for (unsigned b = 0; b < kPointerBytes; ++b) {
+            word |= std::uint32_t{bytes[slot * kPointerBytes + b]}
+                    << (8 * b);
+        }
+        if (!isPointerCandidate(block_vaddr, word))
+            continue;
+
+        const int offset = static_cast<int>(slot) - access_word;
+        if (ctx.demandFill && filterMode_ == FilterMode::EcdpHints &&
+            !hint->allows(offset)) {
+            continue;
+        }
+
+        Addr target_block = word & ~block_mask;
+        if (target_block == block_vaddr)
+            continue; // self-pointer: already resident
+        bool dup = false;
+        for (Addr s : seen)
+            dup = dup || s == target_block;
+        if (dup)
+            continue;
+        seen.push_back(target_block);
+
+        PrefetchRequest req;
+        req.blockAddr = target_block;
+        req.source = PrefetchSource::Lds;
+        req.depth = static_cast<std::uint8_t>(ctx.fillDepth + 1);
+        if (ctx.demandFill) {
+            req.pgValid = true;
+            req.pg = PgId{ctx.loadPc,
+                          static_cast<std::int16_t>(offset)};
+        } else {
+            req.pgValid = ctx.pgValid;
+            req.pg = ctx.pgRoot;
+        }
+        out.push_back(req);
+    }
+}
+
+} // namespace ecdp

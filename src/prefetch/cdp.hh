@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Content-directed prefetching (Cooksey et al.) with the paper's
+ * compiler-guided ECDP filtering and GRP-style coarse gating.
+ *
+ * The prefetcher scans cache blocks as they fill the last-level cache.
+ * Every properly aligned word whose high-order `compare bits` match
+ * those of the block's own virtual address is predicted to be a
+ * pointer and becomes a prefetch candidate. Filtering applies only to
+ * blocks fetched by demand misses; blocks fetched by CDP's own
+ * (recursive) prefetches are always scanned greedily (Section 3).
+ */
+
+#ifndef ECDP_PREFETCH_CDP_HH
+#define ECDP_PREFETCH_CDP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/hint_table.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace ecdp
+{
+
+/**
+ * The content-directed prefetcher.
+ */
+class ContentDirectedPrefetcher
+{
+  public:
+    /** How demand-fill scans are filtered. */
+    enum class FilterMode : std::uint8_t
+    {
+        /** Original CDP: prefetch every identified pointer. */
+        None,
+        /** ECDP: prefetch only pointers in beneficial PGs. */
+        EcdpHints,
+        /**
+         * Guided-region-prefetching style coarse gating: all pointers
+         * of a load are enabled iff the load has any beneficial PG
+         * (the Section 7.1 comparison).
+         */
+        GrpCoarse,
+    };
+
+    /**
+     * @param compare_bits High-order address bits that must match for
+     *        a word to be predicted a pointer (8 in the paper).
+     * @param block_bytes L2 block size.
+     */
+    explicit ContentDirectedPrefetcher(unsigned compare_bits = 8,
+                                       unsigned block_bytes = 128);
+
+    /** Table 2 knob: maximum recursion depth 1..4. */
+    void setAggressiveness(AggLevel level)
+    {
+        maxDepth_ = kCdpDepthTable[static_cast<unsigned>(level)];
+        level_ = level;
+    }
+
+    AggLevel aggressiveness() const { return level_; }
+    unsigned maxRecursionDepth() const { return maxDepth_; }
+    unsigned compareBits() const { return compareBits_; }
+
+    void setFilterMode(FilterMode mode) { filterMode_ = mode; }
+    FilterMode filterMode() const { return filterMode_; }
+
+    /** Install the compiler's hints (ECDP / GRP modes). */
+    void setHints(const HintTable *hints) { hints_ = hints; }
+
+    /** Context of a block fill that is about to be scanned. */
+    struct ScanContext
+    {
+        /** True when a demand load miss fetched the block. */
+        bool demandFill = true;
+        /** Demand fills: PC of the missing load. */
+        Addr loadPc = 0;
+        /** Demand fills: byte offset the load accessed in the block. */
+        std::uint32_t accessByteOffset = 0;
+        /** Recursion depth of the fill (0 = demand fill). */
+        std::uint8_t fillDepth = 0;
+        /** Root PG for recursive fills. */
+        bool pgValid = false;
+        PgId pgRoot{};
+    };
+
+    /**
+     * Should a block that filled at recursion depth @p fill_depth be
+     * scanned at all? Depth-(d+1) requests are allowed while
+     * d < maxRecursionDepth, so depth 1 means demand fills only.
+     */
+    bool shouldScan(unsigned fill_depth) const
+    {
+        return fill_depth < maxDepth_;
+    }
+
+    /**
+     * Scan a filled block and append prefetch candidates.
+     *
+     * @param block_vaddr Virtual address of the block.
+     * @param bytes Block contents (block_bytes long).
+     * @param ctx Fill context (filtering and PG attribution).
+     * @param out Receives the candidates (deduplicated per scan).
+     */
+    void scan(Addr block_vaddr, const std::uint8_t *bytes,
+              const ScanContext &ctx,
+              std::vector<PrefetchRequest> &out) const;
+
+    /** Is @p word predicted to be a pointer in @p block_vaddr? */
+    bool isPointerCandidate(Addr block_vaddr, std::uint32_t word) const;
+
+  private:
+    unsigned compareBits_;
+    unsigned blockBytes_;
+    unsigned maxDepth_ = 4;
+    AggLevel level_ = AggLevel::Aggressive;
+    FilterMode filterMode_ = FilterMode::None;
+    const HintTable *hints_ = nullptr;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_PREFETCH_CDP_HH

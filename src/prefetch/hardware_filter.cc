@@ -1,0 +1,14 @@
+#include "prefetch/hardware_filter.hh"
+
+#include <cassert>
+
+namespace ecdp
+{
+
+HardwareFilter::HardwareFilter(unsigned entries)
+    : bits_(entries, false)
+{
+    assert(entries > 0);
+}
+
+} // namespace ecdp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Hardware prefetch pollution filter after Zhuang & Lee (ICPP-32) —
+ * the Section 6.4 comparison. A bit table remembers blocks whose last
+ * prefetch went unused; prefetches to remembered blocks are dropped.
+ * The paper models an 8 KB filter (65536 1-bit entries); so do we.
+ */
+
+#ifndef ECDP_PREFETCH_HARDWARE_FILTER_HH
+#define ECDP_PREFETCH_HARDWARE_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/types.hh"
+
+namespace ecdp
+{
+
+/**
+ * History-based prefetch filter.
+ */
+class HardwareFilter
+{
+  public:
+    /** @param entries Bit-table entries (65536 = 8 KB). */
+    explicit HardwareFilter(unsigned entries = 65536);
+
+    /** Should a prefetch of @p block_addr be allowed? */
+    bool allow(Addr block_addr) const
+    {
+        return !bits_[index(block_addr)];
+    }
+
+    /** A prefetched block was evicted without being used. */
+    void onPrefetchEvictedUnused(Addr block_addr)
+    {
+        bits_[index(block_addr)] = true;
+    }
+
+    /** A prefetched block was used by a demand request. */
+    void onPrefetchUsed(Addr block_addr)
+    {
+        bits_[index(block_addr)] = false;
+    }
+
+    std::uint64_t storageBits() const { return bits_.size(); }
+
+  private:
+    std::size_t index(Addr block_addr) const
+    {
+        std::uint32_t v = block_addr >> 7;
+        v ^= v >> 16;
+        return v % bits_.size();
+    }
+
+    std::vector<bool> bits_;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_PREFETCH_HARDWARE_FILTER_HH

@@ -1,0 +1,3 @@
+// HintTable is header-only; this translation unit exists so the build
+// has a place to grow non-inline helpers.
+#include "prefetch/hint_table.hh"

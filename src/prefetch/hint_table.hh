@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Compiler-provided prefetch hints for ECDP (Section 3 of the paper).
+ *
+ * The compiler attributes pointer groups PG(L, X) to each static load
+ * L and marks the beneficial ones in a per-load hint bit vector. The
+ * paper conveys the vector through a new load instruction; here the
+ * table stands in for the hint-carrying ISA: the memory system looks
+ * hints up by the PC of the missing load.
+ *
+ * Slot offsets X are in pointer-sized (4-byte) words relative to the
+ * word the load accessed, and can be negative (the paper's footnote 6:
+ * a negative bit vector is kept as well). With 128-byte blocks the
+ * offset range is [-31, +31]; one 32-bit positive and one 32-bit
+ * negative mask cover it.
+ */
+
+#ifndef ECDP_PREFETCH_HINT_TABLE_HH
+#define ECDP_PREFETCH_HINT_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "memsim/types.hh"
+
+namespace ecdp
+{
+
+/** Per-load hint bit vectors (positive and negative offsets). */
+struct PrefetchHint
+{
+    std::uint32_t pos = 0;
+    std::uint32_t neg = 0;
+
+    /** Is the PG at word offset @p slot marked beneficial? */
+    bool allows(int slot) const
+    {
+        if (slot >= 0)
+            return slot < 32 && (pos >> slot) & 1u;
+        int idx = -slot - 1;
+        return idx < 32 && (neg >> idx) & 1u;
+    }
+
+    /** Mark the PG at word offset @p slot beneficial. */
+    void set(int slot)
+    {
+        if (slot >= 0 && slot < 32)
+            pos |= 1u << slot;
+        else if (slot < 0 && -slot - 1 < 32)
+            neg |= 1u << (-slot - 1);
+    }
+
+    /** True when no PG of this load is beneficial. */
+    bool empty() const { return pos == 0 && neg == 0; }
+};
+
+/**
+ * All hints the profiling compiler emitted for one program.
+ */
+class HintTable
+{
+  public:
+    /** Hint for load @p pc, or nullptr when the load has none. */
+    const PrefetchHint *find(Addr pc) const
+    {
+        auto it = hints_.find(pc);
+        return it == hints_.end() ? nullptr : &it->second;
+    }
+
+    /** Find-or-create the hint entry for load @p pc. */
+    PrefetchHint &entry(Addr pc) { return hints_[pc]; }
+
+    std::size_t size() const { return hints_.size(); }
+    bool empty() const { return hints_.empty(); }
+
+    auto begin() const { return hints_.begin(); }
+    auto end() const { return hints_.end(); }
+
+    /** Bits of hint vector carried per load (Table 7 accounting). */
+    static constexpr unsigned kVectorBits = 64;
+
+  private:
+    std::unordered_map<Addr, PrefetchHint> hints_;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_PREFETCH_HINT_TABLE_HH

@@ -1,0 +1,61 @@
+#include "prefetch/markov_prefetcher.hh"
+
+#include <cassert>
+
+namespace ecdp
+{
+
+MarkovPrefetcher::MarkovPrefetcher(unsigned entries)
+    : table_(entries)
+{
+    assert(entries > 0);
+}
+
+void
+MarkovPrefetcher::onDemandMiss(Addr block_addr,
+                               std::vector<PrefetchRequest> &out)
+{
+    // Record block_addr as a successor of the previous miss.
+    if (lastMissValid_ && lastMiss_ != block_addr) {
+        Entry &prev = entryFor(lastMiss_);
+        if (!prev.valid || prev.key != lastMiss_) {
+            prev = Entry{};
+            prev.valid = true;
+            prev.key = lastMiss_;
+        }
+        // Age everything; refresh or replace the oldest slot.
+        unsigned victim = 0;
+        bool found = false;
+        for (unsigned i = 0; i < kSuccessors; ++i) {
+            if (prev.age[i] < 0xff)
+                ++prev.age[i];
+            if (prev.succ[i] == block_addr)
+                found = true, victim = i;
+        }
+        if (!found) {
+            for (unsigned i = 1; i < kSuccessors; ++i) {
+                if (prev.age[i] > prev.age[victim])
+                    victim = i;
+            }
+            prev.succ[victim] = block_addr;
+        }
+        prev.age[victim] = 0;
+    }
+    lastMiss_ = block_addr;
+    lastMissValid_ = true;
+
+    // Prefetch the recorded successors of this miss.
+    const Entry &cur = entryFor(block_addr);
+    if (cur.valid && cur.key == block_addr) {
+        for (unsigned i = 0; i < kSuccessors; ++i) {
+            if (cur.succ[i] == 0 || cur.succ[i] == block_addr)
+                continue;
+            PrefetchRequest req;
+            req.blockAddr = cur.succ[i];
+            req.source = PrefetchSource::Lds;
+            out.push_back(req);
+        }
+    }
+}
+
+} // namespace ecdp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Markov prefetcher (Joseph & Grunwald, ISCA-24) — second comparison
+ * point of Section 6.3.
+ *
+ * A large correlation table maps a miss (block) address to the miss
+ * addresses that followed it in the past; on a miss, all recorded
+ * successors are prefetched. The paper models a 1 MB table with 4
+ * successor addresses per entry; so do we (65536 direct-mapped entries
+ * x 16 bytes). Its inherent limits — it can only prefetch addresses it
+ * has already seen miss, and the table thrashes on large pointer
+ * working sets — are what the evaluation exposes.
+ */
+
+#ifndef ECDP_PREFETCH_MARKOV_PREFETCHER_HH
+#define ECDP_PREFETCH_MARKOV_PREFETCHER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace ecdp
+{
+
+/**
+ * The Markov (miss-correlation) prefetcher.
+ */
+class MarkovPrefetcher
+{
+  public:
+    static constexpr unsigned kSuccessors = 4;
+
+    /**
+     * @param entries Correlation table entries (65536 = 1 MB with
+     *        4 x 4-byte successors per entry).
+     */
+    explicit MarkovPrefetcher(unsigned entries = 65536);
+
+    /**
+     * Train on a demand miss and emit prefetches for the recorded
+     * successors of the missing block.
+     */
+    void onDemandMiss(Addr block_addr, std::vector<PrefetchRequest> &out);
+
+    std::uint64_t storageBits() const
+    {
+        return std::uint64_t{static_cast<std::uint32_t>(table_.size())} *
+               (32 + kSuccessors * 32);
+    }
+
+  private:
+    struct Entry
+    {
+        Addr key = 0;
+        bool valid = false;
+        std::array<Addr, kSuccessors> succ{};
+        std::array<std::uint8_t, kSuccessors> age{};
+    };
+
+    Entry &entryFor(Addr block_addr)
+    {
+        return table_[(block_addr >> 7) % table_.size()];
+    }
+
+    std::vector<Entry> table_;
+    Addr lastMiss_ = 0;
+    bool lastMissValid_ = false;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_PREFETCH_MARKOV_PREFETCHER_HH

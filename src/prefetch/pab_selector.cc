@@ -1,0 +1,44 @@
+#include "prefetch/pab_selector.hh"
+
+#include <cassert>
+
+namespace ecdp
+{
+
+PabSelector::PabSelector(unsigned window)
+    : window_(window)
+{
+    assert(window > 0);
+}
+
+void
+PabSelector::recordOutcome(unsigned which, bool used)
+{
+    assert(which < 2);
+    auto &ring = outcomes_[which];
+    ring.push_back(used);
+    if (ring.size() > window_)
+        ring.pop_front();
+}
+
+double
+PabSelector::accuracy(unsigned which) const
+{
+    assert(which < 2);
+    const auto &ring = outcomes_[which];
+    if (ring.empty())
+        return 1.0; // no evidence yet: assume accurate
+    unsigned used = 0;
+    for (bool u : ring)
+        used += u;
+    return static_cast<double>(used) /
+           static_cast<double>(ring.size());
+}
+
+unsigned
+PabSelector::select() const
+{
+    return accuracy(1) > accuracy(0) ? 1u : 0u;
+}
+
+} // namespace ecdp

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * PAB-style multi-prefetcher selector after Gendler et al. — the
+ * Section 7.4 comparison. Tracks each prefetcher's accuracy over its
+ * last N prefetched addresses and, at every evaluation point, turns
+ * off every prefetcher except the most accurate one. The paper shows
+ * this degrades performance because it ignores coverage and cannot
+ * modulate aggressiveness.
+ */
+
+#ifndef ECDP_PREFETCH_PAB_SELECTOR_HH
+#define ECDP_PREFETCH_PAB_SELECTOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace ecdp
+{
+
+/**
+ * Sliding-window accuracy selector over two prefetchers
+ * (0 = primary, 1 = LDS).
+ */
+class PabSelector
+{
+  public:
+    /** @param window Outcomes remembered per prefetcher. */
+    explicit PabSelector(unsigned window = 64);
+
+    /** Record a resolved prefetch outcome for prefetcher @p which. */
+    void recordOutcome(unsigned which, bool used);
+
+    /** Sliding-window accuracy of prefetcher @p which. */
+    double accuracy(unsigned which) const;
+
+    /**
+     * Re-evaluate: returns the index of the only prefetcher that
+     * should stay enabled (ties go to the primary).
+     */
+    unsigned select() const;
+
+  private:
+    unsigned window_;
+    std::deque<bool> outcomes_[2];
+};
+
+} // namespace ecdp
+
+#endif // ECDP_PREFETCH_PAB_SELECTOR_HH

@@ -1,0 +1,42 @@
+#include "prefetch/prefetcher.hh"
+
+namespace ecdp
+{
+
+const char *
+aggLevelName(AggLevel level)
+{
+    switch (level) {
+      case AggLevel::VeryConservative: return "Very Conservative";
+      case AggLevel::Conservative: return "Conservative";
+      case AggLevel::Moderate: return "Moderate";
+      case AggLevel::Aggressive: return "Aggressive";
+    }
+    return "?";
+}
+
+const char *
+primaryKindName(PrimaryKind kind)
+{
+    switch (kind) {
+      case PrimaryKind::None: return "none";
+      case PrimaryKind::Stream: return "stream";
+      case PrimaryKind::Ghb: return "ghb";
+    }
+    return "?";
+}
+
+const char *
+ldsKindName(LdsKind kind)
+{
+    switch (kind) {
+      case LdsKind::None: return "none";
+      case LdsKind::Cdp: return "cdp";
+      case LdsKind::Ecdp: return "ecdp";
+      case LdsKind::Dbp: return "dbp";
+      case LdsKind::Markov: return "markov";
+    }
+    return "?";
+}
+
+} // namespace ecdp

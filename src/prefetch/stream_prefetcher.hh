@@ -1,0 +1,90 @@
+/**
+ * @file
+ * IBM POWER4/POWER5-style stream prefetcher (Section 2.1 of the paper,
+ * after Tendler et al. and Srinath et al.).
+ *
+ * 32 stream tracking entries. A miss allocates an entry in training
+ * state; a second nearby miss fixes the stream direction and moves the
+ * entry to monitor state. In monitor state, demand accesses that land
+ * in the monitored region pull the prefetch frontier forward, keeping
+ * it at most `distance` blocks ahead and issuing at most `degree`
+ * prefetch requests per trigger. Distance and degree are the
+ * aggressiveness knobs of Table 2.
+ */
+
+#ifndef ECDP_PREFETCH_STREAM_PREFETCHER_HH
+#define ECDP_PREFETCH_STREAM_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace ecdp
+{
+
+/**
+ * The baseline stream prefetcher.
+ */
+class StreamPrefetcher
+{
+  public:
+    /**
+     * @param streams Tracking entries (32 in the baseline).
+     * @param block_bytes L2 block size (frontier unit).
+     */
+    explicit StreamPrefetcher(unsigned streams = 32,
+                              unsigned block_bytes = 128);
+
+    /** Apply a Table 2 aggressiveness level. */
+    void setAggressiveness(AggLevel level);
+    AggLevel aggressiveness() const { return level_; }
+
+    unsigned distance() const { return distance_; }
+    unsigned degree() const { return degree_; }
+
+    /**
+     * Train on a demand access that missed in the L2 or hit a
+     * stream-prefetched block; may append prefetch requests.
+     */
+    void trigger(Addr addr, std::vector<PrefetchRequest> &out);
+
+    /** Drop all stream state (used by tests and PAB disabling). */
+    void reset();
+
+    /** Approximate storage cost in bits (for cost accounting). */
+    std::uint64_t storageBits() const;
+
+  private:
+    enum class State : std::uint8_t { Invalid, Training, Monitor };
+
+    struct Stream
+    {
+        State state = State::Invalid;
+        std::uint64_t lastUse = 0;
+        /** First miss block of the (training) stream. */
+        std::int64_t firstBlock = 0;
+        /** +1 or -1 once direction is known. */
+        int dir = 0;
+        /** Trailing edge of the monitored region. */
+        std::int64_t monitorStart = 0;
+        /** Prefetch frontier (last block prefetched). */
+        std::int64_t frontier = 0;
+    };
+
+    /** Window (blocks) within which a second miss trains a stream. */
+    static constexpr std::int64_t kTrainWindow = 16;
+
+    void emit(std::int64_t block, std::vector<PrefetchRequest> &out);
+
+    unsigned blockShift_;
+    unsigned distance_ = 32;
+    unsigned degree_ = 4;
+    AggLevel level_ = AggLevel::Aggressive;
+    std::uint64_t useClock_ = 0;
+    std::vector<Stream> streams_;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_PREFETCH_STREAM_PREFETCHER_HH

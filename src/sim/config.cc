@@ -1,0 +1,18 @@
+#include "sim/config.hh"
+
+namespace ecdp
+{
+
+const char *
+throttleKindName(ThrottleKind kind)
+{
+    switch (kind) {
+      case ThrottleKind::None: return "none";
+      case ThrottleKind::Coordinated: return "coordinated";
+      case ThrottleKind::Fdp: return "fdp";
+      case ThrottleKind::Pab: return "pab";
+    }
+    return "?";
+}
+
+} // namespace ecdp

@@ -1,0 +1,198 @@
+#include "sim/experiment.hh"
+
+namespace ecdp
+{
+namespace configs
+{
+
+SystemConfig
+noPrefetch()
+{
+    SystemConfig cfg;
+    cfg.primary = PrimaryKind::None;
+    cfg.lds = LdsKind::None;
+    return cfg;
+}
+
+SystemConfig
+baseline()
+{
+    SystemConfig cfg;
+    cfg.primary = PrimaryKind::Stream;
+    cfg.lds = LdsKind::None;
+    return cfg;
+}
+
+SystemConfig
+streamCdp()
+{
+    SystemConfig cfg = baseline();
+    cfg.lds = LdsKind::Cdp;
+    return cfg;
+}
+
+SystemConfig
+streamEcdp(const HintTable *hints)
+{
+    SystemConfig cfg = baseline();
+    cfg.lds = LdsKind::Ecdp;
+    cfg.hints = hints;
+    return cfg;
+}
+
+SystemConfig
+streamCdpThrottled()
+{
+    SystemConfig cfg = streamCdp();
+    cfg.throttle = ThrottleKind::Coordinated;
+    return cfg;
+}
+
+SystemConfig
+fullProposal(const HintTable *hints)
+{
+    SystemConfig cfg = streamEcdp(hints);
+    cfg.throttle = ThrottleKind::Coordinated;
+    return cfg;
+}
+
+SystemConfig
+streamDbp()
+{
+    SystemConfig cfg = baseline();
+    cfg.lds = LdsKind::Dbp;
+    return cfg;
+}
+
+SystemConfig
+streamMarkov()
+{
+    SystemConfig cfg = baseline();
+    cfg.lds = LdsKind::Markov;
+    return cfg;
+}
+
+SystemConfig
+ghbAlone()
+{
+    SystemConfig cfg;
+    cfg.primary = PrimaryKind::Ghb;
+    cfg.lds = LdsKind::None;
+    return cfg;
+}
+
+SystemConfig
+ghbEcdp(const HintTable *hints, bool throttled)
+{
+    SystemConfig cfg = ghbAlone();
+    cfg.lds = LdsKind::Ecdp;
+    cfg.hints = hints;
+    if (throttled)
+        cfg.throttle = ThrottleKind::Coordinated;
+    return cfg;
+}
+
+SystemConfig
+streamCdpHwFilter(bool throttled)
+{
+    SystemConfig cfg = streamCdp();
+    cfg.hwFilter = true;
+    if (throttled)
+        cfg.throttle = ThrottleKind::Coordinated;
+    return cfg;
+}
+
+SystemConfig
+streamEcdpFdp(const HintTable *hints)
+{
+    SystemConfig cfg = streamEcdp(hints);
+    cfg.throttle = ThrottleKind::Fdp;
+    return cfg;
+}
+
+SystemConfig
+streamCdpPab()
+{
+    SystemConfig cfg = streamCdp();
+    cfg.throttle = ThrottleKind::Pab;
+    return cfg;
+}
+
+SystemConfig
+streamGrpCoarse(const HintTable *hints)
+{
+    SystemConfig cfg = streamEcdp(hints);
+    cfg.grpCoarse = true;
+    return cfg;
+}
+
+SystemConfig
+idealLds()
+{
+    SystemConfig cfg = baseline();
+    cfg.idealLds = true;
+    return cfg;
+}
+
+} // namespace configs
+
+const Workload &
+ExperimentContext::ref(const std::string &name)
+{
+    auto it = refs_.find(name);
+    if (it == refs_.end()) {
+        it = refs_.emplace(name, buildWorkload(name, InputSet::Ref))
+                 .first;
+    }
+    return it->second;
+}
+
+const Workload &
+ExperimentContext::train(const std::string &name)
+{
+    auto it = trains_.find(name);
+    if (it == trains_.end()) {
+        it = trains_
+                 .emplace(name, buildWorkload(name, InputSet::Train))
+                 .first;
+    }
+    return it->second;
+}
+
+const HintTable &
+ExperimentContext::hints(const std::string &name)
+{
+    auto it = hints_.find(name);
+    if (it == hints_.end()) {
+        it = hints_
+                 .emplace(name,
+                          ProfilingCompiler::profile(train(name)))
+                 .first;
+    }
+    return it->second;
+}
+
+const HintTable &
+ExperimentContext::hintsFromRef(const std::string &name)
+{
+    auto it = refHints_.find(name);
+    if (it == refHints_.end()) {
+        it = refHints_
+                 .emplace(name, ProfilingCompiler::profile(ref(name)))
+                 .first;
+    }
+    return it->second;
+}
+
+const RunStats &
+ExperimentContext::run(const std::string &name, const SystemConfig &cfg,
+                       const std::string &key)
+{
+    std::string id = name + ":" + key;
+    auto it = runs_.find(id);
+    if (it == runs_.end())
+        it = runs_.emplace(id, simulate(cfg, ref(name))).first;
+    return it->second;
+}
+
+} // namespace ecdp

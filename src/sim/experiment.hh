@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Experiment plumbing shared by the benchmark harnesses: the standard
+ * configurations the paper evaluates, and a context that caches built
+ * workloads, profiling runs, and simulation results across benches.
+ */
+
+#ifndef ECDP_SIM_EXPERIMENT_HH
+#define ECDP_SIM_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "compiler/profiling_compiler.hh"
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace ecdp
+{
+
+/** The named configurations of the evaluation. */
+namespace configs
+{
+
+/** No prefetching at all. */
+SystemConfig noPrefetch();
+
+/** The Table 5 baseline: aggressive stream prefetcher only. */
+SystemConfig baseline();
+
+/** Stream + original (greedy) CDP — the Figure 2 configuration. */
+SystemConfig streamCdp();
+
+/** Stream + ECDP (compiler hints), no throttling. */
+SystemConfig streamEcdp(const HintTable *hints);
+
+/** Stream + original CDP + coordinated throttling. */
+SystemConfig streamCdpThrottled();
+
+/** The full proposal: stream + ECDP + coordinated throttling. */
+SystemConfig fullProposal(const HintTable *hints);
+
+/** Stream + DBP (Section 6.3). */
+SystemConfig streamDbp();
+
+/** Stream + Markov (Section 6.3). */
+SystemConfig streamMarkov();
+
+/** GHB G/DC alone (Section 6.3). */
+SystemConfig ghbAlone();
+
+/** GHB + ECDP hybrid (Section 6.3 orthogonality experiment). */
+SystemConfig ghbEcdp(const HintTable *hints, bool throttled);
+
+/** Stream + CDP behind the Zhuang-Lee filter (Section 6.4). */
+SystemConfig streamCdpHwFilter(bool throttled);
+
+/** Stream + CDP/ECDP under FDP throttling (Section 6.5). */
+SystemConfig streamEcdpFdp(const HintTable *hints);
+
+/** Stream + CDP under the PAB selector (Section 7.4). */
+SystemConfig streamCdpPab();
+
+/** Stream + GRP-style coarse-grained gating (Section 7.1). */
+SystemConfig streamGrpCoarse(const HintTable *hints);
+
+/** Baseline + the Figure 1 ideal-LDS oracle. */
+SystemConfig idealLds();
+
+} // namespace configs
+
+/**
+ * Caches workloads, hints and runs for the bench binaries.
+ *
+ * All accessors build lazily and memoize, so a bench touching five
+ * configurations of fifteen benchmarks pays each workload build and
+ * profiling pass once.
+ */
+class ExperimentContext
+{
+  public:
+    const Workload &ref(const std::string &name);
+    const Workload &train(const std::string &name);
+
+    /** Hints profiled on the train input (the paper's default). */
+    const HintTable &hints(const std::string &name);
+
+    /** Hints profiled on the ref input (Section 6.1.6). */
+    const HintTable &hintsFromRef(const std::string &name);
+
+    /**
+     * Simulate benchmark @p name (ref input) under @p cfg, memoized
+     * under @p key (a short config label like "baseline").
+     */
+    const RunStats &run(const std::string &name, const SystemConfig &cfg,
+                        const std::string &key);
+
+  private:
+    std::map<std::string, Workload> refs_;
+    std::map<std::string, Workload> trains_;
+    std::map<std::string, HintTable> hints_;
+    std::map<std::string, HintTable> refHints_;
+    std::map<std::string, RunStats> runs_;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_SIM_EXPERIMENT_HH

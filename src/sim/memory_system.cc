@@ -1,0 +1,590 @@
+#include "sim/memory_system.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecdp
+{
+
+MemorySystem::MemorySystem(const SystemConfig &cfg, unsigned core_id,
+                           SimMemory image, DramSystem *dram)
+    : cfg_(cfg),
+      coreId_(core_id),
+      image_(std::move(image)),
+      dram_(dram),
+      l1_("L1D", cfg.l1Bytes, cfg.l1Assoc, cfg.l1BlockBytes),
+      l2_("L2", cfg.l2Bytes, cfg.l2Assoc, cfg.l2BlockBytes),
+      mshrs_(cfg.l2Mshrs),
+      stream_(cfg.streamEntries, cfg.l2BlockBytes),
+      ghb_(1024, cfg.l2BlockBytes),
+      cdp_(cfg.cdpCompareBits, cfg.l2BlockBytes),
+      dbp_(),
+      pab_(cfg.pabWindow),
+      coordinated_(cfg.coordThresholds),
+      fdp_(cfg.fdpThresholds),
+      pollutionFilter_{
+          PollutionFilter(cfg.fdpThresholds.pollutionFilterEntries),
+          PollutionFilter(cfg.fdpThresholds.pollutionFilterEntries)},
+      primaryLevel_(cfg.primaryStartLevel),
+      ldsLevel_(cfg.ldsStartLevel),
+      blockBuf_(cfg.l2BlockBytes, 0)
+{
+    assert(dram_);
+    if (cfg_.lds == LdsKind::Markov)
+        markov_ = std::make_unique<MarkovPrefetcher>();
+    if (cfg_.hwFilter)
+        hwFilter_ = std::make_unique<HardwareFilter>();
+    if (cfg_.lds == LdsKind::Ecdp) {
+        assert(cfg_.hints && "ECDP requires compiler hints");
+        cdp_.setFilterMode(cfg_.grpCoarse
+                               ? ContentDirectedPrefetcher::
+                                     FilterMode::GrpCoarse
+                               : ContentDirectedPrefetcher::
+                                     FilterMode::EcdpHints);
+        cdp_.setHints(cfg_.hints);
+    }
+    applyPrimaryLevel(primaryLevel_);
+    applyLdsLevel(ldsLevel_);
+}
+
+void
+MemorySystem::applyPrimaryLevel(AggLevel level)
+{
+    primaryLevel_ = level;
+    stream_.setAggressiveness(level);
+    static constexpr unsigned ghb_degree[kNumAggLevels] = {1, 1, 2, 4};
+    ghb_.setDegree(ghb_degree[static_cast<unsigned>(level)]);
+}
+
+void
+MemorySystem::applyLdsLevel(AggLevel level)
+{
+    ldsLevel_ = level;
+    cdp_.setAggressiveness(level);
+    // DBP and Markov expose no aggressiveness knob (the paper does not
+    // throttle them either).
+}
+
+void
+MemorySystem::pabRecord(unsigned which, bool used)
+{
+    if (cfg_.throttle == ThrottleKind::Pab)
+        pab_.recordOutcome(which, used);
+}
+
+void
+MemorySystem::l1Fill(Addr addr, bool dirty, Cycle now)
+{
+    Cache::Victim victim = l1_.insert(addr);
+    if (CacheBlock *block = l1_.lookup(addr, false))
+        block->dirty = block->dirty || dirty;
+    if (victim.valid && victim.dirty) {
+        // Dirty L1 victim folds into the L2 copy; if the L2 block is
+        // already gone, the data goes straight to memory.
+        if (CacheBlock *parent = l2_.lookup(victim.addr, false))
+            parent->dirty = true;
+        else
+            dram_->writeback(coreId_, l2_.blockAddr(victim.addr), now);
+    }
+}
+
+void
+MemorySystem::onDemandUseOfPrefetch(CacheBlock *block, Addr block_addr,
+                                    Cycle now)
+{
+    const bool was_primary = block->prefetchedPrimary;
+    const bool was_lds = block->prefetchedLds;
+    if (!was_primary && !was_lds)
+        return;
+    const unsigned which = was_lds ? 1u : 0u;
+    feedback_[which].onPrefetchUsed();
+    usefulLatencySum_[which] += block->prefetchLatency;
+    ++usefulLatencyCount_[which];
+    if (block->pgValid)
+        ++pgStats_[block->pg].used;
+    pabRecord(which, true);
+    if (hwFilter_ && was_lds)
+        hwFilter_->onPrefetchUsed(block_addr);
+    if (was_primary && cfg_.primary == PrimaryKind::Stream &&
+        primaryEnabled_) {
+        // A hit on a stream-prefetched block keeps the stream alive.
+        scratch_.clear();
+        stream_.trigger(block_addr, scratch_);
+        drainScratch(now, now);
+    }
+    block->prefetchedPrimary = false;
+    block->prefetchedLds = false;
+    block->pgValid = false;
+}
+
+void
+MemorySystem::trainOnDemandMiss(const TraceEntry &entry, Cycle now)
+{
+    scratch_.clear();
+    if (cfg_.primary == PrimaryKind::Stream && primaryEnabled_)
+        stream_.trigger(entry.vaddr, scratch_);
+    else if (cfg_.primary == PrimaryKind::Ghb && primaryEnabled_)
+        ghb_.onDemandMiss(entry.vaddr, scratch_);
+    if (cfg_.lds == LdsKind::Markov && ldsEnabled_)
+        markov_->onDemandMiss(l2_.blockAddr(entry.vaddr), scratch_);
+    drainScratch(now, now);
+}
+
+void
+MemorySystem::dbpComplete(const TraceEntry &entry, Cycle ready)
+{
+    if (cfg_.lds != LdsKind::Dbp || !ldsEnabled_)
+        return;
+    if (entry.size != kPointerBytes)
+        return;
+    Addr value = image_.readPointer(entry.vaddr);
+    scratch_.clear();
+    dbp_.onLoadComplete(entry.pc, value, scratch_);
+    drainScratch(ready, ready);
+}
+
+void
+MemorySystem::drainScratch(Cycle ready_at, Cycle now)
+{
+    for (const PrefetchRequest &req : scratch_)
+        enqueuePrefetch(req, ready_at, now);
+    scratch_.clear();
+}
+
+void
+MemorySystem::enqueuePrefetch(const PrefetchRequest &req, Cycle ready_at,
+                              Cycle now)
+{
+    if (readyQueue_.size() + delayedQueue_.size() >=
+        cfg_.prefetchQueueEntries) {
+        return; // prefetch request queue overflow: drop
+    }
+    QueuedPrefetch queued;
+    queued.req = req;
+    queued.req.blockAddr = l2_.blockAddr(req.blockAddr);
+    queued.readyAt = ready_at;
+    if (ready_at <= now)
+        readyQueue_.push_back(queued);
+    else
+        delayedQueue_.push(queued);
+}
+
+std::optional<Cycle>
+MemorySystem::load(const TraceEntry &entry, Cycle now)
+{
+    const Addr addr = entry.vaddr;
+
+    if (l1_.lookup(addr)) {
+        ++demandLoads_;
+        return now + cfg_.l1Latency;
+    }
+
+    const Addr block_addr = l2_.blockAddr(addr);
+
+    if (cfg_.lds == LdsKind::Dbp && ldsEnabled_)
+        dbp_.onLoadIssue(entry.pc, addr);
+
+    if (CacheBlock *block = l2_.lookup(addr)) {
+        ++demandLoads_;
+        ++l2DemandAccesses_;
+        onDemandUseOfPrefetch(block, block_addr, now);
+        l1Fill(addr, false, now);
+        dbpComplete(entry, now + cfg_.l2Latency);
+        return now + cfg_.l1Latency + cfg_.l2Latency;
+    }
+
+    if (Mshr *mshr = mshrs_.find(block_addr)) {
+        ++demandLoads_;
+        ++l2DemandAccesses_;
+        if (!mshr->demand) {
+            mshr->demand = true;
+            mshr->blockByteOffset =
+                static_cast<std::uint8_t>(l2_.blockOffset(addr));
+            if (mshr->source != PrefetchSource::None) {
+                // A demand matching an in-flight prefetch: the
+                // prefetch is late. The block was not in the cache,
+                // so this still counts as a last-level demand miss
+                // (only cache-resident prefetches count as used) and
+                // still trains the miss-stream predictors.
+                feedback_[srcIndex(mshr->source)].onPrefetchLate();
+                ++l2DemandMisses_;
+                if (entry.isLds)
+                    ++l2LdsMisses_;
+                demandMissCounter_.add();
+                trainOnDemandMiss(entry, now);
+            }
+        }
+        Cycle done = std::max(mshr->fillAt, now);
+        dbpComplete(entry, done);
+        return done + cfg_.l1Latency;
+    }
+
+    // Ideal-no-pollution side buffer (Section 2.3 oracle).
+    if (cfg_.idealNoPollution) {
+        auto it = sideBuffer_.find(block_addr);
+        if (it != sideBuffer_.end()) {
+            ++demandLoads_;
+            ++l2DemandAccesses_;
+            const SideEntry &side = it->second;
+            const unsigned which = srcIndex(side.source);
+            feedback_[which].onPrefetchUsed();
+            usefulLatencySum_[which] += side.latency;
+            ++usefulLatencyCount_[which];
+            if (side.pgValid)
+                ++pgStats_[side.pg].used;
+            Cache::Victim victim = l2_.insert(block_addr);
+            handleVictim(victim, PrefetchSource::None, now);
+            sideBuffer_.erase(it);
+            l1Fill(addr, false, now);
+            dbpComplete(entry, now + cfg_.l2Latency);
+            return now + cfg_.l1Latency + cfg_.l2Latency;
+        }
+    }
+
+    // Figure 1 oracle: LDS misses become L2 hits.
+    if (cfg_.idealLds && entry.isLds) {
+        ++demandLoads_;
+        ++l2DemandAccesses_;
+        Cache::Victim victim = l2_.insert(block_addr);
+        handleVictim(victim, PrefetchSource::None, now);
+        l1Fill(addr, false, now);
+        return now + cfg_.l1Latency + cfg_.l2Latency;
+    }
+
+    // True L2 demand miss. Only count it once accepted.
+    if (mshrs_.full())
+        return std::nullopt;
+    std::optional<Cycle> done = dram_->read(coreId_, block_addr, now);
+    if (!done)
+        return std::nullopt;
+
+    ++demandLoads_;
+    ++l2DemandAccesses_;
+    ++l2DemandMisses_;
+    if (entry.isLds)
+        ++l2LdsMisses_;
+    demandMissCounter_.add();
+    for (unsigned which = 0; which < 2; ++which) {
+        if (pollutionFilter_[which].test(block_addr))
+            pollutionEvents_[which].add();
+    }
+
+    Mshr &mshr = mshrs_.allocate(block_addr);
+    mshr.fillAt = *done;
+    mshr.issuedAt = now;
+    mshr.demand = true;
+    mshr.source = PrefetchSource::None;
+    mshr.loadPc = entry.pc;
+    mshr.blockByteOffset =
+        static_cast<std::uint8_t>(l2_.blockOffset(addr));
+    mshr.scanOnFill = contentDirected() && ldsEnabled_;
+    earliestFill_ = std::min(earliestFill_, mshr.fillAt);
+
+    trainOnDemandMiss(entry, now);
+    dbpComplete(entry, *done);
+    return *done + cfg_.l1Latency;
+}
+
+void
+MemorySystem::store(const TraceEntry &entry, Cycle now)
+{
+    image_.write(entry.vaddr, entry.size, entry.storeValue);
+
+    if (CacheBlock *block = l1_.lookup(entry.vaddr)) {
+        block->dirty = true;
+        return;
+    }
+
+    const Addr block_addr = l2_.blockAddr(entry.vaddr);
+    if (CacheBlock *block = l2_.lookup(entry.vaddr)) {
+        ++l2DemandAccesses_;
+        onDemandUseOfPrefetch(block, block_addr, now);
+        block->dirty = true;
+        l1Fill(entry.vaddr, true, now);
+        return;
+    }
+
+    if (Mshr *mshr = mshrs_.find(block_addr)) {
+        mshr->dirty = true;
+        return;
+    }
+
+    // Store miss: background write-allocate. The fetch costs a bus
+    // transaction but the core never waits for stores.
+    ++l2DemandAccesses_;
+    ++l2DemandMisses_;
+    demandMissCounter_.add();
+    dram_->writeback(coreId_, block_addr, now);
+    Cache::Victim victim = l2_.insert(block_addr);
+    if (CacheBlock *block = l2_.lookup(entry.vaddr, false))
+        block->dirty = true;
+    handleVictim(victim, PrefetchSource::None, now);
+    l1Fill(entry.vaddr, true, now);
+    if (cfg_.primary == PrimaryKind::Stream && primaryEnabled_) {
+        scratch_.clear();
+        stream_.trigger(entry.vaddr, scratch_);
+        drainScratch(now, now);
+    }
+}
+
+void
+MemorySystem::scanAndEnqueue(
+    Addr block_addr, const ContentDirectedPrefetcher::ScanContext &ctx,
+    Cycle now)
+{
+    image_.readBlock(block_addr, blockBuf_.data(), blockBuf_.size());
+    scratch_.clear();
+    cdp_.scan(block_addr, blockBuf_.data(), ctx, scratch_);
+    drainScratch(now, now);
+}
+
+void
+MemorySystem::handleVictim(const Cache::Victim &victim,
+                           PrefetchSource insert_source, Cycle now)
+{
+    if (!victim.valid)
+        return;
+    if (victim.dirty)
+        dram_->writeback(coreId_, victim.addr, now);
+    if (victim.wasPrefetchedPrimary)
+        pabRecord(0, false);
+    if (victim.wasPrefetchedLds) {
+        pabRecord(1, false);
+        if (hwFilter_)
+            hwFilter_->onPrefetchEvictedUnused(victim.addr);
+    }
+    if (insert_source != PrefetchSource::None) {
+        pollutionFilter_[srcIndex(insert_source)]
+            .onPrefetchEvictedDemandBlock(victim.addr);
+    }
+}
+
+void
+MemorySystem::installFill(Mshr &mshr, Cycle now)
+{
+    const Addr block_addr = mshr.blockAddr;
+    const PrefetchSource source = mshr.source;
+
+    const bool side_buffered = cfg_.idealNoPollution &&
+                               source != PrefetchSource::None &&
+                               !mshr.demand;
+    if (side_buffered) {
+        SideEntry side;
+        side.source = source;
+        side.pgValid = mshr.pgRootValid;
+        side.pg = mshr.pgRoot;
+        side.latency = now - mshr.issuedAt;
+        side.depth = mshr.cdpDepth;
+        sideBuffer_[block_addr] = side;
+    } else {
+        Cache::Victim victim = l2_.insert(block_addr, source);
+        CacheBlock *block = l2_.lookup(block_addr, false);
+        assert(block);
+        if (mshr.dirty)
+            block->dirty = true;
+        if (source != PrefetchSource::None) {
+            block->prefetchLatency = now - mshr.issuedAt;
+            block->cdpDepth = mshr.cdpDepth;
+            block->pgValid = mshr.pgRootValid;
+            block->pg = mshr.pgRoot;
+            if (mshr.demand) {
+                // Late prefetch: the waiting demand consumes it at
+                // fill. It does not count as *used* (the tag-bit
+                // mechanism only sees cache-resident uses) but the
+                // PG that generated it did point at truly needed
+                // data, so the profiling statistics credit it.
+                const unsigned which = srcIndex(source);
+                if (mshr.pgRootValid)
+                    ++pgStats_[mshr.pgRoot].used;
+                pabRecord(which, true);
+                if (hwFilter_ && source == PrefetchSource::Lds)
+                    hwFilter_->onPrefetchUsed(block_addr);
+                block->prefetchedPrimary = false;
+                block->prefetchedLds = false;
+                block->pgValid = false;
+                l1Fill(block_addr + mshr.blockByteOffset, false, now);
+            }
+        } else {
+            l1Fill(block_addr + mshr.blockByteOffset, false, now);
+        }
+        handleVictim(victim, source, now);
+    }
+
+    // Content-directed scan of the freshly arrived block.
+    if (contentDirected() && ldsEnabled_) {
+        if (source == PrefetchSource::None && mshr.scanOnFill) {
+            ContentDirectedPrefetcher::ScanContext ctx;
+            ctx.demandFill = true;
+            ctx.loadPc = mshr.loadPc;
+            ctx.accessByteOffset = mshr.blockByteOffset;
+            ctx.fillDepth = 0;
+            scanAndEnqueue(block_addr, ctx, now);
+        } else if (source == PrefetchSource::Lds &&
+                   cdp_.shouldScan(mshr.cdpDepth)) {
+            ContentDirectedPrefetcher::ScanContext ctx;
+            ctx.demandFill = false;
+            ctx.fillDepth = mshr.cdpDepth;
+            ctx.pgValid = mshr.pgRootValid;
+            ctx.pgRoot = mshr.pgRoot;
+            scanAndEnqueue(block_addr, ctx, now);
+        }
+    }
+
+    mshrs_.release(mshr);
+}
+
+void
+MemorySystem::processFills(Cycle now)
+{
+    earliestFill_ = ~Cycle{0};
+    for (Mshr &mshr : mshrs_.entries()) {
+        if (!mshr.valid)
+            continue;
+        if (mshr.fillAt <= now)
+            installFill(mshr, now);
+        else
+            earliestFill_ = std::min(earliestFill_, mshr.fillAt);
+    }
+}
+
+void
+MemorySystem::issuePrefetches(Cycle now)
+{
+    while (!delayedQueue_.empty() &&
+           delayedQueue_.top().readyAt <= now) {
+        readyQueue_.push_back(delayedQueue_.top());
+        delayedQueue_.pop();
+    }
+
+    unsigned budget = cfg_.prefetchIssuePerCycle;
+    while (budget > 0 && !readyQueue_.empty()) {
+        const QueuedPrefetch &queued = readyQueue_.front();
+        const PrefetchRequest &req = queued.req;
+        if (!sourceEnabled(req.source) || l2_.peek(req.blockAddr) ||
+            mshrs_.find(req.blockAddr) ||
+            (cfg_.idealNoPollution &&
+             sideBuffer_.count(req.blockAddr)) ||
+            (hwFilter_ && req.source == PrefetchSource::Lds &&
+             !hwFilter_->allow(req.blockAddr))) {
+            readyQueue_.pop_front();
+            continue;
+        }
+        if (mshrs_.full() ||
+            mshrs_.inFlight() + cfg_.mshrReserveForDemand >=
+                cfg_.l2Mshrs) {
+            break;
+        }
+        std::optional<Cycle> done = dram_->read(
+            coreId_, req.blockAddr, now, cfg_.dramReserveForDemand);
+        if (!done)
+            break;
+        Mshr &mshr = mshrs_.allocate(req.blockAddr);
+        mshr.fillAt = *done;
+        mshr.issuedAt = now;
+        mshr.source = req.source;
+        mshr.cdpDepth = req.depth;
+        mshr.pgRoot = req.pg;
+        mshr.pgRootValid = req.pgValid;
+        earliestFill_ = std::min(earliestFill_, mshr.fillAt);
+        feedback_[srcIndex(req.source)].onPrefetchIssued();
+        if (req.pgValid)
+            ++pgStats_[req.pg].issued;
+        readyQueue_.pop_front();
+        --budget;
+    }
+}
+
+FeedbackSnapshot
+MemorySystem::snapshot(unsigned which) const
+{
+    FeedbackSnapshot snap;
+    snap.accuracy = feedback_[which].accuracy();
+    snap.coverage =
+        feedback_[which].coverage(demandMissCounter_.value());
+    snap.lateness = feedback_[which].lateness();
+    std::uint64_t misses = demandMissCounter_.value();
+    snap.pollution = misses == 0
+        ? 0.0
+        : static_cast<double>(pollutionEvents_[which].value()) /
+              static_cast<double>(misses);
+    snap.anyPrefetches = feedback_[which].anyPrefetches();
+    return snap;
+}
+
+void
+MemorySystem::endInterval()
+{
+    ++intervals_;
+    feedback_[0].endInterval();
+    feedback_[1].endInterval();
+    demandMissCounter_.endInterval();
+    pollutionEvents_[0].endInterval();
+    pollutionEvents_[1].endInterval();
+
+    const FeedbackSnapshot primary = snapshot(0);
+    const FeedbackSnapshot lds = snapshot(1);
+
+    switch (cfg_.throttle) {
+      case ThrottleKind::None:
+        break;
+      case ThrottleKind::Coordinated:
+        applyPrimaryLevel(CoordinatedThrottler::apply(
+            primaryLevel_, coordinated_.decide(primary, lds)));
+        applyLdsLevel(CoordinatedThrottler::apply(
+            ldsLevel_, coordinated_.decide(lds, primary)));
+        break;
+      case ThrottleKind::Fdp:
+        applyPrimaryLevel(CoordinatedThrottler::apply(
+            primaryLevel_, fdp_.decide(primary)));
+        applyLdsLevel(CoordinatedThrottler::apply(
+            ldsLevel_, fdp_.decide(lds)));
+        break;
+      case ThrottleKind::Pab: {
+        const unsigned keep = pab_.select();
+        primaryEnabled_ = keep == 0;
+        ldsEnabled_ = keep == 1;
+        break;
+      }
+    }
+
+    pollutionFilter_[0].clear();
+    pollutionFilter_[1].clear();
+    lastIntervalEvictions_ = l2_.evictions();
+}
+
+void
+MemorySystem::tick(Cycle now)
+{
+    if (earliestFill_ <= now)
+        processFills(now);
+    if (!readyQueue_.empty() || !delayedQueue_.empty())
+        issuePrefetches(now);
+    if (l2_.evictions() - lastIntervalEvictions_ >=
+        cfg_.intervalEvictions) {
+        endInterval();
+    }
+}
+
+void
+MemorySystem::collectStats(RunStats &out) const
+{
+    out.demandLoads = demandLoads_;
+    out.l2DemandAccesses = l2DemandAccesses_;
+    out.l2DemandMisses = l2DemandMisses_;
+    out.l2LdsMisses = l2LdsMisses_;
+    for (unsigned which = 0; which < 2; ++which) {
+        out.prefIssued[which] = feedback_[which].lifetimeIssued();
+        out.prefUsed[which] = feedback_[which].lifetimeUsed();
+        out.prefLate[which] = feedback_[which].lifetimeLate();
+        out.usefulLatencySum[which] = usefulLatencySum_[which];
+        out.usefulLatencyCount[which] = usefulLatencyCount_[which];
+    }
+    out.pgStats = pgStats_;
+    out.finalPrimaryLevel = primaryLevel_;
+    out.finalLdsLevel = ldsLevel_;
+    out.finalPrimaryEnabled = primaryEnabled_;
+    out.finalLdsEnabled = ldsEnabled_;
+    out.intervals = intervals_;
+}
+
+} // namespace ecdp

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Per-core memory hierarchy: L1D, L2 with MSHRs, the hybrid prefetcher
+ * pair (primary + LDS), feedback collection and throttling. Several
+ * cores' memory systems share one DramSystem.
+ */
+
+#ifndef ECDP_SIM_MEMORY_SYSTEM_HH
+#define ECDP_SIM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+#include "core/core.hh"
+#include "dram/dram.hh"
+#include "memsim/sim_memory.hh"
+#include "prefetch/cdp.hh"
+#include "prefetch/dbp.hh"
+#include "prefetch/ghb_prefetcher.hh"
+#include "prefetch/hardware_filter.hh"
+#include "prefetch/markov_prefetcher.hh"
+#include "prefetch/pab_selector.hh"
+#include "prefetch/stream_prefetcher.hh"
+#include "sim/config.hh"
+#include "throttle/coordinated_throttler.hh"
+#include "throttle/fdp_throttler.hh"
+#include "throttle/feedback.hh"
+
+namespace ecdp
+{
+
+/**
+ * One core's memory system.
+ */
+class MemorySystem : public CoreMemoryInterface
+{
+  public:
+    /**
+     * @param cfg System configuration.
+     * @param core_id Index of the owning core.
+     * @param image This core's memory image (taken by value).
+     * @param dram Shared DRAM system (not owned).
+     */
+    MemorySystem(const SystemConfig &cfg, unsigned core_id,
+                 SimMemory image, DramSystem *dram);
+
+    std::optional<Cycle> load(const TraceEntry &entry, Cycle now) override;
+    void store(const TraceEntry &entry, Cycle now) override;
+
+    /** Per-cycle work: fills, prefetch issue, interval throttling. */
+    void tick(Cycle now);
+
+    /** Fold lifetime counters into @p out. */
+    void collectStats(RunStats &out) const;
+
+    /** @{ Introspection for tests and benches. */
+    const Cache &l2() const { return l2_; }
+    const Cache &l1() const { return l1_; }
+    AggLevel primaryLevel() const { return primaryLevel_; }
+    AggLevel ldsLevel() const { return ldsLevel_; }
+    bool primaryEnabled() const { return primaryEnabled_; }
+    bool ldsEnabled() const { return ldsEnabled_; }
+    const PgStatsMap &pgStats() const { return pgStats_; }
+    SimMemory &image() { return image_; }
+    std::uint64_t intervalsElapsed() const { return intervals_; }
+    /** @} */
+
+  private:
+    struct QueuedPrefetch
+    {
+        PrefetchRequest req;
+        Cycle readyAt = 0;
+    };
+
+    struct DelayedOrder
+    {
+        bool operator()(const QueuedPrefetch &a,
+                        const QueuedPrefetch &b) const
+        {
+            return a.readyAt > b.readyAt;
+        }
+    };
+
+    /** Ideal-no-pollution side buffer entry. */
+    struct SideEntry
+    {
+        PrefetchSource source = PrefetchSource::None;
+        bool pgValid = false;
+        PgId pg{};
+        Cycle latency = 0;
+        std::uint8_t depth = 0;
+    };
+
+    static unsigned srcIndex(PrefetchSource source)
+    {
+        return source == PrefetchSource::Lds ? 1u : 0u;
+    }
+
+    bool contentDirected() const
+    {
+        return cfg_.lds == LdsKind::Cdp || cfg_.lds == LdsKind::Ecdp;
+    }
+
+    bool sourceEnabled(PrefetchSource source) const
+    {
+        return source == PrefetchSource::Lds ? ldsEnabled_
+                                             : primaryEnabled_;
+    }
+
+    void l1Fill(Addr addr, bool dirty, Cycle now);
+    void onDemandUseOfPrefetch(CacheBlock *block, Addr block_addr,
+                               Cycle now);
+    void trainOnDemandMiss(const TraceEntry &entry, Cycle now);
+    void dbpComplete(const TraceEntry &entry, Cycle ready);
+    void enqueuePrefetch(const PrefetchRequest &req, Cycle ready_at,
+                         Cycle now);
+    void drainScratch(Cycle ready_at, Cycle now);
+    void processFills(Cycle now);
+    void installFill(Mshr &mshr, Cycle now);
+    void scanAndEnqueue(Addr block_addr,
+                        const ContentDirectedPrefetcher::ScanContext &ctx,
+                        Cycle now);
+    void handleVictim(const Cache::Victim &victim,
+                      PrefetchSource insert_source, Cycle now);
+    void issuePrefetches(Cycle now);
+    void endInterval();
+    FeedbackSnapshot snapshot(unsigned which) const;
+    void applyPrimaryLevel(AggLevel level);
+    void applyLdsLevel(AggLevel level);
+    void pabRecord(unsigned which, bool used);
+
+    SystemConfig cfg_;
+    unsigned coreId_;
+    SimMemory image_;
+    DramSystem *dram_;
+
+    Cache l1_;
+    Cache l2_;
+    MshrFile mshrs_;
+
+    StreamPrefetcher stream_;
+    GhbPrefetcher ghb_;
+    ContentDirectedPrefetcher cdp_;
+    DependenceBasedPrefetcher dbp_;
+    std::unique_ptr<MarkovPrefetcher> markov_;
+    std::unique_ptr<HardwareFilter> hwFilter_;
+    PabSelector pab_;
+
+    CoordinatedThrottler coordinated_;
+    FdpThrottler fdp_;
+    PrefetcherFeedback feedback_[2];
+    IntervalCounter demandMissCounter_;
+    IntervalCounter pollutionEvents_[2];
+    PollutionFilter pollutionFilter_[2];
+
+    AggLevel primaryLevel_;
+    AggLevel ldsLevel_;
+    bool primaryEnabled_ = true;
+    bool ldsEnabled_ = true;
+
+    std::deque<QueuedPrefetch> readyQueue_;
+    std::priority_queue<QueuedPrefetch, std::vector<QueuedPrefetch>,
+                        DelayedOrder>
+        delayedQueue_;
+
+    std::unordered_map<Addr, SideEntry> sideBuffer_;
+
+    Cycle earliestFill_ = ~Cycle{0};
+    std::uint64_t lastIntervalEvictions_ = 0;
+    std::uint64_t intervals_ = 0;
+
+    /** @{ Lifetime statistics. */
+    std::uint64_t demandLoads_ = 0;
+    std::uint64_t l2DemandAccesses_ = 0;
+    std::uint64_t l2DemandMisses_ = 0;
+    std::uint64_t l2LdsMisses_ = 0;
+    std::uint64_t usefulLatencySum_[2] = {0, 0};
+    std::uint64_t usefulLatencyCount_[2] = {0, 0};
+    PgStatsMap pgStats_;
+    /** @} */
+
+    std::vector<PrefetchRequest> scratch_;
+    std::vector<std::uint8_t> blockBuf_;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_SIM_MEMORY_SYSTEM_HH

@@ -1,0 +1,83 @@
+#include "sim/multicore.hh"
+
+#include <cassert>
+#include <memory>
+
+#include "core/core.hh"
+#include "dram/dram.hh"
+#include "sim/memory_system.hh"
+#include "stats/stats.hh"
+
+namespace ecdp
+{
+
+MultiCoreResult
+simulateMultiCore(const SystemConfig &cfg,
+                  const std::vector<const Workload *> &workloads,
+                  const std::vector<double> &alone_ipc)
+{
+    const unsigned n = static_cast<unsigned>(workloads.size());
+    assert(n > 0);
+    assert(alone_ipc.size() == workloads.size());
+
+    DramSystem dram(cfg.dram, n);
+    std::vector<std::unique_ptr<MemorySystem>> memories;
+    std::vector<std::unique_ptr<Core>> cores;
+    memories.reserve(n);
+    cores.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        memories.push_back(std::make_unique<MemorySystem>(
+            cfg, i, workloads[i]->image.clone(), &dram));
+        cores.push_back(std::make_unique<Core>(
+            workloads[i], memories.back().get(), cfg.core));
+        cores.back()->setWrapAround(true);
+    }
+
+    Cycle cycle = 0;
+    auto all_done = [&cores]() {
+        for (const auto &core : cores) {
+            if (!core->finishedOnce())
+                return false;
+        }
+        return true;
+    };
+    while (!all_done() && cycle < cfg.maxCycles) {
+        for (unsigned i = 0; i < n; ++i)
+            memories[i]->tick(cycle);
+        for (unsigned i = 0; i < n; ++i)
+            cores[i]->tick(cycle);
+        ++cycle;
+    }
+    assert(all_done() && "maxCycles exceeded");
+
+    MultiCoreResult result;
+    std::vector<double> ratios;
+    for (unsigned i = 0; i < n; ++i) {
+        RunStats stats;
+        stats.workload = workloads[i]->name;
+        stats.cycles = cores[i]->finishCycle();
+        stats.instructions = cores[i]->retiredFirstPass();
+        stats.ipc = stats.cycles == 0
+            ? 0.0
+            : static_cast<double>(stats.instructions) /
+                  static_cast<double>(stats.cycles);
+        stats.busTransactions = dram.busTransactions(i);
+        stats.bpki = stats.instructions == 0
+            ? 0.0
+            : 1000.0 * static_cast<double>(stats.busTransactions) /
+                  static_cast<double>(stats.instructions);
+        memories[i]->collectStats(stats);
+        result.perCore.push_back(std::move(stats));
+
+        double ratio = alone_ipc[i] <= 0.0
+            ? 1.0
+            : result.perCore.back().ipc / alone_ipc[i];
+        ratios.push_back(ratio);
+        result.weightedSpeedup += ratio;
+    }
+    result.hmeanSpeedup = hmean(ratios);
+    result.busTransactions = dram.busTransactions();
+    return result;
+}
+
+} // namespace ecdp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Multi-core simulation driver (Section 6.6 of the paper): private
+ * L1/L2 and prefetchers per core, shared DRAM controller and bus,
+ * memory request buffer scaled as 32 x core count.
+ */
+
+#ifndef ECDP_SIM_MULTICORE_HH
+#define ECDP_SIM_MULTICORE_HH
+
+#include <vector>
+
+#include "sim/config.hh"
+#include "trace/trace.hh"
+
+namespace ecdp
+{
+
+/** Result of a multiprogrammed run. */
+struct MultiCoreResult
+{
+    /** Per-core stats; IPC measured over each core's first pass. */
+    std::vector<RunStats> perCore;
+    /** Sum over cores of IPC_shared / IPC_alone. */
+    double weightedSpeedup = 0.0;
+    /** Harmonic mean of per-core IPC_shared / IPC_alone. */
+    double hmeanSpeedup = 0.0;
+    /** Total bus transactions over the measured window. */
+    std::uint64_t busTransactions = 0;
+};
+
+/**
+ * Run @p workloads together, one per core.
+ *
+ * Every core runs its trace to completion once; cores that finish
+ * early wrap around and keep contending until the slowest core
+ * completes its first pass (the standard multiprogrammed-methodology).
+ *
+ * @param cfg System configuration (per-core resources).
+ * @param workloads One workload per core.
+ * @param alone_ipc IPC of each workload running alone under the same
+ *        configuration (for the speedup metrics).
+ */
+MultiCoreResult simulateMultiCore(
+    const SystemConfig &cfg,
+    const std::vector<const Workload *> &workloads,
+    const std::vector<double> &alone_ipc);
+
+} // namespace ecdp
+
+#endif // ECDP_SIM_MULTICORE_HH

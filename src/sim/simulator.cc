@@ -1,0 +1,42 @@
+#include "sim/simulator.hh"
+
+#include <cassert>
+
+#include "core/core.hh"
+#include "dram/dram.hh"
+#include "sim/memory_system.hh"
+
+namespace ecdp
+{
+
+RunStats
+simulate(const SystemConfig &cfg, const Workload &workload)
+{
+    DramSystem dram(cfg.dram, 1);
+    MemorySystem memory(cfg, 0, workload.image.clone(), &dram);
+    Core core(&workload, &memory, cfg.core);
+
+    Cycle cycle = 0;
+    while (!core.finishedOnce() && cycle < cfg.maxCycles) {
+        memory.tick(cycle);
+        core.tick(cycle);
+        ++cycle;
+    }
+    assert(core.finishedOnce() && "maxCycles exceeded");
+
+    RunStats stats;
+    stats.workload = workload.name;
+    stats.cycles = core.finishCycle() ? core.finishCycle() : 1;
+    stats.instructions = core.retiredFirstPass();
+    stats.ipc = static_cast<double>(stats.instructions) /
+                static_cast<double>(stats.cycles);
+    stats.busTransactions = dram.busTransactions(0);
+    stats.bpki = stats.instructions == 0
+        ? 0.0
+        : 1000.0 * static_cast<double>(stats.busTransactions) /
+              static_cast<double>(stats.instructions);
+    memory.collectStats(stats);
+    return stats;
+}
+
+} // namespace ecdp

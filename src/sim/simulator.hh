@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Single-core simulation driver.
+ */
+
+#ifndef ECDP_SIM_SIMULATOR_HH
+#define ECDP_SIM_SIMULATOR_HH
+
+#include "sim/config.hh"
+#include "trace/trace.hh"
+
+namespace ecdp
+{
+
+/**
+ * Runs one Workload on one core under a SystemConfig and returns the
+ * run statistics. The workload's image is cloned, so a Workload can be
+ * reused across runs and configurations.
+ */
+RunStats simulate(const SystemConfig &cfg, const Workload &workload);
+
+} // namespace ecdp
+
+#endif // ECDP_SIM_SIMULATOR_HH

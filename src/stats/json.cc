@@ -1,0 +1,76 @@
+#include "stats/json.hh"
+
+#include <ostream>
+
+namespace ecdp
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeRunStatsJson(std::ostream &os, const RunStats &stats,
+                  const std::string &label)
+{
+    os << "{";
+    os << "\"workload\":\"" << jsonEscape(stats.workload) << "\",";
+    if (!label.empty())
+        os << "\"config\":\"" << jsonEscape(label) << "\",";
+    os << "\"cycles\":" << stats.cycles << ","
+       << "\"instructions\":" << stats.instructions << ","
+       << "\"ipc\":" << stats.ipc << ","
+       << "\"bpki\":" << stats.bpki << ","
+       << "\"busTransactions\":" << stats.busTransactions << ","
+       << "\"l2DemandAccesses\":" << stats.l2DemandAccesses << ","
+       << "\"l2DemandMisses\":" << stats.l2DemandMisses << ","
+       << "\"l2LdsMisses\":" << stats.l2LdsMisses << ","
+       << "\"intervals\":" << stats.intervals << ","
+       << "\"prefetchers\":{";
+    const char *names[2] = {"primary", "lds"};
+    for (unsigned which = 0; which < 2; ++which) {
+        os << "\"" << names[which] << "\":{"
+           << "\"issued\":" << stats.prefIssued[which] << ","
+           << "\"used\":" << stats.prefUsed[which] << ","
+           << "\"late\":" << stats.prefLate[which] << ","
+           << "\"accuracy\":" << stats.accuracy(which) << ","
+           << "\"accuracyDemanded\":"
+           << stats.accuracyDemanded(which) << ","
+           << "\"coverage\":" << stats.coverage(which) << "}"
+           << (which == 0 ? "," : "");
+    }
+    os << "},\"finalLevels\":{\"primary\":"
+       << static_cast<int>(stats.finalPrimaryLevel)
+       << ",\"lds\":" << static_cast<int>(stats.finalLdsLevel)
+       << "}}";
+}
+
+} // namespace ecdp

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Machine-readable export of run statistics. The bench binaries print
+ * human tables; tooling (plotters, CI trend checks) consumes this
+ * JSON instead.
+ */
+
+#ifndef ECDP_STATS_JSON_HH
+#define ECDP_STATS_JSON_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/config.hh"
+
+namespace ecdp
+{
+
+/**
+ * Write @p stats as a single JSON object to @p os.
+ *
+ * @param label Optional "config" field value (e.g. "baseline").
+ */
+void writeRunStatsJson(std::ostream &os, const RunStats &stats,
+                       const std::string &label = "");
+
+/** JSON string escaping (exposed for tests). */
+std::string jsonEscape(const std::string &text);
+
+} // namespace ecdp
+
+#endif // ECDP_STATS_JSON_HH

@@ -1,0 +1,58 @@
+#include "stats/stats.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace ecdp
+{
+
+double
+amean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+gmean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        assert(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+hmean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double inv_sum = 0.0;
+    for (double v : values) {
+        assert(v > 0.0);
+        inv_sum += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / inv_sum;
+}
+
+double
+safeRatio(double numer, double denom)
+{
+    return denom == 0.0 ? 0.0 : numer / denom;
+}
+
+double
+percentDelta(double value, double base)
+{
+    return base == 0.0 ? 0.0 : (value / base - 1.0) * 100.0;
+}
+
+} // namespace ecdp

@@ -1,0 +1,88 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace ecdp
+{
+
+TablePrinter::TablePrinter(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TablePrinter::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+TablePrinter &
+TablePrinter::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TablePrinter &
+TablePrinter::cell(std::string text)
+{
+    rows_.back().push_back(std::move(text));
+    return *this;
+}
+
+TablePrinter &
+TablePrinter::cell(double value, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << value;
+    return cell(oss.str());
+}
+
+TablePrinter &
+TablePrinter::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto widen = [&widths](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << (i == 0 ? "" : "  ")
+               << std::left << std::setw(static_cast<int>(widths[i]))
+               << cells[i];
+        }
+        os << '\n';
+    };
+
+    os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i == 0 ? 0 : 2);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    os << std::flush;
+}
+
+} // namespace ecdp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Aligned plain-text table printer used by the benchmark harnesses to
+ * emit the rows of each paper table/figure.
+ */
+
+#ifndef ECDP_STATS_TABLE_HH
+#define ECDP_STATS_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecdp
+{
+
+/**
+ * Accumulates rows of string cells and prints them with columns padded
+ * to the widest cell. Numeric convenience overloads format with a fixed
+ * number of decimals.
+ */
+class TablePrinter
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit TablePrinter(std::string title);
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Start a new row. */
+    TablePrinter &row();
+
+    /** Append a string cell to the current row. */
+    TablePrinter &cell(std::string text);
+
+    /** Append a numeric cell with @p decimals fraction digits. */
+    TablePrinter &cell(double value, int decimals = 2);
+
+    /** Append an integer cell. */
+    TablePrinter &cell(std::uint64_t value);
+
+    /** Print the full table to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_STATS_TABLE_HH

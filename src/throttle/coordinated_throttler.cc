@@ -1,0 +1,67 @@
+#include "throttle/coordinated_throttler.hh"
+
+namespace ecdp
+{
+
+CoordinatedThrottler::AccClass
+CoordinatedThrottler::classifyAccuracy(double accuracy) const
+{
+    if (accuracy < thresholds_.aLow)
+        return AccClass::Low;
+    if (accuracy < thresholds_.aHigh)
+        return AccClass::Medium;
+    return AccClass::High;
+}
+
+ThrottleDecision
+CoordinatedThrottler::decide(const FeedbackSnapshot &self,
+                             const FeedbackSnapshot &rival) const
+{
+    const bool self_cov_high = self.coverage >= thresholds_.tCoverage;
+    const bool rival_cov_high = rival.coverage >= thresholds_.tCoverage;
+    const AccClass acc = classifyAccuracy(self.accuracy);
+
+    // Case 1: high coverage -> always keep at maximum aggressiveness.
+    if (self_cov_high)
+        return ThrottleDecision::Up;
+
+    // Case 2: low coverage, low accuracy -> throttle down.
+    if (acc == AccClass::Low)
+        return ThrottleDecision::Down;
+
+    // Case 3: both coverages low, decent accuracy -> give the deciding
+    // prefetcher a chance to earn coverage.
+    if (!rival_cov_high)
+        return ThrottleDecision::Up;
+
+    // Rival coverage is high from here on.
+    // Case 4: medium accuracy -> get out of the rival's way.
+    if (acc == AccClass::Medium)
+        return ThrottleDecision::Down;
+
+    // Case 5: high accuracy, rival covering well -> leave as is.
+    return ThrottleDecision::Nothing;
+}
+
+AggLevel
+CoordinatedThrottler::apply(AggLevel level, ThrottleDecision decision)
+{
+    int v = static_cast<int>(level);
+    switch (decision) {
+      case ThrottleDecision::Up:
+        v = v + 1;
+        break;
+      case ThrottleDecision::Down:
+        v = v - 1;
+        break;
+      case ThrottleDecision::Nothing:
+        break;
+    }
+    if (v < 0)
+        v = 0;
+    if (v > static_cast<int>(kNumAggLevels) - 1)
+        v = static_cast<int>(kNumAggLevels) - 1;
+    return static_cast<AggLevel>(v);
+}
+
+} // namespace ecdp

@@ -1,0 +1,26 @@
+#include "throttle/fdp_throttler.hh"
+
+namespace ecdp
+{
+
+ThrottleDecision
+FdpThrottler::decide(const FeedbackSnapshot &self) const
+{
+    const bool late = self.lateness >= thresholds_.tLateness;
+    const bool polluting = self.pollution >= thresholds_.tPollution;
+
+    if (self.accuracy >= thresholds_.aHigh) {
+        // Accurate prefetches that arrive late benefit from running
+        // further ahead.
+        return late ? ThrottleDecision::Up : ThrottleDecision::Nothing;
+    }
+    if (self.accuracy >= thresholds_.aLow) {
+        if (polluting)
+            return ThrottleDecision::Down;
+        return late ? ThrottleDecision::Up : ThrottleDecision::Nothing;
+    }
+    // Low accuracy: always back off.
+    return ThrottleDecision::Down;
+}
+
+} // namespace ecdp

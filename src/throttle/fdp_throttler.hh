@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Feedback-directed prefetching throttler after Srinath et al.
+ * (HPCA 2007) — the Section 6.5 comparison.
+ *
+ * FDP throttles each prefetcher *individually* from its own accuracy,
+ * lateness, and pollution, with six threshold values (two accuracy
+ * cut points, lateness, pollution, and the interval/filter sizings).
+ * Unlike coordinated throttling it never looks at the rival
+ * prefetcher, which is precisely the deficiency the paper's
+ * comparison exposes. The decision table is reconstructed from the
+ * published heuristic: high accuracy rewards lateness with more
+ * aggressiveness; medium accuracy throttles down when polluting;
+ * low accuracy always throttles down.
+ */
+
+#ifndef ECDP_THROTTLE_FDP_THROTTLER_HH
+#define ECDP_THROTTLE_FDP_THROTTLER_HH
+
+#include "throttle/coordinated_throttler.hh"
+
+namespace ecdp
+{
+
+/**
+ * Per-prefetcher FDP throttling.
+ */
+class FdpThrottler
+{
+  public:
+    /** The six FDP thresholds. */
+    struct Thresholds
+    {
+        double aHigh = 0.75;
+        double aLow = 0.40;
+        double tLateness = 0.10;
+        double tPollution = 0.005;
+        /** Interval length (L2 evictions). */
+        std::uint64_t intervalEvictions = 8192;
+        /** Pollution filter entries. */
+        unsigned pollutionFilterEntries = 4096;
+    };
+
+    FdpThrottler() : thresholds_(Thresholds()) {}
+
+    explicit FdpThrottler(Thresholds thresholds)
+        : thresholds_(thresholds)
+    {}
+
+    /** Decide from this prefetcher's own feedback only. */
+    ThrottleDecision decide(const FeedbackSnapshot &self) const;
+
+    const Thresholds &thresholds() const { return thresholds_; }
+
+  private:
+    Thresholds thresholds_;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_THROTTLE_FDP_THROTTLER_HH

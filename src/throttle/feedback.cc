@@ -1,0 +1,60 @@
+#include "throttle/feedback.hh"
+
+namespace ecdp
+{
+
+double
+PrefetcherFeedback::accuracy() const
+{
+    if (issued_.value() == 0)
+        return 1.0;
+    double acc =
+        static_cast<double>(used_.value() + late_.value()) /
+        static_cast<double>(issued_.value());
+    return acc > 1.0 ? 1.0 : acc;
+}
+
+double
+PrefetcherFeedback::coverage(std::uint64_t aged_demand_misses) const
+{
+    std::uint64_t used = used_.value();
+    if (used + aged_demand_misses == 0)
+        return 0.0;
+    return static_cast<double>(used) /
+           static_cast<double>(used + aged_demand_misses);
+}
+
+double
+PrefetcherFeedback::lateness() const
+{
+    if (used_.value() == 0)
+        return 0.0;
+    double late = static_cast<double>(late_.value()) /
+                  static_cast<double>(used_.value());
+    return late > 1.0 ? 1.0 : late;
+}
+
+PollutionFilter::PollutionFilter(unsigned entries)
+    : bits_(entries, false)
+{
+}
+
+void
+PollutionFilter::onPrefetchEvictedDemandBlock(Addr block_addr)
+{
+    bits_[index(block_addr)] = true;
+}
+
+bool
+PollutionFilter::test(Addr block_addr) const
+{
+    return bits_[index(block_addr)];
+}
+
+void
+PollutionFilter::clear()
+{
+    bits_.assign(bits_.size(), false);
+}
+
+} // namespace ecdp

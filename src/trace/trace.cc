@@ -1,0 +1,88 @@
+#include "trace/trace.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace ecdp
+{
+
+std::uint64_t
+Workload::instructionCount() const
+{
+    std::uint64_t total = trace.size();
+    for (const TraceEntry &entry : trace)
+        total += entry.nonMemBefore;
+    return total;
+}
+
+TraceBuilder::TraceBuilder(std::string name)
+    : name_(std::move(name))
+{
+}
+
+void
+TraceBuilder::beginTimed()
+{
+    assert(!timed_ && "beginTimed() called twice");
+    snapshot_ = mem_.clone();
+    timed_ = true;
+}
+
+TraceRef
+TraceBuilder::load(Addr pc, Addr addr, unsigned size, TraceRef dep,
+                   bool is_lds, unsigned gap)
+{
+    assert(timed_ && "load() before beginTimed()");
+    assert(dep == kNoDep ||
+           (dep >= 0 && dep < static_cast<TraceRef>(trace_.size())));
+    TraceEntry entry;
+    entry.pc = pc;
+    entry.vaddr = addr;
+    entry.size = static_cast<std::uint8_t>(size);
+    entry.kind = AccessKind::Load;
+    entry.isLds = is_lds;
+    entry.dep = dep;
+    entry.nonMemBefore = static_cast<std::uint16_t>(gap);
+    trace_.push_back(entry);
+    return static_cast<TraceRef>(trace_.size()) - 1;
+}
+
+TraceRef
+TraceBuilder::store(Addr pc, Addr addr, unsigned size, std::uint64_t value,
+                    TraceRef dep, bool is_lds, unsigned gap)
+{
+    assert(timed_ && "store() before beginTimed()");
+    TraceEntry entry;
+    entry.pc = pc;
+    entry.vaddr = addr;
+    entry.size = static_cast<std::uint8_t>(size);
+    entry.kind = AccessKind::Store;
+    entry.isLds = is_lds;
+    entry.dep = dep;
+    entry.nonMemBefore = static_cast<std::uint16_t>(gap);
+    entry.storeValue = value;
+    trace_.push_back(entry);
+    mem_.write(addr, size, value);
+    return static_cast<TraceRef>(trace_.size()) - 1;
+}
+
+std::pair<Addr, TraceRef>
+TraceBuilder::loadPointer(Addr pc, Addr addr, TraceRef dep, unsigned gap)
+{
+    Addr value = mem_.readPointer(addr);
+    TraceRef ref = load(pc, addr, kPointerBytes, dep, true, gap);
+    return {value, ref};
+}
+
+Workload
+TraceBuilder::finish() &&
+{
+    assert(timed_ && "finish() before beginTimed()");
+    Workload workload;
+    workload.name = std::move(name_);
+    workload.image = std::move(snapshot_);
+    workload.trace = std::move(trace_);
+    return workload;
+}
+
+} // namespace ecdp

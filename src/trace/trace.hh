@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Dependency-annotated memory access traces.
+ *
+ * Workload programs execute real linked-data-structure code against a
+ * SimMemory image and record every memory access here. Two properties
+ * of the trace are essential to reproducing the paper:
+ *
+ *  1. every load carries the index of the load that *produced its
+ *     address* (if any), so pointer-chasing loads serialize in the core
+ *     timing model while streaming loads overlap, and
+ *  2. stores carry their written value, so the simulator can keep its
+ *     memory image time-correct and the content-directed prefetcher
+ *     scans the pointer values the program would really have in memory.
+ */
+
+#ifndef ECDP_TRACE_TRACE_HH
+#define ECDP_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memsim/bump_allocator.hh"
+#include "memsim/sim_memory.hh"
+#include "memsim/types.hh"
+
+namespace ecdp
+{
+
+/** Kind of a traced memory access. */
+enum class AccessKind : std::uint8_t { Load, Store };
+
+/** Index of a trace entry; kNoDep marks "no producer". */
+using TraceRef = std::int64_t;
+inline constexpr TraceRef kNoDep = -1;
+
+/**
+ * One memory access of the simulated program.
+ */
+struct TraceEntry
+{
+    /** Static instruction address of the load/store. */
+    Addr pc = 0;
+    /** Simulated virtual data address. */
+    Addr vaddr = 0;
+    /** Access size in bytes (1, 2, 4 or 8). */
+    std::uint8_t size = 4;
+    AccessKind kind = AccessKind::Load;
+    /** True if this access is an LDS (pointer-chasing) access. Drives
+     *  the Figure 1 oracle and benchmark classification. */
+    bool isLds = false;
+    /** Producer of this access' address: index of an earlier load whose
+     *  value this address was computed from, or kNoDep. */
+    TraceRef dep = kNoDep;
+    /** Non-memory instructions dispatched before this access. */
+    std::uint16_t nonMemBefore = 0;
+    /** For stores: the value written (applied to the image in order). */
+    std::uint64_t storeValue = 0;
+};
+
+/**
+ * A complete runnable workload: the memory image at the start of the
+ * timed region plus the access trace of the timed region.
+ */
+struct Workload
+{
+    std::string name;
+    /** Heap/global image at the start of the timed region. */
+    SimMemory image;
+    std::vector<TraceEntry> trace;
+
+    /** Total instructions the trace represents (memory + non-memory). */
+    std::uint64_t instructionCount() const;
+};
+
+/**
+ * Helper the workload kernels use to build a Workload.
+ *
+ * The kernel first constructs its data structures through mem() and
+ * alloc() (the setup phase), then calls beginTimed() and records the
+ * accesses of the measured traversal via load()/store().
+ */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(std::string name);
+
+    /** The generation-time memory image (always current). */
+    SimMemory &mem() { return mem_; }
+    const SimMemory &mem() const { return mem_; }
+
+    /** The simulated heap allocator. */
+    BumpAllocator &heap() { return heap_; }
+
+    /** Snapshot the image: subsequent accesses are part of the trace. */
+    void beginTimed();
+
+    /**
+     * Record a load.
+     *
+     * @param pc Static instruction address.
+     * @param addr Data address (computed by the *generator*).
+     * @param size Access size in bytes.
+     * @param dep Trace index of the load that produced @p addr.
+     * @param is_lds True for pointer-chasing accesses.
+     * @param gap Non-memory instructions preceding this load.
+     * @return This load's trace index, usable as a later dep.
+     */
+    TraceRef load(Addr pc, Addr addr, unsigned size = 4,
+                  TraceRef dep = kNoDep, bool is_lds = false,
+                  unsigned gap = 0);
+
+    /**
+     * Record a store and apply it to the generation-time image.
+     * Parameters mirror load(); @p value is the data written.
+     */
+    TraceRef store(Addr pc, Addr addr, unsigned size, std::uint64_t value,
+                   TraceRef dep = kNoDep, bool is_lds = false,
+                   unsigned gap = 0);
+
+    /**
+     * Convenience: load a 4-byte pointer at @p addr, returning both the
+     * pointer value (read from the image) and the trace index.
+     */
+    std::pair<Addr, TraceRef> loadPointer(Addr pc, Addr addr,
+                                          TraceRef dep = kNoDep,
+                                          unsigned gap = 0);
+
+    /** Number of accesses recorded so far. */
+    std::size_t size() const { return trace_.size(); }
+
+    /** Finish: move the snapshot and trace into a Workload. */
+    Workload finish() &&;
+
+  private:
+    std::string name_;
+    SimMemory mem_;
+    SimMemory snapshot_;
+    bool timed_ = false;
+    BumpAllocator heap_;
+    std::vector<TraceEntry> trace_;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_TRACE_TRACE_HH

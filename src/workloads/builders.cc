@@ -1,0 +1,68 @@
+#include "workloads/builders.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace ecdp
+{
+
+std::mt19937
+workloadRng(const std::string &name, InputSet input)
+{
+    std::uint32_t seed =
+        static_cast<std::uint32_t>(std::hash<std::string>{}(name));
+    seed = seed * 2654435761u + (input == InputSet::Train ? 17u : 1u);
+    return std::mt19937(seed);
+}
+
+std::vector<Addr>
+allocSequential(TraceBuilder &tb, std::size_t count, std::size_t bytes,
+                std::size_t align)
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        addrs.push_back(tb.heap().allocate(bytes, align));
+    return addrs;
+}
+
+std::vector<Addr>
+allocInterleaved(TraceBuilder &tb, std::size_t count, std::size_t bytes,
+                 unsigned ways)
+{
+    assert(ways > 0);
+    std::vector<Addr> physical = allocSequential(tb, count, bytes);
+    // Read the physical array column-wise: adjacent logical objects
+    // end up `rows` objects apart in memory, each used exactly once.
+    std::size_t rows = (count + ways - 1) / ways;
+    std::vector<Addr> logical;
+    logical.reserve(count);
+    for (std::size_t start = 0; start < rows; ++start) {
+        for (std::size_t p = start; p < count; p += rows)
+            logical.push_back(physical[p]);
+    }
+    assert(logical.size() == count);
+    return logical;
+}
+
+std::vector<Addr>
+allocShuffled(TraceBuilder &tb, std::size_t count, std::size_t bytes,
+              std::mt19937 &rng)
+{
+    std::vector<Addr> addrs = allocSequential(tb, count, bytes);
+    std::shuffle(addrs.begin(), addrs.end(), rng);
+    return addrs;
+}
+
+void
+streamScan(TraceBuilder &tb, Addr pc, Addr base, std::size_t count,
+           std::uint32_t stride, unsigned gap)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        tb.load(pc, base + static_cast<Addr>(i) * stride, 4, kNoDep,
+                false, gap);
+    }
+}
+
+} // namespace ecdp

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared helpers for the synthetic workload programs: seeded RNG and
+ * heap-layout utilities controlling how linked nodes scatter over
+ * cache blocks (which is what decides stream-prefetchability and CDP
+ * behaviour).
+ */
+
+#ifndef ECDP_WORKLOADS_BUILDERS_HH
+#define ECDP_WORKLOADS_BUILDERS_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace ecdp
+{
+
+/** Deterministic per-benchmark, per-input RNG. */
+std::mt19937 workloadRng(const std::string &name, InputSet input);
+
+/**
+ * Allocate @p count objects of @p bytes each, consecutively.
+ * Logically-adjacent objects share cache blocks (Figure 3 layout).
+ */
+std::vector<Addr> allocSequential(TraceBuilder &tb, std::size_t count,
+                                  std::size_t bytes,
+                                  std::size_t align = 8);
+
+/**
+ * Allocate @p count objects interleaved across @p ways groups, so
+ * logically-adjacent objects are ~@p ways objects apart in memory
+ * (linked traversals then change blocks at every hop).
+ */
+std::vector<Addr> allocInterleaved(TraceBuilder &tb, std::size_t count,
+                                   std::size_t bytes, unsigned ways);
+
+/**
+ * Allocate @p count objects and return their addresses in a random
+ * (shuffled) logical order — a maximally fragmented heap.
+ */
+std::vector<Addr> allocShuffled(TraceBuilder &tb, std::size_t count,
+                                std::size_t bytes, std::mt19937 &rng);
+
+/**
+ * Record a streaming scan: @p count loads of 4 bytes from
+ * @p base, @p base+stride, ... with no dependencies.
+ *
+ * @param gap Non-memory instructions between loads.
+ */
+void streamScan(TraceBuilder &tb, Addr pc, Addr base,
+                std::size_t count, std::uint32_t stride, unsigned gap);
+
+} // namespace ecdp
+
+#endif // ECDP_WORKLOADS_BUILDERS_HH

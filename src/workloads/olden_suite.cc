@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Synthetic workloads for the Olden benchmarks the paper evaluates
+ * (bisort, health, mst, perimeter, voronoi) and pfast. Each rebuilds
+ * the access pattern the paper singles out for that benchmark; the
+ * structures are real: nodes are allocated in the simulated heap and
+ * linked with real pointers the content-directed prefetcher will find.
+ *
+ * Node layouts deliberately mix pointer and non-pointer words so that
+ * the per-block pointer fan-out CDP sees is realistic (a handful of
+ * candidates per 128 B block, some of them dead ends).
+ */
+
+#include "workloads/suite.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "workloads/builders.hh"
+
+namespace ecdp
+{
+namespace workloads
+{
+
+/**
+ * mst — the Figure 5 pattern: a hash table whose buckets are linked
+ * chains of nodes {key, d1*, d2*, next*}. Lookups walk a chain
+ * comparing keys; only the terminal node's data is dereferenced, so
+ * the data-pointer PGs are harmful while the next-pointer PG is
+ * beneficial.
+ */
+Workload
+buildMst(InputSet input)
+{
+    TraceBuilder tb("mst");
+    auto rng = workloadRng("mst", input);
+    const bool train = input == InputSet::Train;
+    const std::size_t buckets = train ? 768 : 1024;
+    const std::size_t chain = train ? 32 : 48;
+    const std::size_t lookups = train ? 400 : 1300;
+    const std::size_t nodes = buckets * chain;
+
+    // Chain hop => new cache block: nodes were inserted in random
+    // order, so chain neighbours share no spatial locality and the
+    // nodes co-resident in a block belong to unrelated buckets.
+    std::vector<Addr> node_addrs = allocShuffled(tb, nodes, 32, rng);
+    std::vector<Addr> payloads = allocSequential(tb, nodes * 2, 32);
+
+    auto key_of = [](std::size_t b, std::size_t k) {
+        return static_cast<std::uint32_t>((b << 8) | (k + 1));
+    };
+
+    for (std::size_t b = 0; b < buckets; ++b) {
+        for (std::size_t k = 0; k < chain; ++k) {
+            std::size_t i = b * chain + k;
+            Addr node = node_addrs[i];
+            tb.mem().write(node + 0, 4, key_of(b, k));
+            tb.mem().writePointer(node + 4, payloads[2 * i]);
+            tb.mem().writePointer(node + 8, payloads[2 * i + 1]);
+            Addr next = k + 1 < chain ? node_addrs[i + 1] : 0;
+            tb.mem().writePointer(node + 12, next);
+            tb.mem().write(node + 16, 4, 7); // non-pointer filler
+            tb.mem().write(node + 20, 4, 0x1234u);
+            // Payload contents: plain data, never pointer-shaped, so
+            // payload prefetches are recursion dead ends.
+            tb.mem().write(payloads[2 * i], 4, 0x00620061u);
+            tb.mem().write(payloads[2 * i + 1], 4, 0x00640063u);
+        }
+    }
+    Addr bucket_arr = tb.heap().allocate(buckets * 4, 128);
+    for (std::size_t b = 0; b < buckets; ++b)
+        tb.mem().writePointer(bucket_arr + static_cast<Addr>(b) * 4,
+                              node_addrs[b * chain]);
+
+    constexpr Addr kPcBucket = 0x401000, kPcKey = 0x401010;
+    constexpr Addr kPcNext = 0x401014, kPcData = 0x401020;
+    constexpr Addr kPcPayload = 0x401024;
+
+    tb.beginTimed();
+    // Lookups are data-dependent: the next key is derived from the
+    // result of the previous search (as in real mst, where hash
+    // lookups happen inside the graph traversal), so searches do not
+    // overlap in the machine.
+    TraceRef last_ref = kNoDep;
+    for (std::size_t l = 0; l < lookups; ++l) {
+        std::size_t b = rng() % buckets;
+        bool present = rng() % 100 < 30;
+        std::size_t depth = present ? rng() % chain : chain;
+        std::uint32_t target =
+            present ? key_of(b, depth) : 0xffffffffu;
+
+        auto [node, ref] = tb.loadPointer(
+            kPcBucket, bucket_arr + static_cast<Addr>(b) * 4, last_ref,
+            10);
+        while (node != 0) {
+            std::uint32_t key =
+                static_cast<std::uint32_t>(tb.mem().read(node, 4));
+            TraceRef key_ref = tb.load(kPcKey, node, 4, ref, true, 5);
+            if (key == target) {
+                auto [d1, d1_ref] =
+                    tb.loadPointer(kPcData, node + 4, key_ref, 2);
+                tb.load(kPcPayload, d1, 4, d1_ref, true, 4);
+                tb.load(kPcPayload + 4, d1 + 16, 4, d1_ref, true, 4);
+                break;
+            }
+            auto [next, next_ref] =
+                tb.loadPointer(kPcNext, node + 12, ref, 4);
+            node = next;
+            ref = next_ref;
+        }
+        last_ref = ref;
+    }
+    return std::move(tb).finish();
+}
+
+/**
+ * bisort — binary tree with frequent subtree swaps. Random root-to-
+ * leaf descents (with child swaps that invalidate what CDP greedily
+ * prefetched) are interleaved with full traversals of small subtrees,
+ * whose child PGs *are* beneficial. The contrast is what ECDP's
+ * per-PG filtering exploits.
+ */
+Workload
+buildBisort(InputSet input)
+{
+    TraceBuilder tb("bisort");
+    auto rng = workloadRng("bisort", input);
+    const bool train = input == InputSet::Train;
+    const unsigned depth = train ? 15 : 15;
+    const std::size_t iterations = train ? 100 : 260;
+    const std::size_t nodes = (std::size_t{1} << depth) - 1;
+
+    // Node (128 B, one L2 block): {val @0, left @4, right @8,
+    // data @12..}. The tree is built incrementally in real bisort, so
+    // nodes are scattered: neither descents nor traversals are
+    // stream-prefetchable (the paper lists bisort among the
+    // low-stream-coverage benchmarks).
+    std::vector<Addr> node_addrs = allocShuffled(tb, nodes, 128, rng);
+    for (std::size_t i = 0; i < nodes; ++i) {
+        Addr node = node_addrs[i];
+        tb.mem().write(node, 4, static_cast<std::uint32_t>(rng()));
+        std::size_t l = 2 * i + 1, r = 2 * i + 2;
+        tb.mem().writePointer(node + 4,
+                              l < nodes ? node_addrs[l] : 0);
+        tb.mem().writePointer(node + 8,
+                              r < nodes ? node_addrs[r] : 0);
+        tb.mem().write(node + 12, 4, 3u);
+        for (unsigned d = 4; d < 16; ++d)
+            tb.mem().write(node + 4 * d, 4, 0x00010002u + d);
+    }
+
+    constexpr Addr kPcVal = 0x402000, kPcLeft = 0x402004;
+    constexpr Addr kPcRight = 0x402008, kPcSwapL = 0x402010;
+    constexpr Addr kPcSwapR = 0x402014;
+    constexpr Addr kPcTravVal = 0x402020, kPcTravL = 0x402024;
+    constexpr Addr kPcTravR = 0x402028;
+
+    tb.beginTimed();
+
+    // Full in-order traversal of the subtree at `node` down to
+    // `levels` more levels; every child pointer loaded is followed.
+    auto traverse = [&](auto &&self, Addr node, TraceRef ref,
+                        unsigned levels) -> void {
+        if (node == 0)
+            return;
+        tb.load(kPcTravVal, node, 4, ref, true, 10);
+        if (levels == 0)
+            return;
+        auto [left, lref] = tb.loadPointer(kPcTravL, node + 4, ref, 6);
+        self(self, left, lref, levels - 1);
+        auto [right, rref] = tb.loadPointer(kPcTravR, node + 8, ref, 6);
+        self(self, right, rref, levels - 1);
+    };
+
+    for (std::size_t it = 0; it < iterations; ++it) {
+        Addr node = node_addrs[0];
+        TraceRef ref = kNoDep;
+        Addr stop_node = 0;
+        TraceRef stop_ref = kNoDep;
+        for (unsigned level = 0; node != 0; ++level) {
+            tb.load(kPcVal, node, 4, ref, true, 12);
+            // Swap this node's children 35% of the time; the subtree
+            // CDP prefetched under the old pointer goes stale.
+            if (rng() % 100 < 35) {
+                auto [left, lref] =
+                    tb.loadPointer(kPcSwapL, node + 4, ref, 2);
+                auto [right, rref] =
+                    tb.loadPointer(kPcSwapR, node + 8, ref, 2);
+                tb.store(kPcSwapL, node + 4, 4, right, rref, true, 2);
+                tb.store(kPcSwapR, node + 8, 4, left, lref, true, 2);
+            }
+            bool go_left = rng() % 2 == 0;
+            auto [child, cref] = tb.loadPointer(
+                go_left ? kPcLeft : kPcRight,
+                node + (go_left ? 4u : 8u), ref, 4);
+            if (level == depth - 8) {
+                stop_node = node;
+                stop_ref = ref;
+            }
+            node = child;
+            ref = cref;
+        }
+        // Sort pass over a small subtree near the leaves: fully
+        // traversed, so its child PGs are useful.
+        if (stop_node != 0)
+            traverse(traverse, stop_node, stop_ref, 6);
+    }
+    return std::move(tb).finish();
+}
+
+/**
+ * health — hierarchy of villages, each with a long patient list.
+ * Lists are revisited every simulation step and their nodes are
+ * scattered; the heap interleaving co-locates each patient with its
+ * same-position peer in the next village, so chain prefetches feed
+ * the list about to be walked — this is the paper's outlier
+ * benchmark.
+ */
+Workload
+buildHealth(InputSet input)
+{
+    TraceBuilder tb("health");
+    auto rng = workloadRng("health", input);
+    const bool train = input == InputSet::Train;
+    const unsigned levels = 4; // 4-ary tree: 1+4+16+64+256 villages
+    const std::size_t list_len = train ? 48 : 64;
+    const std::size_t steps = train ? 2 : 5;
+
+    std::size_t villages = 0;
+    for (unsigned l = 0, n = 1; l <= levels; ++l, n *= 4)
+        villages += n;
+
+    // Village: {child0..3 @0..12, listHead @16, val @20} (32 B).
+    std::vector<Addr> village_addrs = allocSequential(tb, villages, 32);
+    // Patients: {status @0, data @4, next @8, filler} (64 B).
+    const std::size_t patients = villages * list_len;
+    std::vector<Addr> patient_addrs = allocInterleaved(
+        tb, patients, 64, static_cast<unsigned>(list_len));
+
+    for (std::size_t v = 0; v < villages; ++v) {
+        Addr village = village_addrs[v];
+        for (unsigned c = 0; c < 4; ++c) {
+            std::size_t child = 4 * v + 1 + c;
+            tb.mem().writePointer(village + 4 * c,
+                                  child < villages
+                                      ? village_addrs[child]
+                                      : 0);
+        }
+        for (std::size_t k = 0; k < list_len; ++k) {
+            std::size_t i = v * list_len + k;
+            Addr patient = patient_addrs[i];
+            tb.mem().write(patient, 4, static_cast<std::uint32_t>(
+                                           rng() % 100));
+            tb.mem().write(patient + 4, 4, 11);
+            tb.mem().writePointer(patient + 8,
+                                  k + 1 < list_len
+                                      ? patient_addrs[i + 1]
+                                      : 0);
+            tb.mem().write(patient + 12, 4, 0x00150016u);
+        }
+        tb.mem().writePointer(village + 16,
+                              patient_addrs[v * list_len]);
+    }
+
+    constexpr Addr kPcChild = 0x403000, kPcHead = 0x403010;
+    constexpr Addr kPcStatus = 0x403014, kPcNext = 0x403018;
+
+    tb.beginTimed();
+    auto visit = [&](auto &&self, Addr village, TraceRef vref) -> void {
+        if (village == 0)
+            return;
+        // Walk the whole patient list of this village.
+        auto [patient, pref] =
+            tb.loadPointer(kPcHead, village + 16, vref, 4);
+        while (patient != 0) {
+            tb.load(kPcStatus, patient, 4, pref, true, 6);
+            auto [next, nref] =
+                tb.loadPointer(kPcNext, patient + 8, pref, 4);
+            patient = next;
+            pref = nref;
+        }
+        for (unsigned c = 0; c < 4; ++c) {
+            auto [child, cref] =
+                tb.loadPointer(kPcChild, village + 4 * c, vref, 2);
+            self(self, child, cref);
+        }
+    };
+    for (std::size_t s = 0; s < steps; ++s)
+        visit(visit, village_addrs[0], kNoDep);
+    return std::move(tb).finish();
+}
+
+/**
+ * perimeter — quadtree allocated in DFS order (children right after
+ * their parent) and traversed exhaustively: every pointer CDP finds
+ * will be used, making it the high-accuracy case of Table 1.
+ */
+Workload
+buildPerimeter(InputSet input)
+{
+    TraceBuilder tb("perimeter");
+    auto rng = workloadRng("perimeter", input);
+    const bool train = input == InputSet::Train;
+    const std::size_t node_budget = train ? 8000 : 24000;
+    const std::size_t passes = 2;
+
+    // Node: {flag @0, child0..3 @4..16, parent @20} (32 B).
+    struct Pending
+    {
+        Addr addr;
+        unsigned depth;
+    };
+    std::vector<Pending> stack;
+    Addr root = tb.heap().allocate(32, 8);
+    stack.push_back({root, 0});
+    std::size_t budget = node_budget - 1;
+    while (!stack.empty()) {
+        Pending cur = stack.back();
+        stack.pop_back();
+        tb.mem().write(cur.addr, 4, cur.depth);
+        bool subdivide = budget >= 4 && cur.depth < 9 &&
+                         (cur.depth < 3 || rng() % 100 < 52);
+        for (unsigned c = 0; c < 4; ++c) {
+            Addr child = 0;
+            if (subdivide) {
+                child = tb.heap().allocate(32, 8);
+                tb.mem().writePointer(child + 20, cur.addr);
+                stack.push_back({child, cur.depth + 1});
+            }
+            tb.mem().writePointer(cur.addr + 4 + 4 * c, child);
+        }
+        if (subdivide)
+            budget -= 4;
+    }
+
+    constexpr Addr kPcFlag = 0x404000, kPcChild = 0x404004;
+
+    tb.beginTimed();
+    auto visit = [&](auto &&self, Addr node, TraceRef ref) -> void {
+        if (node == 0)
+            return;
+        tb.load(kPcFlag, node, 4, ref, true, 6);
+        for (unsigned c = 0; c < 4; ++c) {
+            auto [child, cref] =
+                tb.loadPointer(kPcChild, node + 4 + 4 * c, ref, 2);
+            self(self, child, cref);
+        }
+    };
+    for (std::size_t p = 0; p < passes; ++p)
+        visit(visit, root, kNoDep);
+    return std::move(tb).finish();
+}
+
+/**
+ * voronoi — quad-edge records walked mostly through `next`, with
+ * occasional twin/prev detours: CDP lands mid-pack in accuracy.
+ */
+Workload
+buildVoronoi(InputSet input)
+{
+    TraceBuilder tb("voronoi");
+    auto rng = workloadRng("voronoi", input);
+    const bool train = input == InputSet::Train;
+    const std::size_t edges = train ? 24000 : 36000;
+    const std::size_t walks = train ? 700 : 2200;
+    const std::size_t walk_len = 20;
+
+    // Edge (64 B): {org @0, next @4, prev @8, twin @12, coords @16..}.
+    // Interleaved allocation: the edge co-resident in a block is the
+    // edge ~8 hops further along the face walk, so chain prefetches
+    // land a useful distance ahead (the walk itself is scattered and
+    // not stream-prefetchable).
+    std::vector<Addr> edge_addrs = allocInterleaved(tb, edges, 64, 8);
+    std::vector<Addr> sites = allocSequential(tb, edges / 4 + 1, 16);
+    for (std::size_t e = 0; e < edges; ++e) {
+        Addr edge = edge_addrs[e];
+        tb.mem().writePointer(edge, sites[e / 4]);
+        // next: a short forward hop (face loops advance through the
+        // allocation); prev: a short backward hop.
+        std::size_t next = std::min(edges - 1, e + 1 + rng() % 3);
+        std::size_t prev = e > 4 ? e - 1 - rng() % 4 : 0;
+        tb.mem().writePointer(edge + 4, edge_addrs[next]);
+        tb.mem().writePointer(edge + 8, edge_addrs[prev]);
+        tb.mem().writePointer(edge + 12, edge_addrs[e ^ 1]);
+        tb.mem().write(edge + 16, 4, 0x00330044u);
+        tb.mem().write(edge + 20, 4, 0x00550066u);
+    }
+
+    constexpr Addr kPcOrg = 0x405000, kPcNext = 0x405004;
+    constexpr Addr kPcPrev = 0x405008, kPcTwin = 0x40500c;
+
+    tb.beginTimed();
+    for (std::size_t w = 0; w < walks; ++w) {
+        Addr edge = edge_addrs[rng() % edges];
+        TraceRef ref = kNoDep;
+        for (std::size_t s = 0; s < walk_len && edge != 0; ++s) {
+            tb.load(kPcOrg, edge, 4, ref, true, 16);
+            unsigned which = rng() % 20;
+            Addr field_pc = which < 17 ? kPcNext
+                          : which < 19 ? kPcTwin
+                                       : kPcPrev;
+            Addr field_off = which < 17 ? 4u : which < 19 ? 12u : 8u;
+            auto [target, tref] =
+                tb.loadPointer(field_pc, edge + field_off, ref, 10);
+            edge = target;
+            ref = tref;
+        }
+    }
+    return std::move(tb).finish();
+}
+
+/**
+ * pfast — sequence-alignment seed lookup: hash chains of seed nodes;
+ * a hit streams the 256-byte alignment region the seed points at.
+ */
+Workload
+buildPfast(InputSet input)
+{
+    TraceBuilder tb("pfast");
+    auto rng = workloadRng("pfast", input);
+    const bool train = input == InputSet::Train;
+    const std::size_t buckets = train ? 1024 : 4096;
+    const std::size_t chain = 8;
+    const std::size_t lookups = train ? 900 : 3200;
+    const std::size_t nodes = buckets * chain;
+
+    // Seed node: {key @0, region* @4, next @8, filler} (32 B).
+    std::vector<Addr> node_addrs = allocInterleaved(tb, nodes, 32, 16);
+    Addr regions = tb.heap().allocate(nodes * 256, 128);
+
+    auto key_of = [](std::size_t b, std::size_t k) {
+        return static_cast<std::uint32_t>((b << 4) | (k + 1));
+    };
+    for (std::size_t b = 0; b < buckets; ++b) {
+        for (std::size_t k = 0; k < chain; ++k) {
+            std::size_t i = b * chain + k;
+            Addr node = node_addrs[i];
+            tb.mem().write(node, 4, key_of(b, k));
+            tb.mem().writePointer(node + 4,
+                                  regions +
+                                      static_cast<Addr>(i) * 256);
+            tb.mem().writePointer(node + 8,
+                                  k + 1 < chain ? node_addrs[i + 1]
+                                                : 0);
+            tb.mem().write(node + 12, 4, 0x41434754u); // "ACGT"
+        }
+    }
+    Addr bucket_arr = tb.heap().allocate(buckets * 4, 128);
+    for (std::size_t b = 0; b < buckets; ++b)
+        tb.mem().writePointer(bucket_arr + static_cast<Addr>(b) * 4,
+                              node_addrs[b * chain]);
+
+    constexpr Addr kPcBucket = 0x406000, kPcKey = 0x406010;
+    constexpr Addr kPcNext = 0x406014, kPcRegion = 0x406020;
+    constexpr Addr kPcAlign = 0x406024;
+
+    tb.beginTimed();
+    // Seed lookups chain: each seed is derived from the previous
+    // alignment's result.
+    TraceRef last_ref = kNoDep;
+    for (std::size_t l = 0; l < lookups; ++l) {
+        std::size_t b = rng() % buckets;
+        bool present = rng() % 100 < 60;
+        std::size_t depth = present ? rng() % chain : chain;
+        std::uint32_t target =
+            present ? key_of(b, depth) : 0xffffffffu;
+        auto [node, ref] = tb.loadPointer(
+            kPcBucket, bucket_arr + static_cast<Addr>(b) * 4, last_ref,
+            8);
+        while (node != 0) {
+            std::uint32_t key =
+                static_cast<std::uint32_t>(tb.mem().read(node, 4));
+            tb.load(kPcKey, node, 4, ref, true, 5);
+            if (key == target) {
+                auto [region, rref] =
+                    tb.loadPointer(kPcRegion, node + 4, ref, 2);
+                for (unsigned q = 0; q < 8; ++q) {
+                    tb.load(kPcAlign, region + q * 32, 4, rref, false,
+                            4);
+                }
+                break;
+            }
+            auto [next, nref] =
+                tb.loadPointer(kPcNext, node + 8, ref, 4);
+            node = next;
+            ref = nref;
+        }
+        last_ref = ref;
+    }
+    return std::move(tb).finish();
+}
+
+} // namespace workloads
+} // namespace ecdp

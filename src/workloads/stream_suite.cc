@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Streaming (non-pointer-intensive) workloads used for Section 6.7
+ * and as partners in the multi-core mixes. All are array sweeps with
+ * the stride/stream-count signatures of the named applications; none
+ * carry LDS accesses, so the LDS prefetching machinery should leave
+ * them untouched.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/builders.hh"
+
+namespace ecdp
+{
+namespace workloads
+{
+
+namespace
+{
+
+/** Allocate an array region of @p mb megabytes. */
+Addr
+region(TraceBuilder &tb, std::size_t mb)
+{
+    return tb.heap().allocate(mb * 1024 * 1024, 128);
+}
+
+} // namespace
+
+/** gemsfdtd — three interleaved field sweeps plus a store stream. */
+Workload
+buildGemsfdtd(InputSet input)
+{
+    TraceBuilder tb("gemsfdtd");
+    const bool train = input == InputSet::Train;
+    const std::size_t n = train ? 3000 : 9000;
+    Addr ex = region(tb, 2), ey = region(tb, 2), ez = region(tb, 2);
+    Addr hx = region(tb, 2);
+    constexpr Addr kPcEx = 0x421000, kPcEy = 0x421004;
+    constexpr Addr kPcEz = 0x421008, kPcHx = 0x42100c;
+
+    tb.beginTimed();
+    for (std::size_t i = 0; i < n; ++i) {
+        Addr off = static_cast<Addr>(i) * 16;
+        tb.load(kPcEx, ex + off, 4, kNoDep, false, 40);
+        tb.load(kPcEy, ey + off, 4, kNoDep, false, 40);
+        tb.load(kPcEz, ez + off, 4, kNoDep, false, 40);
+        tb.store(kPcHx, hx + off, 4, i, kNoDep, false, 40);
+    }
+    return std::move(tb).finish();
+}
+
+/** h264ref — motion estimation: two short-stride reference scans. */
+Workload
+buildH264ref(InputSet input)
+{
+    TraceBuilder tb("h264ref");
+    auto rng = workloadRng("h264ref", input);
+    const bool train = input == InputSet::Train;
+    const std::size_t blocks = train ? 400 : 1200;
+    Addr ref_frame = region(tb, 4);
+    Addr cur_frame = region(tb, 2);
+    constexpr Addr kPcRef = 0x422000, kPcCur = 0x422004;
+    constexpr Addr kPcOut = 0x422008;
+
+    tb.beginTimed();
+    for (std::size_t b = 0; b < blocks; ++b) {
+        Addr rbase = ref_frame + (rng() % 30000) * 128;
+        Addr cbase = cur_frame + static_cast<Addr>(b % 15000) * 128;
+        for (unsigned i = 0; i < 24; ++i) {
+            tb.load(kPcRef, rbase + i * 16, 4, kNoDep, false, 10);
+            tb.load(kPcCur, cbase + i * 16, 4, kNoDep, false, 10);
+        }
+        tb.store(kPcOut, cbase, 4, b, kNoDep, false, 3);
+    }
+    return std::move(tb).finish();
+}
+
+/** libquantum — one long unit-stride sweep over a huge array. */
+Workload
+buildLibquantum(InputSet input)
+{
+    TraceBuilder tb("libquantum");
+    const bool train = input == InputSet::Train;
+    const std::size_t n = train ? 14000 : 40000;
+    Addr reg = region(tb, 4);
+    constexpr Addr kPcReg = 0x423000;
+
+    tb.beginTimed();
+    streamScan(tb, kPcReg, reg, n, 8, 42);
+    return std::move(tb).finish();
+}
+
+/** bzip2 — sequential scan mixed with hits inside a sliding window. */
+Workload
+buildBzip2(InputSet input)
+{
+    TraceBuilder tb("bzip2");
+    auto rng = workloadRng("bzip2", input);
+    const bool train = input == InputSet::Train;
+    const std::size_t n = train ? 25000 : 80000;
+    Addr data = region(tb, 4);
+    constexpr Addr kPcSeq = 0x424000, kPcWin = 0x424004;
+
+    tb.beginTimed();
+    for (std::size_t i = 0; i < n; ++i) {
+        Addr pos = static_cast<Addr>(i) * 32;
+        if (i % 5 < 3) {
+            tb.load(kPcSeq, data + pos, 4, kNoDep, false, 14);
+        } else {
+            // Back-reference into the recent window.
+            Addr back = (rng() % (128 * 1024));
+            Addr target = pos > back ? pos - back : 0;
+            tb.load(kPcWin, data + target, 4, kNoDep, false, 14);
+        }
+    }
+    return std::move(tb).finish();
+}
+
+/** milc — four strided sweeps with an indexed gather component. */
+Workload
+buildMilc(InputSet input)
+{
+    TraceBuilder tb("milc");
+    auto rng = workloadRng("milc", input);
+    const bool train = input == InputSet::Train;
+    const std::size_t n = train ? 8000 : 26000;
+    Addr su3 = region(tb, 3);
+    Addr idx = tb.heap().allocate(n * 4, 128);
+    for (std::size_t i = 0; i < n; ++i)
+        tb.mem().write(idx + static_cast<Addr>(i) * 4, 4,
+                       rng() % 700000);
+    constexpr Addr kPcA = 0x425000, kPcIdx = 0x425004;
+    constexpr Addr kPcGather = 0x425008;
+
+    tb.beginTimed();
+    for (std::size_t i = 0; i < n; ++i) {
+        tb.load(kPcA, su3 + static_cast<Addr>(i) * 32, 4, kNoDep,
+                false, 14);
+        TraceRef iref = tb.load(kPcIdx, idx + static_cast<Addr>(i) * 4,
+                                4, kNoDep, false, 6);
+        std::uint32_t j = static_cast<std::uint32_t>(
+            tb.mem().read(idx + static_cast<Addr>(i) * 4, 4));
+        tb.load(kPcGather, su3 + j * 4, 4, iref, false, 8);
+    }
+    return std::move(tb).finish();
+}
+
+/** lbm — two block-stride sweeps with stores (every access a new
+ *  block: pure bandwidth). */
+Workload
+buildLbm(InputSet input)
+{
+    TraceBuilder tb("lbm");
+    const bool train = input == InputSet::Train;
+    const std::size_t n = train ? 8000 : 26000;
+    Addr src = region(tb, 4), dst = region(tb, 4);
+    constexpr Addr kPcSrc = 0x426000, kPcDst = 0x426004;
+
+    tb.beginTimed();
+    for (std::size_t i = 0; i < n; ++i) {
+        Addr off = static_cast<Addr>(i) * 128;
+        tb.load(kPcSrc, src + off, 4, kNoDep, false, 8);
+        tb.store(kPcDst, dst + off, 4, i, kNoDep, false, 8);
+    }
+    return std::move(tb).finish();
+}
+
+} // namespace workloads
+} // namespace ecdp

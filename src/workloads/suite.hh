@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Declarations of the individual workload builders (grouped by suite).
+ */
+
+#ifndef ECDP_WORKLOADS_SUITE_HH
+#define ECDP_WORKLOADS_SUITE_HH
+
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace ecdp
+{
+namespace workloads
+{
+
+/** @{ Pointer-intensive SPEC-like workloads. */
+Workload buildPerlbench(InputSet input);
+Workload buildGcc(InputSet input);
+Workload buildMcf(InputSet input);
+Workload buildAstar(InputSet input);
+Workload buildXalancbmk(InputSet input);
+Workload buildOmnetpp(InputSet input);
+Workload buildParser(InputSet input);
+Workload buildArt(InputSet input);
+Workload buildAmmp(InputSet input);
+/** @} */
+
+/** @{ Olden-like workloads and pfast. */
+Workload buildBisort(InputSet input);
+Workload buildHealth(InputSet input);
+Workload buildMst(InputSet input);
+Workload buildPerimeter(InputSet input);
+Workload buildVoronoi(InputSet input);
+Workload buildPfast(InputSet input);
+/** @} */
+
+/** @{ Streaming (non-pointer-intensive, Section 6.7) workloads. */
+Workload buildGemsfdtd(InputSet input);
+Workload buildH264ref(InputSet input);
+Workload buildLibquantum(InputSet input);
+Workload buildBzip2(InputSet input);
+Workload buildMilc(InputSet input);
+Workload buildLbm(InputSet input);
+/** @} */
+
+} // namespace workloads
+} // namespace ecdp
+
+#endif // ECDP_WORKLOADS_SUITE_HH

@@ -1,0 +1,84 @@
+#include "workloads/workload.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/suite.hh"
+
+namespace ecdp
+{
+
+const std::vector<BenchmarkInfo> &
+benchmarkSuite()
+{
+    using namespace workloads;
+    static const std::vector<BenchmarkInfo> suite = {
+        {"perlbench", true, buildPerlbench},
+        {"gcc", true, buildGcc},
+        {"mcf", true, buildMcf},
+        {"astar", true, buildAstar},
+        {"xalancbmk", true, buildXalancbmk},
+        {"omnetpp", true, buildOmnetpp},
+        {"parser", true, buildParser},
+        {"art", true, buildArt},
+        {"ammp", true, buildAmmp},
+        {"bisort", true, buildBisort},
+        {"health", true, buildHealth},
+        {"mst", true, buildMst},
+        {"perimeter", true, buildPerimeter},
+        {"voronoi", true, buildVoronoi},
+        {"pfast", true, buildPfast},
+        {"gemsfdtd", false, buildGemsfdtd},
+        {"h264ref", false, buildH264ref},
+        {"libquantum", false, buildLibquantum},
+        {"bzip2", false, buildBzip2},
+        {"milc", false, buildMilc},
+        {"lbm", false, buildLbm},
+    };
+    return suite;
+}
+
+const BenchmarkInfo *
+findBenchmark(const std::string &name)
+{
+    for (const BenchmarkInfo &info : benchmarkSuite()) {
+        if (info.name == name)
+            return &info;
+    }
+    return nullptr;
+}
+
+Workload
+buildWorkload(const std::string &name, InputSet input)
+{
+    const BenchmarkInfo *info = findBenchmark(name);
+    if (!info) {
+        std::fprintf(stderr, "unknown benchmark: %s\n", name.c_str());
+        std::abort();
+    }
+    return info->build(input);
+}
+
+std::vector<std::string>
+pointerIntensiveNames()
+{
+    std::vector<std::string> names;
+    for (const BenchmarkInfo &info : benchmarkSuite()) {
+        if (info.pointerIntensive)
+            names.push_back(info.name);
+    }
+    return names;
+}
+
+std::vector<std::string>
+streamingNames()
+{
+    std::vector<std::string> names;
+    for (const BenchmarkInfo &info : benchmarkSuite()) {
+        if (!info.pointerIntensive)
+            names.push_back(info.name);
+    }
+    return names;
+}
+
+} // namespace ecdp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Benchmark registry.
+ *
+ * The paper evaluates 15 pointer-intensive applications from SPEC
+ * CPU2000/2006, Olden and pfast, plus the remaining (non-pointer-
+ * intensive) applications in Section 6.7. Those binaries are not
+ * available here, so each benchmark is a synthetic workload program
+ * that rebuilds the *access pattern* the paper describes for it:
+ * real linked data structures in a simulated heap, traversed with
+ * real data-dependent control flow (see DESIGN.md for the map).
+ *
+ * Each benchmark has `ref` and `train` inputs: different sizes and
+ * seeds, per the paper's profiling methodology (Section 5).
+ */
+
+#ifndef ECDP_WORKLOADS_WORKLOAD_HH
+#define ECDP_WORKLOADS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace ecdp
+{
+
+/** Which input the workload builds (Section 5: train for profiling). */
+enum class InputSet { Train, Ref };
+
+/** One registered benchmark. */
+struct BenchmarkInfo
+{
+    std::string name;
+    /** True for the paper's 15 pointer-intensive applications. */
+    bool pointerIntensive;
+    Workload (*build)(InputSet);
+};
+
+/** All benchmarks (15 pointer-intensive + 6 streaming). */
+const std::vector<BenchmarkInfo> &benchmarkSuite();
+
+/** Look up a benchmark by name; nullptr when unknown. */
+const BenchmarkInfo *findBenchmark(const std::string &name);
+
+/** Build a benchmark's workload. Aborts on unknown names. */
+Workload buildWorkload(const std::string &name, InputSet input);
+
+/** Names of the 15 pointer-intensive benchmarks, in paper order. */
+std::vector<std::string> pointerIntensiveNames();
+
+/** Names of the streaming (Section 6.7) benchmarks. */
+std::vector<std::string> streamingNames();
+
+} // namespace ecdp
+
+#endif // ECDP_WORKLOADS_WORKLOAD_HH

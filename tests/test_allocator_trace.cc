@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the bump allocator, the trace builder, and the
+ * heap-layout helpers the workload generators rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "memsim/bump_allocator.hh"
+#include "trace/trace.hh"
+#include "workloads/builders.hh"
+
+namespace ecdp
+{
+namespace
+{
+
+TEST(BumpAllocator, AllocationsAreSequential)
+{
+    BumpAllocator heap;
+    Addr a = heap.allocate(16);
+    Addr b = heap.allocate(16);
+    EXPECT_EQ(a, kHeapBase);
+    EXPECT_EQ(b, a + 16);
+}
+
+TEST(BumpAllocator, RespectsAlignment)
+{
+    BumpAllocator heap;
+    heap.allocate(3);
+    Addr aligned = heap.allocate(8, 64);
+    EXPECT_EQ(aligned % 64, 0u);
+}
+
+TEST(BumpAllocator, DefaultAlignmentIsEight)
+{
+    BumpAllocator heap;
+    heap.allocate(5);
+    Addr next = heap.allocate(4);
+    EXPECT_EQ(next % 8, 0u);
+}
+
+TEST(BumpAllocator, AlignToSkipsToBoundary)
+{
+    BumpAllocator heap;
+    heap.allocate(10);
+    heap.alignTo(128);
+    EXPECT_EQ(heap.next() % 128, 0u);
+}
+
+TEST(BumpAllocator, TracksBytesAllocated)
+{
+    BumpAllocator heap;
+    heap.allocate(16);
+    heap.allocate(16);
+    EXPECT_GE(heap.bytesAllocated(), 32u);
+}
+
+TEST(BumpAllocator, CustomBase)
+{
+    BumpAllocator heap(0x50000000);
+    EXPECT_EQ(heap.allocate(4), 0x50000000u);
+}
+
+TEST(TraceBuilder, SnapshotExcludesTimedStores)
+{
+    TraceBuilder tb("t");
+    tb.mem().write(0x40000000, 4, 1u); // setup-phase write
+    tb.beginTimed();
+    tb.store(0x1000, 0x40000000, 4, 2u);
+    Workload wl = std::move(tb).finish();
+    // The workload image holds the pre-traversal value; the store is
+    // in the trace for the simulator to apply in order.
+    EXPECT_EQ(wl.image.read(0x40000000, 4), 1u);
+    ASSERT_EQ(wl.trace.size(), 1u);
+    EXPECT_EQ(wl.trace[0].kind, AccessKind::Store);
+    EXPECT_EQ(wl.trace[0].storeValue, 2u);
+}
+
+TEST(TraceBuilder, TimedStoresVisibleToGenerator)
+{
+    TraceBuilder tb("t");
+    tb.beginTimed();
+    tb.store(0x1000, 0x40000000, 4, 42u);
+    EXPECT_EQ(tb.mem().read(0x40000000, 4), 42u);
+}
+
+TEST(TraceBuilder, LoadRecordsFields)
+{
+    TraceBuilder tb("t");
+    tb.beginTimed();
+    TraceRef first = tb.load(0x1000, 0x40000010, 4, kNoDep, true, 7);
+    TraceRef second = tb.load(0x1004, 0x40000020, 4, first, false, 2);
+    Workload wl = std::move(tb).finish();
+    EXPECT_EQ(first, 0);
+    EXPECT_EQ(second, 1);
+    EXPECT_EQ(wl.trace[0].pc, 0x1000u);
+    EXPECT_TRUE(wl.trace[0].isLds);
+    EXPECT_EQ(wl.trace[0].nonMemBefore, 7u);
+    EXPECT_EQ(wl.trace[1].dep, first);
+}
+
+TEST(TraceBuilder, LoadPointerReturnsStoredValue)
+{
+    TraceBuilder tb("t");
+    tb.mem().writePointer(0x40000000, 0x40abcdef);
+    tb.beginTimed();
+    auto [value, ref] = tb.loadPointer(0x1000, 0x40000000);
+    EXPECT_EQ(value, 0x40abcdefu);
+    EXPECT_EQ(ref, 0);
+}
+
+TEST(Workload, InstructionCountIncludesFillers)
+{
+    TraceBuilder tb("t");
+    tb.beginTimed();
+    tb.load(0x1000, 0x40000000, 4, kNoDep, false, 10);
+    tb.load(0x1004, 0x40000004, 4, kNoDep, false, 5);
+    Workload wl = std::move(tb).finish();
+    EXPECT_EQ(wl.instructionCount(), 2u + 15u);
+}
+
+TEST(Builders, AllocSequentialAdjacent)
+{
+    TraceBuilder tb("t");
+    auto addrs = allocSequential(tb, 10, 32);
+    for (std::size_t i = 1; i < addrs.size(); ++i)
+        EXPECT_EQ(addrs[i], addrs[i - 1] + 32);
+}
+
+TEST(Builders, AllocInterleavedSeparatesNeighbours)
+{
+    TraceBuilder tb("t");
+    auto addrs = allocInterleaved(tb, 64, 32, 8);
+    // Logically adjacent objects must be far apart in memory.
+    for (std::size_t i = 1; i < addrs.size(); ++i) {
+        std::uint32_t distance = addrs[i] > addrs[i - 1]
+            ? addrs[i] - addrs[i - 1]
+            : addrs[i - 1] - addrs[i];
+        EXPECT_GE(distance, 128u) << "at index " << i;
+    }
+}
+
+TEST(Builders, AllocInterleavedUsesEveryAddressOnce)
+{
+    TraceBuilder tb("t");
+    auto addrs = allocInterleaved(tb, 100, 32, 7);
+    std::set<Addr> unique(addrs.begin(), addrs.end());
+    EXPECT_EQ(unique.size(), addrs.size());
+}
+
+TEST(Builders, AllocShuffledUsesEveryAddressOnce)
+{
+    TraceBuilder tb("t");
+    auto rng = workloadRng("x", InputSet::Ref);
+    auto addrs = allocShuffled(tb, 100, 64, rng);
+    std::set<Addr> unique(addrs.begin(), addrs.end());
+    EXPECT_EQ(unique.size(), addrs.size());
+}
+
+TEST(Builders, WorkloadRngIsDeterministicAndInputSensitive)
+{
+    auto a = workloadRng("mst", InputSet::Ref);
+    auto b = workloadRng("mst", InputSet::Ref);
+    auto c = workloadRng("mst", InputSet::Train);
+    EXPECT_EQ(a(), b());
+    EXPECT_NE(a(), c());
+}
+
+TEST(Builders, StreamScanEmitsStridedLoads)
+{
+    TraceBuilder tb("t");
+    tb.beginTimed();
+    streamScan(tb, 0x2000, 0x40000000, 5, 16, 3);
+    Workload wl = std::move(tb).finish();
+    ASSERT_EQ(wl.trace.size(), 5u);
+    for (unsigned i = 0; i < 5; ++i) {
+        EXPECT_EQ(wl.trace[i].vaddr, 0x40000000u + 16 * i);
+        EXPECT_EQ(wl.trace[i].dep, kNoDep);
+        EXPECT_FALSE(wl.trace[i].isLds);
+    }
+}
+
+} // namespace
+} // namespace ecdp

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache and MSHRs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+
+namespace ecdp
+{
+namespace
+{
+
+Cache
+smallCache()
+{
+    return Cache("t", 4 * 1024, 4, 128); // 8 sets x 4 ways
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache = smallCache();
+    EXPECT_EQ(cache.lookup(0x40000000), nullptr);
+    cache.insert(0x40000000);
+    EXPECT_NE(cache.lookup(0x40000000), nullptr);
+}
+
+TEST(Cache, BlockAddressMath)
+{
+    Cache cache = smallCache();
+    EXPECT_EQ(cache.blockAddr(0x4000007f), 0x40000000u);
+    EXPECT_EQ(cache.blockAddr(0x40000080), 0x40000080u);
+    EXPECT_EQ(cache.blockOffset(0x4000007f), 127u);
+}
+
+TEST(Cache, HitAnywhereInBlock)
+{
+    Cache cache = smallCache();
+    cache.insert(0x40000000);
+    EXPECT_NE(cache.lookup(0x40000004), nullptr);
+    EXPECT_NE(cache.lookup(0x4000007c), nullptr);
+    EXPECT_EQ(cache.lookup(0x40000080), nullptr);
+}
+
+TEST(Cache, EvictsLruWay)
+{
+    Cache cache = smallCache();
+    // Fill one set: same set index, different tags. Set stride is
+    // 8 sets x 128 B = 1 KB.
+    for (unsigned i = 0; i < 4; ++i)
+        cache.insert(0x40000000 + i * 1024);
+    // Touch the first block so the second becomes LRU.
+    cache.lookup(0x40000000);
+    Cache::Victim victim = cache.insert(0x40000000 + 4 * 1024);
+    EXPECT_TRUE(victim.valid);
+    EXPECT_EQ(victim.addr, 0x40000000u + 1024);
+}
+
+TEST(Cache, InsertIntoInvalidWayEvictsNothing)
+{
+    Cache cache = smallCache();
+    Cache::Victim victim = cache.insert(0x40000000);
+    EXPECT_FALSE(victim.valid);
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(Cache, ReinsertSameBlockIsRefreshNotEviction)
+{
+    Cache cache = smallCache();
+    cache.insert(0x40000000);
+    CacheBlock *block = cache.lookup(0x40000000);
+    block->dirty = true;
+    Cache::Victim victim = cache.insert(0x40000000);
+    EXPECT_FALSE(victim.valid);
+    // Refresh preserves state such as the dirty bit.
+    EXPECT_TRUE(cache.lookup(0x40000000)->dirty);
+}
+
+TEST(Cache, VictimCarriesDirtyAndPrefetchState)
+{
+    Cache cache = smallCache();
+    cache.insert(0x40000000, PrefetchSource::Lds);
+    cache.lookup(0x40000000, false)->dirty = true;
+    for (unsigned i = 1; i <= 4; ++i)
+        cache.insert(0x40000000 + i * 1024);
+    // First insert is now evicted (it was LRU).
+    EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(Cache, PrefetchSourceSetsTagBits)
+{
+    Cache cache = smallCache();
+    cache.insert(0x40000000, PrefetchSource::Primary);
+    cache.insert(0x40000080, PrefetchSource::Lds);
+    cache.insert(0x40000100, PrefetchSource::None);
+    EXPECT_TRUE(cache.lookup(0x40000000)->prefetchedPrimary);
+    EXPECT_FALSE(cache.lookup(0x40000000)->prefetchedLds);
+    EXPECT_TRUE(cache.lookup(0x40000080)->prefetchedLds);
+    EXPECT_FALSE(cache.lookup(0x40000100)->prefetchedPrimary);
+    EXPECT_FALSE(cache.lookup(0x40000100)->prefetchedLds);
+}
+
+TEST(Cache, InvalidateRemovesBlock)
+{
+    Cache cache = smallCache();
+    cache.insert(0x40000000);
+    cache.invalidate(0x40000010);
+    EXPECT_EQ(cache.lookup(0x40000000), nullptr);
+}
+
+TEST(Cache, PeekDoesNotDisturbLru)
+{
+    Cache cache = smallCache();
+    for (unsigned i = 0; i < 4; ++i)
+        cache.insert(0x40000000 + i * 1024);
+    // Peek at the oldest; it must still be the victim.
+    EXPECT_NE(cache.peek(0x40000000), nullptr);
+    Cache::Victim victim = cache.insert(0x40000000 + 4 * 1024);
+    EXPECT_EQ(victim.addr, 0x40000000u);
+}
+
+TEST(Cache, EvictionCounterIsTheThrottlingClock)
+{
+    Cache cache = smallCache();
+    for (unsigned i = 0; i < 32; ++i)
+        cache.insert(0x40000000 + i * 128); // fills all 32 blocks
+    EXPECT_EQ(cache.evictions(), 0u);
+    for (unsigned i = 32; i < 40; ++i)
+        cache.insert(0x40000000 + i * 128);
+    EXPECT_EQ(cache.evictions(), 8u);
+}
+
+TEST(Cache, PrefetchedBitsStorageMatchesTable7)
+{
+    // 1 MB / 128 B = 8192 blocks x 2 bits (Table 7's first row).
+    Cache l2("L2", 1024 * 1024, 8, 128);
+    EXPECT_EQ(l2.prefetchedBitsStorageBits(), 8192u * 2);
+}
+
+/** Property: LRU order is respected for any associativity. */
+class CacheLruTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheLruTest, OldestUntouchedBlockIsEvicted)
+{
+    const unsigned assoc = GetParam();
+    Cache cache("t", assoc * 128, assoc, 128); // one set
+    for (unsigned i = 0; i < assoc; ++i)
+        cache.insert(0x40000000 + i * 128 * 1); // all map to set 0
+    // With a single set every block conflicts. Touch all but the
+    // second block.
+    for (unsigned i = 0; i < assoc; ++i) {
+        if (i != 1)
+            cache.lookup(0x40000000 + i * 128);
+    }
+    Cache::Victim victim = cache.insert(0x40000000 + assoc * 128);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.addr, 0x40000000u + 1 * 128);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, CacheLruTest,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+/** Property: block geometry holds across block sizes. */
+class CacheGeometryTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheGeometryTest, OffsetsAndBlockAddrsConsistent)
+{
+    const unsigned block = GetParam();
+    Cache cache("t", 64 * block, 4, block);
+    for (Addr addr :
+         {Addr{0x40000000}, Addr{0x40000000 + block - 1},
+          Addr{0x40000000 + 3 * block + 5}}) {
+        EXPECT_EQ(cache.blockAddr(addr) % block, 0u);
+        EXPECT_LT(cache.blockOffset(addr), block);
+        EXPECT_EQ(cache.blockAddr(addr) + cache.blockOffset(addr),
+                  addr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, CacheGeometryTest,
+                         ::testing::Values(32u, 64u, 128u, 256u));
+
+TEST(MshrFile, AllocateFindRelease)
+{
+    MshrFile mshrs(4);
+    EXPECT_FALSE(mshrs.full());
+    Mshr &entry = mshrs.allocate(0x40000000);
+    EXPECT_EQ(mshrs.find(0x40000000), &entry);
+    EXPECT_EQ(mshrs.inFlight(), 1u);
+    mshrs.release(entry);
+    EXPECT_EQ(mshrs.find(0x40000000), nullptr);
+    EXPECT_EQ(mshrs.inFlight(), 0u);
+}
+
+TEST(MshrFile, FullAfterCapacityAllocations)
+{
+    MshrFile mshrs(2);
+    mshrs.allocate(0x40000000);
+    mshrs.allocate(0x40000080);
+    EXPECT_TRUE(mshrs.full());
+}
+
+TEST(MshrFile, RipeReturnsOnlyDueFills)
+{
+    MshrFile mshrs(4);
+    mshrs.allocate(0x40000000).fillAt = 100;
+    mshrs.allocate(0x40000080).fillAt = 200;
+    EXPECT_EQ(mshrs.ripe(150).size(), 1u);
+    EXPECT_EQ(mshrs.ripe(250).size(), 2u);
+    EXPECT_EQ(mshrs.ripe(50).size(), 0u);
+}
+
+TEST(MshrFile, EarliestFillTracksMinimum)
+{
+    MshrFile mshrs(4);
+    EXPECT_EQ(mshrs.earliestFill(), ~Cycle{0});
+    mshrs.allocate(0x40000000).fillAt = 300;
+    Mshr &second = mshrs.allocate(0x40000080);
+    second.fillAt = 100;
+    EXPECT_EQ(mshrs.earliestFill(), 100u);
+    mshrs.release(second);
+    EXPECT_EQ(mshrs.earliestFill(), 300u);
+}
+
+TEST(MshrFile, EcdpStorageMatchesTable7)
+{
+    // 32 entries x (7 + 16) bits in the paper's Table 7.
+    MshrFile mshrs(32);
+    EXPECT_EQ(mshrs.ecdpStorageBits(16), 32u * 23);
+}
+
+TEST(MshrFile, ReallocationReusesReleasedEntries)
+{
+    MshrFile mshrs(1);
+    Mshr &entry = mshrs.allocate(0x40000000);
+    mshrs.release(entry);
+    Mshr &again = mshrs.allocate(0x40000080);
+    EXPECT_EQ(&entry, &again);
+    EXPECT_EQ(again.blockAddr, 0x40000080u);
+    // The recycled entry must carry no stale state.
+    EXPECT_FALSE(again.demand);
+    EXPECT_FALSE(again.dirty);
+    EXPECT_EQ(again.source, PrefetchSource::None);
+}
+
+} // namespace
+} // namespace ecdp

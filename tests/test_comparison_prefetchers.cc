@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for the comparison prefetchers: dependence-based (DBP),
+ * Markov, GHB G/DC, the Zhuang-Lee hardware filter, and the Gendler
+ * PAB selector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/dbp.hh"
+#include "prefetch/ghb_prefetcher.hh"
+#include "prefetch/hardware_filter.hh"
+#include "prefetch/markov_prefetcher.hh"
+#include "prefetch/pab_selector.hh"
+
+namespace ecdp
+{
+namespace
+{
+
+TEST(Dbp, LearnsProducerConsumerAndPrefetches)
+{
+    DependenceBasedPrefetcher dbp;
+    std::vector<PrefetchRequest> out;
+    // Producer load at pc=0x10 loads a pointer value.
+    dbp.onLoadComplete(0x10, 0x40001000, out);
+    EXPECT_TRUE(out.empty()); // no correlation yet
+    // Consumer issues with address = value + 8: correlation learned.
+    dbp.onLoadIssue(0x20, 0x40001008);
+    // Next time the producer completes, its consumer is prefetched.
+    dbp.onLoadComplete(0x10, 0x40002000, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].blockAddr, 0x40002008u);
+    EXPECT_EQ(out[0].source, PrefetchSource::Lds);
+}
+
+TEST(Dbp, OffsetMustBeSmallAndNonNegative)
+{
+    DependenceBasedPrefetcher dbp;
+    std::vector<PrefetchRequest> out;
+    dbp.onLoadComplete(0x10, 0x40001000, out);
+    dbp.onLoadIssue(0x20, 0x40001000 + 4096); // too far: no match
+    dbp.onLoadComplete(0x10, 0x40002000, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Dbp, NullPointerValueProducesNoPrefetch)
+{
+    DependenceBasedPrefetcher dbp;
+    std::vector<PrefetchRequest> out;
+    dbp.onLoadComplete(0x10, 0x40001000, out);
+    dbp.onLoadIssue(0x20, 0x40001000);
+    dbp.onLoadComplete(0x10, 0, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Dbp, StorageIsAbout3KB)
+{
+    DependenceBasedPrefetcher dbp;
+    double kb = static_cast<double>(dbp.storageBits()) / 8 / 1024;
+    EXPECT_GT(kb, 1.0);
+    EXPECT_LT(kb, 4.0);
+}
+
+TEST(Markov, RecordsAndReplaysSuccessors)
+{
+    MarkovPrefetcher markov(1024);
+    std::vector<PrefetchRequest> out;
+    markov.onDemandMiss(0x40000000, out);
+    markov.onDemandMiss(0x40010000, out); // successor of the first
+    out.clear();
+    markov.onDemandMiss(0x40000000, out); // repeat the first miss
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].blockAddr, 0x40010000u);
+}
+
+TEST(Markov, KeepsUpToFourSuccessors)
+{
+    MarkovPrefetcher markov(1024);
+    std::vector<PrefetchRequest> out;
+    for (unsigned i = 1; i <= 4; ++i) {
+        markov.onDemandMiss(0x40000000, out);
+        markov.onDemandMiss(0x40000000 + i * 0x1000, out);
+    }
+    out.clear();
+    markov.onDemandMiss(0x40000000, out);
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(Markov, FifthSuccessorEvictsOldest)
+{
+    MarkovPrefetcher markov(1024);
+    std::vector<PrefetchRequest> out;
+    for (unsigned i = 1; i <= 5; ++i) {
+        markov.onDemandMiss(0x40000000, out);
+        markov.onDemandMiss(0x40000000 + i * 0x1000, out);
+    }
+    out.clear();
+    markov.onDemandMiss(0x40000000, out);
+    EXPECT_EQ(out.size(), 4u);
+    for (const PrefetchRequest &req : out)
+        EXPECT_NE(req.blockAddr, 0x40001000u); // oldest gone
+}
+
+TEST(Markov, CannotPredictUnseenAddresses)
+{
+    MarkovPrefetcher markov(1024);
+    std::vector<PrefetchRequest> out;
+    markov.onDemandMiss(0x40770000, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Markov, StorageIsAbout1MB)
+{
+    MarkovPrefetcher markov; // default 65536 entries
+    double mb =
+        static_cast<double>(markov.storageBits()) / 8 / 1024 / 1024;
+    EXPECT_GT(mb, 1.0);
+    EXPECT_LT(mb, 1.5);
+}
+
+TEST(Ghb, ReplaysDeltaPatterns)
+{
+    GhbPrefetcher ghb;
+    std::vector<PrefetchRequest> out;
+    // Teach the pattern: +1, +2 block deltas repeating.
+    Addr addr = 0x40000000;
+    std::vector<std::int64_t> deltas{1, 2, 1, 2, 1};
+    for (std::int64_t d : deltas) {
+        ghb.onDemandMiss(addr, out);
+        addr += static_cast<Addr>(d * 128);
+    }
+    out.clear();
+    ghb.onDemandMiss(addr, out);
+    // The last two deltas are (1, 2): the history says +1 comes next.
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0].blockAddr, addr + 2 * 128);
+    EXPECT_EQ(out[0].source, PrefetchSource::Primary);
+}
+
+TEST(Ghb, CoversPlainStreams)
+{
+    GhbPrefetcher ghb;
+    std::vector<PrefetchRequest> out;
+    Addr addr = 0x40000000;
+    for (unsigned i = 0; i < 6; ++i) {
+        out.clear();
+        ghb.onDemandMiss(addr, out);
+        addr += 128;
+    }
+    // Unit-stride pattern recognized: prefetches ahead.
+    EXPECT_FALSE(out.empty());
+    EXPECT_GT(out[0].blockAddr, addr - 128);
+}
+
+TEST(Ghb, NoPredictionWithoutHistory)
+{
+    GhbPrefetcher ghb;
+    std::vector<PrefetchRequest> out;
+    ghb.onDemandMiss(0x40000000, out);
+    ghb.onDemandMiss(0x40000080, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Ghb, DegreeBoundsPrefetchCount)
+{
+    GhbPrefetcher ghb;
+    ghb.setDegree(2);
+    std::vector<PrefetchRequest> out;
+    Addr addr = 0x40000000;
+    for (unsigned i = 0; i < 10; ++i) {
+        out.clear();
+        ghb.onDemandMiss(addr, out);
+        addr += 128;
+    }
+    EXPECT_LE(out.size(), 2u);
+}
+
+TEST(Ghb, StorageIsAbout12KB)
+{
+    GhbPrefetcher ghb;
+    double kb = static_cast<double>(ghb.storageBits()) / 8 / 1024;
+    EXPECT_GT(kb, 6.0);
+    EXPECT_LT(kb, 14.0);
+}
+
+TEST(HardwareFilter, BlocksPreviouslyUselessPrefetches)
+{
+    HardwareFilter filter;
+    EXPECT_TRUE(filter.allow(0x40000000));
+    filter.onPrefetchEvictedUnused(0x40000000);
+    EXPECT_FALSE(filter.allow(0x40000000));
+    filter.onPrefetchUsed(0x40000000);
+    EXPECT_TRUE(filter.allow(0x40000000));
+}
+
+TEST(HardwareFilter, StorageIs8KB)
+{
+    HardwareFilter filter;
+    EXPECT_EQ(filter.storageBits(), 65536u);
+}
+
+TEST(Pab, PicksTheMoreAccuratePrefetcher)
+{
+    PabSelector pab(16);
+    for (unsigned i = 0; i < 16; ++i) {
+        pab.recordOutcome(0, i % 4 == 0); // 25% accurate
+        pab.recordOutcome(1, i % 2 == 0); // 50% accurate
+    }
+    EXPECT_EQ(pab.select(), 1u);
+    EXPECT_NEAR(pab.accuracy(0), 0.25, 0.01);
+    EXPECT_NEAR(pab.accuracy(1), 0.5, 0.01);
+}
+
+TEST(Pab, TieGoesToPrimary)
+{
+    PabSelector pab(8);
+    for (unsigned i = 0; i < 8; ++i) {
+        pab.recordOutcome(0, true);
+        pab.recordOutcome(1, true);
+    }
+    EXPECT_EQ(pab.select(), 0u);
+}
+
+TEST(Pab, WindowForgetsOldOutcomes)
+{
+    PabSelector pab(4);
+    for (unsigned i = 0; i < 4; ++i)
+        pab.recordOutcome(1, false);
+    for (unsigned i = 0; i < 4; ++i)
+        pab.recordOutcome(1, true); // old misses roll out
+    EXPECT_DOUBLE_EQ(pab.accuracy(1), 1.0);
+}
+
+TEST(Pab, NoEvidenceMeansAccurate)
+{
+    PabSelector pab;
+    EXPECT_DOUBLE_EQ(pab.accuracy(0), 1.0);
+    EXPECT_DOUBLE_EQ(pab.accuracy(1), 1.0);
+}
+
+} // namespace
+} // namespace ecdp

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the profiling compiler: PG classification on crafted
+ * workloads where the beneficial pointers are known by construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/profiling_compiler.hh"
+#include "trace/trace.hh"
+
+namespace ecdp
+{
+namespace
+{
+
+constexpr Addr kPcWalk = 0x5000;
+
+/**
+ * A workload walking a scattered linked list of 64-byte nodes
+ * {data @0, junk* @4, next @8}: the junk pointer targets are never
+ * accessed, the next targets always are.
+ */
+Workload
+chainWorkload(std::size_t nodes)
+{
+    TraceBuilder tb("chain");
+    std::vector<Addr> node_addrs;
+    std::vector<Addr> junk_addrs;
+    for (std::size_t i = 0; i < nodes; ++i) {
+        node_addrs.push_back(tb.heap().allocate(64, 64));
+        // Scatter: leave a gap so consecutive nodes differ in block.
+        tb.heap().allocate(192, 64);
+    }
+    for (std::size_t i = 0; i < nodes; ++i)
+        junk_addrs.push_back(tb.heap().allocate(64, 64));
+    for (std::size_t i = 0; i < nodes; ++i) {
+        tb.mem().write(node_addrs[i], 4, 1u);
+        tb.mem().writePointer(node_addrs[i] + 4, junk_addrs[i]);
+        tb.mem().writePointer(node_addrs[i] + 8,
+                              i + 1 < nodes ? node_addrs[i + 1] : 0);
+    }
+    tb.beginTimed();
+    Addr node = node_addrs[0];
+    TraceRef ref = kNoDep;
+    while (node != 0) {
+        tb.load(kPcWalk, node, 4, ref, true, 2);
+        auto [next, nref] = tb.loadPointer(kPcWalk + 8, node + 8, ref);
+        node = next;
+        ref = nref;
+    }
+    return std::move(tb).finish();
+}
+
+TEST(ProfilingCompilerTest, ClassifiesNextAsBeneficialJunkAsHarmful)
+{
+    Workload wl = chainWorkload(400);
+    PgStatsMap stats = ProfilingCompiler::profileStats(wl);
+
+    // PG(kPcWalk, +2): the next pointer at byte 8 relative to the
+    // data word the walk load accesses.
+    PgId next_pg{kPcWalk, 2};
+    PgId junk_pg{kPcWalk, 1};
+    ASSERT_TRUE(stats.count(next_pg));
+    ASSERT_TRUE(stats.count(junk_pg));
+    EXPECT_GT(stats[next_pg].usefulness(), 0.5);
+    EXPECT_LT(stats[junk_pg].usefulness(), 0.5);
+}
+
+TEST(ProfilingCompilerTest, HintsEnableOnlyBeneficialSlots)
+{
+    Workload wl = chainWorkload(400);
+    HintTable hints = ProfilingCompiler::profile(wl);
+    const PrefetchHint *hint = hints.find(kPcWalk);
+    ASSERT_NE(hint, nullptr);
+    EXPECT_TRUE(hint->allows(2));
+    EXPECT_FALSE(hint->allows(1));
+}
+
+TEST(ProfilingCompilerTest, ThresholdControlsClassification)
+{
+    Workload wl = chainWorkload(400);
+    PgStatsMap stats = ProfilingCompiler::profileStats(wl);
+    // With an impossible threshold nothing qualifies.
+    ProfileOptions strict;
+    strict.usefulnessThreshold = 1.01;
+    EXPECT_TRUE(
+        ProfilingCompiler::fromPgStats(stats, strict).empty());
+    // With a zero threshold everything observed qualifies.
+    ProfileOptions lax;
+    lax.usefulnessThreshold = -0.1;
+    lax.minIssued = 1;
+    EXPECT_FALSE(ProfilingCompiler::fromPgStats(stats, lax).empty());
+}
+
+TEST(ProfilingCompilerTest, MinIssuedFiltersNoise)
+{
+    PgStatsMap stats;
+    stats[PgId{0x1000, 1}] = PgStats{2, 2};   // rare but "useful"
+    stats[PgId{0x1000, 2}] = PgStats{100, 90}; // frequent and useful
+    ProfileOptions options;
+    options.minIssued = 4;
+    HintTable hints = ProfilingCompiler::fromPgStats(stats, options);
+    const PrefetchHint *hint = hints.find(0x1000);
+    ASSERT_NE(hint, nullptr);
+    EXPECT_FALSE(hint->allows(1));
+    EXPECT_TRUE(hint->allows(2));
+}
+
+TEST(ProfilingCompilerTest, UsefulnessHistogramBins)
+{
+    PgStatsMap stats;
+    stats[PgId{0x1, 0}] = PgStats{100, 10};  // 0.10 -> bin 0
+    stats[PgId{0x2, 0}] = PgStats{100, 30};  // 0.30 -> bin 1
+    stats[PgId{0x3, 0}] = PgStats{100, 60};  // 0.60 -> bin 2
+    stats[PgId{0x4, 0}] = PgStats{100, 90};  // 0.90 -> bin 3
+    std::uint64_t quartiles[4];
+    ProfilingCompiler::usefulnessHistogram(stats, quartiles);
+    EXPECT_EQ(quartiles[0], 1u);
+    EXPECT_EQ(quartiles[1], 1u);
+    EXPECT_EQ(quartiles[2], 1u);
+    EXPECT_EQ(quartiles[3], 1u);
+}
+
+TEST(ProfilingCompilerTest, ProfilingIsDeterministic)
+{
+    Workload wl = chainWorkload(200);
+    HintTable a = ProfilingCompiler::profile(wl);
+    HintTable b = ProfilingCompiler::profile(wl);
+    EXPECT_EQ(a.size(), b.size());
+    for (const auto &[pc, hint] : a) {
+        const PrefetchHint *other = b.find(pc);
+        ASSERT_NE(other, nullptr);
+        EXPECT_EQ(hint.pos, other->pos);
+        EXPECT_EQ(hint.neg, other->neg);
+    }
+}
+
+} // namespace
+} // namespace ecdp

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the out-of-order core timing model, driven by a stub
+ * memory with a programmable fixed latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hh"
+
+namespace ecdp
+{
+namespace
+{
+
+/** Fixed-latency memory; can also be made to reject requests. */
+class StubMemory : public CoreMemoryInterface
+{
+  public:
+    explicit StubMemory(Cycle latency) : latency_(latency) {}
+
+    std::optional<Cycle> load(const TraceEntry &, Cycle now) override
+    {
+        ++loads;
+        if (rejectUntil > now)
+            return std::nullopt;
+        return now + latency_;
+    }
+
+    void store(const TraceEntry &, Cycle) override { ++stores; }
+
+    unsigned loads = 0;
+    unsigned stores = 0;
+    Cycle rejectUntil = 0;
+
+  private:
+    Cycle latency_;
+};
+
+Workload
+makeWorkload(std::vector<TraceEntry> entries)
+{
+    Workload wl;
+    wl.name = "test";
+    wl.trace = std::move(entries);
+    return wl;
+}
+
+TraceEntry
+loadEntry(Addr addr, TraceRef dep = kNoDep, unsigned gap = 0)
+{
+    TraceEntry e;
+    e.pc = 0x1000;
+    e.vaddr = addr;
+    e.kind = AccessKind::Load;
+    e.dep = dep;
+    e.nonMemBefore = static_cast<std::uint16_t>(gap);
+    return e;
+}
+
+TraceEntry
+storeEntry(Addr addr)
+{
+    TraceEntry e;
+    e.pc = 0x2000;
+    e.vaddr = addr;
+    e.kind = AccessKind::Store;
+    e.storeValue = 1;
+    return e;
+}
+
+Cycle
+runToCompletion(Core &core)
+{
+    Cycle cycle = 0;
+    while (!core.finishedOnce() && cycle < 10'000'000) {
+        core.tick(cycle);
+        ++cycle;
+    }
+    EXPECT_TRUE(core.finishedOnce());
+    return core.finishCycle();
+}
+
+TEST(Core, SingleLoadCompletesAfterMemoryLatency)
+{
+    StubMemory mem(100);
+    Workload wl = makeWorkload({loadEntry(0x40000000)});
+    Core core(&wl, &mem);
+    Cycle end = runToCompletion(core);
+    EXPECT_GE(end, 100u);
+    EXPECT_LT(end, 120u);
+    EXPECT_EQ(core.retiredFirstPass(), 1u);
+}
+
+TEST(Core, IndependentLoadsOverlap)
+{
+    StubMemory mem(400);
+    std::vector<TraceEntry> entries;
+    for (unsigned i = 0; i < 8; ++i)
+        entries.push_back(loadEntry(0x40000000 + 128 * i));
+    Workload wl = makeWorkload(entries);
+    Core core(&wl, &mem);
+    Cycle end = runToCompletion(core);
+    // 8 independent misses overlap: far less than 8 x 400.
+    EXPECT_LT(end, 500u);
+}
+
+TEST(Core, DependentLoadsSerialize)
+{
+    StubMemory mem(400);
+    std::vector<TraceEntry> entries;
+    entries.push_back(loadEntry(0x40000000));
+    for (unsigned i = 1; i < 4; ++i) {
+        entries.push_back(loadEntry(0x40000000 + 128 * i,
+                                    static_cast<TraceRef>(i - 1)));
+    }
+    Workload wl = makeWorkload(entries);
+    Core core(&wl, &mem);
+    Cycle end = runToCompletion(core);
+    // A 4-deep pointer chain costs at least 4 serialized latencies.
+    EXPECT_GE(end, 4 * 400u);
+}
+
+TEST(Core, RetireWidthBoundsIpc)
+{
+    StubMemory mem(1);
+    std::vector<TraceEntry> entries;
+    for (unsigned i = 0; i < 100; ++i)
+        entries.push_back(loadEntry(0x40000000, kNoDep, 39));
+    Workload wl = makeWorkload(entries);
+    Core core(&wl, &mem);
+    Cycle end = runToCompletion(core);
+    double ipc = static_cast<double>(core.retiredFirstPass()) /
+                 static_cast<double>(end);
+    EXPECT_LE(ipc, 4.0 + 1e-9);
+    EXPECT_GT(ipc, 3.0); // near-ideal with 1-cycle memory
+}
+
+TEST(Core, RobLimitsMemoryLevelParallelism)
+{
+    // 256-entry ROB with 255 fillers between loads: at most ~2 loads
+    // in flight, so 16 loads of 400 cycles take >= ~8 x 400.
+    StubMemory mem(400);
+    std::vector<TraceEntry> entries;
+    for (unsigned i = 0; i < 16; ++i)
+        entries.push_back(loadEntry(0x40000000 + 128 * i, kNoDep, 255));
+    Workload wl = makeWorkload(entries);
+    Core core(&wl, &mem);
+    Cycle end = runToCompletion(core);
+    EXPECT_GE(end, 8 * 400u);
+}
+
+TEST(Core, LsqLimitsOutstandingMemoryOps)
+{
+    // 64 adjacent loads with no fillers: the 32-entry LSQ caps MLP at
+    // 32, so the run needs at least two memory rounds.
+    StubMemory mem(400);
+    std::vector<TraceEntry> entries;
+    for (unsigned i = 0; i < 64; ++i)
+        entries.push_back(loadEntry(0x40000000 + 128 * i));
+    Workload wl = makeWorkload(entries);
+    Core core(&wl, &mem);
+    Cycle end = runToCompletion(core);
+    EXPECT_GE(end, 2 * 400u);
+    EXPECT_LT(end, 3 * 400u + 100);
+}
+
+TEST(Core, StoresDoNotStall)
+{
+    StubMemory mem(400);
+    std::vector<TraceEntry> entries;
+    for (unsigned i = 0; i < 20; ++i)
+        entries.push_back(storeEntry(0x40000000 + 128 * i));
+    Workload wl = makeWorkload(entries);
+    Core core(&wl, &mem);
+    Cycle end = runToCompletion(core);
+    EXPECT_LT(end, 100u);
+    EXPECT_EQ(mem.stores, 20u);
+}
+
+TEST(Core, RetriesWhenMemoryRejects)
+{
+    StubMemory mem(50);
+    mem.rejectUntil = 300;
+    Workload wl = makeWorkload({loadEntry(0x40000000)});
+    Core core(&wl, &mem);
+    Cycle end = runToCompletion(core);
+    EXPECT_GE(end, 350u);
+    EXPECT_GT(mem.loads, 1u); // it retried
+}
+
+TEST(Core, DependencyOnStoreValueWaits)
+{
+    StubMemory mem(100);
+    std::vector<TraceEntry> entries;
+    entries.push_back(loadEntry(0x40000000));
+    entries.push_back(loadEntry(0x40000100, 0));
+    entries.push_back(loadEntry(0x40000200, 1));
+    Workload wl = makeWorkload(entries);
+    Core core(&wl, &mem);
+    Cycle end = runToCompletion(core);
+    EXPECT_GE(end, 300u);
+}
+
+TEST(Core, FillersConsumeRetireBandwidth)
+{
+    StubMemory mem(1);
+    // One load with 400 leading fillers: retire at 4/cycle means at
+    // least 100 cycles.
+    Workload wl = makeWorkload({loadEntry(0x40000000, kNoDep, 400)});
+    Core core(&wl, &mem);
+    Cycle end = runToCompletion(core);
+    EXPECT_GE(end, 100u);
+    EXPECT_EQ(core.retiredFirstPass(), 401u);
+}
+
+TEST(Core, WrapAroundRestartsTrace)
+{
+    StubMemory mem(10);
+    Workload wl = makeWorkload({loadEntry(0x40000000),
+                                loadEntry(0x40000100)});
+    Core core(&wl, &mem);
+    core.setWrapAround(true);
+    for (Cycle cycle = 0; cycle < 2000; ++cycle)
+        core.tick(cycle);
+    EXPECT_TRUE(core.finishedOnce());
+    EXPECT_GT(core.retired(), core.retiredFirstPass());
+}
+
+TEST(Core, FirstPassStatsFrozenAfterFinish)
+{
+    StubMemory mem(10);
+    Workload wl = makeWorkload({loadEntry(0x40000000)});
+    Core core(&wl, &mem);
+    core.setWrapAround(true);
+    for (Cycle cycle = 0; cycle < 500; ++cycle)
+        core.tick(cycle);
+    std::uint64_t first = core.retiredFirstPass();
+    Cycle finish = core.finishCycle();
+    for (Cycle cycle = 500; cycle < 1000; ++cycle)
+        core.tick(cycle);
+    EXPECT_EQ(core.retiredFirstPass(), first);
+    EXPECT_EQ(core.finishCycle(), finish);
+}
+
+TEST(Core, CustomWidthChangesRetireBound)
+{
+    StubMemory mem(1);
+    std::vector<TraceEntry> entries;
+    for (unsigned i = 0; i < 50; ++i)
+        entries.push_back(loadEntry(0x40000000, kNoDep, 19));
+    Workload wl = makeWorkload(entries);
+    CoreParams narrow;
+    narrow.width = 2;
+    Core core(&wl, &mem, narrow);
+    Cycle end = runToCompletion(core);
+    double ipc = static_cast<double>(core.retiredFirstPass()) /
+                 static_cast<double>(end);
+    EXPECT_LE(ipc, 2.0 + 1e-9);
+}
+
+} // namespace
+} // namespace ecdp

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the DRAM model: latency, bank and bus contention,
+ * request buffer occupancy, and demand reservations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram.hh"
+
+namespace ecdp
+{
+namespace
+{
+
+DramParams
+params()
+{
+    return DramParams{}; // Table 5 defaults
+}
+
+TEST(Dram, UncontendedLatencyIs450)
+{
+    DramSystem dram(params(), 1);
+    auto done = dram.read(0, 0x40000000, 1000);
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(*done - 1000, 450u);
+}
+
+TEST(Dram, SameBankRequestsSerializeOnBankTime)
+{
+    DramSystem dram(params(), 1);
+    Cycle first = *dram.read(0, 0x40000000, 0);
+    // Same block address -> same bank.
+    Cycle second = *dram.read(0, 0x40000000, 0);
+    EXPECT_GE(second, first + params().bankBusy);
+}
+
+TEST(Dram, DifferentBanksOverlapButShareTheBus)
+{
+    DramSystem dram(params(), 1);
+    Cycle first = *dram.read(0, 0x40000000, 0);
+    // A different bank: bank time overlaps, bus serializes.
+    Cycle second = *dram.read(0, 0x40000080, 0);
+    EXPECT_EQ(second, first + params().busTransfer);
+}
+
+TEST(Dram, BusSerializesEveryTransfer)
+{
+    DramSystem dram(params(), 1);
+    Cycle prev = 0;
+    for (unsigned i = 0; i < 16; ++i) {
+        Cycle done = *dram.read(0, 0x40000000 + i * 128, 0);
+        if (i > 0) {
+            EXPECT_GE(done, prev + params().busTransfer);
+        }
+        prev = done;
+    }
+}
+
+TEST(Dram, CountsBusTransactions)
+{
+    DramSystem dram(params(), 2);
+    dram.read(0, 0x40000000, 0);
+    dram.read(1, 0x40010000, 0);
+    dram.writeback(0, 0x40020000, 0);
+    EXPECT_EQ(dram.busTransactions(), 3u);
+    EXPECT_EQ(dram.busTransactions(0), 2u);
+    EXPECT_EQ(dram.busTransactions(1), 1u);
+}
+
+TEST(Dram, BufferRejectsWhenFull)
+{
+    DramSystem dram(params(), 1); // 32 entries
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_TRUE(dram.read(0, 0x40000000 + i * 128, 0).has_value());
+    EXPECT_FALSE(dram.read(0, 0x41000000, 0).has_value());
+}
+
+TEST(Dram, BufferDrainsAsRequestsComplete)
+{
+    DramSystem dram(params(), 1);
+    Cycle last = 0;
+    for (unsigned i = 0; i < 32; ++i)
+        last = *dram.read(0, 0x40000000 + i * 128, 0);
+    EXPECT_FALSE(dram.read(0, 0x41000000, 0).has_value());
+    EXPECT_TRUE(dram.read(0, 0x41000000, last + 1).has_value());
+}
+
+TEST(Dram, ReserveKeepsEntriesForDemands)
+{
+    DramSystem dram(params(), 1);
+    // Prefetches (reserve 8) may only use 24 of the 32 entries.
+    unsigned accepted = 0;
+    for (unsigned i = 0; i < 32; ++i) {
+        if (dram.read(0, 0x40000000 + i * 128, 0, 8))
+            ++accepted;
+    }
+    EXPECT_EQ(accepted, 24u);
+    // A demand (no reserve) still gets in.
+    EXPECT_TRUE(dram.read(0, 0x41000000, 0).has_value());
+}
+
+TEST(Dram, WritebacksBypassTheBuffer)
+{
+    DramSystem dram(params(), 1);
+    for (unsigned i = 0; i < 32; ++i)
+        dram.read(0, 0x40000000 + i * 128, 0);
+    // Buffer is full, but writebacks still go through (and consume
+    // bus bandwidth).
+    std::uint64_t before = dram.busTransactions();
+    dram.writeback(0, 0x42000000, 0);
+    EXPECT_EQ(dram.busTransactions(), before + 1);
+}
+
+TEST(Dram, WritebacksDelayLaterReads)
+{
+    DramSystem dram(params(), 1);
+    for (unsigned i = 0; i < 8; ++i)
+        dram.writeback(0, 0x40000000 + i * 128, 0);
+    Cycle done = *dram.read(0, 0x41000000, 0);
+    // The read's bus slot comes after the writebacks'.
+    EXPECT_GT(done - 0, 450u);
+}
+
+TEST(Dram, MultiCoreBufferScales)
+{
+    DramSystem dram(params(), 4);
+    EXPECT_EQ(dram.bufferCapacity(), 32u * 4);
+}
+
+TEST(Dram, OccupancyReflectsInFlightReads)
+{
+    DramSystem dram(params(), 1);
+    Cycle done = *dram.read(0, 0x40000000, 0);
+    EXPECT_EQ(dram.bufferOccupancy(0), 1u);
+    EXPECT_EQ(dram.bufferOccupancy(done), 0u);
+}
+
+TEST(Dram, ContentionRaisesLatencyOfLaterRequests)
+{
+    // The Section 4 premise: a burst of (prefetch) requests inflates
+    // the latency of a subsequent (demand) request.
+    DramSystem quiet(params(), 1);
+    Cycle alone = *quiet.read(0, 0x40000000, 0) - 0;
+
+    DramSystem busy(params(), 1);
+    for (unsigned i = 0; i < 16; ++i)
+        busy.read(0, 0x41000000 + i * 128, 0, 8);
+    Cycle contended = *busy.read(0, 0x40000000, 0) - 0;
+    EXPECT_GT(contended, alone);
+}
+
+} // namespace
+} // namespace ecdp

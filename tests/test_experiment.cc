@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the experiment plumbing: the named configuration
+ * factories must select the mechanisms the paper's sections describe,
+ * and the ExperimentContext must memoize correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace ecdp
+{
+namespace
+{
+
+TEST(Configs, BaselineIsStreamOnlyAggressive)
+{
+    SystemConfig cfg = configs::baseline();
+    EXPECT_EQ(cfg.primary, PrimaryKind::Stream);
+    EXPECT_EQ(cfg.lds, LdsKind::None);
+    EXPECT_EQ(cfg.throttle, ThrottleKind::None);
+    EXPECT_EQ(cfg.primaryStartLevel, AggLevel::Aggressive);
+}
+
+TEST(Configs, Table5Defaults)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.l2Bytes, 1024u * 1024);
+    EXPECT_EQ(cfg.l2Assoc, 8u);
+    EXPECT_EQ(cfg.l2BlockBytes, 128u);
+    EXPECT_EQ(cfg.l2Mshrs, 32u);
+    EXPECT_EQ(cfg.core.robEntries, 256u);
+    EXPECT_EQ(cfg.core.lsqEntries, 32u);
+    EXPECT_EQ(cfg.core.width, 4u);
+    EXPECT_EQ(cfg.dram.banks, 8u);
+    EXPECT_EQ(cfg.streamEntries, 32u);
+    EXPECT_EQ(cfg.cdpCompareBits, 8u);
+    EXPECT_EQ(cfg.prefetchQueueEntries, 128u);
+    // Uncontended DRAM latency must be the paper's 450 cycles.
+    EXPECT_EQ(cfg.dram.frontLatency + cfg.dram.bankBusy +
+                  cfg.dram.busTransfer,
+              450u);
+}
+
+TEST(Configs, FullProposalWiresEcdpAndCoordination)
+{
+    HintTable hints;
+    SystemConfig cfg = configs::fullProposal(&hints);
+    EXPECT_EQ(cfg.primary, PrimaryKind::Stream);
+    EXPECT_EQ(cfg.lds, LdsKind::Ecdp);
+    EXPECT_EQ(cfg.throttle, ThrottleKind::Coordinated);
+    EXPECT_EQ(cfg.hints, &hints);
+    EXPECT_FALSE(cfg.grpCoarse);
+    EXPECT_FALSE(cfg.hwFilter);
+}
+
+TEST(Configs, GhbConfigsReplaceTheStreamPrefetcher)
+{
+    EXPECT_EQ(configs::ghbAlone().primary, PrimaryKind::Ghb);
+    EXPECT_EQ(configs::ghbAlone().lds, LdsKind::None);
+    HintTable hints;
+    SystemConfig hybrid = configs::ghbEcdp(&hints, true);
+    EXPECT_EQ(hybrid.primary, PrimaryKind::Ghb);
+    EXPECT_EQ(hybrid.lds, LdsKind::Ecdp);
+    EXPECT_EQ(hybrid.throttle, ThrottleKind::Coordinated);
+}
+
+TEST(Configs, ComparisonConfigsSelectTheirMechanisms)
+{
+    EXPECT_EQ(configs::streamDbp().lds, LdsKind::Dbp);
+    EXPECT_EQ(configs::streamMarkov().lds, LdsKind::Markov);
+    EXPECT_TRUE(configs::streamCdpHwFilter(false).hwFilter);
+    EXPECT_EQ(configs::streamCdpHwFilter(true).throttle,
+              ThrottleKind::Coordinated);
+    EXPECT_EQ(configs::streamCdpPab().throttle, ThrottleKind::Pab);
+    HintTable hints;
+    EXPECT_TRUE(configs::streamGrpCoarse(&hints).grpCoarse);
+    EXPECT_EQ(configs::streamEcdpFdp(&hints).throttle,
+              ThrottleKind::Fdp);
+}
+
+TEST(Configs, OracleModes)
+{
+    EXPECT_TRUE(configs::idealLds().idealLds);
+    EXPECT_FALSE(configs::idealLds().idealNoPollution);
+}
+
+TEST(ExperimentContextTest, MemoizesWorkloadsAndRuns)
+{
+    ExperimentContext ctx;
+    const Workload &a = ctx.ref("parser");
+    const Workload &b = ctx.ref("parser");
+    EXPECT_EQ(&a, &b);
+    const RunStats &r1 =
+        ctx.run("parser", configs::noPrefetch(), "np");
+    const RunStats &r2 =
+        ctx.run("parser", configs::noPrefetch(), "np");
+    EXPECT_EQ(&r1, &r2);
+}
+
+TEST(ExperimentContextTest, DistinctKeysAreDistinctRuns)
+{
+    ExperimentContext ctx;
+    const RunStats &np =
+        ctx.run("parser", configs::noPrefetch(), "np");
+    const RunStats &base =
+        ctx.run("parser", configs::baseline(), "base");
+    EXPECT_NE(&np, &base);
+}
+
+TEST(ExperimentContextTest, HintsAreStableReferences)
+{
+    ExperimentContext ctx;
+    const HintTable &a = ctx.hints("parser");
+    const HintTable &b = ctx.hints("parser");
+    EXPECT_EQ(&a, &b);
+}
+
+} // namespace
+} // namespace ecdp

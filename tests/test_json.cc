@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the JSON stats exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/json.hh"
+
+namespace ecdp
+{
+namespace
+{
+
+TEST(Json, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+}
+
+TEST(Json, WritesAllTopLevelFields)
+{
+    RunStats stats;
+    stats.workload = "health";
+    stats.cycles = 1000;
+    stats.instructions = 4000;
+    stats.ipc = 4.0;
+    stats.bpki = 12.5;
+    stats.busTransactions = 50;
+    stats.l2DemandMisses = 7;
+    stats.prefIssued[1] = 10;
+    stats.prefUsed[1] = 6;
+    stats.prefLate[1] = 2;
+
+    std::ostringstream oss;
+    writeRunStatsJson(oss, stats, "full");
+    std::string json = oss.str();
+    for (const char *needle :
+         {"\"workload\":\"health\"", "\"config\":\"full\"",
+          "\"cycles\":1000", "\"instructions\":4000", "\"ipc\":4",
+          "\"bpki\":12.5", "\"busTransactions\":50",
+          "\"l2DemandMisses\":7", "\"primary\":", "\"lds\":",
+          "\"issued\":10", "\"used\":6", "\"late\":2",
+          "\"finalLevels\""}) {
+        EXPECT_NE(json.find(needle), std::string::npos)
+            << "missing " << needle << " in " << json;
+    }
+}
+
+TEST(Json, ObjectIsBalanced)
+{
+    RunStats stats;
+    stats.workload = "x";
+    std::ostringstream oss;
+    writeRunStatsJson(oss, stats);
+    std::string json = oss.str();
+    int depth = 0;
+    for (char c : json) {
+        depth += c == '{';
+        depth -= c == '}';
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Json, OmitsConfigWhenUnlabelled)
+{
+    RunStats stats;
+    stats.workload = "x";
+    std::ostringstream oss;
+    writeRunStatsJson(oss, stats);
+    EXPECT_EQ(oss.str().find("\"config\""), std::string::npos);
+}
+
+} // namespace
+} // namespace ecdp

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for feedback collection (Section 4.1) and the
+ * coordinated / FDP throttlers (Sections 4.2 and 6.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "throttle/coordinated_throttler.hh"
+#include "throttle/fdp_throttler.hh"
+#include "throttle/feedback.hh"
+
+namespace ecdp
+{
+namespace
+{
+
+FeedbackSnapshot
+snap(double coverage, double accuracy)
+{
+    FeedbackSnapshot s;
+    s.coverage = coverage;
+    s.accuracy = accuracy;
+    s.anyPrefetches = true;
+    return s;
+}
+
+TEST(Feedback, AccuracyCountsUsedAndLate)
+{
+    PrefetcherFeedback fb;
+    for (int i = 0; i < 10; ++i)
+        fb.onPrefetchIssued();
+    for (int i = 0; i < 4; ++i)
+        fb.onPrefetchUsed();
+    for (int i = 0; i < 2; ++i)
+        fb.onPrefetchLate();
+    fb.endInterval();
+    // Aged counters (integer halves): (4/2 + 2/2) / (10/2).
+    EXPECT_NEAR(fb.accuracy(), 0.6, 1e-9);
+}
+
+TEST(Feedback, AccuracyIsOneWithNoPrefetches)
+{
+    PrefetcherFeedback fb;
+    fb.endInterval();
+    EXPECT_DOUBLE_EQ(fb.accuracy(), 1.0);
+    EXPECT_FALSE(fb.anyPrefetches());
+}
+
+TEST(Feedback, CoverageUsesSharedMissCounter)
+{
+    PrefetcherFeedback fb;
+    for (int i = 0; i < 20; ++i)
+        fb.onPrefetchIssued();
+    for (int i = 0; i < 10; ++i)
+        fb.onPrefetchUsed();
+    fb.endInterval();
+    // Aged used = 5; with 15 aged misses: 5 / (5 + 15) = 0.25.
+    EXPECT_NEAR(fb.coverage(15), 0.25, 1e-9);
+}
+
+TEST(Feedback, LatenessFraction)
+{
+    PrefetcherFeedback fb;
+    for (int i = 0; i < 8; ++i)
+        fb.onPrefetchUsed();
+    for (int i = 0; i < 2; ++i)
+        fb.onPrefetchLate();
+    fb.endInterval();
+    EXPECT_NEAR(fb.lateness(), 0.25, 1e-9); // 1 aged late / 4 aged used
+}
+
+TEST(Feedback, LifetimeCountsSurviveAging)
+{
+    PrefetcherFeedback fb;
+    for (int i = 0; i < 4; ++i)
+        fb.onPrefetchIssued();
+    fb.endInterval();
+    fb.endInterval();
+    EXPECT_EQ(fb.lifetimeIssued(), 4u);
+}
+
+TEST(PollutionFilterTest, RemembersAndClears)
+{
+    PollutionFilter filter(64);
+    EXPECT_FALSE(filter.test(0x40000000));
+    filter.onPrefetchEvictedDemandBlock(0x40000000);
+    EXPECT_TRUE(filter.test(0x40000000));
+    filter.clear();
+    EXPECT_FALSE(filter.test(0x40000000));
+}
+
+// ---------------------------------------------------------------
+// Table 3 heuristics, case by case.
+// ---------------------------------------------------------------
+
+struct Table3Case
+{
+    const char *name;
+    double self_cov, self_acc, rival_cov;
+    ThrottleDecision expected;
+};
+
+class Table3Test : public ::testing::TestWithParam<Table3Case>
+{
+};
+
+TEST_P(Table3Test, DecisionMatchesPaper)
+{
+    const Table3Case &c = GetParam();
+    CoordinatedThrottler throttler(
+        CoordinatedThrottler::Thresholds{0.2, 0.4, 0.7});
+    EXPECT_EQ(throttler.decide(snap(c.self_cov, c.self_acc),
+                               snap(c.rival_cov, 0.5)),
+              c.expected)
+        << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCases, Table3Test,
+    ::testing::Values(
+        // Case 1: high coverage -> up, regardless of the rest.
+        Table3Case{"case1-low-acc", 0.5, 0.1, 0.1,
+                   ThrottleDecision::Up},
+        Table3Case{"case1-high-rival", 0.5, 0.9, 0.9,
+                   ThrottleDecision::Up},
+        // Case 2: low coverage + low accuracy -> down.
+        Table3Case{"case2-rival-low", 0.1, 0.1, 0.1,
+                   ThrottleDecision::Down},
+        Table3Case{"case2-rival-high", 0.1, 0.1, 0.9,
+                   ThrottleDecision::Down},
+        // Case 3: both coverages low, decent accuracy -> up.
+        Table3Case{"case3-medium", 0.1, 0.5, 0.1,
+                   ThrottleDecision::Up},
+        Table3Case{"case3-high", 0.1, 0.9, 0.1,
+                   ThrottleDecision::Up},
+        // Case 4: low cov, medium accuracy, rival covering -> down.
+        Table3Case{"case4", 0.1, 0.5, 0.9, ThrottleDecision::Down},
+        // Case 5: low cov, high accuracy, rival covering -> nothing.
+        Table3Case{"case5", 0.1, 0.9, 0.9,
+                   ThrottleDecision::Nothing}));
+
+TEST(CoordinatedThrottlerTest, ThresholdBoundaries)
+{
+    CoordinatedThrottler throttler(
+        CoordinatedThrottler::Thresholds{0.2, 0.4, 0.7});
+    // Coverage exactly at threshold counts as high (case 1).
+    EXPECT_EQ(throttler.decide(snap(0.2, 0.1), snap(0.0, 0.5)),
+              ThrottleDecision::Up);
+    // Accuracy exactly at A_high is high (case 5).
+    EXPECT_EQ(throttler.decide(snap(0.1, 0.7), snap(0.9, 0.5)),
+              ThrottleDecision::Nothing);
+    // Accuracy exactly at A_low is medium (case 4 with rival high).
+    EXPECT_EQ(throttler.decide(snap(0.1, 0.4), snap(0.9, 0.5)),
+              ThrottleDecision::Down);
+}
+
+TEST(CoordinatedThrottlerTest, ApplyClampsAtLevelBounds)
+{
+    EXPECT_EQ(CoordinatedThrottler::apply(AggLevel::Aggressive,
+                                          ThrottleDecision::Up),
+              AggLevel::Aggressive);
+    EXPECT_EQ(CoordinatedThrottler::apply(AggLevel::VeryConservative,
+                                          ThrottleDecision::Down),
+              AggLevel::VeryConservative);
+    EXPECT_EQ(CoordinatedThrottler::apply(AggLevel::Moderate,
+                                          ThrottleDecision::Up),
+              AggLevel::Aggressive);
+    EXPECT_EQ(CoordinatedThrottler::apply(AggLevel::Moderate,
+                                          ThrottleDecision::Down),
+              AggLevel::Conservative);
+    EXPECT_EQ(CoordinatedThrottler::apply(AggLevel::Moderate,
+                                          ThrottleDecision::Nothing),
+              AggLevel::Moderate);
+}
+
+TEST(CoordinatedThrottlerTest, SymmetricAcrossPrefetchers)
+{
+    // The same decide() serves both prefetchers: swapping roles with
+    // identical snapshots yields identical decisions.
+    CoordinatedThrottler throttler;
+    FeedbackSnapshot a = snap(0.1, 0.5);
+    FeedbackSnapshot b = snap(0.1, 0.5);
+    EXPECT_EQ(throttler.decide(a, b), throttler.decide(b, a));
+}
+
+// ---------------------------------------------------------------
+// FDP decision matrix.
+// ---------------------------------------------------------------
+
+FeedbackSnapshot
+fdpSnap(double accuracy, double lateness, double pollution)
+{
+    FeedbackSnapshot s;
+    s.accuracy = accuracy;
+    s.lateness = lateness;
+    s.pollution = pollution;
+    s.anyPrefetches = true;
+    return s;
+}
+
+TEST(FdpThrottlerTest, HighAccuracyLateGoesUp)
+{
+    FdpThrottler fdp;
+    EXPECT_EQ(fdp.decide(fdpSnap(0.9, 0.5, 0.0)),
+              ThrottleDecision::Up);
+}
+
+TEST(FdpThrottlerTest, HighAccuracyTimelyStays)
+{
+    FdpThrottler fdp;
+    EXPECT_EQ(fdp.decide(fdpSnap(0.9, 0.0, 0.0)),
+              ThrottleDecision::Nothing);
+}
+
+TEST(FdpThrottlerTest, MediumAccuracyPollutingGoesDown)
+{
+    FdpThrottler fdp;
+    EXPECT_EQ(fdp.decide(fdpSnap(0.5, 0.0, 0.1)),
+              ThrottleDecision::Down);
+}
+
+TEST(FdpThrottlerTest, MediumAccuracyLateGoesUp)
+{
+    FdpThrottler fdp;
+    EXPECT_EQ(fdp.decide(fdpSnap(0.5, 0.5, 0.0)),
+              ThrottleDecision::Up);
+}
+
+TEST(FdpThrottlerTest, LowAccuracyAlwaysGoesDown)
+{
+    FdpThrottler fdp;
+    EXPECT_EQ(fdp.decide(fdpSnap(0.1, 0.9, 0.0)),
+              ThrottleDecision::Down);
+    EXPECT_EQ(fdp.decide(fdpSnap(0.1, 0.0, 0.0)),
+              ThrottleDecision::Down);
+}
+
+TEST(FdpThrottlerTest, IgnoresRivalByDesign)
+{
+    // FDP has no rival input at all: its decide() takes one snapshot.
+    // This is the structural difference Section 6.5 calls out.
+    FdpThrottler fdp;
+    FeedbackSnapshot s = fdpSnap(0.9, 0.5, 0.0);
+    EXPECT_EQ(fdp.decide(s), ThrottleDecision::Up);
+}
+
+} // namespace
+} // namespace ecdp

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Workload-microstructure tests: the properties each synthetic
+ * benchmark was designed around (Figure 5 layouts, co-residency
+ * lookahead, swap stores, heap pointer validity) really hold in the
+ * built images.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "workloads/workload.hh"
+
+namespace ecdp
+{
+namespace
+{
+
+constexpr Addr kBlockMask = ~Addr{127};
+
+TEST(MstDetails, ChainHopsChangeCacheBlocks)
+{
+    Workload wl = buildWorkload("mst", InputSet::Train);
+    // Consecutive dependent LDS loads (chain hops) should almost
+    // always land in different 128 B blocks.
+    std::size_t hops = 0, same_block = 0;
+    for (std::size_t i = 0; i < wl.trace.size(); ++i) {
+        const TraceEntry &e = wl.trace[i];
+        if (e.dep == kNoDep || !e.isLds)
+            continue;
+        const TraceEntry &producer = wl.trace[e.dep];
+        if (!producer.isLds)
+            continue;
+        ++hops;
+        same_block += (e.vaddr & kBlockMask) ==
+                      (producer.vaddr & kBlockMask);
+    }
+    ASSERT_GT(hops, 1000u);
+    EXPECT_LT(static_cast<double>(same_block) /
+                  static_cast<double>(hops),
+              0.7);
+}
+
+TEST(MstDetails, NodesCarryDataPointersAndNext)
+{
+    // Figure 5 layout: {key @0, d1* @4, d2* @8, next @12}.
+    Workload wl = buildWorkload("mst", InputSet::Train);
+    // Find a node address from a key-compare load (pc 0x401010).
+    Addr node = 0;
+    for (const TraceEntry &e : wl.trace) {
+        if (e.pc == 0x401010) {
+            node = e.vaddr;
+            break;
+        }
+    }
+    ASSERT_NE(node, 0u);
+    Addr d1 = wl.image.readPointer(node + 4);
+    Addr d2 = wl.image.readPointer(node + 8);
+    EXPECT_GE(d1, kHeapBase);
+    EXPECT_GE(d2, kHeapBase);
+}
+
+TEST(HealthDetails, PatientsAreCoResidentWithNextVillage)
+{
+    // The interleaved allocation puts patient (v, k) in the same
+    // block as patient (v+1, k): chain prefetches feed the next list.
+    Workload wl = buildWorkload("health", InputSet::Ref);
+    // Walk a patient chain from the image: village list heads live at
+    // village+16; patients link at +8.
+    // Find a status load (pc 0x403014) to locate a patient.
+    Addr patient = 0;
+    for (const TraceEntry &e : wl.trace) {
+        if (e.pc == 0x403014) {
+            patient = e.vaddr;
+            break;
+        }
+    }
+    ASSERT_NE(patient, 0u);
+    // Its block holds exactly 2 patients (64 B each).
+    Addr buddy = (patient & kBlockMask) == patient ? patient + 64
+                                                   : patient - 64;
+    // Both are patient nodes: their next pointers are heap addresses
+    // or null.
+    Addr next = wl.image.readPointer(buddy + 8);
+    EXPECT_TRUE(next == 0 || next >= kHeapBase);
+}
+
+TEST(BisortDetails, SwapsAreRecordedAsLdsStores)
+{
+    Workload wl = buildWorkload("bisort", InputSet::Train);
+    std::size_t swap_stores = 0;
+    for (const TraceEntry &e : wl.trace) {
+        if (e.kind == AccessKind::Store && e.isLds)
+            ++swap_stores;
+    }
+    // 35% of descent steps swap two pointers (2 stores each).
+    EXPECT_GT(swap_stores, 500u);
+}
+
+TEST(BisortDetails, SwappedPointersStayValid)
+{
+    Workload wl = buildWorkload("bisort", InputSet::Train);
+    for (const TraceEntry &e : wl.trace) {
+        if (e.kind != AccessKind::Store || !e.isLds)
+            continue;
+        Addr value = static_cast<Addr>(e.storeValue);
+        EXPECT_TRUE(value == 0 || value >= kHeapBase);
+    }
+}
+
+TEST(AstarDetails, NodesAreBlockAligned)
+{
+    // astar nodes are 128 B, one per L2 block (the per-slot PG
+    // analysis relies on this).
+    Workload wl = buildWorkload("astar", InputSet::Train);
+    for (const TraceEntry &e : wl.trace) {
+        if (e.pc == 0x412000) { // the g-field load
+            EXPECT_EQ(e.vaddr % 128, 0u);
+        }
+    }
+}
+
+TEST(ArtDetails, FloatsMostlyDontLookLikePointers)
+{
+    Workload wl = buildWorkload("art", InputSet::Ref);
+    // Sample the weight arrays: at most a small fraction of words can
+    // carry the heap's high byte (the planted CDP decoys).
+    std::size_t pointerish = 0, sampled = 0;
+    for (Addr addr = kHeapBase; addr < kHeapBase + 0x200000;
+         addr += 4096) {
+        std::uint32_t word =
+            static_cast<std::uint32_t>(wl.image.read(addr, 4));
+        ++sampled;
+        pointerish += (word >> 24) == (kHeapBase >> 24);
+    }
+    EXPECT_LT(static_cast<double>(pointerish) /
+                  static_cast<double>(sampled),
+              0.1);
+}
+
+TEST(AmmpDetails, AtomsChainThroughCoordBlocks)
+{
+    Workload wl = buildWorkload("ammp", InputSet::Train);
+    // Atom layout: {next @0, coordPtr @4, ...}. Follow the chain a
+    // few hops from the first traced atom.
+    Addr atom = 0;
+    for (const TraceEntry &e : wl.trace) {
+        if (e.pc == 0x419004) { // type load at atom+8
+            atom = e.vaddr - 8;
+            break;
+        }
+    }
+    ASSERT_NE(atom, 0u);
+    std::unordered_set<Addr> seen;
+    for (unsigned hop = 0; hop < 16 && atom != 0; ++hop) {
+        EXPECT_TRUE(seen.insert(atom).second) << "chain cycle";
+        Addr coords = wl.image.readPointer(atom + 4);
+        EXPECT_GE(coords, kHeapBase);
+        atom = wl.image.readPointer(atom);
+    }
+}
+
+TEST(StreamingDetails, NoHeapPointersInStreamImages)
+{
+    // Streaming benchmarks must give CDP nothing to chew on.
+    for (const char *name : {"gemsfdtd", "libquantum", "lbm"}) {
+        Workload wl = buildWorkload(name, InputSet::Train);
+        std::size_t pointerish = 0;
+        for (Addr addr = kHeapBase; addr < kHeapBase + 0x100000;
+             addr += 1024) {
+            std::uint32_t word =
+                static_cast<std::uint32_t>(wl.image.read(addr, 4));
+            pointerish +=
+                word != 0 && (word >> 24) == (kHeapBase >> 24);
+        }
+        EXPECT_EQ(pointerish, 0u) << name;
+    }
+}
+
+TEST(TraceDetails, GapsAreModest)
+{
+    // nonMemBefore drives IPC; absurd values would mean a generator
+    // bug.
+    for (const char *name : {"mcf", "health", "libquantum"}) {
+        Workload wl = buildWorkload(name, InputSet::Train);
+        for (const TraceEntry &e : wl.trace)
+            EXPECT_LE(e.nonMemBefore, 200u) << name;
+    }
+}
+
+} // namespace
+} // namespace ecdp

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Property tests over the whole benchmark suite: every workload must
+ * build a well-formed, deterministic, dependency-consistent trace
+ * whose pointers really live in the simulated image.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/workload.hh"
+
+namespace ecdp
+{
+namespace
+{
+
+class WorkloadSuiteTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    Workload build(InputSet input)
+    {
+        return buildWorkload(GetParam(), input);
+    }
+};
+
+TEST_P(WorkloadSuiteTest, BuildsNonTrivialTrace)
+{
+    Workload wl = build(InputSet::Ref);
+    EXPECT_GT(wl.trace.size(), 10000u);
+    EXPECT_LT(wl.trace.size(), 1000000u);
+    EXPECT_GT(wl.instructionCount(), wl.trace.size());
+}
+
+TEST_P(WorkloadSuiteTest, DependenciesPointBackwards)
+{
+    Workload wl = build(InputSet::Ref);
+    for (std::size_t i = 0; i < wl.trace.size(); ++i) {
+        const TraceEntry &entry = wl.trace[i];
+        if (entry.dep != kNoDep) {
+            EXPECT_GE(entry.dep, 0);
+            EXPECT_LT(static_cast<std::size_t>(entry.dep), i);
+        }
+    }
+}
+
+TEST_P(WorkloadSuiteTest, AccessSizesAreValid)
+{
+    Workload wl = build(InputSet::Ref);
+    for (const TraceEntry &entry : wl.trace) {
+        EXPECT_TRUE(entry.size == 1 || entry.size == 2 ||
+                    entry.size == 4 || entry.size == 8);
+    }
+}
+
+TEST_P(WorkloadSuiteTest, AddressesAreInTheHeap)
+{
+    Workload wl = build(InputSet::Ref);
+    for (const TraceEntry &entry : wl.trace) {
+        EXPECT_GE(entry.vaddr, kHeapBase);
+        EXPECT_LT(entry.vaddr, kHeapBase + 0x10000000u);
+    }
+}
+
+TEST_P(WorkloadSuiteTest, TrainInputIsSmallerThanRef)
+{
+    Workload train = build(InputSet::Train);
+    Workload ref = build(InputSet::Ref);
+    EXPECT_LT(train.trace.size(), ref.trace.size());
+}
+
+TEST_P(WorkloadSuiteTest, BuildsAreDeterministic)
+{
+    Workload a = build(InputSet::Ref);
+    Workload b = build(InputSet::Ref);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); i += 97) {
+        EXPECT_EQ(a.trace[i].vaddr, b.trace[i].vaddr) << "entry " << i;
+        EXPECT_EQ(a.trace[i].pc, b.trace[i].pc);
+        EXPECT_EQ(a.trace[i].dep, b.trace[i].dep);
+    }
+}
+
+TEST_P(WorkloadSuiteTest, LdsFlagMatchesSuiteClassification)
+{
+    const BenchmarkInfo *info = findBenchmark(GetParam());
+    ASSERT_NE(info, nullptr);
+    Workload wl = build(InputSet::Ref);
+    std::size_t lds = 0;
+    for (const TraceEntry &entry : wl.trace)
+        lds += entry.isLds;
+    if (info->pointerIntensive)
+        EXPECT_GT(lds, wl.trace.size() / 20);
+    else
+        EXPECT_EQ(lds, 0u);
+}
+
+TEST_P(WorkloadSuiteTest, ImageFootprintIsReasonable)
+{
+    const BenchmarkInfo *info = findBenchmark(GetParam());
+    Workload wl = build(InputSet::Ref);
+    // Streaming workloads read regions that were never written, so
+    // their sparse image can be almost empty; pointer workloads must
+    // have built real structures larger than the L2.
+    if (info->pointerIntensive) {
+        EXPECT_GT(wl.image.footprintBytes(), 128u * 1024);
+    }
+    EXPECT_LT(wl.image.footprintBytes(), 64u * 1024 * 1024);
+}
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const BenchmarkInfo &info : benchmarkSuite())
+        names.push_back(info.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadSuiteTest,
+                         ::testing::ValuesIn(allNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadRegistry, SuiteHasThePapersBenchmarks)
+{
+    EXPECT_EQ(pointerIntensiveNames().size(), 15u);
+    EXPECT_EQ(streamingNames().size(), 6u);
+    for (const char *name :
+         {"perlbench", "gcc", "mcf", "astar", "xalancbmk", "omnetpp",
+          "parser", "art", "ammp", "bisort", "health", "mst",
+          "perimeter", "voronoi", "pfast"}) {
+        const BenchmarkInfo *info = findBenchmark(name);
+        ASSERT_NE(info, nullptr) << name;
+        EXPECT_TRUE(info->pointerIntensive) << name;
+    }
+}
+
+TEST(WorkloadRegistry, UnknownNameReturnsNull)
+{
+    EXPECT_EQ(findBenchmark("no-such-benchmark"), nullptr);
+}
+
+} // namespace
+} // namespace ecdp

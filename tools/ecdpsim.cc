@@ -1,0 +1,284 @@
+/**
+ * @file
+ * ecdpsim — command-line driver for the simulator.
+ *
+ *   ecdpsim --list
+ *   ecdpsim --bench health --config full
+ *   ecdpsim --bench mst --config cdp --input train --json
+ *   ecdpsim --multicore health,milc,mst,lbm --config baseline
+ *   ecdpsim --bench astar --config full --tcov 0.2 --interval 8192
+ *
+ * Configs: noprefetch, baseline, cdp, ecdp, cdp+throttle, full,
+ *          dbp, markov, ghb, ghb+ecdp, cdp+filter, ecdp+fdp,
+ *          cdp+pab, grp, ideal-lds.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/profiling_compiler.hh"
+#include "sim/experiment.hh"
+#include "sim/multicore.hh"
+#include "sim/simulator.hh"
+#include "stats/json.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ecdp;
+
+struct Options
+{
+    bool list = false;
+    bool json = false;
+    std::string bench;
+    std::vector<std::string> multicore;
+    std::string config = "baseline";
+    InputSet input = InputSet::Ref;
+    double tcov = -1.0;
+    long interval = -1;
+};
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: ecdpsim [--list] [--bench NAME | --multicore "
+          "A,B,...]\n"
+          "               [--config CFG] [--input ref|train] "
+          "[--json]\n"
+          "               [--tcov X] [--alow X] [--ahigh X] "
+          "[--interval N]\n";
+}
+
+bool
+needsHints(const std::string &config)
+{
+    return config == "ecdp" || config == "full" ||
+           config == "ghb+ecdp" || config == "ecdp+fdp" ||
+           config == "grp";
+}
+
+SystemConfig
+makeConfig(const std::string &config, const HintTable *hints)
+{
+    if (config == "noprefetch")
+        return configs::noPrefetch();
+    if (config == "baseline")
+        return configs::baseline();
+    if (config == "cdp")
+        return configs::streamCdp();
+    if (config == "ecdp")
+        return configs::streamEcdp(hints);
+    if (config == "cdp+throttle")
+        return configs::streamCdpThrottled();
+    if (config == "full")
+        return configs::fullProposal(hints);
+    if (config == "dbp")
+        return configs::streamDbp();
+    if (config == "markov")
+        return configs::streamMarkov();
+    if (config == "ghb")
+        return configs::ghbAlone();
+    if (config == "ghb+ecdp")
+        return configs::ghbEcdp(hints, true);
+    if (config == "cdp+filter")
+        return configs::streamCdpHwFilter(true);
+    if (config == "ecdp+fdp")
+        return configs::streamEcdpFdp(hints);
+    if (config == "cdp+pab")
+        return configs::streamCdpPab();
+    if (config == "grp")
+        return configs::streamGrpCoarse(hints);
+    if (config == "ideal-lds")
+        return configs::idealLds();
+    throw std::runtime_error("unknown config '" + config + "'");
+}
+
+void
+printHuman(const RunStats &stats, const std::string &config)
+{
+    std::cout << stats.workload << " [" << config << "]\n"
+              << "  IPC           " << stats.ipc << '\n'
+              << "  BPKI          " << stats.bpki << '\n'
+              << "  cycles        " << stats.cycles << '\n'
+              << "  instructions  " << stats.instructions << '\n'
+              << "  L2 misses     " << stats.l2DemandMisses << " ("
+              << stats.l2LdsMisses << " LDS)\n"
+              << "  primary PF    issued " << stats.prefIssued[0]
+              << ", used " << stats.prefUsed[0] << ", acc "
+              << stats.accuracyDemanded(0) << ", cov "
+              << stats.coverage(0) << '\n'
+              << "  LDS PF        issued " << stats.prefIssued[1]
+              << ", used " << stats.prefUsed[1] << " (late "
+              << stats.prefLate[1] << "), acc "
+              << stats.accuracyDemanded(1) << ", cov "
+              << stats.coverage(1) << '\n';
+}
+
+int
+runSingle(const Options &opts)
+{
+    HintTable hints;
+    if (needsHints(opts.config)) {
+        hints = ProfilingCompiler::profile(
+            buildWorkload(opts.bench, InputSet::Train));
+    }
+    SystemConfig cfg = makeConfig(opts.config, &hints);
+    if (opts.tcov >= 0.0)
+        cfg.coordThresholds.tCoverage = opts.tcov;
+    if (opts.interval > 0)
+        cfg.intervalEvictions =
+            static_cast<std::uint64_t>(opts.interval);
+    Workload workload = buildWorkload(opts.bench, opts.input);
+    RunStats stats = simulate(cfg, workload);
+    if (opts.json) {
+        writeRunStatsJson(std::cout, stats, opts.config);
+        std::cout << '\n';
+    } else {
+        printHuman(stats, opts.config);
+    }
+    return 0;
+}
+
+int
+runMulti(const Options &opts)
+{
+    HintTable merged;
+    std::vector<Workload> workloads;
+    for (const std::string &name : opts.multicore) {
+        if (needsHints(opts.config)) {
+            HintTable hints = ProfilingCompiler::profile(
+                buildWorkload(name, InputSet::Train));
+            for (const auto &[pc, hint] : hints)
+                merged.entry(pc) = hint;
+        }
+        workloads.push_back(buildWorkload(name, opts.input));
+    }
+    SystemConfig cfg = makeConfig(opts.config, &merged);
+    std::vector<const Workload *> ptrs;
+    std::vector<double> alone;
+    for (const Workload &workload : workloads) {
+        ptrs.push_back(&workload);
+        alone.push_back(simulate(cfg, workload).ipc);
+    }
+    MultiCoreResult result = simulateMultiCore(cfg, ptrs, alone);
+    if (opts.json) {
+        std::cout << "{\"config\":\"" << jsonEscape(opts.config)
+                  << "\",\"weightedSpeedup\":"
+                  << result.weightedSpeedup
+                  << ",\"hmeanSpeedup\":" << result.hmeanSpeedup
+                  << ",\"busTransactions\":"
+                  << result.busTransactions << ",\"cores\":[";
+        for (std::size_t i = 0; i < result.perCore.size(); ++i) {
+            writeRunStatsJson(std::cout, result.perCore[i]);
+            if (i + 1 < result.perCore.size())
+                std::cout << ',';
+        }
+        std::cout << "]}\n";
+    } else {
+        std::cout << opts.multicore.size() << "-core run ["
+                  << opts.config << "]\n";
+        for (std::size_t i = 0; i < result.perCore.size(); ++i) {
+            const RunStats &s = result.perCore[i];
+            std::cout << "  core " << i << " (" << s.workload
+                      << "): IPC " << s.ipc << " (alone " << alone[i]
+                      << ")\n";
+        }
+        std::cout << "  weighted speedup " << result.weightedSpeedup
+                  << ", hmean " << result.hmeanSpeedup << ", bus "
+                  << result.busTransactions << " transactions\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                throw std::runtime_error(std::string(flag) +
+                                         " needs a value");
+            }
+            return argv[++i];
+        };
+        try {
+            if (arg == "--list") {
+                opts.list = true;
+            } else if (arg == "--json") {
+                opts.json = true;
+            } else if (arg == "--bench") {
+                opts.bench = value("--bench");
+            } else if (arg == "--config") {
+                opts.config = value("--config");
+            } else if (arg == "--input") {
+                std::string input = value("--input");
+                if (input == "train")
+                    opts.input = InputSet::Train;
+                else if (input == "ref")
+                    opts.input = InputSet::Ref;
+                else
+                    throw std::runtime_error("bad --input");
+            } else if (arg == "--multicore") {
+                std::stringstream ss(value("--multicore"));
+                std::string name;
+                while (std::getline(ss, name, ','))
+                    opts.multicore.push_back(name);
+            } else if (arg == "--tcov") {
+                opts.tcov = std::stod(value("--tcov"));
+            } else if (arg == "--interval") {
+                opts.interval = std::stol(value("--interval"));
+            } else if (arg == "--help" || arg == "-h") {
+                usage(std::cout);
+                return 0;
+            } else {
+                throw std::runtime_error("unknown flag " + arg);
+            }
+        } catch (const std::exception &e) {
+            std::cerr << "error: " << e.what() << '\n';
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    if (opts.list) {
+        for (const BenchmarkInfo &info : benchmarkSuite()) {
+            std::cout << info.name
+                      << (info.pointerIntensive ? "  (pointer)"
+                                                : "  (streaming)")
+                      << '\n';
+        }
+        return 0;
+    }
+    for (const std::string &name :
+         opts.multicore.empty()
+             ? std::vector<std::string>{opts.bench}
+             : opts.multicore) {
+        if (!name.empty() && !findBenchmark(name)) {
+            std::cerr << "error: unknown benchmark '" << name
+                      << "' (try --list)\n";
+            return 2;
+        }
+    }
+    try {
+        if (!opts.multicore.empty())
+            return runMulti(opts);
+        if (!opts.bench.empty())
+            return runSingle(opts);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+    usage(std::cerr);
+    return 2;
+}
