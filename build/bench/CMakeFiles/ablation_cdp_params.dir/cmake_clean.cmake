@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cdp_params.dir/ablation_cdp_params.cc.o"
+  "CMakeFiles/ablation_cdp_params.dir/ablation_cdp_params.cc.o.d"
+  "ablation_cdp_params"
+  "ablation_cdp_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cdp_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_benchmark.dir/diag_benchmark.cc.o"
+  "CMakeFiles/diag_benchmark.dir/diag_benchmark.cc.o.d"
+  "diag_benchmark"
+  "diag_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_table1_cdp.dir/fig02_table1_cdp.cc.o"
+  "CMakeFiles/fig02_table1_cdp.dir/fig02_table1_cdp.cc.o.d"
+  "fig02_table1_cdp"
+  "fig02_table1_cdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_table1_cdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

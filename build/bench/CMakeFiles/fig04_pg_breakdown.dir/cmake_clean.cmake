@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_pg_breakdown.dir/fig04_pg_breakdown.cc.o"
+  "CMakeFiles/fig04_pg_breakdown.dir/fig04_pg_breakdown.cc.o.d"
+  "fig04_pg_breakdown"
+  "fig04_pg_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_pg_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_table6_main.dir/fig07_table6_main.cc.o"
+  "CMakeFiles/fig07_table6_main.dir/fig07_table6_main.cc.o.d"
+  "fig07_table6_main"
+  "fig07_table6_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_table6_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_accuracy.dir/fig08_accuracy.cc.o"
+  "CMakeFiles/fig08_accuracy.dir/fig08_accuracy.cc.o.d"
+  "fig08_accuracy"
+  "fig08_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

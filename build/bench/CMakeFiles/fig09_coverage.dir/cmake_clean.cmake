@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_coverage.dir/fig09_coverage.cc.o"
+  "CMakeFiles/fig09_coverage.dir/fig09_coverage.cc.o.d"
+  "fig09_coverage"
+  "fig09_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pg_usefulness.dir/fig10_pg_usefulness.cc.o"
+  "CMakeFiles/fig10_pg_usefulness.dir/fig10_pg_usefulness.cc.o.d"
+  "fig10_pg_usefulness"
+  "fig10_pg_usefulness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pg_usefulness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hw_filter.dir/fig12_hw_filter.cc.o"
+  "CMakeFiles/fig12_hw_filter.dir/fig12_hw_filter.cc.o.d"
+  "fig12_hw_filter"
+  "fig12_hw_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hw_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_fdp.dir/fig13_fdp.cc.o"
+  "CMakeFiles/fig13_fdp.dir/fig13_fdp.cc.o.d"
+  "fig13_fdp"
+  "fig13_fdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_fdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dualcore.dir/fig14_dualcore.cc.o"
+  "CMakeFiles/fig14_dualcore.dir/fig14_dualcore.cc.o.d"
+  "fig14_dualcore"
+  "fig14_dualcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dualcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_quadcore.dir/fig15_quadcore.cc.o"
+  "CMakeFiles/fig15_quadcore.dir/fig15_quadcore.cc.o.d"
+  "fig15_quadcore"
+  "fig15_quadcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_quadcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_prefetchers.dir/micro_prefetchers.cc.o"
+  "CMakeFiles/micro_prefetchers.dir/micro_prefetchers.cc.o.d"
+  "micro_prefetchers"
+  "micro_prefetchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

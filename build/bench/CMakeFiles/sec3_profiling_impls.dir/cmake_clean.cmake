@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_profiling_impls.dir/sec3_profiling_impls.cc.o"
+  "CMakeFiles/sec3_profiling_impls.dir/sec3_profiling_impls.cc.o.d"
+  "sec3_profiling_impls"
+  "sec3_profiling_impls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_profiling_impls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

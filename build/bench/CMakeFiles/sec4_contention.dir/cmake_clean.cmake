@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_contention.dir/sec4_contention.cc.o"
+  "CMakeFiles/sec4_contention.dir/sec4_contention.cc.o.d"
+  "sec4_contention"
+  "sec4_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

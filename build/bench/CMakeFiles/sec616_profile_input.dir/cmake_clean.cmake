@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec616_profile_input.dir/sec616_profile_input.cc.o"
+  "CMakeFiles/sec616_profile_input.dir/sec616_profile_input.cc.o.d"
+  "sec616_profile_input"
+  "sec616_profile_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec616_profile_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec67_remaining.dir/sec67_remaining.cc.o"
+  "CMakeFiles/sec67_remaining.dir/sec67_remaining.cc.o.d"
+  "sec67_remaining"
+  "sec67_remaining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec67_remaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec71_grp_coarse.dir/sec71_grp_coarse.cc.o"
+  "CMakeFiles/sec71_grp_coarse.dir/sec71_grp_coarse.cc.o.d"
+  "sec71_grp_coarse"
+  "sec71_grp_coarse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec71_grp_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

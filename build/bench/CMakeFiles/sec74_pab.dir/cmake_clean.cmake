@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec74_pab.dir/sec74_pab.cc.o"
+  "CMakeFiles/sec74_pab.dir/sec74_pab.cc.o.d"
+  "sec74_pab"
+  "sec74_pab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec74_pab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

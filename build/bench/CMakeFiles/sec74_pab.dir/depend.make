@@ -1,0 +1,2 @@
+# Empty dependencies file for sec74_pab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_prefetcher_study.dir/custom_prefetcher_study.cpp.o"
+  "CMakeFiles/example_custom_prefetcher_study.dir/custom_prefetcher_study.cpp.o.d"
+  "example_custom_prefetcher_study"
+  "example_custom_prefetcher_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_prefetcher_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

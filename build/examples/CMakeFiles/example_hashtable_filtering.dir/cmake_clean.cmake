@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hashtable_filtering.dir/hashtable_filtering.cpp.o"
+  "CMakeFiles/example_hashtable_filtering.dir/hashtable_filtering.cpp.o.d"
+  "example_hashtable_filtering"
+  "example_hashtable_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hashtable_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multicore_throttling.dir/multicore_throttling.cpp.o"
+  "CMakeFiles/example_multicore_throttling.dir/multicore_throttling.cpp.o.d"
+  "example_multicore_throttling"
+  "example_multicore_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multicore_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

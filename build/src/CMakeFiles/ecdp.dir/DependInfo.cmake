@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/ecdp.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/mshr.cc" "src/CMakeFiles/ecdp.dir/cache/mshr.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/cache/mshr.cc.o.d"
+  "/root/repo/src/compiler/profiling_compiler.cc" "src/CMakeFiles/ecdp.dir/compiler/profiling_compiler.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/compiler/profiling_compiler.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/ecdp.dir/core/core.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/core/core.cc.o.d"
+  "/root/repo/src/dram/dram.cc" "src/CMakeFiles/ecdp.dir/dram/dram.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/dram/dram.cc.o.d"
+  "/root/repo/src/memsim/bump_allocator.cc" "src/CMakeFiles/ecdp.dir/memsim/bump_allocator.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/memsim/bump_allocator.cc.o.d"
+  "/root/repo/src/memsim/sim_memory.cc" "src/CMakeFiles/ecdp.dir/memsim/sim_memory.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/memsim/sim_memory.cc.o.d"
+  "/root/repo/src/prefetch/cdp.cc" "src/CMakeFiles/ecdp.dir/prefetch/cdp.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/prefetch/cdp.cc.o.d"
+  "/root/repo/src/prefetch/dbp.cc" "src/CMakeFiles/ecdp.dir/prefetch/dbp.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/prefetch/dbp.cc.o.d"
+  "/root/repo/src/prefetch/ghb_prefetcher.cc" "src/CMakeFiles/ecdp.dir/prefetch/ghb_prefetcher.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/prefetch/ghb_prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/hardware_filter.cc" "src/CMakeFiles/ecdp.dir/prefetch/hardware_filter.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/prefetch/hardware_filter.cc.o.d"
+  "/root/repo/src/prefetch/hint_table.cc" "src/CMakeFiles/ecdp.dir/prefetch/hint_table.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/prefetch/hint_table.cc.o.d"
+  "/root/repo/src/prefetch/markov_prefetcher.cc" "src/CMakeFiles/ecdp.dir/prefetch/markov_prefetcher.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/prefetch/markov_prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/pab_selector.cc" "src/CMakeFiles/ecdp.dir/prefetch/pab_selector.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/prefetch/pab_selector.cc.o.d"
+  "/root/repo/src/prefetch/prefetcher.cc" "src/CMakeFiles/ecdp.dir/prefetch/prefetcher.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/prefetch/prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/stream_prefetcher.cc" "src/CMakeFiles/ecdp.dir/prefetch/stream_prefetcher.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/prefetch/stream_prefetcher.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/ecdp.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/ecdp.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/memory_system.cc" "src/CMakeFiles/ecdp.dir/sim/memory_system.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/sim/memory_system.cc.o.d"
+  "/root/repo/src/sim/multicore.cc" "src/CMakeFiles/ecdp.dir/sim/multicore.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/sim/multicore.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/ecdp.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/stats/json.cc" "src/CMakeFiles/ecdp.dir/stats/json.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/stats/json.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/ecdp.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/stats/stats.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/ecdp.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/stats/table.cc.o.d"
+  "/root/repo/src/throttle/coordinated_throttler.cc" "src/CMakeFiles/ecdp.dir/throttle/coordinated_throttler.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/throttle/coordinated_throttler.cc.o.d"
+  "/root/repo/src/throttle/fdp_throttler.cc" "src/CMakeFiles/ecdp.dir/throttle/fdp_throttler.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/throttle/fdp_throttler.cc.o.d"
+  "/root/repo/src/throttle/feedback.cc" "src/CMakeFiles/ecdp.dir/throttle/feedback.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/throttle/feedback.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/ecdp.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/trace/trace.cc.o.d"
+  "/root/repo/src/workloads/builders.cc" "src/CMakeFiles/ecdp.dir/workloads/builders.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/workloads/builders.cc.o.d"
+  "/root/repo/src/workloads/olden_suite.cc" "src/CMakeFiles/ecdp.dir/workloads/olden_suite.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/workloads/olden_suite.cc.o.d"
+  "/root/repo/src/workloads/spec_suite.cc" "src/CMakeFiles/ecdp.dir/workloads/spec_suite.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/workloads/spec_suite.cc.o.d"
+  "/root/repo/src/workloads/stream_suite.cc" "src/CMakeFiles/ecdp.dir/workloads/stream_suite.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/workloads/stream_suite.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/ecdp.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/ecdp.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

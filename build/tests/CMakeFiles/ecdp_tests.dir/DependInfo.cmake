@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocator_trace.cc" "tests/CMakeFiles/ecdp_tests.dir/test_allocator_trace.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_allocator_trace.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/ecdp_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cdp.cc" "tests/CMakeFiles/ecdp_tests.dir/test_cdp.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_cdp.cc.o.d"
+  "/root/repo/tests/test_comparison_prefetchers.cc" "tests/CMakeFiles/ecdp_tests.dir/test_comparison_prefetchers.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_comparison_prefetchers.cc.o.d"
+  "/root/repo/tests/test_compiler.cc" "tests/CMakeFiles/ecdp_tests.dir/test_compiler.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_compiler.cc.o.d"
+  "/root/repo/tests/test_compiler_informing.cc" "tests/CMakeFiles/ecdp_tests.dir/test_compiler_informing.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_compiler_informing.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/ecdp_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/ecdp_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/ecdp_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_json.cc" "tests/CMakeFiles/ecdp_tests.dir/test_json.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_json.cc.o.d"
+  "/root/repo/tests/test_memory_system.cc" "tests/CMakeFiles/ecdp_tests.dir/test_memory_system.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_memory_system.cc.o.d"
+  "/root/repo/tests/test_multicore.cc" "tests/CMakeFiles/ecdp_tests.dir/test_multicore.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_multicore.cc.o.d"
+  "/root/repo/tests/test_sim_memory.cc" "tests/CMakeFiles/ecdp_tests.dir/test_sim_memory.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_sim_memory.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/ecdp_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/ecdp_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_stream_prefetcher.cc" "tests/CMakeFiles/ecdp_tests.dir/test_stream_prefetcher.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_stream_prefetcher.cc.o.d"
+  "/root/repo/tests/test_system_properties.cc" "tests/CMakeFiles/ecdp_tests.dir/test_system_properties.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_system_properties.cc.o.d"
+  "/root/repo/tests/test_throttling.cc" "tests/CMakeFiles/ecdp_tests.dir/test_throttling.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_throttling.cc.o.d"
+  "/root/repo/tests/test_workload_details.cc" "tests/CMakeFiles/ecdp_tests.dir/test_workload_details.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_workload_details.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/ecdp_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ecdp_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecdp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

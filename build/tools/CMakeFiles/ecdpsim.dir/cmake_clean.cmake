@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdpsim.dir/ecdpsim.cc.o"
+  "CMakeFiles/ecdpsim.dir/ecdpsim.cc.o.d"
+  "ecdpsim"
+  "ecdpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

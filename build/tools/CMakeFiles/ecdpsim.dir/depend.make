@@ -1,0 +1,2 @@
+# Empty dependencies file for ecdpsim.
+# This may be replaced when dependencies are built.
