@@ -18,18 +18,39 @@ main()
     const std::vector<std::string> names = pointerIntensiveNames();
     NamedConfig base = cfgBaseline();
 
+    // Both sweeps, submitted as one grid.
+    const std::vector<unsigned> bit_choices{4, 8, 12, 16};
+    std::vector<NamedConfig> depth_configs, bits_configs;
+    for (unsigned depth = 1; depth <= 4; ++depth) {
+        AggLevel level = static_cast<AggLevel>(depth - 1);
+        depth_configs.push_back(
+            {"ecdp-depth" + std::to_string(depth),
+             [level](ExperimentContext &c, const std::string &b) {
+                 SystemConfig cfg = configs::streamEcdp(&c.hints(b));
+                 cfg.ldsStartLevel = level;
+                 return cfg;
+             }});
+    }
+    for (unsigned bits : bit_choices) {
+        bits_configs.push_back(
+            {"cdp-bits" + std::to_string(bits),
+             [bits](ExperimentContext &, const std::string &) {
+                 SystemConfig cfg = configs::streamCdp();
+                 cfg.cdpCompareBits = bits;
+                 return cfg;
+             }});
+    }
+    std::vector<NamedConfig> grid{base};
+    grid.insert(grid.end(), depth_configs.begin(),
+                depth_configs.end());
+    grid.insert(grid.end(), bits_configs.begin(), bits_configs.end());
+    runGrid(ctx, names, grid);
+
     TablePrinter depth_table(
         "Ablation: ECDP maximum recursion depth (gmean vs baseline)");
     depth_table.header({"depth", "gmean-ipc", "gmean-no-health"});
     for (unsigned depth = 1; depth <= 4; ++depth) {
-        AggLevel level = static_cast<AggLevel>(depth - 1);
-        NamedConfig config{
-            "ecdp-depth" + std::to_string(depth),
-            [level](ExperimentContext &c, const std::string &b) {
-                SystemConfig cfg = configs::streamEcdp(&c.hints(b));
-                cfg.ldsStartLevel = level;
-                return cfg;
-            }};
+        const NamedConfig &config = depth_configs[depth - 1];
         depth_table.row()
             .cell(std::uint64_t{depth})
             .cell(gmeanSpeedup(ctx, names, config, base), 3)
@@ -43,14 +64,9 @@ main()
     TablePrinter bits_table(
         "Ablation: CDP compare bits (greedy CDP, gmean vs baseline)");
     bits_table.header({"bits", "gmean-ipc", "gmean-bpki-ratio"});
-    for (unsigned bits : {4u, 8u, 12u, 16u}) {
-        NamedConfig config{
-            "cdp-bits" + std::to_string(bits),
-            [bits](ExperimentContext &, const std::string &) {
-                SystemConfig cfg = configs::streamCdp();
-                cfg.cdpCompareBits = bits;
-                return cfg;
-            }};
+    for (std::size_t i = 0; i < bits_configs.size(); ++i) {
+        const unsigned bits = bit_choices[i];
+        const NamedConfig &config = bits_configs[i];
         std::vector<double> bpki_ratio;
         for (const std::string &name : names) {
             bpki_ratio.push_back(run(ctx, name, config).bpki /

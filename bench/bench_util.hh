@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/runner.hh"
 #include "sim/experiment.hh"
 #include "stats/stats.hh"
 #include "stats/table.hh"
@@ -84,6 +85,24 @@ run(ExperimentContext &ctx, const std::string &benchmark,
 {
     return ctx.run(benchmark, config.make(ctx, benchmark),
                    config.key);
+}
+
+/**
+ * Simulate the whole (benchmark x config) grid through the parallel
+ * runner (ECDP_JOBS workers), leaving every result memoized in the
+ * context. The serial table-emission code that follows then hits the
+ * memo tables only, so its stdout stays byte-identical to a fully
+ * serial run while the simulations themselves use all cores.
+ */
+inline void
+runGrid(ExperimentContext &ctx, const std::vector<std::string> &names,
+        const std::vector<NamedConfig> &grid_configs)
+{
+    runner::ExperimentRunner parallel_runner(ctx);
+    for (const NamedConfig &config : grid_configs)
+        for (const std::string &name : names)
+            parallel_runner.submit(name, config.key, config.make);
+    parallel_runner.wait();
 }
 
 /** Geometric-mean speedup of `config` over `base` across a suite. */

@@ -25,6 +25,7 @@ main()
     NamedConfig np = fixedConfig("noprefetch", configs::noPrefetch());
     NamedConfig base = cfgBaseline();
     NamedConfig ideal = fixedConfig("ideallds", configs::idealLds());
+    runGrid(ctx, names, {np, base, ideal});
 
     std::vector<double> ideal_ratios;
     for (const std::string &name : names) {

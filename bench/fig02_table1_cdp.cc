@@ -17,6 +17,7 @@ main()
     const std::vector<std::string> names = pointerIntensiveNames();
     NamedConfig base = cfgBaseline();
     NamedConfig cdp = cfgCdp();
+    runGrid(ctx, names, {base, cdp});
 
     TablePrinter table("Figure 2 / Table 1: original CDP vs baseline");
     table.header({"bench", "ipc-delta%", "bpki-base", "bpki-cdp",

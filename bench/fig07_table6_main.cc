@@ -21,6 +21,10 @@ main()
                                             cfgCdpThrottled(),
                                             cfgFull()};
 
+    std::vector<NamedConfig> grid = configs_to_run;
+    grid.push_back(base);
+    runGrid(ctx, names, grid);
+
     TablePrinter perf("Figure 7 (top): IPC normalized to baseline");
     perf.header({"bench", "cdp", "ecdp", "cdp+thr", "full"});
     TablePrinter bw("Figure 7 (bottom): BPKI (bus accesses / 1k instr)");

@@ -18,6 +18,7 @@ main()
     const std::vector<std::string> names = pointerIntensiveNames();
     std::vector<NamedConfig> configs_to_run{cfgCdp(), cfgEcdp(),
                                             cfgFull()};
+    runGrid(ctx, names, configs_to_run);
 
     for (unsigned which : {1u, 0u}) {
         TablePrinter table(

@@ -17,6 +17,7 @@ main()
 {
     ExperimentContext ctx;
     const std::vector<std::string> names = pointerIntensiveNames();
+    runGrid(ctx, names, {cfgCdp(), cfgEcdp()});
 
     TablePrinter table(
         "Figure 10: PG usefulness quartiles (ref inputs), "

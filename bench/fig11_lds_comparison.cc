@@ -22,6 +22,21 @@ main()
         fixedConfig("ghb", configs::ghbAlone()),
         cfgFull()};
 
+    NamedConfig ghb_ecdp_cfg{
+        "ghb+ecdp", [](ExperimentContext &c, const std::string &b) {
+            return configs::ghbEcdp(&c.hints(b), false);
+        }};
+    NamedConfig ghb_full_cfg{
+        "ghb+ecdp+thr",
+        [](ExperimentContext &c, const std::string &b) {
+            return configs::ghbEcdp(&c.hints(b), true);
+        }};
+    std::vector<NamedConfig> grid = configs_to_run;
+    grid.push_back(base);
+    grid.push_back(ghb_ecdp_cfg);
+    grid.push_back(ghb_full_cfg);
+    runGrid(ctx, names, grid);
+
     TablePrinter perf("Figure 11 (top): IPC normalized to baseline");
     perf.header({"bench", "dbp", "markov", "ghb", "full"});
     TablePrinter bw("Figure 11 (bottom): BPKI");
@@ -50,23 +65,15 @@ main()
 
     // Orthogonality: ECDP and throttling on top of a GHB baseline.
     NamedConfig ghb = fixedConfig("ghb", configs::ghbAlone());
-    NamedConfig ghb_ecdp{"ghb+ecdp",
-                         [](ExperimentContext &c, const std::string &b) {
-                             return configs::ghbEcdp(&c.hints(b),
-                                                     false);
-                         }};
-    NamedConfig ghb_full{"ghb+ecdp+thr",
-                         [](ExperimentContext &c, const std::string &b) {
-                             return configs::ghbEcdp(&c.hints(b),
-                                                     true);
-                         }};
     std::cout << "\nGHB orthogonality (Section 6.3):\n"
               << "  ECDP over GHB alone:       "
-              << percentDelta(gmeanSpeedup(ctx, names, ghb_ecdp, ghb),
-                              1.0)
+              << percentDelta(
+                     gmeanSpeedup(ctx, names, ghb_ecdp_cfg, ghb),
+                     1.0)
               << "%\n  +coordinated throttling:   "
-              << percentDelta(gmeanSpeedup(ctx, names, ghb_full, ghb),
-                              1.0)
+              << percentDelta(
+                     gmeanSpeedup(ctx, names, ghb_full_cfg, ghb),
+                     1.0)
               << "%\n";
     std::cout << "\nPaper: the proposal beats DBP/Markov/GHB by 19%,\n"
                  "7.2% and 8.9%; ECDP adds 4.6% over GHB alone and\n"

@@ -23,6 +23,10 @@ main()
                     configs::streamCdpHwFilter(true)),
         cfgFull()};
 
+    std::vector<NamedConfig> grid = configs_to_run;
+    grid.push_back(base);
+    runGrid(ctx, names, grid);
+
     TablePrinter perf("Figure 12 (top): IPC normalized to baseline");
     perf.header({"bench", "cdp", "cdp+filter", "cdp+filter+thr",
                  "full"});

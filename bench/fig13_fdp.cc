@@ -21,6 +21,7 @@ main()
                         return configs::streamEcdpFdp(&c.hints(b));
                     }};
     NamedConfig full = cfgFull();
+    runGrid(ctx, names, {base, fdp, full});
 
     TablePrinter table(
         "Figure 13: coordinated throttling vs FDP (normalized IPC "

@@ -40,6 +40,7 @@ main()
     cdp_only_cfg.primary = PrimaryKind::None;
     NamedConfig cdp_only = fixedConfig("cdponly", cdp_only_cfg);
     NamedConfig hybrid = cfgCdp();
+    runGrid(ctx, names, {stream_only, cdp_only, hybrid});
 
     TablePrinter table(
         "Section 4: useful-prefetch latency, alone vs naive hybrid");

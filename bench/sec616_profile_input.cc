@@ -21,6 +21,7 @@ main()
         [](ExperimentContext &c, const std::string &b) {
             return configs::fullProposal(&c.hintsFromRef(b));
         }};
+    runGrid(ctx, names, {train_hints, ref_hints});
 
     TablePrinter table(
         "Section 6.1.6: profiling input sensitivity (IPC)");

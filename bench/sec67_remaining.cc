@@ -16,6 +16,7 @@ main()
     const std::vector<std::string> names = streamingNames();
     NamedConfig base = cfgBaseline();
     NamedConfig full = cfgFull();
+    runGrid(ctx, names, {base, full});
 
     TablePrinter table(
         "Section 6.7: remaining (streaming) benchmarks");

@@ -21,6 +21,7 @@ main()
                         return configs::streamGrpCoarse(&c.hints(b));
                     }};
     NamedConfig ecdp = cfgEcdp();
+    runGrid(ctx, names, {base, grp, ecdp});
 
     TablePrinter table(
         "Section 7.1: coarse (GRP-style) vs fine (ECDP) filtering");

@@ -19,6 +19,7 @@ main()
     NamedConfig base = cfgBaseline();
     NamedConfig pab = fixedConfig("cdp+pab", configs::streamCdpPab());
     NamedConfig coord = cfgCdpThrottled();
+    runGrid(ctx, names, {base, pab, coord});
 
     TablePrinter table(
         "Section 7.4: PAB selection vs coordinated throttling "

@@ -1,0 +1,227 @@
+#include "runner/result_cache.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "stats/json.hh"
+
+namespace ecdp
+{
+namespace runner
+{
+
+namespace
+{
+
+std::string
+hashHex(std::uint64_t hash)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+/** Keep workload names filesystem-safe (they are alnum today). */
+std::string
+sanitize(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '-' && c != '_' && c != '.') {
+            c = '_';
+        }
+    }
+    return out;
+}
+
+void
+writeDouble(std::ostream &os, double v)
+{
+    std::ostringstream ss;
+    ss.precision(std::numeric_limits<double>::max_digits10);
+    ss << v;
+    os << ss.str();
+}
+
+} // namespace
+
+std::unique_ptr<ResultCache>
+ResultCache::fromEnv()
+{
+    const char *dir = std::getenv("ECDP_RESULT_CACHE");
+    if (!dir || !*dir)
+        return nullptr;
+    return std::make_unique<ResultCache>(dir);
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ResultCache::entryPath(const std::string &name,
+                       std::uint64_t hash) const
+{
+    return dir_ + "/" + sanitize(name) + "-" + hashHex(hash) +
+           ".json";
+}
+
+std::optional<RunStats>
+ResultCache::load(const std::string &name, std::uint64_t hash) const
+{
+    std::ifstream in(entryPath(name, hash));
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    std::optional<JsonValue> parsed = tryParseJson(buf.str());
+    if (!parsed)
+        return std::nullopt;
+    try {
+        const JsonValue &doc = *parsed;
+        if (doc.at("version").asI64() != kVersion)
+            return std::nullopt;
+        if (doc.at("configHash").asString() != hashHex(hash))
+            return std::nullopt;
+        if (doc.at("workload").asString() != name)
+            return std::nullopt;
+
+        RunStats stats;
+        stats.workload = name;
+        stats.cycles = doc.at("cycles").asU64();
+        stats.instructions = doc.at("instructions").asU64();
+        stats.ipc = doc.at("ipc").asDouble();
+        stats.timedOut = doc.at("timedOut").asBool();
+        stats.busTransactions = doc.at("busTransactions").asU64();
+        stats.bpki = doc.at("bpki").asDouble();
+        stats.demandLoads = doc.at("demandLoads").asU64();
+        stats.l2DemandAccesses = doc.at("l2DemandAccesses").asU64();
+        stats.l2DemandMisses = doc.at("l2DemandMisses").asU64();
+        stats.l2LdsMisses = doc.at("l2LdsMisses").asU64();
+        const JsonValue &issued = doc.at("prefIssued");
+        const JsonValue &used = doc.at("prefUsed");
+        const JsonValue &late = doc.at("prefLate");
+        const JsonValue &dropped = doc.at("prefDropped");
+        const JsonValue &lat_sum = doc.at("usefulLatencySum");
+        const JsonValue &lat_count = doc.at("usefulLatencyCount");
+        for (unsigned which = 0; which < 2; ++which) {
+            stats.prefIssued[which] =
+                issued.asArray().at(which).asU64();
+            stats.prefUsed[which] = used.asArray().at(which).asU64();
+            stats.prefLate[which] = late.asArray().at(which).asU64();
+            stats.prefDropped[which] =
+                dropped.asArray().at(which).asU64();
+            stats.usefulLatencySum[which] =
+                lat_sum.asArray().at(which).asU64();
+            stats.usefulLatencyCount[which] =
+                lat_count.asArray().at(which).asU64();
+        }
+        for (const JsonValue &pg : doc.at("pgStats").asArray()) {
+            PgId id;
+            id.loadPc = pg.at("pc").asU64();
+            id.slot =
+                static_cast<std::int16_t>(pg.at("slot").asI64());
+            PgStats &entry = stats.pgStats[id];
+            entry.issued = pg.at("issued").asU64();
+            entry.used = pg.at("used").asU64();
+        }
+        stats.finalPrimaryLevel = static_cast<AggLevel>(
+            doc.at("finalPrimaryLevel").asI64());
+        stats.finalLdsLevel =
+            static_cast<AggLevel>(doc.at("finalLdsLevel").asI64());
+        stats.finalPrimaryEnabled =
+            doc.at("finalPrimaryEnabled").asBool();
+        stats.finalLdsEnabled = doc.at("finalLdsEnabled").asBool();
+        stats.intervals = doc.at("intervals").asU64();
+        return stats;
+    } catch (const JsonError &) {
+        return std::nullopt; // malformed entry: treat as a miss
+    } catch (const std::out_of_range &) {
+        return std::nullopt;
+    }
+}
+
+void
+ResultCache::store(const std::string &name, std::uint64_t hash,
+                   const RunStats &stats) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        return;
+
+    const std::string path = entryPath(name, hash);
+    std::ostringstream id;
+    id << std::hash<std::thread::id>{}(std::this_thread::get_id());
+    const std::string tmp = path + ".tmp." + id.str();
+    {
+        std::ofstream os(tmp);
+        if (!os)
+            return;
+        os << "{\"version\":" << kVersion << ","
+           << "\"configHash\":\"" << hashHex(hash) << "\","
+           << "\"workload\":\"" << jsonEscape(name) << "\","
+           << "\"cycles\":" << stats.cycles << ","
+           << "\"instructions\":" << stats.instructions << ","
+           << "\"ipc\":";
+        writeDouble(os, stats.ipc);
+        os << ",\"bpki\":";
+        writeDouble(os, stats.bpki);
+        os << ",\"timedOut\":" << (stats.timedOut ? "true" : "false")
+           << ",\"busTransactions\":" << stats.busTransactions
+           << ",\"demandLoads\":" << stats.demandLoads
+           << ",\"l2DemandAccesses\":" << stats.l2DemandAccesses
+           << ",\"l2DemandMisses\":" << stats.l2DemandMisses
+           << ",\"l2LdsMisses\":" << stats.l2LdsMisses;
+        auto array2 = [&os](const char *key,
+                            const std::uint64_t (&v)[2]) {
+            os << ",\"" << key << "\":[" << v[0] << "," << v[1]
+               << "]";
+        };
+        array2("prefIssued", stats.prefIssued);
+        array2("prefUsed", stats.prefUsed);
+        array2("prefLate", stats.prefLate);
+        array2("prefDropped", stats.prefDropped);
+        array2("usefulLatencySum", stats.usefulLatencySum);
+        array2("usefulLatencyCount", stats.usefulLatencyCount);
+        os << ",\"pgStats\":[";
+        bool first = true;
+        for (const auto &[id_, pg] : stats.pgStats) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"pc\":" << id_.loadPc
+               << ",\"slot\":" << id_.slot
+               << ",\"issued\":" << pg.issued
+               << ",\"used\":" << pg.used << "}";
+        }
+        os << "]"
+           << ",\"finalPrimaryLevel\":"
+           << static_cast<int>(stats.finalPrimaryLevel)
+           << ",\"finalLdsLevel\":"
+           << static_cast<int>(stats.finalLdsLevel)
+           << ",\"finalPrimaryEnabled\":"
+           << (stats.finalPrimaryEnabled ? "true" : "false")
+           << ",\"finalLdsEnabled\":"
+           << (stats.finalLdsEnabled ? "true" : "false")
+           << ",\"intervals\":" << stats.intervals << "}\n";
+        if (!os)
+            return;
+    }
+    // Atomic publish so concurrent jobs / processes never observe a
+    // half-written entry.
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+} // namespace runner
+} // namespace ecdp

@@ -1,0 +1,99 @@
+#include "runner/runner.hh"
+
+#include <chrono>
+#include <exception>
+#include <iostream>
+#include <stdexcept>
+
+namespace ecdp
+{
+namespace runner
+{
+
+ExperimentRunner::ExperimentRunner(ExperimentContext &ctx,
+                                   unsigned jobs)
+    : ctx_(ctx), pool_(jobs), progress_(&std::cerr)
+{}
+
+ExperimentRunner::~ExperimentRunner()
+{
+    pool_.wait();
+}
+
+void
+ExperimentRunner::setProgressStream(std::ostream *os)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    progress_ = os;
+}
+
+void
+ExperimentRunner::submit(std::string name, std::string key,
+                         ConfigFn make)
+{
+    JobResult *slot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // deque: pointers to existing slots stay valid while the
+        // workers fill them and later submits grow the container.
+        results_.push_back(
+            JobResult{std::move(name), std::move(key), nullptr, 0.0,
+                      ""});
+        slot = &results_.back();
+        ++submitted_;
+    }
+    pool_.submit([this, slot, make = std::move(make)] {
+        runJob(slot, make);
+    });
+}
+
+void
+ExperimentRunner::runJob(JobResult *slot, const ConfigFn &make)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    try {
+        SystemConfig cfg = make(ctx_, slot->name);
+        slot->stats = &ctx_.run(slot->name, cfg, slot->key);
+    } catch (const std::exception &e) {
+        slot->error = e.what();
+    } catch (...) {
+        slot->error = "unknown error";
+    }
+    slot->wallMs = std::chrono::duration<double, std::milli>(
+                       Clock::now() - start)
+                       .count();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+    if (!progress_)
+        return;
+    std::ostream &os = *progress_;
+    os << "[" << completed_ << "/" << submitted_ << "] "
+       << slot->name << "/" << slot->key;
+    if (slot->stats) {
+        os << " ipc=" << slot->stats->ipc;
+        if (slot->stats->timedOut)
+            os << " TIMEOUT";
+    } else {
+        os << " FAILED: " << slot->error;
+    }
+    os << " (" << slot->wallMs << " ms)" << std::endl;
+}
+
+const std::deque<JobResult> &
+ExperimentRunner::wait()
+{
+    pool_.wait();
+    for (const JobResult &result : results_) {
+        if (!result.error.empty()) {
+            throw std::runtime_error("experiment job " + result.name +
+                                     "/" + result.key + " failed: " +
+                                     result.error);
+        }
+    }
+    return results_;
+}
+
+} // namespace runner
+} // namespace ecdp

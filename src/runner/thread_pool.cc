@@ -1,0 +1,83 @@
+#include "runner/thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace ecdp
+{
+namespace runner
+{
+
+unsigned
+jobCountFromEnv()
+{
+    if (const char *env = std::getenv("ECDP_JOBS")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1 && v <= 1024)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = jobCountFromEnv();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+        ++pending_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allIdle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        workReady_.wait(
+            lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty())
+            return; // stopping_ and drained
+        std::function<void()> job = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        job();
+        lock.lock();
+        if (--pending_ == 0)
+            allIdle_.notify_all();
+    }
+}
+
+} // namespace runner
+} // namespace ecdp

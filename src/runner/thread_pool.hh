@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-size worker pool for the experiment runner. Deliberately
+ * minimal: FIFO job queue, a wait() barrier, and join-on-destruction.
+ * Jobs are opaque void() callables; result plumbing and ordering live
+ * in ExperimentRunner, which stores into pre-allocated slots.
+ */
+
+#ifndef ECDP_RUNNER_THREAD_POOL_HH
+#define ECDP_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecdp
+{
+namespace runner
+{
+
+/**
+ * Worker-thread count to use: the ECDP_JOBS environment variable when
+ * set to a positive integer, otherwise std::thread::hardware_concurrency
+ * (minimum 1).
+ */
+unsigned jobCountFromEnv();
+
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 means jobCountFromEnv(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Waits for queued jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allIdle_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    unsigned pending_ = 0; // queued + running jobs
+    bool stopping_ = false;
+};
+
+} // namespace runner
+} // namespace ecdp
+
+#endif // ECDP_RUNNER_THREAD_POOL_HH

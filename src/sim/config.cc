@@ -1,5 +1,9 @@
 #include "sim/config.hh"
 
+#include <algorithm>
+#include <bit>
+#include <vector>
+
 namespace ecdp
 {
 
@@ -13,6 +17,118 @@ throttleKindName(ThrottleKind kind)
       case ThrottleKind::Pab: return "pab";
     }
     return "?";
+}
+
+namespace
+{
+
+/** 64-bit FNV-1a over explicitly fed fields. */
+class FieldHasher
+{
+  public:
+    void u64(std::uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            hash_ ^= (v >> (8 * i)) & 0xffu;
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+
+    void f64(double v)
+    {
+        // +0.0 and -0.0 compare equal but hash differently through
+        // bit_cast; normalize so equal configs hash equally.
+        if (v == 0.0)
+            v = 0.0;
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+} // namespace
+
+std::uint64_t
+configHash(const SystemConfig &cfg)
+{
+    FieldHasher h;
+
+    h.u64(cfg.core.robEntries);
+    h.u64(cfg.core.width);
+    h.u64(cfg.core.lsqEntries);
+    h.u64(cfg.core.issuePerCycle);
+
+    h.u64(cfg.l1Bytes);
+    h.u64(cfg.l1Assoc);
+    h.u64(cfg.l1BlockBytes);
+    h.u64(cfg.l1Latency);
+
+    h.u64(cfg.l2Bytes);
+    h.u64(cfg.l2Assoc);
+    h.u64(cfg.l2BlockBytes);
+    h.u64(cfg.l2Latency);
+    h.u64(cfg.l2Mshrs);
+
+    h.u64(cfg.dram.banks);
+    h.u64(cfg.dram.bankBusy);
+    h.u64(cfg.dram.busTransfer);
+    h.u64(cfg.dram.frontLatency);
+    h.u64(cfg.dram.requestBufferPerCore);
+
+    h.u64(static_cast<std::uint64_t>(cfg.primary));
+    h.u64(static_cast<std::uint64_t>(cfg.lds));
+    h.u64(cfg.streamEntries);
+    h.u64(cfg.cdpCompareBits);
+    h.u64(cfg.prefetchQueueEntries);
+    h.u64(cfg.prefetchIssuePerCycle);
+    h.u64(cfg.mshrReserveForDemand);
+    h.u64(cfg.dramReserveForDemand);
+    h.u64(cfg.hwFilter ? 1 : 0);
+    h.u64(cfg.grpCoarse ? 1 : 0);
+
+    // The hint table is hashed by content, not address, so the hash
+    // identifies the *configuration* and is stable across processes.
+    if (!cfg.hints) {
+        h.u64(0);
+    } else {
+        h.u64(1);
+        std::vector<std::pair<Addr, PrefetchHint>> entries(
+            cfg.hints->begin(), cfg.hints->end());
+        std::sort(entries.begin(), entries.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        h.u64(entries.size());
+        for (const auto &[pc, hint] : entries) {
+            h.u64(pc);
+            h.u64(hint.pos);
+            h.u64(hint.neg);
+        }
+    }
+
+    h.u64(static_cast<std::uint64_t>(cfg.throttle));
+    h.u64(static_cast<std::uint64_t>(cfg.primaryStartLevel));
+    h.u64(static_cast<std::uint64_t>(cfg.ldsStartLevel));
+    h.u64(cfg.intervalEvictions);
+    h.f64(cfg.coordThresholds.tCoverage);
+    h.f64(cfg.coordThresholds.aLow);
+    h.f64(cfg.coordThresholds.aHigh);
+    h.f64(cfg.fdpThresholds.aHigh);
+    h.f64(cfg.fdpThresholds.aLow);
+    h.f64(cfg.fdpThresholds.tLateness);
+    h.f64(cfg.fdpThresholds.tPollution);
+    h.u64(cfg.fdpThresholds.intervalEvictions);
+    h.u64(cfg.fdpThresholds.pollutionFilterEntries);
+    h.u64(cfg.pabWindow);
+
+    h.u64(cfg.idealLds ? 1 : 0);
+    h.u64(cfg.idealNoPollution ? 1 : 0);
+    h.u64(cfg.maxCycles);
+
+    return h.value();
 }
 
 } // namespace ecdp

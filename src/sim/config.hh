@@ -127,6 +127,14 @@ struct PgStats
 
 using PgStatsMap = std::unordered_map<PgId, PgStats, PgIdHash>;
 
+/**
+ * Collision-free identity of a SystemConfig: a 64-bit FNV-1a hash
+ * over every field (hint tables are hashed by content, in sorted PC
+ * order, so the hash is stable across processes). Used to key run
+ * memoization and the persistent result cache.
+ */
+std::uint64_t configHash(const SystemConfig &cfg);
+
 /** Statistics of one single-core run. */
 struct RunStats
 {
@@ -134,6 +142,10 @@ struct RunStats
     Cycle cycles = 0;
     std::uint64_t instructions = 0;
     double ipc = 0.0;
+    /** True when the run hit the maxCycles watchdog before the trace
+     *  finished its first pass; the stats cover only the cycles that
+     *  did execute. Checked unconditionally (survives NDEBUG). */
+    bool timedOut = false;
 
     std::uint64_t busTransactions = 0;
     /** Bus accesses per thousand retired instructions. */
@@ -148,6 +160,8 @@ struct RunStats
     std::uint64_t prefIssued[2] = {0, 0};
     std::uint64_t prefUsed[2] = {0, 0};
     std::uint64_t prefLate[2] = {0, 0};
+    /** Requests dropped on prefetch-queue overflow, per source. */
+    std::uint64_t prefDropped[2] = {0, 0};
     /** Sum/count of issue-to-use latencies of useful prefetches. */
     std::uint64_t usefulLatencySum[2] = {0, 0};
     std::uint64_t usefulLatencyCount[2] = {0, 0};

@@ -1,5 +1,10 @@
 #include "sim/experiment.hh"
 
+#include <cstdio>
+#include <stdexcept>
+
+#include "runner/result_cache.hh"
+
 namespace ecdp
 {
 namespace configs
@@ -136,63 +141,77 @@ idealLds()
 
 } // namespace configs
 
+ExperimentContext::ExperimentContext()
+    : resultCache_(runner::ResultCache::fromEnv())
+{}
+
+ExperimentContext::~ExperimentContext() = default;
+
 const Workload &
 ExperimentContext::ref(const std::string &name)
 {
-    auto it = refs_.find(name);
-    if (it == refs_.end()) {
-        it = refs_.emplace(name, buildWorkload(name, InputSet::Ref))
-                 .first;
-    }
-    return it->second;
+    return refs_.get(
+        name, [&] { return buildWorkload(name, InputSet::Ref); });
 }
 
 const Workload &
 ExperimentContext::train(const std::string &name)
 {
-    auto it = trains_.find(name);
-    if (it == trains_.end()) {
-        it = trains_
-                 .emplace(name, buildWorkload(name, InputSet::Train))
-                 .first;
-    }
-    return it->second;
+    return trains_.get(
+        name, [&] { return buildWorkload(name, InputSet::Train); });
 }
 
 const HintTable &
 ExperimentContext::hints(const std::string &name)
 {
-    auto it = hints_.find(name);
-    if (it == hints_.end()) {
-        it = hints_
-                 .emplace(name,
-                          ProfilingCompiler::profile(train(name)))
-                 .first;
-    }
-    return it->second;
+    return hints_.get(name, [&] {
+        return ProfilingCompiler::profile(train(name));
+    });
 }
 
 const HintTable &
 ExperimentContext::hintsFromRef(const std::string &name)
 {
-    auto it = refHints_.find(name);
-    if (it == refHints_.end()) {
-        it = refHints_
-                 .emplace(name, ProfilingCompiler::profile(ref(name)))
-                 .first;
-    }
-    return it->second;
+    return refHints_.get(name, [&] {
+        return ProfilingCompiler::profile(ref(name));
+    });
 }
 
 const RunStats &
 ExperimentContext::run(const std::string &name, const SystemConfig &cfg,
                        const std::string &key)
 {
-    std::string id = name + ":" + key;
-    auto it = runs_.find(id);
-    if (it == runs_.end())
-        it = runs_.emplace(id, simulate(cfg, ref(name))).first;
-    return it->second;
+    const std::uint64_t hash = configHash(cfg);
+
+    // Labels are diagnostics, the hash is the identity: "a:b"+"c" and
+    // "a"+"b:c" may collide as labels but cannot share a memo entry,
+    // and a label reused with a different config is a harness bug
+    // that used to silently return the first config's stats.
+    {
+        std::lock_guard<std::mutex> lock(labelMutex_);
+        auto [it, inserted] = labels_.emplace(name + ":" + key, hash);
+        if (!inserted && it->second != hash) {
+            throw std::logic_error(
+                "ExperimentContext::run: label \"" + name + ":" +
+                key + "\" reused with a different SystemConfig");
+        }
+    }
+
+    char memo_key[16 + 1];
+    std::snprintf(memo_key, sizeof(memo_key), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return runs_.get(name + "#" + memo_key, [&]() -> RunStats {
+        if (resultCache_) {
+            if (std::optional<RunStats> cached =
+                    resultCache_->load(name, hash)) {
+                return std::move(*cached);
+            }
+        }
+        RunStats stats = simulate(cfg, ref(name));
+        if (resultCache_)
+            resultCache_->store(name, hash, stats);
+        return stats;
+    });
 }
 
 } // namespace ecdp

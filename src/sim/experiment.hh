@@ -8,8 +8,11 @@
 #ifndef ECDP_SIM_EXPERIMENT_HH
 #define ECDP_SIM_EXPERIMENT_HH
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 
 #include "compiler/profiling_compiler.hh"
@@ -19,6 +22,11 @@
 
 namespace ecdp
 {
+
+namespace runner
+{
+class ResultCache;
+} // namespace runner
 
 /** The named configurations of the evaluation. */
 namespace configs
@@ -77,10 +85,29 @@ SystemConfig idealLds();
  * All accessors build lazily and memoize, so a bench touching five
  * configurations of fifteen benchmarks pays each workload build and
  * profiling pass once.
+ *
+ * Every accessor is thread-safe: the parallel experiment runner calls
+ * them from its worker pool. Memoization is future-based — when two
+ * jobs need the same workload build, profiling pass or simulation,
+ * the second blocks on the first's in-flight computation instead of
+ * duplicating or racing it. Returned references are stable for the
+ * context's lifetime.
+ *
+ * Simulation results are memoized under a collision-free hash of the
+ * actual SystemConfig fields (see configHash()), never under the
+ * human-readable label alone, and — when the ECDP_RESULT_CACHE
+ * environment variable names a directory — persisted there across
+ * processes.
  */
 class ExperimentContext
 {
   public:
+    ExperimentContext();
+    ~ExperimentContext();
+
+    ExperimentContext(const ExperimentContext &) = delete;
+    ExperimentContext &operator=(const ExperimentContext &) = delete;
+
     const Workload &ref(const std::string &name);
     const Workload &train(const std::string &name);
 
@@ -92,17 +119,68 @@ class ExperimentContext
 
     /**
      * Simulate benchmark @p name (ref input) under @p cfg, memoized
-     * under @p key (a short config label like "baseline").
+     * by the content hash of @p cfg. @p key is a short human-readable
+     * config label ("baseline") used for diagnostics only; reusing a
+     * (name, key) label with a *different* configuration throws
+     * std::logic_error — the old behaviour silently returned the
+     * first config's stale stats.
      */
     const RunStats &run(const std::string &name, const SystemConfig &cfg,
                         const std::string &key);
 
   private:
-    std::map<std::string, Workload> refs_;
-    std::map<std::string, Workload> trains_;
-    std::map<std::string, HintTable> hints_;
-    std::map<std::string, HintTable> refHints_;
-    std::map<std::string, RunStats> runs_;
+    /**
+     * Thread-safe memo table. Each key owns one cell; the first
+     * caller materializes the value under the cell's once-flag while
+     * later callers block on it, so a value is built exactly once
+     * even under concurrent lookups. Cell storage is a shared_ptr so
+     * returned references survive map rehashing.
+     */
+    template <typename V>
+    class MemoTable
+    {
+      public:
+        template <typename Build>
+        const V &get(const std::string &key, Build &&build)
+        {
+            std::shared_ptr<Cell> cell;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                std::shared_ptr<Cell> &slot = cells_[key];
+                if (!slot)
+                    slot = std::make_shared<Cell>();
+                cell = slot;
+            }
+            // If build() throws, the once-flag stays unset and the
+            // next caller retries.
+            std::call_once(cell->once,
+                           [&] { cell->value.emplace(build()); });
+            return *cell->value;
+        }
+
+      private:
+        struct Cell
+        {
+            std::once_flag once;
+            std::optional<V> value;
+        };
+
+        std::mutex mutex_;
+        std::map<std::string, std::shared_ptr<Cell>> cells_;
+    };
+
+    MemoTable<Workload> refs_;
+    MemoTable<Workload> trains_;
+    MemoTable<HintTable> hints_;
+    MemoTable<HintTable> refHints_;
+    MemoTable<RunStats> runs_;
+
+    /** Diagnostic label registry: (name ":" key) -> config hash. */
+    std::mutex labelMutex_;
+    std::map<std::string, std::uint64_t> labels_;
+
+    /** Optional persistent result cache (ECDP_RESULT_CACHE). */
+    std::unique_ptr<runner::ResultCache> resultCache_;
 };
 
 } // namespace ecdp

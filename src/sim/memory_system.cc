@@ -73,6 +73,22 @@ MemorySystem::pabRecord(unsigned which, bool used)
 }
 
 void
+MemorySystem::recordDemandMiss(Addr block_addr, bool is_lds,
+                               bool probe_pollution)
+{
+    ++l2DemandMisses_;
+    if (is_lds)
+        ++l2LdsMisses_;
+    demandMissCounter_.add();
+    if (!probe_pollution)
+        return;
+    for (unsigned which = 0; which < 2; ++which) {
+        if (pollutionFilter_[which].test(block_addr))
+            pollutionEvents_[which].add();
+    }
+}
+
+void
 MemorySystem::l1Fill(Addr addr, bool dirty, Cycle now)
 {
     Cache::Victim victim = l1_.insert(addr);
@@ -157,7 +173,11 @@ MemorySystem::enqueuePrefetch(const PrefetchRequest &req, Cycle ready_at,
 {
     if (readyQueue_.size() + delayedQueue_.size() >=
         cfg_.prefetchQueueEntries) {
-        return; // prefetch request queue overflow: drop
+        // Prefetch request queue overflow: drop, but count it so
+        // sweeps can see a too-small queue instead of silently losing
+        // coverage.
+        ++prefDropped_[srcIndex(req.source)];
+        return;
     }
     QueuedPrefetch queued;
     queued.req = req;
@@ -205,12 +225,11 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
                 // prefetch is late. The block was not in the cache,
                 // so this still counts as a last-level demand miss
                 // (only cache-resident prefetches count as used) and
-                // still trains the miss-stream predictors.
+                // still trains the miss-stream predictors. The block
+                // is in flight, not prefetch-evicted, so the
+                // pollution filter is not probed.
                 feedback_[srcIndex(mshr->source)].onPrefetchLate();
-                ++l2DemandMisses_;
-                if (entry.isLds)
-                    ++l2LdsMisses_;
-                demandMissCounter_.add();
+                recordDemandMiss(block_addr, entry.isLds, false);
                 trainOnDemandMiss(entry, now);
             }
         }
@@ -260,14 +279,7 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
 
     ++demandLoads_;
     ++l2DemandAccesses_;
-    ++l2DemandMisses_;
-    if (entry.isLds)
-        ++l2LdsMisses_;
-    demandMissCounter_.add();
-    for (unsigned which = 0; which < 2; ++which) {
-        if (pollutionFilter_[which].test(block_addr))
-            pollutionEvents_[which].add();
-    }
+    recordDemandMiss(block_addr, entry.isLds, true);
 
     Mshr &mshr = mshrs_.allocate(block_addr);
     mshr.fillAt = *done;
@@ -310,10 +322,12 @@ MemorySystem::store(const TraceEntry &entry, Cycle now)
     }
 
     // Store miss: background write-allocate. The fetch costs a bus
-    // transaction but the core never waits for stores.
+    // transaction but the core never waits for stores. It is still a
+    // demand miss, so it probes the pollution filter exactly like the
+    // load-miss path — store-heavy workloads would otherwise
+    // undercount pollution and mislead FDP/coordinated throttling.
     ++l2DemandAccesses_;
-    ++l2DemandMisses_;
-    demandMissCounter_.add();
+    recordDemandMiss(block_addr, entry.isLds, true);
     dram_->writeback(coreId_, block_addr, now);
     Cache::Victim victim = l2_.insert(block_addr);
     if (CacheBlock *block = l2_.lookup(entry.vaddr, false))
@@ -576,6 +590,7 @@ MemorySystem::collectStats(RunStats &out) const
         out.prefIssued[which] = feedback_[which].lifetimeIssued();
         out.prefUsed[which] = feedback_[which].lifetimeUsed();
         out.prefLate[which] = feedback_[which].lifetimeLate();
+        out.prefDropped[which] = prefDropped_[which];
         out.usefulLatencySum[which] = usefulLatencySum_[which];
         out.usefulLatencyCount[which] = usefulLatencyCount_[which];
     }

@@ -114,6 +114,15 @@ class MemorySystem : public CoreMemoryInterface
                                              : primaryEnabled_;
     }
 
+    /**
+     * Count one last-level demand miss: lifetime and interval
+     * counters, and (for true cache misses, @p probe_pollution) the
+     * FDP pollution-filter probe. Shared by the load-miss, store
+     * write-allocate-miss and late-MSHR-merge paths so they cannot
+     * drift apart again.
+     */
+    void recordDemandMiss(Addr block_addr, bool is_lds,
+                          bool probe_pollution);
     void l1Fill(Addr addr, bool dirty, Cycle now);
     void onDemandUseOfPrefetch(CacheBlock *block, Addr block_addr,
                                Cycle now);
@@ -183,6 +192,7 @@ class MemorySystem : public CoreMemoryInterface
     std::uint64_t l2LdsMisses_ = 0;
     std::uint64_t usefulLatencySum_[2] = {0, 0};
     std::uint64_t usefulLatencyCount_[2] = {0, 0};
+    std::uint64_t prefDropped_[2] = {0, 0};
     PgStatsMap pgStats_;
     /** @} */
 

@@ -48,15 +48,22 @@ simulateMultiCore(const SystemConfig &cfg,
             cores[i]->tick(cycle);
         ++cycle;
     }
-    assert(all_done() && "maxCycles exceeded");
 
     MultiCoreResult result;
+    // Unconditional watchdog check; an assert here disappears under
+    // NDEBUG and a hung mix would silently report garbage speedups.
+    result.timedOut = !all_done();
     std::vector<double> ratios;
     for (unsigned i = 0; i < n; ++i) {
+        const bool core_timed_out = !cores[i]->finishedOnce();
         RunStats stats;
         stats.workload = workloads[i]->name;
-        stats.cycles = cores[i]->finishCycle();
-        stats.instructions = cores[i]->retiredFirstPass();
+        stats.timedOut = core_timed_out;
+        stats.cycles =
+            core_timed_out ? cycle : cores[i]->finishCycle();
+        stats.instructions = core_timed_out
+            ? cores[i]->retired()
+            : cores[i]->retiredFirstPass();
         stats.ipc = stats.cycles == 0
             ? 0.0
             : static_cast<double>(stats.instructions) /

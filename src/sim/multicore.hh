@@ -27,6 +27,10 @@ struct MultiCoreResult
     double hmeanSpeedup = 0.0;
     /** Total bus transactions over the measured window. */
     std::uint64_t busTransactions = 0;
+    /** True when the maxCycles watchdog fired before every core
+     *  finished its first pass (also flagged on the stuck cores'
+     *  perCore entries). Checked unconditionally, not via assert. */
+    bool timedOut = false;
 };
 
 /**

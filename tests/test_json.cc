@@ -79,5 +79,61 @@ TEST(Json, OmitsConfigWhenUnlabelled)
     EXPECT_EQ(oss.str().find("\"config\""), std::string::npos);
 }
 
+TEST(JsonParser, ParsesScalarsObjectsAndArrays)
+{
+    JsonValue doc = parseJson(
+        R"({"a": 1, "b": [true, false, null], "c": {"d": "x\ny"},)"
+        R"( "e": -2.5})");
+    EXPECT_EQ(doc.at("a").asU64(), 1u);
+    const auto &arr = doc.at("b").asArray();
+    ASSERT_EQ(arr.size(), 3u);
+    EXPECT_TRUE(arr[0].asBool());
+    EXPECT_FALSE(arr[1].asBool());
+    EXPECT_TRUE(arr[2].isNull());
+    EXPECT_EQ(doc.at("c").at("d").asString(), "x\ny");
+    EXPECT_EQ(doc.at("e").asDouble(), -2.5);
+    EXPECT_EQ(doc.at("e").asI64(), -2);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParser, PreservesFullUint64Precision)
+{
+    // 2^64 - 1 is not representable as a double; the parser must keep
+    // the source text so integer reads stay exact.
+    JsonValue doc = parseJson(R"({"n": 18446744073709551615})");
+    EXPECT_EQ(doc.at("n").asU64(), 18446744073709551615ull);
+}
+
+TEST(JsonParser, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson("{"), JsonError);
+    EXPECT_THROW(parseJson("{\"a\":1,}"), JsonError);
+    EXPECT_THROW(parseJson("{\"a\":1} trailing"), JsonError);
+    EXPECT_THROW(parseJson("nope"), JsonError);
+    EXPECT_FALSE(tryParseJson("[1,").has_value());
+    EXPECT_TRUE(tryParseJson("[1, 2]").has_value());
+}
+
+TEST(JsonParser, RoundTripsTheStatsWriter)
+{
+    RunStats stats;
+    stats.workload = "health";
+    stats.cycles = 123456789;
+    stats.instructions = 42;
+    stats.ipc = 0.1234567890123456;
+    stats.timedOut = true;
+    stats.prefIssued[0] = 7;
+    stats.prefDropped[1] = 3;
+    std::ostringstream oss;
+    writeRunStatsJson(oss, stats, "full");
+    JsonValue doc = parseJson(oss.str());
+    EXPECT_EQ(doc.at("workload").asString(), "health");
+    EXPECT_EQ(doc.at("cycles").asU64(), 123456789u);
+    EXPECT_TRUE(doc.at("timedOut").asBool());
+    const JsonValue &pref = doc.at("prefetchers");
+    EXPECT_EQ(pref.at("primary").at("issued").asU64(), 7u);
+    EXPECT_EQ(pref.at("lds").at("dropped").asU64(), 3u);
+}
+
 } // namespace
 } // namespace ecdp

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: the thread pool, the
+ * collision-free run memoization (configHash), timeout reporting,
+ * the persistent result cache, and — most importantly — that a
+ * parallel run produces exactly the statistics of a serial one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "runner/result_cache.hh"
+#include "runner/runner.hh"
+#include "runner/thread_pool.hh"
+#include "sim/experiment.hh"
+#include "sim/multicore.hh"
+#include "sim/simulator.hh"
+
+namespace ecdp
+{
+namespace
+{
+
+using runner::ExperimentRunner;
+using runner::ResultCache;
+using runner::ThreadPool;
+
+TEST(ThreadPoolTest, RunsEverySubmittedJob)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(2);
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsTheQueue)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { ++count; });
+    }
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, JobCountRespectsEnvironment)
+{
+    ::setenv("ECDP_JOBS", "3", 1);
+    EXPECT_EQ(runner::jobCountFromEnv(), 3u);
+    ::setenv("ECDP_JOBS", "1", 1);
+    EXPECT_EQ(runner::jobCountFromEnv(), 1u);
+    // Garbage and zero fall back to hardware concurrency (>= 1).
+    ::setenv("ECDP_JOBS", "0", 1);
+    EXPECT_GE(runner::jobCountFromEnv(), 1u);
+    ::setenv("ECDP_JOBS", "banana", 1);
+    EXPECT_GE(runner::jobCountFromEnv(), 1u);
+    ::unsetenv("ECDP_JOBS");
+    EXPECT_GE(runner::jobCountFromEnv(), 1u);
+}
+
+TEST(ConfigHashTest, IdenticalConfigsHashEqual)
+{
+    EXPECT_EQ(configHash(configs::baseline()),
+              configHash(configs::baseline()));
+    EXPECT_EQ(configHash(SystemConfig{}), configHash(SystemConfig{}));
+}
+
+TEST(ConfigHashTest, EveryTweakedKnobChangesTheHash)
+{
+    const std::uint64_t base = configHash(SystemConfig{});
+    auto tweaked = [](auto mutate) {
+        SystemConfig cfg;
+        mutate(cfg);
+        return configHash(cfg);
+    };
+    EXPECT_NE(base, tweaked([](SystemConfig &c) { c.l2Bytes *= 2; }));
+    EXPECT_NE(base, tweaked([](SystemConfig &c) { c.l2Assoc = 4; }));
+    EXPECT_NE(base, tweaked([](SystemConfig &c) {
+                  c.lds = LdsKind::Cdp;
+              }));
+    EXPECT_NE(base, tweaked([](SystemConfig &c) {
+                  c.throttle = ThrottleKind::Coordinated;
+              }));
+    EXPECT_NE(base, tweaked([](SystemConfig &c) {
+                  c.coordThresholds.tCoverage += 0.1;
+              }));
+    EXPECT_NE(base, tweaked([](SystemConfig &c) {
+                  c.maxCycles = 1000;
+              }));
+    EXPECT_NE(base, tweaked([](SystemConfig &c) {
+                  c.idealLds = true;
+              }));
+    EXPECT_NE(base, tweaked([](SystemConfig &c) {
+                  c.prefetchQueueEntries = 64;
+              }));
+}
+
+TEST(ConfigHashTest, HintsHashByContentNotAddress)
+{
+    HintTable a;
+    a.entry(0x400).set(1);
+    HintTable b;
+    b.entry(0x400).set(1);
+    SystemConfig cfg_a;
+    cfg_a.hints = &a;
+    SystemConfig cfg_b;
+    cfg_b.hints = &b;
+    EXPECT_EQ(configHash(cfg_a), configHash(cfg_b));
+
+    // An empty table is not the same as no table, and different
+    // content hashes differently.
+    SystemConfig no_hints;
+    HintTable empty;
+    SystemConfig empty_hints;
+    empty_hints.hints = &empty;
+    EXPECT_NE(configHash(no_hints), configHash(empty_hints));
+    b.entry(0x400).set(2);
+    EXPECT_NE(configHash(cfg_a), configHash(cfg_b));
+}
+
+TEST(ExperimentContextTest, LabelReuseWithDifferentConfigThrows)
+{
+    ExperimentContext ctx;
+    ctx.run("parser", configs::noPrefetch(), "np");
+    // Regression: the old name+key memoization would silently return
+    // the noPrefetch() stats here.
+    EXPECT_THROW(ctx.run("parser", configs::baseline(), "np"),
+                 std::logic_error);
+}
+
+TEST(ExperimentContextTest, SameConfigUnderTwoLabelsRunsOnce)
+{
+    ExperimentContext ctx;
+    const RunStats &a = ctx.run("parser", configs::noPrefetch(), "x");
+    const RunStats &b = ctx.run("parser", configs::noPrefetch(), "y");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(SimulatorTimeout, SingleCoreWatchdogSetsTimedOut)
+{
+    SystemConfig cfg = configs::noPrefetch();
+    cfg.maxCycles = 5000;
+    RunStats stats = simulate(cfg, buildWorkload("parser",
+                                                 InputSet::Train));
+    EXPECT_TRUE(stats.timedOut);
+    EXPECT_EQ(stats.cycles, cfg.maxCycles);
+    // A finished run must not be flagged.
+    cfg.maxCycles = 4'000'000'000ull;
+    RunStats done = simulate(cfg, buildWorkload("parser",
+                                                InputSet::Train));
+    EXPECT_FALSE(done.timedOut);
+    EXPECT_GT(done.instructions, 0u);
+}
+
+TEST(SimulatorTimeout, MultiCoreWatchdogSetsTimedOut)
+{
+    SystemConfig cfg = configs::noPrefetch();
+    cfg.maxCycles = 5000;
+    const Workload a = buildWorkload("parser", InputSet::Train);
+    const Workload b = buildWorkload("bisort", InputSet::Train);
+    MultiCoreResult result =
+        simulateMultiCore(cfg, {&a, &b}, {1.0, 1.0});
+    EXPECT_TRUE(result.timedOut);
+    ASSERT_EQ(result.perCore.size(), 2u);
+    EXPECT_TRUE(result.perCore[0].timedOut);
+    EXPECT_TRUE(result.perCore[1].timedOut);
+}
+
+namespace
+{
+
+void
+expectSameStats(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.timedOut, b.timedOut);
+    EXPECT_EQ(a.busTransactions, b.busTransactions);
+    EXPECT_EQ(a.bpki, b.bpki);
+    EXPECT_EQ(a.demandLoads, b.demandLoads);
+    EXPECT_EQ(a.l2DemandAccesses, b.l2DemandAccesses);
+    EXPECT_EQ(a.l2DemandMisses, b.l2DemandMisses);
+    EXPECT_EQ(a.l2LdsMisses, b.l2LdsMisses);
+    for (unsigned which = 0; which < 2; ++which) {
+        EXPECT_EQ(a.prefIssued[which], b.prefIssued[which]);
+        EXPECT_EQ(a.prefUsed[which], b.prefUsed[which]);
+        EXPECT_EQ(a.prefLate[which], b.prefLate[which]);
+        EXPECT_EQ(a.prefDropped[which], b.prefDropped[which]);
+        EXPECT_EQ(a.usefulLatencySum[which],
+                  b.usefulLatencySum[which]);
+        EXPECT_EQ(a.usefulLatencyCount[which],
+                  b.usefulLatencyCount[which]);
+    }
+    ASSERT_EQ(a.pgStats.size(), b.pgStats.size());
+    for (const auto &[id, pg] : a.pgStats) {
+        auto it = b.pgStats.find(id);
+        ASSERT_NE(it, b.pgStats.end());
+        EXPECT_EQ(pg.issued, it->second.issued);
+        EXPECT_EQ(pg.used, it->second.used);
+    }
+    EXPECT_EQ(a.finalPrimaryLevel, b.finalPrimaryLevel);
+    EXPECT_EQ(a.finalLdsLevel, b.finalLdsLevel);
+    EXPECT_EQ(a.finalPrimaryEnabled, b.finalPrimaryEnabled);
+    EXPECT_EQ(a.finalLdsEnabled, b.finalLdsEnabled);
+    EXPECT_EQ(a.intervals, b.intervals);
+}
+
+} // namespace
+
+TEST(ExperimentRunnerTest, ParallelRunsMatchSerialExactly)
+{
+    const std::vector<std::string> names{"parser", "bisort", "mst"};
+    const std::vector<std::pair<std::string, SystemConfig>> grid{
+        {"np", configs::noPrefetch()},
+        {"base", configs::baseline()},
+        {"ideal", configs::idealLds()},
+    };
+
+    ExperimentContext serial_ctx;
+    ExperimentContext parallel_ctx;
+    ExperimentRunner parallel(parallel_ctx, 4);
+    parallel.setProgressStream(nullptr);
+    for (const auto &[key, cfg] : grid) {
+        for (const std::string &name : names) {
+            parallel.submit(name, key,
+                            [cfg](ExperimentContext &,
+                                  const std::string &) { return cfg; });
+        }
+    }
+    const auto &results = parallel.wait();
+    ASSERT_EQ(results.size(), names.size() * grid.size());
+
+    std::size_t i = 0;
+    for (const auto &[key, cfg] : grid) {
+        for (const std::string &name : names) {
+            const RunStats &serial = serial_ctx.run(name, cfg, key);
+            ASSERT_EQ(results[i].name, name);
+            ASSERT_EQ(results[i].key, key);
+            ASSERT_NE(results[i].stats, nullptr);
+            EXPECT_TRUE(results[i].error.empty());
+            expectSameStats(serial, *results[i].stats);
+            // The runner memoized into its context: a serial re-run
+            // must return the very same object.
+            EXPECT_EQ(results[i].stats,
+                      &parallel_ctx.run(name, cfg, key));
+            ++i;
+        }
+    }
+}
+
+TEST(ExperimentRunnerTest, FailedJobsSurfaceInWait)
+{
+    ExperimentContext ctx;
+    ExperimentRunner parallel(ctx, 2);
+    parallel.setProgressStream(nullptr);
+    parallel.submit("parser", "ok",
+                    [](ExperimentContext &, const std::string &) {
+                        return configs::noPrefetch();
+                    });
+    parallel.submit("parser", "boom",
+                    [](ExperimentContext &,
+                       const std::string &) -> SystemConfig {
+                        throw std::runtime_error("no such config");
+                    });
+    EXPECT_THROW(parallel.wait(), std::runtime_error);
+}
+
+TEST(ResultCacheTest, RoundTripsExactly)
+{
+    const std::string dir =
+        testing::TempDir() + "/ecdp_cache_roundtrip";
+    std::filesystem::remove_all(dir);
+    ResultCache cache(dir);
+
+    ExperimentContext ctx;
+    SystemConfig cfg = configs::noPrefetch();
+    RunStats stats = simulate(cfg, ctx.ref("parser"));
+    stats.pgStats[PgId{0x400, -2}] = PgStats{17, 5};
+    const std::uint64_t hash = configHash(cfg);
+
+    cache.store("parser", hash, stats);
+    std::optional<RunStats> loaded = cache.load("parser", hash);
+    ASSERT_TRUE(loaded.has_value());
+    expectSameStats(stats, *loaded);
+
+    // A different config hash must miss even though the file for the
+    // stored hash exists.
+    EXPECT_FALSE(cache.load("parser", hash + 1).has_value());
+    EXPECT_FALSE(cache.load("bisort", hash).has_value());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheTest, StaleVersionOrGarbageReadsAsMiss)
+{
+    const std::string dir = testing::TempDir() + "/ecdp_cache_stale";
+    std::filesystem::remove_all(dir);
+    ResultCache cache(dir);
+    SystemConfig cfg = configs::noPrefetch();
+    const std::uint64_t hash = configHash(cfg);
+
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream out(cache.entryPath("parser", hash));
+        out << "{\"version\":99999,\"workload\":\"parser\"}";
+    }
+    EXPECT_FALSE(cache.load("parser", hash).has_value());
+    {
+        std::ofstream out(cache.entryPath("parser", hash));
+        out << "this is not json";
+    }
+    EXPECT_FALSE(cache.load("parser", hash).has_value());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheTest, ContextUsesCacheAcrossInstances)
+{
+    const std::string dir = testing::TempDir() + "/ecdp_cache_ctx";
+    std::filesystem::remove_all(dir);
+    ::setenv("ECDP_RESULT_CACHE", dir.c_str(), 1);
+
+    RunStats first;
+    {
+        ExperimentContext ctx;
+        first = ctx.run("parser", configs::noPrefetch(), "np");
+    }
+    EXPECT_TRUE(std::filesystem::exists(
+        ResultCache(dir).entryPath("parser",
+                                   configHash(configs::noPrefetch()))));
+    {
+        ExperimentContext ctx;
+        const RunStats &again =
+            ctx.run("parser", configs::noPrefetch(), "np");
+        expectSameStats(first, again);
+    }
+    ::unsetenv("ECDP_RESULT_CACHE");
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace ecdp
