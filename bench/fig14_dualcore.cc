@@ -10,6 +10,7 @@
 
 #include <algorithm>
 
+#include "obs/trace_session.hh"
 #include "sim/multicore.hh"
 
 using namespace ecdp;
@@ -68,8 +69,20 @@ runMix(ExperimentContext &ctx, const NamedConfig &config,
 
     const Workload &a = ctx.ref(mix.first);
     const Workload &b = ctx.ref(mix.second);
-    MultiCoreResult result =
-        simulateMultiCore(shared, {&a, &b}, {alone_a, alone_b});
+    MultiCoreResult result;
+    if (obs::TraceSession *session = obs::TraceSession::global()) {
+        obs::EventTracer tracer(obs::EventTracer::capacityFromEnv());
+        obs::MetricRegistry metrics;
+        result = simulateMultiCore(shared, {&a, &b},
+                                   {alone_a, alone_b},
+                                   Observability{&metrics, &tracer});
+        session->flush(mix.first + "+" + mix.second + ":" +
+                           config.key,
+                       tracer);
+    } else {
+        result = simulateMultiCore(shared, {&a, &b},
+                                   {alone_a, alone_b});
+    }
     return {result.weightedSpeedup, result.hmeanSpeedup,
             result.busTransactions};
 }

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/trace_session.hh"
 #include "sim/multicore.hh"
 
 using namespace ecdp;
@@ -94,8 +95,19 @@ main()
             if (shared.hints)
                 shared.hints = merged.get();
             keeper.push_back(std::move(merged));
-            MultiCoreResult result =
-                simulateMultiCore(shared, workloads, alone);
+            MultiCoreResult result;
+            if (obs::TraceSession *session =
+                    obs::TraceSession::global()) {
+                obs::EventTracer tracer(
+                    obs::EventTracer::capacityFromEnv());
+                obs::MetricRegistry metrics;
+                result = simulateMultiCore(
+                    shared, workloads, alone,
+                    Observability{&metrics, &tracer});
+                session->flush(label + ":" + config.key, tracer);
+            } else {
+                result = simulateMultiCore(shared, workloads, alone);
+            }
             ws_cols[c].push_back(result.weightedSpeedup);
             hm_cols[c].push_back(result.hmeanSpeedup);
             bus_cols[c].push_back(

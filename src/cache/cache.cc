@@ -104,6 +104,21 @@ Cache::insert(Addr addr, PrefetchSource source)
     return victim;
 }
 
+Cache::PrefetchedResident
+Cache::prefetchedResident() const
+{
+    PrefetchedResident census;
+    for (const CacheBlock &block : blocks_) {
+        if (!block.valid)
+            continue;
+        if (block.prefetchedPrimary)
+            ++census.primary;
+        if (block.prefetchedLds)
+            ++census.lds;
+    }
+    return census;
+}
+
 void
 Cache::invalidate(Addr addr)
 {

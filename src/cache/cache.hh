@@ -129,6 +129,17 @@ class Cache
     /** Number of evictions of valid blocks so far (interval clock). */
     std::uint64_t evictions() const { return evictions_; }
 
+    /** End-of-run census of still-resident unused prefetches. */
+    struct PrefetchedResident
+    {
+        std::uint64_t primary = 0;
+        std::uint64_t lds = 0;
+    };
+
+    /** Count resident blocks whose prefetched tag bit is still set
+     *  (i.e. prefetched but never consumed by a demand). */
+    PrefetchedResident prefetchedResident() const;
+
     const std::string &name() const { return name_; }
 
     /** Extra tag storage (bits) for the two prefetched bits/block,

@@ -32,6 +32,7 @@ MshrFile::allocate(Addr block_addr)
             entry.valid = true;
             entry.blockAddr = block_addr;
             --free_;
+            ++allocations_;
             return entry;
         }
     }
@@ -45,6 +46,7 @@ MshrFile::release(Mshr &entry)
     assert(entry.valid);
     entry.valid = false;
     ++free_;
+    ++releases_;
 }
 
 std::vector<Mshr *>

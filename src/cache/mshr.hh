@@ -108,9 +108,18 @@ class MshrFile
         return entries_.size() * (7ull + hint_vector_bits);
     }
 
+    /** @{ Lifetime accounting: allocations == releases + inFlight()
+     *  must hold at any instant (the conservation-law tests check it
+     *  at end of run). */
+    std::uint64_t allocations() const { return allocations_; }
+    std::uint64_t releases() const { return releases_; }
+    /** @} */
+
   private:
     std::vector<Mshr> entries_;
     unsigned free_;
+    std::uint64_t allocations_ = 0;
+    std::uint64_t releases_ = 0;
 };
 
 } // namespace ecdp

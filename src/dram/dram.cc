@@ -35,12 +35,46 @@ DramSystem::bufferOccupancy(Cycle now)
     return static_cast<unsigned>(inFlight_.size());
 }
 
+void
+DramSystem::attachObservability(const Observability &obs)
+{
+    tracer_ = obs.tracer;
+    if (obs.metrics) {
+        readsCtr_ = &obs.metrics->counter("dram.reads");
+        writebacksCtr_ = &obs.metrics->counter("dram.writebacks");
+        bankConflictsCtr_ =
+            &obs.metrics->counter("dram.bank_conflicts");
+        bufferRejectsCtr_ =
+            &obs.metrics->counter("dram.buffer_rejects");
+    } else {
+        readsCtr_ = writebacksCtr_ = bankConflictsCtr_ =
+            bufferRejectsCtr_ = nullptr;
+    }
+}
+
 Cycle
 DramSystem::reserve(unsigned core, Addr block_addr, Cycle now)
 {
     unsigned bank = bankIndex(core, block_addr);
-    Cycle bank_start = std::max(now + params_.frontLatency,
-                                bankFree_[bank]);
+    Cycle earliest = now + params_.frontLatency;
+    if (bankFree_[bank] > earliest) {
+        // Bank conflict: this request waits on a previous access to
+        // the same bank — the contention the coordinated throttling
+        // mechanism exists to manage.
+        if (bankConflictsCtr_)
+            bankConflictsCtr_->inc();
+        if (tracer_) {
+            obs::TraceEvent event;
+            event.type = obs::EventType::DramBankConflict;
+            event.core = static_cast<std::uint16_t>(core);
+            event.cycle = now;
+            event.addr = block_addr;
+            event.a = static_cast<std::uint8_t>(bank);
+            event.arg = bankFree_[bank] - earliest;
+            tracer_->record(event);
+        }
+    }
+    Cycle bank_start = std::max(earliest, bankFree_[bank]);
     Cycle bank_done = bank_start + params_.bankBusy;
     bankFree_[bank] = bank_done;
 
@@ -60,8 +94,13 @@ DramSystem::read(unsigned core, Addr block_addr, Cycle now,
     unsigned usable = bufferCapacity_ > reserved
         ? bufferCapacity_ - reserved
         : 0;
-    if (bufferOccupancy(now) >= usable)
+    if (bufferOccupancy(now) >= usable) {
+        if (bufferRejectsCtr_)
+            bufferRejectsCtr_->inc();
         return std::nullopt;
+    }
+    if (readsCtr_)
+        readsCtr_->inc();
     Cycle done = reserve(core, block_addr, now);
     inFlight_.push(done);
     return done;
@@ -70,6 +109,8 @@ DramSystem::read(unsigned core, Addr block_addr, Cycle now,
 void
 DramSystem::writeback(unsigned core, Addr block_addr, Cycle now)
 {
+    if (writebacksCtr_)
+        writebacksCtr_->inc();
     reserve(core, block_addr, now);
 }
 

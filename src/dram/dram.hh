@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "memsim/types.hh"
+#include "obs/observability.hh"
 
 namespace ecdp
 {
@@ -92,6 +93,15 @@ class DramSystem
 
     unsigned bufferCapacity() const { return bufferCapacity_; }
 
+    /**
+     * Attach the run's observability bundle. Registers the "dram.*"
+     * counters (reads, writebacks, bank_conflicts, buffer_rejects)
+     * and emits DramBankConflict events for requests that arrive
+     * while their bank is still busy. Idempotent per registry; a
+     * default bundle detaches tracing and counts into nothing.
+     */
+    void attachObservability(const Observability &obs);
+
   private:
     /** Reserve bank + bus resources; returns the bus-done cycle. */
     Cycle reserve(unsigned core, Addr block_addr, Cycle now);
@@ -107,6 +117,14 @@ class DramSystem
         inFlight_;
     std::uint64_t busTransactions_ = 0;
     std::vector<std::uint64_t> perCoreBus_;
+
+    /** @{ Observability (null when the run is unobserved). */
+    obs::EventTracer *tracer_ = nullptr;
+    obs::Counter *readsCtr_ = nullptr;
+    obs::Counter *writebacksCtr_ = nullptr;
+    obs::Counter *bankConflictsCtr_ = nullptr;
+    obs::Counter *bufferRejectsCtr_ = nullptr;
+    /** @} */
 };
 
 } // namespace ecdp

@@ -1,0 +1,84 @@
+#include "obs/event_tracer.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ecdp
+{
+namespace obs
+{
+
+const char *
+eventTypeName(EventType type)
+{
+    switch (type) {
+      case EventType::DemandMiss:
+        return "demand-miss";
+      case EventType::PrefetchIssue:
+        return "prefetch-issue";
+      case EventType::PrefetchFill:
+        return "prefetch-fill";
+      case EventType::PrefetchDrop:
+        return "prefetch-drop";
+      case EventType::ThrottleTransition:
+        return "throttle-transition";
+      case EventType::IntervalSample:
+        return "interval-sample";
+      case EventType::DramBankConflict:
+        return "dram-bank-conflict";
+      case EventType::MshrFullStall:
+        return "mshr-full-stall";
+    }
+    return "unknown";
+}
+
+const char *
+dropReasonName(DropReason reason)
+{
+    switch (reason) {
+      case DropReason::QueueFull:
+        return "queue-full";
+      case DropReason::SourceDisabled:
+        return "source-disabled";
+      case DropReason::AlreadyCached:
+        return "already-cached";
+      case DropReason::AlreadyInFlight:
+        return "already-in-flight";
+      case DropReason::SideBuffered:
+        return "side-buffered";
+      case DropReason::HwFilter:
+        return "hw-filter";
+    }
+    return "unknown";
+}
+
+std::size_t
+EventTracer::capacityFromEnv()
+{
+    const char *text = std::getenv("ECDP_TRACE_CAPACITY");
+    if (!text || !*text)
+        return kDefaultCapacity;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || v == 0)
+        return kDefaultCapacity;
+    return static_cast<std::size_t>(v);
+}
+
+EventTracer::EventTracer(std::size_t capacity)
+    : main_(capacity), rare_(std::min(
+                           capacity ? capacity : std::size_t{1},
+                           kRareCapacity))
+{}
+
+std::vector<TraceEvent>
+EventTracer::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(size());
+    forEach([&out](const TraceEvent &e) { out.push_back(e); });
+    return out;
+}
+
+} // namespace obs
+} // namespace ecdp

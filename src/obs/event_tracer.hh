@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Cycle-level event tracer — a bounded ring buffer of typed
+ * simulator events.
+ *
+ * The simulator records events through a nullable `EventTracer *`:
+ * untraced runs pass nullptr and pay a single pointer test per
+ * would-be event (the "disabled" path adds no events and allocates
+ * nothing). Traced runs append fixed-size records into a
+ * pre-allocated ring; on wraparound the oldest events are overwritten
+ * so the newest window always survives, and `overwritten()` reports
+ * how many were lost.
+ *
+ * Event taxonomy (see DESIGN.md §8):
+ *  - DemandMiss          last-level demand miss (true miss or late
+ *                        MSHR merge; `a` = 1 for an LDS access)
+ *  - PrefetchIssue       prefetch accepted by DRAM, per source
+ *  - PrefetchFill        prefetch fill installed (`a` = 1 when a
+ *                        demand was already waiting — a late fill)
+ *  - PrefetchDrop        prefetch request discarded, per source,
+ *                        with a DropReason in `a`
+ *  - ThrottleTransition  aggressiveness level / enable change of one
+ *                        prefetcher (`a` = from, `b` = to,
+ *                        levels 0..3; 255 encodes "disabled")
+ *  - IntervalSample      feedback-interval boundary with the aged
+ *                        accuracy (`x`) and coverage (`y`) sample of
+ *                        one prefetcher
+ *  - DramBankConflict    DRAM request arrived while its bank was
+ *                        still busy (`addr` = block, `a` = bank,
+ *                        `arg` = wait cycles)
+ *  - MshrFullStall       demand access rejected because every MSHR
+ *                        was in flight (recorded at the start of each
+ *                        contiguous stall burst)
+ *
+ * Events are raw data; the Chrome trace_event JSON mapping lives in
+ * trace_session.(hh|cc).
+ */
+
+#ifndef ECDP_OBS_EVENT_TRACER_HH
+#define ECDP_OBS_EVENT_TRACER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "memsim/types.hh"
+
+namespace ecdp
+{
+namespace obs
+{
+
+/** Typed simulator events (see file comment for the taxonomy). */
+enum class EventType : std::uint8_t
+{
+    DemandMiss,
+    PrefetchIssue,
+    PrefetchFill,
+    PrefetchDrop,
+    ThrottleTransition,
+    IntervalSample,
+    DramBankConflict,
+    MshrFullStall,
+};
+
+const char *eventTypeName(EventType type);
+
+/** Why a prefetch request never reached DRAM. */
+enum class DropReason : std::uint8_t
+{
+    /** Prefetch request queue overflow at enqueue. */
+    QueueFull,
+    /** Source prefetcher disabled (PAB or throttle) at issue time. */
+    SourceDisabled,
+    /** Target block already cached in the L2. */
+    AlreadyCached,
+    /** Target block already in flight in an MSHR. */
+    AlreadyInFlight,
+    /** Target block already held by the ideal-no-pollution buffer. */
+    SideBuffered,
+    /** Rejected by the Zhuang-Lee hardware filter. */
+    HwFilter,
+};
+
+const char *dropReasonName(DropReason reason);
+
+/** Level encoding for ThrottleTransition events. */
+inline constexpr std::uint8_t kLevelDisabled = 255;
+
+/**
+ * One fixed-size trace record. Field meaning depends on `type`; see
+ * the taxonomy above. `source` is 0 = primary, 1 = LDS, 255 = n/a.
+ */
+struct TraceEvent
+{
+    EventType type = EventType::DemandMiss;
+    std::uint8_t source = 255;
+    /** Small per-type operands (drop reason, from-level, ...). */
+    std::uint8_t a = 0;
+    std::uint8_t b = 0;
+    /** Core the event belongs to. */
+    std::uint16_t core = 0;
+    Cycle cycle = 0;
+    /** Block address for memory events, otherwise 0. */
+    std::uint64_t addr = 0;
+    /** Wide per-type operand (bank-conflict wait cycles, ...). */
+    std::uint64_t arg = 0;
+    /** Floating-point operands (interval accuracy / coverage). */
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/**
+ * Bounded ring buffer of TraceEvents. Not thread-safe: each
+ * simulation run owns its tracer (runs are the unit of parallelism).
+ *
+ * Two lanes share the capacity budget: high-frequency per-access
+ * events (misses, issues, fills, drops, conflicts, stalls) go into
+ * the main ring, while the low-frequency control-plane events
+ * (ThrottleTransition, IntervalSample) get a ring of their own.
+ * A long run floods the main ring with per-prefetch events, and
+ * without the second lane it would evict the handful of throttle
+ * transitions that usually happen early — the events a bandwidth
+ * study most wants to keep.
+ */
+class EventTracer
+{
+  public:
+    /** Default main-ring capacity (events). */
+    static constexpr std::size_t kDefaultCapacity = 1u << 18;
+
+    /** Control-lane capacity: plenty for every feedback interval of
+     *  the longest runs while bounding worst-case memory. */
+    static constexpr std::size_t kRareCapacity = 1u << 14;
+
+    /** kDefaultCapacity, overridable via ECDP_TRACE_CAPACITY. */
+    static std::size_t capacityFromEnv();
+
+    explicit EventTracer(std::size_t capacity = kDefaultCapacity);
+
+    void record(const TraceEvent &event)
+    {
+        lane(event.type).record(event);
+    }
+
+    /** Events currently held across both lanes. */
+    std::size_t size() const { return main_.size + rare_.size; }
+
+    /** Main-ring capacity (the control lane is kRareCapacity). */
+    std::size_t capacity() const { return main_.buffer.size(); }
+
+    /** Events lost to wraparound (oldest-first, both lanes). */
+    std::uint64_t overwritten() const
+    {
+        return main_.overwritten + rare_.overwritten;
+    }
+
+    /** The retained events, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /**
+     * Visit retained events without copying, merged oldest-first:
+     * cycles are nondecreasing in record order within each lane, so
+     * a two-way merge restores global time order.
+     */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        std::size_t m = 0, r = 0;
+        while (m < main_.size || r < rare_.size) {
+            if (r >= rare_.size ||
+                (m < main_.size &&
+                 main_.at(m).cycle <= rare_.at(r).cycle)) {
+                fn(main_.at(m++));
+            } else {
+                fn(rare_.at(r++));
+            }
+        }
+    }
+
+  private:
+    struct Lane
+    {
+        explicit Lane(std::size_t capacity)
+            : buffer(capacity ? capacity : 1)
+        {}
+
+        void record(const TraceEvent &event)
+        {
+            if (size < buffer.size()) {
+                buffer[(start + size) % buffer.size()] = event;
+                ++size;
+            } else {
+                buffer[start] = event;
+                start = (start + 1) % buffer.size();
+                ++overwritten;
+            }
+        }
+
+        const TraceEvent &at(std::size_t i) const
+        {
+            return buffer[(start + i) % buffer.size()];
+        }
+
+        std::vector<TraceEvent> buffer;
+        std::size_t start = 0;
+        std::size_t size = 0;
+        std::uint64_t overwritten = 0;
+    };
+
+    Lane &lane(EventType type)
+    {
+        return (type == EventType::ThrottleTransition ||
+                type == EventType::IntervalSample)
+                   ? rare_
+                   : main_;
+    }
+
+    Lane main_;
+    Lane rare_;
+};
+
+} // namespace obs
+} // namespace ecdp
+
+#endif // ECDP_OBS_EVENT_TRACER_HH

@@ -1,0 +1,58 @@
+#include "obs/metrics.hh"
+
+#include <stdexcept>
+
+namespace ecdp
+{
+namespace obs
+{
+
+Counter &
+MetricRegistry::counter(const std::string &path)
+{
+    return counters_[path];
+}
+
+const Counter *
+MetricRegistry::find(const std::string &path) const
+{
+    auto it = counters_.find(path);
+    return it == counters_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+MetricRegistry::value(const std::string &path) const
+{
+    const Counter *c = find(path);
+    if (!c) {
+        throw std::out_of_range("MetricRegistry: no counter \"" +
+                                path + "\"");
+    }
+    return c->value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricRegistry::sorted() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &[path, counter] : counters_)
+        out.emplace_back(path, counter.value());
+    return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricRegistry::sortedWithPrefix(const std::string &prefix) const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (auto it = counters_.lower_bound(prefix);
+         it != counters_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+        out.emplace_back(it->first, it->second.value());
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace ecdp

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Hierarchical metric registry — the named-counter half of the
+ * observability layer (the other half is the event tracer).
+ *
+ * Components register counters once at construction under dotted
+ * paths ("core0.pf.lds.issued", "dram.bank_conflicts") and then hold
+ * stable `Counter &` references, so the hot-path cost of a metric is
+ * exactly one inlined 64-bit increment — the same as the ad-hoc
+ * `std::uint64_t` struct fields the registry replaces. Nothing is
+ * locked and nothing allocates after registration; a simulation run
+ * owns (or is handed) one registry, and readers walk it only after
+ * the run finished.
+ *
+ * The dotted paths form the hierarchy: `sorted()` returns entries in
+ * lexicographic path order, so "core0.l2.*" metrics group together
+ * and tooling can reconstruct the tree without a tree structure here.
+ */
+
+#ifndef ECDP_OBS_METRICS_HH
+#define ECDP_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ecdp
+{
+namespace obs
+{
+
+/**
+ * One monotonic counter (or end-of-run gauge via set()). Registered
+ * components increment it inline; the registry owns the storage.
+ */
+class Counter
+{
+  public:
+    void inc() { ++value_; }
+    void add(std::uint64_t n) { value_ += n; }
+
+    /** Overwrite the value — for end-of-run gauges (queue depths,
+     *  resident-block census) folded in at collection time. */
+    void set(std::uint64_t v) { value_ = v; }
+
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Registry of counters keyed by dotted path.
+ *
+ * References returned by counter() are stable for the registry's
+ * lifetime (std::map nodes never move).
+ */
+class MetricRegistry
+{
+  public:
+    /** The counter at @p path, created zero-valued on first use. */
+    Counter &counter(const std::string &path);
+
+    /** The counter at @p path, or nullptr when never registered. */
+    const Counter *find(const std::string &path) const;
+
+    /**
+     * Value of the counter at @p path. Unlike find(), a missing path
+     * throws std::out_of_range — conservation-law tests use this so a
+     * typo fails loudly instead of comparing against a silent zero.
+     */
+    std::uint64_t value(const std::string &path) const;
+
+    /** All (path, value) pairs in lexicographic path order. */
+    std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
+
+    /** Paths that start with @p prefix, in lexicographic order. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    sortedWithPrefix(const std::string &prefix) const;
+
+    std::size_t size() const { return counters_.size(); }
+
+  private:
+    std::map<std::string, Counter> counters_;
+};
+
+/**
+ * Convenience view that prefixes every path — lets a component
+ * register its metrics relative to its own position in the hierarchy
+ * ("l2.demand_hits") while a parent decides the absolute prefix
+ * ("core3.").
+ */
+class MetricScope
+{
+  public:
+    MetricScope(MetricRegistry &registry, std::string prefix)
+        : registry_(&registry), prefix_(std::move(prefix))
+    {}
+
+    Counter &counter(const std::string &path) const
+    {
+        return registry_->counter(prefix_ + path);
+    }
+
+    MetricScope scope(const std::string &sub) const
+    {
+        return MetricScope(*registry_, prefix_ + sub);
+    }
+
+    const std::string &prefix() const { return prefix_; }
+    MetricRegistry &registry() const { return *registry_; }
+
+  private:
+    MetricRegistry *registry_;
+    std::string prefix_;
+};
+
+} // namespace obs
+} // namespace ecdp
+
+#endif // ECDP_OBS_METRICS_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The observability bundle a simulation run is wired with: a metric
+ * registry (named counters) and an event tracer (typed event ring).
+ * Both are optional and owned by the caller; either pointer may be
+ * null, and a default-constructed bundle means "unobserved run" — the
+ * memory system then falls back to a private registry so its counters
+ * always exist, and tracing is off.
+ */
+
+#ifndef ECDP_OBS_OBSERVABILITY_HH
+#define ECDP_OBS_OBSERVABILITY_HH
+
+#include "obs/event_tracer.hh"
+#include "obs/metrics.hh"
+
+namespace ecdp
+{
+
+struct Observability
+{
+    obs::MetricRegistry *metrics = nullptr;
+    obs::EventTracer *tracer = nullptr;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_OBS_OBSERVABILITY_HH

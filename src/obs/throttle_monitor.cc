@@ -1,0 +1,37 @@
+#include "obs/throttle_monitor.hh"
+
+namespace ecdp
+{
+namespace obs
+{
+
+ThrottleMonitor::ThrottleMonitor(EventTracer *tracer, unsigned core,
+                                 unsigned which, AggLevel start)
+    : tracer_(tracer),
+      core_(static_cast<std::uint16_t>(core)),
+      which_(static_cast<std::uint8_t>(which)),
+      last_(encode(start, true))
+{}
+
+bool
+ThrottleMonitor::observe(Cycle now, AggLevel level, bool enabled)
+{
+    const std::uint8_t encoded = encode(level, enabled);
+    if (encoded == last_)
+        return false;
+    if (tracer_) {
+        TraceEvent event;
+        event.type = EventType::ThrottleTransition;
+        event.source = which_;
+        event.a = last_;
+        event.b = encoded;
+        event.core = core_;
+        event.cycle = now;
+        tracer_->record(event);
+    }
+    last_ = encoded;
+    return true;
+}
+
+} // namespace obs
+} // namespace ecdp

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Emits ThrottleTransition trace events when a prefetcher's
+ * aggressiveness level (or PAB enable bit) changes.
+ *
+ * The monitor is the single point that turns throttler output into
+ * trace events: MemorySystem::endInterval() feeds it the state after
+ * every throttling decision, and the throttle-transition unit tests
+ * drive it directly with synthetic feedback so the emitted events can
+ * be checked against the paper's threshold tables without standing up
+ * a whole memory system.
+ */
+
+#ifndef ECDP_OBS_THROTTLE_MONITOR_HH
+#define ECDP_OBS_THROTTLE_MONITOR_HH
+
+#include "obs/event_tracer.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace ecdp
+{
+namespace obs
+{
+
+class ThrottleMonitor
+{
+  public:
+    /**
+     * @param tracer Destination (may be nullptr = disabled).
+     * @param core Core index for the emitted events.
+     * @param which Prefetcher index (0 = primary, 1 = LDS).
+     * @param start Initial aggressiveness level (no event emitted
+     *        for the initial state).
+     */
+    ThrottleMonitor(EventTracer *tracer, unsigned core, unsigned which,
+                    AggLevel start);
+
+    /**
+     * Record the post-decision state; emits one ThrottleTransition
+     * event iff (level, enabled) changed since the last observation
+     * and a tracer is attached. A disabled prefetcher's level is
+     * encoded as kLevelDisabled.
+     *
+     * @return True when the observed state changed (tracer or not).
+     */
+    bool observe(Cycle now, AggLevel level, bool enabled);
+
+  private:
+    std::uint8_t encode(AggLevel level, bool enabled) const
+    {
+        return enabled ? static_cast<std::uint8_t>(level)
+                       : kLevelDisabled;
+    }
+
+    EventTracer *tracer_;
+    std::uint16_t core_;
+    std::uint8_t which_;
+    std::uint8_t last_;
+};
+
+} // namespace obs
+} // namespace ecdp
+
+#endif // ECDP_OBS_THROTTLE_MONITOR_HH

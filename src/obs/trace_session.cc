@@ -1,0 +1,197 @@
+#include "obs/trace_session.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "stats/json.hh"
+
+namespace ecdp
+{
+namespace obs
+{
+
+namespace
+{
+
+const char *
+sourceName(std::uint8_t source)
+{
+    switch (source) {
+      case 0:
+        return "primary";
+      case 1:
+        return "lds";
+      default:
+        return "none";
+    }
+}
+
+void
+writeLevel(std::ostream &os, std::uint8_t level)
+{
+    if (level == kLevelDisabled)
+        os << "\"off\"";
+    else
+        os << static_cast<unsigned>(level);
+}
+
+} // namespace
+
+void
+writeChromeTraceEvent(std::ostream &os, unsigned pid,
+                      const TraceEvent &event)
+{
+    const char *pf = sourceName(event.source);
+    switch (event.type) {
+      case EventType::ThrottleTransition:
+        // The instant event carries the transition; a counter event
+        // alongside it draws the level timeline in trace viewers.
+        os << "{\"name\":\"throttle-transition\",\"ph\":\"i\",\"s\":"
+              "\"t\",\"ts\":"
+           << event.cycle << ",\"pid\":" << pid
+           << ",\"tid\":" << event.core << ",\"args\":{\"pf\":\""
+           << pf << "\",\"from\":";
+        writeLevel(os, event.a);
+        os << ",\"to\":";
+        writeLevel(os, event.b);
+        os << "}},\n";
+        os << "{\"name\":\"agg-level." << pf
+           << "\",\"ph\":\"C\",\"ts\":" << event.cycle
+           << ",\"pid\":" << pid << ",\"tid\":" << event.core
+           << ",\"args\":{\"level\":"
+           << (event.b == kLevelDisabled
+                   ? 0u
+                   : static_cast<unsigned>(event.b))
+           << "}}";
+        return;
+      case EventType::IntervalSample:
+        os << "{\"name\":\"feedback." << pf
+           << "\",\"ph\":\"C\",\"ts\":" << event.cycle
+           << ",\"pid\":" << pid << ",\"tid\":" << event.core
+           << ",\"args\":{\"accuracy\":" << event.x
+           << ",\"coverage\":" << event.y << "}}";
+        return;
+      case EventType::PrefetchDrop:
+        os << "{\"name\":\"prefetch-drop\",\"ph\":\"i\",\"s\":\"t\","
+              "\"ts\":"
+           << event.cycle << ",\"pid\":" << pid
+           << ",\"tid\":" << event.core << ",\"args\":{\"pf\":\""
+           << pf << "\",\"reason\":\""
+           << dropReasonName(static_cast<DropReason>(event.a))
+           << "\",\"addr\":" << event.addr << "}}";
+        return;
+      default:
+        break;
+    }
+    os << "{\"name\":\"" << eventTypeName(event.type)
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << event.cycle
+       << ",\"pid\":" << pid << ",\"tid\":" << event.core
+       << ",\"args\":{";
+    bool first = true;
+    auto field = [&os, &first](const char *key) -> std::ostream & {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << key << "\":";
+        return os;
+    };
+    if (event.source != 255)
+        field("pf") << "\"" << pf << "\"";
+    if (event.addr != 0)
+        field("addr") << event.addr;
+    switch (event.type) {
+      case EventType::DemandMiss:
+        field("lds") << (event.a ? "true" : "false");
+        break;
+      case EventType::PrefetchFill:
+        field("late") << (event.a ? "true" : "false");
+        break;
+      case EventType::DramBankConflict:
+        field("bank") << static_cast<unsigned>(event.a);
+        field("waitCycles") << event.arg;
+        break;
+      case EventType::MshrFullStall:
+        field("inFlight") << event.arg;
+        break;
+      default:
+        break;
+    }
+    os << "}}";
+}
+
+TraceSession *
+TraceSession::global()
+{
+    // Env is read once: the session (and its pid numbering) must be
+    // stable for the whole process. A null unique_ptr means tracing
+    // is off.
+    static std::unique_ptr<TraceSession> session = [] {
+        const char *path = std::getenv("ECDP_TRACE");
+        if (!path || !*path)
+            return std::unique_ptr<TraceSession>();
+        return std::make_unique<TraceSession>(path);
+    }();
+    return session.get();
+}
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path))
+{
+    os_.open(path_);
+    ok_ = static_cast<bool>(os_);
+    if (ok_)
+        os_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+}
+
+TraceSession::~TraceSession()
+{
+    close();
+}
+
+void
+TraceSession::comma()
+{
+    if (any_)
+        os_ << ",\n";
+    any_ = true;
+}
+
+unsigned
+TraceSession::flush(const std::string &label,
+                    const EventTracer &tracer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const unsigned pid = nextPid_++;
+    if (!ok_ || closed_)
+        return pid;
+    comma();
+    os_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"args\":{\"name\":\"" << jsonEscape(label) << "\"}}";
+    if (tracer.overwritten() > 0) {
+        comma();
+        os_ << "{\"name\":\"events-overwritten\",\"ph\":\"i\",\"s\":"
+               "\"g\",\"ts\":0,\"pid\":"
+            << pid << ",\"tid\":0,\"args\":{\"count\":"
+            << tracer.overwritten() << "}}";
+    }
+    tracer.forEach([this, pid](const TraceEvent &event) {
+        comma();
+        writeChromeTraceEvent(os_, pid, event);
+    });
+    return pid;
+}
+
+void
+TraceSession::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return;
+    closed_ = true;
+    if (ok_) {
+        os_ << "\n]}\n";
+        os_.close();
+    }
+}
+
+} // namespace obs
+} // namespace ecdp

@@ -141,6 +141,27 @@ ResultCache::load(const std::string &name, std::uint64_t hash) const
             doc.at("finalPrimaryEnabled").asBool();
         stats.finalLdsEnabled = doc.at("finalLdsEnabled").asBool();
         stats.intervals = doc.at("intervals").asU64();
+        for (const JsonValue &item :
+             doc.at("intervalSeries").asArray()) {
+            IntervalSample sample;
+            sample.cycle = item.at("cycle").asU64();
+            for (unsigned which = 0; which < 2; ++which) {
+                sample.accuracy[which] =
+                    item.at("accuracy").asArray().at(which)
+                        .asDouble();
+                sample.coverage[which] =
+                    item.at("coverage").asArray().at(which)
+                        .asDouble();
+            }
+            sample.primaryLevel = static_cast<AggLevel>(
+                item.at("primaryLevel").asI64());
+            sample.ldsLevel =
+                static_cast<AggLevel>(item.at("ldsLevel").asI64());
+            sample.primaryEnabled =
+                item.at("primaryEnabled").asBool();
+            sample.ldsEnabled = item.at("ldsEnabled").asBool();
+            stats.intervalSeries.push_back(sample);
+        }
         return stats;
     } catch (const JsonError &) {
         return std::nullopt; // malformed entry: treat as a miss
@@ -212,7 +233,29 @@ ResultCache::store(const std::string &name, std::uint64_t hash,
            << (stats.finalPrimaryEnabled ? "true" : "false")
            << ",\"finalLdsEnabled\":"
            << (stats.finalLdsEnabled ? "true" : "false")
-           << ",\"intervals\":" << stats.intervals << "}\n";
+           << ",\"intervals\":" << stats.intervals
+           << ",\"intervalSeries\":[";
+        for (std::size_t i = 0; i < stats.intervalSeries.size();
+             ++i) {
+            const IntervalSample &s = stats.intervalSeries[i];
+            os << (i ? "," : "") << "{\"cycle\":" << s.cycle
+               << ",\"accuracy\":[";
+            writeDouble(os, s.accuracy[0]);
+            os << ",";
+            writeDouble(os, s.accuracy[1]);
+            os << "],\"coverage\":[";
+            writeDouble(os, s.coverage[0]);
+            os << ",";
+            writeDouble(os, s.coverage[1]);
+            os << "],\"primaryLevel\":"
+               << static_cast<int>(s.primaryLevel)
+               << ",\"ldsLevel\":" << static_cast<int>(s.ldsLevel)
+               << ",\"primaryEnabled\":"
+               << (s.primaryEnabled ? "true" : "false")
+               << ",\"ldsEnabled\":"
+               << (s.ldsEnabled ? "true" : "false") << "}";
+        }
+        os << "]}\n";
         if (!os)
             return;
     }

@@ -34,8 +34,9 @@ namespace runner
 class ResultCache
 {
   public:
-    /** Cache format version; readers reject anything else. */
-    static constexpr int kVersion = 1;
+    /** Cache format version; readers reject anything else.
+     *  v2 added the per-interval feedback series (intervalSeries). */
+    static constexpr int kVersion = 2;
 
     /**
      * Cache configured by ECDP_RESULT_CACHE, or nullptr when the

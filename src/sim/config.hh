@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/core.hh"
 #include "dram/dram.hh"
@@ -135,6 +136,26 @@ using PgStatsMap = std::unordered_map<PgId, PgStats, PgIdHash>;
  */
 std::uint64_t configHash(const SystemConfig &cfg);
 
+/**
+ * One feedback-interval boundary: the aged accuracy/coverage sample
+ * the throttler saw and the throttling state after its decision was
+ * applied. RunStats carries the full series so post-hoc tooling can
+ * plot throttle-level timelines without re-running the simulation.
+ */
+struct IntervalSample
+{
+    /** Cycle at which the interval ended. */
+    Cycle cycle = 0;
+    /** @{ Indexed by prefetcher: 0 = primary, 1 = LDS. */
+    double accuracy[2] = {0.0, 0.0};
+    double coverage[2] = {0.0, 0.0};
+    /** @} */
+    AggLevel primaryLevel = AggLevel::Aggressive;
+    AggLevel ldsLevel = AggLevel::Aggressive;
+    bool primaryEnabled = true;
+    bool ldsEnabled = true;
+};
+
 /** Statistics of one single-core run. */
 struct RunStats
 {
@@ -175,6 +196,10 @@ struct RunStats
     bool finalPrimaryEnabled = true;
     bool finalLdsEnabled = true;
     std::uint64_t intervals = 0;
+
+    /** Per-interval feedback/throttle time series (one entry per
+     *  completed interval, in order). */
+    std::vector<IntervalSample> intervalSeries;
 
     /** Fraction of prefetches used from the cache (tag-bit metric). */
     double accuracy(unsigned which) const

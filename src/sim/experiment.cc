@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/trace_session.hh"
 #include "runner/result_cache.hh"
 
 namespace ecdp
@@ -142,7 +143,8 @@ idealLds()
 } // namespace configs
 
 ExperimentContext::ExperimentContext()
-    : resultCache_(runner::ResultCache::fromEnv())
+    : resultCache_(runner::ResultCache::fromEnv()),
+      traceSession_(obs::TraceSession::global())
 {}
 
 ExperimentContext::~ExperimentContext() = default;
@@ -201,13 +203,26 @@ ExperimentContext::run(const std::string &name, const SystemConfig &cfg,
     std::snprintf(memo_key, sizeof(memo_key), "%016llx",
                   static_cast<unsigned long long>(hash));
     return runs_.get(name + "#" + memo_key, [&]() -> RunStats {
-        if (resultCache_) {
+        // A persistent-cache hit would skip the simulation and leave
+        // a hole in the trace, so while tracing is on every unique
+        // run executes (and its result is still stored below).
+        if (resultCache_ && !traceSession_) {
             if (std::optional<RunStats> cached =
                     resultCache_->load(name, hash)) {
                 return std::move(*cached);
             }
         }
-        RunStats stats = simulate(cfg, ref(name));
+        RunStats stats;
+        if (traceSession_) {
+            obs::EventTracer tracer(
+                obs::EventTracer::capacityFromEnv());
+            obs::MetricRegistry metrics;
+            Observability bundle{&metrics, &tracer};
+            stats = simulate(cfg, ref(name), bundle);
+            traceSession_->flush(name + ":" + key, tracer);
+        } else {
+            stats = simulate(cfg, ref(name));
+        }
         if (resultCache_)
             resultCache_->store(name, hash, stats);
         return stats;

@@ -28,6 +28,11 @@ namespace runner
 class ResultCache;
 } // namespace runner
 
+namespace obs
+{
+class TraceSession;
+} // namespace obs
+
 /** The named configurations of the evaluation. */
 namespace configs
 {
@@ -128,6 +133,22 @@ class ExperimentContext
     const RunStats &run(const std::string &name, const SystemConfig &cfg,
                         const std::string &key);
 
+    /**
+     * Override the trace session (tests use a private session; the
+     * default is the process-wide ECDP_TRACE session). While a
+     * session is attached, run() executes every unique simulation
+     * with an event tracer and flushes it as "<name>:<key>", and the
+     * persistent result cache is bypassed on load — a cache hit would
+     * otherwise silently produce an empty trace — but results are
+     * still stored. The in-memory memo still deduplicates, so each
+     * unique (workload, config) is traced exactly once per process,
+     * and tracing touches only the trace file, never stdout.
+     */
+    void setTraceSession(obs::TraceSession *session)
+    {
+        traceSession_ = session;
+    }
+
   private:
     /**
      * Thread-safe memo table. Each key owns one cell; the first
@@ -181,6 +202,9 @@ class ExperimentContext
 
     /** Optional persistent result cache (ECDP_RESULT_CACHE). */
     std::unique_ptr<runner::ResultCache> resultCache_;
+
+    /** Trace sink (ECDP_TRACE), or nullptr when tracing is off. */
+    obs::TraceSession *traceSession_ = nullptr;
 };
 
 } // namespace ecdp

@@ -2,16 +2,26 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 namespace ecdp
 {
 
 MemorySystem::MemorySystem(const SystemConfig &cfg, unsigned core_id,
-                           SimMemory image, DramSystem *dram)
+                           SimMemory image, DramSystem *dram,
+                           const Observability *obs)
     : cfg_(cfg),
       coreId_(core_id),
       image_(std::move(image)),
       dram_(dram),
+      ownedMetrics_(obs && obs->metrics
+                        ? nullptr
+                        : std::make_unique<obs::MetricRegistry>()),
+      metrics_(obs && obs->metrics ? obs->metrics
+                                   : ownedMetrics_.get()),
+      tracer_(obs ? obs->tracer : nullptr),
+      primaryMonitor_(tracer_, core_id, 0, cfg.primaryStartLevel),
+      ldsMonitor_(tracer_, core_id, 1, cfg.ldsStartLevel),
       l1_("L1D", cfg.l1Bytes, cfg.l1Assoc, cfg.l1BlockBytes),
       l2_("L2", cfg.l2Bytes, cfg.l2Assoc, cfg.l2BlockBytes),
       mshrs_(cfg.l2Mshrs),
@@ -30,6 +40,7 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, unsigned core_id,
       blockBuf_(cfg.l2BlockBytes, 0)
 {
     assert(dram_);
+    bindCounters();
     if (cfg_.lds == LdsKind::Markov)
         markov_ = std::make_unique<MarkovPrefetcher>();
     if (cfg_.hwFilter)
@@ -45,6 +56,96 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, unsigned core_id,
     }
     applyPrimaryLevel(primaryLevel_);
     applyLdsLevel(ldsLevel_);
+}
+
+void
+MemorySystem::bindCounters()
+{
+    obs::MetricScope core(*metrics_,
+                          "core" + std::to_string(coreId_) + ".");
+    demandLoadsCtr_ = &core.counter("demand_loads");
+
+    obs::MetricScope l2 = core.scope("l2.");
+    demandAccessesCtr_ = &l2.counter("demand_accesses");
+    demandHitsCtr_ = &l2.counter("demand_hits");
+    mshrMergesCtr_ = &l2.counter("mshr_merges");
+    sideHitsCtr_ = &l2.counter("side_hits");
+    idealHitsCtr_ = &l2.counter("ideal_hits");
+    demandMissesCtr_ = &l2.counter("demand_misses");
+    demandMissesTrueCtr_ = &l2.counter("demand_misses_true");
+    demandMissesLateCtr_ = &l2.counter("demand_misses_late");
+    ldsMissesCtr_ = &l2.counter("lds_misses");
+
+    obs::MetricScope mshr = core.scope("mshr.");
+    mshrAllocationsCtr_ = &mshr.counter("allocations");
+    mshrReleasesCtr_ = &mshr.counter("releases");
+    mshrInFlightEndCtr_ = &mshr.counter("in_flight_end");
+    mshrStallCyclesCtr_ = &mshr.counter("demand_stall_cycles");
+
+    static const char *const kSourceName[2] = {"primary", "lds"};
+    static const char *const kDropName[6] = {
+        "queue_full",  "source_disabled", "cached",
+        "in_flight",   "side_buffer",     "hw_filter",
+    };
+    for (unsigned which = 0; which < 2; ++which) {
+        obs::MetricScope pf =
+            core.scope(std::string("pf.") + kSourceName[which] + ".");
+        PfCounters &c = pf_[which];
+        c.generated = &pf.counter("generated");
+        c.queued = &pf.counter("queued");
+        c.issued = &pf.counter("issued");
+        c.filled = &pf.counter("filled");
+        c.used = &pf.counter("used");
+        c.sideUsed = &pf.counter("side_used");
+        c.consumedLate = &pf.counter("consumed_late");
+        c.evictedUnused = &pf.counter("evicted_unused");
+        c.usefulLatencySum = &pf.counter("useful_latency_sum");
+        c.usefulLatencyCount = &pf.counter("useful_latency_count");
+        for (unsigned reason = 0; reason < 6; ++reason) {
+            c.drop[reason] = &pf.counter(std::string("dropped.") +
+                                         kDropName[reason]);
+        }
+        c.residentUnusedEnd = &pf.counter("resident_unused_end");
+        c.inFlightEnd = &pf.counter("in_flight_end");
+        c.inQueueEnd = &pf.counter("in_queue_end");
+        c.sideResidentEnd = &pf.counter("side_resident_end");
+    }
+}
+
+void
+MemorySystem::dropPrefetch(PrefetchSource source, obs::DropReason reason,
+                           Addr block_addr, Cycle now)
+{
+    pf_[srcIndex(source)].drop[static_cast<unsigned>(reason)]->inc();
+    if (tracer_) {
+        obs::TraceEvent event;
+        event.type = obs::EventType::PrefetchDrop;
+        event.source = static_cast<std::uint8_t>(srcIndex(source));
+        event.a = static_cast<std::uint8_t>(reason);
+        event.core = static_cast<std::uint16_t>(coreId_);
+        event.cycle = now;
+        event.addr = block_addr;
+        tracer_->record(event);
+    }
+}
+
+void
+MemorySystem::noteMshrStall(Cycle now)
+{
+    mshrStallCyclesCtr_->inc();
+    // The core retries a rejected load every cycle; trace only the
+    // first cycle of each contiguous stall burst.
+    const bool burst_start =
+        lastMshrStall_ == ~Cycle{0} || now > lastMshrStall_ + 1;
+    lastMshrStall_ = now;
+    if (tracer_ && burst_start) {
+        obs::TraceEvent event;
+        event.type = obs::EventType::MshrFullStall;
+        event.core = static_cast<std::uint16_t>(coreId_);
+        event.cycle = now;
+        event.arg = mshrs_.inFlight();
+        tracer_->record(event);
+    }
 }
 
 void
@@ -74,12 +175,25 @@ MemorySystem::pabRecord(unsigned which, bool used)
 
 void
 MemorySystem::recordDemandMiss(Addr block_addr, bool is_lds,
-                               bool probe_pollution)
+                               bool probe_pollution, Cycle now)
 {
-    ++l2DemandMisses_;
+    demandMissesCtr_->inc();
+    if (probe_pollution)
+        demandMissesTrueCtr_->inc();
+    else
+        demandMissesLateCtr_->inc();
     if (is_lds)
-        ++l2LdsMisses_;
+        ldsMissesCtr_->inc();
     demandMissCounter_.add();
+    if (tracer_) {
+        obs::TraceEvent event;
+        event.type = obs::EventType::DemandMiss;
+        event.a = is_lds ? 1 : 0;
+        event.core = static_cast<std::uint16_t>(coreId_);
+        event.cycle = now;
+        event.addr = block_addr;
+        tracer_->record(event);
+    }
     if (!probe_pollution)
         return;
     for (unsigned which = 0; which < 2; ++which) {
@@ -114,8 +228,9 @@ MemorySystem::onDemandUseOfPrefetch(CacheBlock *block, Addr block_addr,
         return;
     const unsigned which = was_lds ? 1u : 0u;
     feedback_[which].onPrefetchUsed();
-    usefulLatencySum_[which] += block->prefetchLatency;
-    ++usefulLatencyCount_[which];
+    pf_[which].used->inc();
+    pf_[which].usefulLatencySum->add(block->prefetchLatency);
+    pf_[which].usefulLatencyCount->inc();
     if (block->pgValid)
         ++pgStats_[block->pg].used;
     pabRecord(which, true);
@@ -171,14 +286,17 @@ void
 MemorySystem::enqueuePrefetch(const PrefetchRequest &req, Cycle ready_at,
                               Cycle now)
 {
+    pf_[srcIndex(req.source)].generated->inc();
     if (readyQueue_.size() + delayedQueue_.size() >=
         cfg_.prefetchQueueEntries) {
         // Prefetch request queue overflow: drop, but count it so
         // sweeps can see a too-small queue instead of silently losing
         // coverage.
-        ++prefDropped_[srcIndex(req.source)];
+        dropPrefetch(req.source, obs::DropReason::QueueFull,
+                     l2_.blockAddr(req.blockAddr), now);
         return;
     }
+    pf_[srcIndex(req.source)].queued->inc();
     QueuedPrefetch queued;
     queued.req = req;
     queued.req.blockAddr = l2_.blockAddr(req.blockAddr);
@@ -195,7 +313,7 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
     const Addr addr = entry.vaddr;
 
     if (l1_.lookup(addr)) {
-        ++demandLoads_;
+        demandLoadsCtr_->inc();
         return now + cfg_.l1Latency;
     }
 
@@ -205,8 +323,9 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
         dbp_.onLoadIssue(entry.pc, addr);
 
     if (CacheBlock *block = l2_.lookup(addr)) {
-        ++demandLoads_;
-        ++l2DemandAccesses_;
+        demandLoadsCtr_->inc();
+        demandAccessesCtr_->inc();
+        demandHitsCtr_->inc();
         onDemandUseOfPrefetch(block, block_addr, now);
         l1Fill(addr, false, now);
         dbpComplete(entry, now + cfg_.l2Latency);
@@ -214,8 +333,9 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
     }
 
     if (Mshr *mshr = mshrs_.find(block_addr)) {
-        ++demandLoads_;
-        ++l2DemandAccesses_;
+        demandLoadsCtr_->inc();
+        demandAccessesCtr_->inc();
+        mshrMergesCtr_->inc();
         if (!mshr->demand) {
             mshr->demand = true;
             mshr->blockByteOffset =
@@ -229,7 +349,7 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
                 // is in flight, not prefetch-evicted, so the
                 // pollution filter is not probed.
                 feedback_[srcIndex(mshr->source)].onPrefetchLate();
-                recordDemandMiss(block_addr, entry.isLds, false);
+                recordDemandMiss(block_addr, entry.isLds, false, now);
                 trainOnDemandMiss(entry, now);
             }
         }
@@ -242,13 +362,16 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
     if (cfg_.idealNoPollution) {
         auto it = sideBuffer_.find(block_addr);
         if (it != sideBuffer_.end()) {
-            ++demandLoads_;
-            ++l2DemandAccesses_;
+            demandLoadsCtr_->inc();
+            demandAccessesCtr_->inc();
+            sideHitsCtr_->inc();
             const SideEntry &side = it->second;
             const unsigned which = srcIndex(side.source);
             feedback_[which].onPrefetchUsed();
-            usefulLatencySum_[which] += side.latency;
-            ++usefulLatencyCount_[which];
+            pf_[which].used->inc();
+            pf_[which].sideUsed->inc();
+            pf_[which].usefulLatencySum->add(side.latency);
+            pf_[which].usefulLatencyCount->inc();
             if (side.pgValid)
                 ++pgStats_[side.pg].used;
             Cache::Victim victim = l2_.insert(block_addr);
@@ -262,8 +385,9 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
 
     // Figure 1 oracle: LDS misses become L2 hits.
     if (cfg_.idealLds && entry.isLds) {
-        ++demandLoads_;
-        ++l2DemandAccesses_;
+        demandLoadsCtr_->inc();
+        demandAccessesCtr_->inc();
+        idealHitsCtr_->inc();
         Cache::Victim victim = l2_.insert(block_addr);
         handleVictim(victim, PrefetchSource::None, now);
         l1Fill(addr, false, now);
@@ -271,15 +395,17 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
     }
 
     // True L2 demand miss. Only count it once accepted.
-    if (mshrs_.full())
+    if (mshrs_.full()) {
+        noteMshrStall(now);
         return std::nullopt;
+    }
     std::optional<Cycle> done = dram_->read(coreId_, block_addr, now);
     if (!done)
         return std::nullopt;
 
-    ++demandLoads_;
-    ++l2DemandAccesses_;
-    recordDemandMiss(block_addr, entry.isLds, true);
+    demandLoadsCtr_->inc();
+    demandAccessesCtr_->inc();
+    recordDemandMiss(block_addr, entry.isLds, true, now);
 
     Mshr &mshr = mshrs_.allocate(block_addr);
     mshr.fillAt = *done;
@@ -309,7 +435,8 @@ MemorySystem::store(const TraceEntry &entry, Cycle now)
 
     const Addr block_addr = l2_.blockAddr(entry.vaddr);
     if (CacheBlock *block = l2_.lookup(entry.vaddr)) {
-        ++l2DemandAccesses_;
+        demandAccessesCtr_->inc();
+        demandHitsCtr_->inc();
         onDemandUseOfPrefetch(block, block_addr, now);
         block->dirty = true;
         l1Fill(entry.vaddr, true, now);
@@ -326,8 +453,8 @@ MemorySystem::store(const TraceEntry &entry, Cycle now)
     // demand miss, so it probes the pollution filter exactly like the
     // load-miss path — store-heavy workloads would otherwise
     // undercount pollution and mislead FDP/coordinated throttling.
-    ++l2DemandAccesses_;
-    recordDemandMiss(block_addr, entry.isLds, true);
+    demandAccessesCtr_->inc();
+    recordDemandMiss(block_addr, entry.isLds, true, now);
     dram_->writeback(coreId_, block_addr, now);
     Cache::Victim victim = l2_.insert(block_addr);
     if (CacheBlock *block = l2_.lookup(entry.vaddr, false))
@@ -360,9 +487,12 @@ MemorySystem::handleVictim(const Cache::Victim &victim,
         return;
     if (victim.dirty)
         dram_->writeback(coreId_, victim.addr, now);
-    if (victim.wasPrefetchedPrimary)
+    if (victim.wasPrefetchedPrimary) {
+        pf_[0].evictedUnused->inc();
         pabRecord(0, false);
+    }
     if (victim.wasPrefetchedLds) {
+        pf_[1].evictedUnused->inc();
         pabRecord(1, false);
         if (hwFilter_)
             hwFilter_->onPrefetchEvictedUnused(victim.addr);
@@ -378,6 +508,22 @@ MemorySystem::installFill(Mshr &mshr, Cycle now)
 {
     const Addr block_addr = mshr.blockAddr;
     const PrefetchSource source = mshr.source;
+
+    if (source != PrefetchSource::None) {
+        pf_[srcIndex(source)].filled->inc();
+        if (tracer_) {
+            obs::TraceEvent event;
+            event.type = obs::EventType::PrefetchFill;
+            event.source =
+                static_cast<std::uint8_t>(srcIndex(source));
+            event.a = mshr.demand ? 1 : 0;
+            event.core = static_cast<std::uint16_t>(coreId_);
+            event.cycle = now;
+            event.addr = block_addr;
+            event.arg = now - mshr.issuedAt;
+            tracer_->record(event);
+        }
+    }
 
     const bool side_buffered = cfg_.idealNoPollution &&
                                source != PrefetchSource::None &&
@@ -407,10 +553,10 @@ MemorySystem::installFill(Mshr &mshr, Cycle now)
                 // mechanism only sees cache-resident uses) but the
                 // PG that generated it did point at truly needed
                 // data, so the profiling statistics credit it.
-                const unsigned which = srcIndex(source);
+                pf_[srcIndex(source)].consumedLate->inc();
                 if (mshr.pgRootValid)
                     ++pgStats_[mshr.pgRoot].used;
-                pabRecord(which, true);
+                pabRecord(srcIndex(source), true);
                 if (hwFilter_ && source == PrefetchSource::Lds)
                     hwFilter_->onPrefetchUsed(block_addr);
                 block->prefetchedPrimary = false;
@@ -474,12 +620,23 @@ MemorySystem::issuePrefetches(Cycle now)
     while (budget > 0 && !readyQueue_.empty()) {
         const QueuedPrefetch &queued = readyQueue_.front();
         const PrefetchRequest &req = queued.req;
-        if (!sourceEnabled(req.source) || l2_.peek(req.blockAddr) ||
-            mshrs_.find(req.blockAddr) ||
-            (cfg_.idealNoPollution &&
-             sideBuffer_.count(req.blockAddr)) ||
-            (hwFilter_ && req.source == PrefetchSource::Lds &&
-             !hwFilter_->allow(req.blockAddr))) {
+        // Classify the filter decision so each discard is counted
+        // (and traced) under its reason instead of vanishing.
+        std::optional<obs::DropReason> reject;
+        if (!sourceEnabled(req.source))
+            reject = obs::DropReason::SourceDisabled;
+        else if (l2_.peek(req.blockAddr))
+            reject = obs::DropReason::AlreadyCached;
+        else if (mshrs_.find(req.blockAddr))
+            reject = obs::DropReason::AlreadyInFlight;
+        else if (cfg_.idealNoPollution &&
+                 sideBuffer_.count(req.blockAddr))
+            reject = obs::DropReason::SideBuffered;
+        else if (hwFilter_ && req.source == PrefetchSource::Lds &&
+                 !hwFilter_->allow(req.blockAddr))
+            reject = obs::DropReason::HwFilter;
+        if (reject) {
+            dropPrefetch(req.source, *reject, req.blockAddr, now);
             readyQueue_.pop_front();
             continue;
         }
@@ -501,6 +658,17 @@ MemorySystem::issuePrefetches(Cycle now)
         mshr.pgRootValid = req.pgValid;
         earliestFill_ = std::min(earliestFill_, mshr.fillAt);
         feedback_[srcIndex(req.source)].onPrefetchIssued();
+        pf_[srcIndex(req.source)].issued->inc();
+        if (tracer_) {
+            obs::TraceEvent event;
+            event.type = obs::EventType::PrefetchIssue;
+            event.source =
+                static_cast<std::uint8_t>(srcIndex(req.source));
+            event.core = static_cast<std::uint16_t>(coreId_);
+            event.cycle = now;
+            event.addr = req.blockAddr;
+            tracer_->record(event);
+        }
         if (req.pgValid)
             ++pgStats_[req.pg].issued;
         readyQueue_.pop_front();
@@ -526,7 +694,7 @@ MemorySystem::snapshot(unsigned which) const
 }
 
 void
-MemorySystem::endInterval()
+MemorySystem::endInterval(Cycle now)
 {
     ++intervals_;
     feedback_[0].endInterval();
@@ -561,6 +729,34 @@ MemorySystem::endInterval()
       }
     }
 
+    IntervalSample sample;
+    sample.cycle = now;
+    sample.accuracy[0] = primary.accuracy;
+    sample.accuracy[1] = lds.accuracy;
+    sample.coverage[0] = primary.coverage;
+    sample.coverage[1] = lds.coverage;
+    sample.primaryLevel = primaryLevel_;
+    sample.ldsLevel = ldsLevel_;
+    sample.primaryEnabled = primaryEnabled_;
+    sample.ldsEnabled = ldsEnabled_;
+    intervalSeries_.push_back(sample);
+
+    if (tracer_) {
+        for (unsigned which = 0; which < 2; ++which) {
+            obs::TraceEvent event;
+            event.type = obs::EventType::IntervalSample;
+            event.source = static_cast<std::uint8_t>(which);
+            event.core = static_cast<std::uint16_t>(coreId_);
+            event.cycle = now;
+            event.arg = intervals_;
+            event.x = sample.accuracy[which];
+            event.y = sample.coverage[which];
+            tracer_->record(event);
+        }
+    }
+    primaryMonitor_.observe(now, primaryLevel_, primaryEnabled_);
+    ldsMonitor_.observe(now, ldsLevel_, ldsEnabled_);
+
     pollutionFilter_[0].clear();
     pollutionFilter_[1].clear();
     lastIntervalEvictions_ = l2_.evictions();
@@ -575,24 +771,66 @@ MemorySystem::tick(Cycle now)
         issuePrefetches(now);
     if (l2_.evictions() - lastIntervalEvictions_ >=
         cfg_.intervalEvictions) {
-        endInterval();
+        endInterval(now);
     }
 }
 
 void
-MemorySystem::collectStats(RunStats &out) const
+MemorySystem::collectStats(RunStats &out)
 {
-    out.demandLoads = demandLoads_;
-    out.l2DemandAccesses = l2DemandAccesses_;
-    out.l2DemandMisses = l2DemandMisses_;
-    out.l2LdsMisses = l2LdsMisses_;
+    // Fold the end-of-run gauges in first so the registry satisfies
+    // the conservation identities at the same instant the RunStats
+    // snapshot is taken.
+    const Cache::PrefetchedResident census = l2_.prefetchedResident();
+    pf_[0].residentUnusedEnd->set(census.primary);
+    pf_[1].residentUnusedEnd->set(census.lds);
+
+    std::uint64_t in_flight[2] = {0, 0};
+    for (const Mshr &mshr : mshrs_.entries()) {
+        if (mshr.valid && mshr.source != PrefetchSource::None)
+            ++in_flight[srcIndex(mshr.source)];
+    }
+    std::uint64_t in_queue[2] = {0, 0};
+    for (const QueuedPrefetch &queued : readyQueue_)
+        ++in_queue[srcIndex(queued.req.source)];
+    auto delayed = delayedQueue_;
+    while (!delayed.empty()) {
+        ++in_queue[srcIndex(delayed.top().req.source)];
+        delayed.pop();
+    }
+    std::uint64_t side_resident[2] = {0, 0};
+    for (const auto &[addr, side] : sideBuffer_) {
+        (void)addr;
+        ++side_resident[srcIndex(side.source)];
+    }
+    for (unsigned which = 0; which < 2; ++which) {
+        pf_[which].inFlightEnd->set(in_flight[which]);
+        pf_[which].inQueueEnd->set(in_queue[which]);
+        pf_[which].sideResidentEnd->set(side_resident[which]);
+    }
+    mshrAllocationsCtr_->set(mshrs_.allocations());
+    mshrReleasesCtr_->set(mshrs_.releases());
+    mshrInFlightEndCtr_->set(mshrs_.inFlight());
+
+    out.demandLoads = demandLoadsCtr_->value();
+    out.l2DemandAccesses = demandAccessesCtr_->value();
+    out.l2DemandMisses = demandMissesCtr_->value();
+    out.l2LdsMisses = ldsMissesCtr_->value();
     for (unsigned which = 0; which < 2; ++which) {
         out.prefIssued[which] = feedback_[which].lifetimeIssued();
         out.prefUsed[which] = feedback_[which].lifetimeUsed();
         out.prefLate[which] = feedback_[which].lifetimeLate();
-        out.prefDropped[which] = prefDropped_[which];
-        out.usefulLatencySum[which] = usefulLatencySum_[which];
-        out.usefulLatencyCount[which] = usefulLatencyCount_[which];
+        // RunStats keeps the historical meaning: queue-overflow drops
+        // only. The registry holds the full per-reason breakdown.
+        out.prefDropped[which] =
+            pf_[which]
+                .drop[static_cast<unsigned>(
+                    obs::DropReason::QueueFull)]
+                ->value();
+        out.usefulLatencySum[which] =
+            pf_[which].usefulLatencySum->value();
+        out.usefulLatencyCount[which] =
+            pf_[which].usefulLatencyCount->value();
     }
     out.pgStats = pgStats_;
     out.finalPrimaryLevel = primaryLevel_;
@@ -600,6 +838,7 @@ MemorySystem::collectStats(RunStats &out) const
     out.finalPrimaryEnabled = primaryEnabled_;
     out.finalLdsEnabled = ldsEnabled_;
     out.intervals = intervals_;
+    out.intervalSeries = intervalSeries_;
 }
 
 } // namespace ecdp

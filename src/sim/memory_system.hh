@@ -3,6 +3,12 @@
  * Per-core memory hierarchy: L1D, L2 with MSHRs, the hybrid prefetcher
  * pair (primary + LDS), feedback collection and throttling. Several
  * cores' memory systems share one DramSystem.
+ *
+ * Accounting lives in an obs::MetricRegistry (prefix "core<N>.")
+ * rather than ad-hoc struct fields, so every run exposes the full
+ * counter hierarchy and the conservation-law tests can audit it. When
+ * the caller provides no registry the memory system owns a private
+ * one — the counters always exist and always add up.
  */
 
 #ifndef ECDP_SIM_MEMORY_SYSTEM_HH
@@ -21,6 +27,10 @@
 #include "core/core.hh"
 #include "dram/dram.hh"
 #include "memsim/sim_memory.hh"
+#include "obs/event_tracer.hh"
+#include "obs/metrics.hh"
+#include "obs/observability.hh"
+#include "obs/throttle_monitor.hh"
 #include "prefetch/cdp.hh"
 #include "prefetch/dbp.hh"
 #include "prefetch/ghb_prefetcher.hh"
@@ -47,9 +57,15 @@ class MemorySystem : public CoreMemoryInterface
      * @param core_id Index of the owning core.
      * @param image This core's memory image (taken by value).
      * @param dram Shared DRAM system (not owned).
+     * @param obs Observability bundle (optional, not owned). Without
+     *        one, counters go to a private registry and tracing is
+     *        off. Deliberately not part of SystemConfig: the same
+     *        configuration must hash identically whether or not the
+     *        run is observed.
      */
     MemorySystem(const SystemConfig &cfg, unsigned core_id,
-                 SimMemory image, DramSystem *dram);
+                 SimMemory image, DramSystem *dram,
+                 const Observability *obs = nullptr);
 
     std::optional<Cycle> load(const TraceEntry &entry, Cycle now) override;
     void store(const TraceEntry &entry, Cycle now) override;
@@ -57,8 +73,13 @@ class MemorySystem : public CoreMemoryInterface
     /** Per-cycle work: fills, prefetch issue, interval throttling. */
     void tick(Cycle now);
 
-    /** Fold lifetime counters into @p out. */
-    void collectStats(RunStats &out) const;
+    /**
+     * Fold lifetime counters into @p out. Non-const because it also
+     * folds end-of-run gauges (queue depths, resident-prefetch
+     * census, in-flight MSHRs) into the metric registry so the
+     * conservation identities balance at any collection point.
+     */
+    void collectStats(RunStats &out);
 
     /** @{ Introspection for tests and benches. */
     const Cache &l2() const { return l2_; }
@@ -70,6 +91,9 @@ class MemorySystem : public CoreMemoryInterface
     const PgStatsMap &pgStats() const { return pgStats_; }
     SimMemory &image() { return image_; }
     std::uint64_t intervalsElapsed() const { return intervals_; }
+    /** The registry this core's counters live in (the caller's, or
+     *  the private fallback). */
+    const obs::MetricRegistry &metrics() const { return *metrics_; }
     /** @} */
 
   private:
@@ -98,6 +122,39 @@ class MemorySystem : public CoreMemoryInterface
         std::uint8_t depth = 0;
     };
 
+    /**
+     * Per-source prefetch counters, bound once at construction. The
+     * lifecycle identities the conservation tests audit:
+     *   generated == queued + drop[QueueFull]
+     *   queued == issued + other drops + in_queue_end
+     *   issued == filled + in_flight_end
+     *   filled == used + consumed_late + evicted_unused
+     *             + resident_unused_end + side_resident_end
+     * (side_used counts the subset of `used` served from the
+     * ideal-no-pollution side buffer.)
+     */
+    struct PfCounters
+    {
+        obs::Counter *generated = nullptr;
+        obs::Counter *queued = nullptr;
+        obs::Counter *issued = nullptr;
+        obs::Counter *filled = nullptr;
+        obs::Counter *used = nullptr;
+        obs::Counter *sideUsed = nullptr;
+        obs::Counter *consumedLate = nullptr;
+        obs::Counter *evictedUnused = nullptr;
+        obs::Counter *usefulLatencySum = nullptr;
+        obs::Counter *usefulLatencyCount = nullptr;
+        /** Indexed by obs::DropReason. */
+        obs::Counter *drop[6] = {};
+        /** @{ End-of-run gauges (set in collectStats). */
+        obs::Counter *residentUnusedEnd = nullptr;
+        obs::Counter *inFlightEnd = nullptr;
+        obs::Counter *inQueueEnd = nullptr;
+        obs::Counter *sideResidentEnd = nullptr;
+        /** @} */
+    };
+
     static unsigned srcIndex(PrefetchSource source)
     {
         return source == PrefetchSource::Lds ? 1u : 0u;
@@ -114,6 +171,14 @@ class MemorySystem : public CoreMemoryInterface
                                              : primaryEnabled_;
     }
 
+    /** Register this core's counters under "core<id>." once. */
+    void bindCounters();
+    /** Count + trace one discarded prefetch request. */
+    void dropPrefetch(PrefetchSource source, obs::DropReason reason,
+                      Addr block_addr, Cycle now);
+    /** Count an MSHR-full demand rejection; traces burst starts. */
+    void noteMshrStall(Cycle now);
+
     /**
      * Count one last-level demand miss: lifetime and interval
      * counters, and (for true cache misses, @p probe_pollution) the
@@ -122,7 +187,7 @@ class MemorySystem : public CoreMemoryInterface
      * drift apart again.
      */
     void recordDemandMiss(Addr block_addr, bool is_lds,
-                          bool probe_pollution);
+                          bool probe_pollution, Cycle now);
     void l1Fill(Addr addr, bool dirty, Cycle now);
     void onDemandUseOfPrefetch(CacheBlock *block, Addr block_addr,
                                Cycle now);
@@ -139,7 +204,7 @@ class MemorySystem : public CoreMemoryInterface
     void handleVictim(const Cache::Victim &victim,
                       PrefetchSource insert_source, Cycle now);
     void issuePrefetches(Cycle now);
-    void endInterval();
+    void endInterval(Cycle now);
     FeedbackSnapshot snapshot(unsigned which) const;
     void applyPrimaryLevel(AggLevel level);
     void applyLdsLevel(AggLevel level);
@@ -149,6 +214,15 @@ class MemorySystem : public CoreMemoryInterface
     unsigned coreId_;
     SimMemory image_;
     DramSystem *dram_;
+
+    /** @{ Observability: the caller's registry/tracer, or a private
+     *  fallback registry so the counters always exist. */
+    std::unique_ptr<obs::MetricRegistry> ownedMetrics_;
+    obs::MetricRegistry *metrics_;
+    obs::EventTracer *tracer_;
+    obs::ThrottleMonitor primaryMonitor_;
+    obs::ThrottleMonitor ldsMonitor_;
+    /** @} */
 
     Cache l1_;
     Cache l2_;
@@ -185,16 +259,32 @@ class MemorySystem : public CoreMemoryInterface
     std::uint64_t lastIntervalEvictions_ = 0;
     std::uint64_t intervals_ = 0;
 
-    /** @{ Lifetime statistics. */
-    std::uint64_t demandLoads_ = 0;
-    std::uint64_t l2DemandAccesses_ = 0;
-    std::uint64_t l2DemandMisses_ = 0;
-    std::uint64_t l2LdsMisses_ = 0;
-    std::uint64_t usefulLatencySum_[2] = {0, 0};
-    std::uint64_t usefulLatencyCount_[2] = {0, 0};
-    std::uint64_t prefDropped_[2] = {0, 0};
-    PgStatsMap pgStats_;
+    /** @{ Registered counters (storage lives in *metrics_). */
+    obs::Counter *demandLoadsCtr_ = nullptr;
+    obs::Counter *demandAccessesCtr_ = nullptr;
+    obs::Counter *demandHitsCtr_ = nullptr;
+    obs::Counter *mshrMergesCtr_ = nullptr;
+    obs::Counter *sideHitsCtr_ = nullptr;
+    obs::Counter *idealHitsCtr_ = nullptr;
+    obs::Counter *demandMissesCtr_ = nullptr;
+    obs::Counter *demandMissesTrueCtr_ = nullptr;
+    obs::Counter *demandMissesLateCtr_ = nullptr;
+    obs::Counter *ldsMissesCtr_ = nullptr;
+    obs::Counter *mshrAllocationsCtr_ = nullptr;
+    obs::Counter *mshrReleasesCtr_ = nullptr;
+    obs::Counter *mshrInFlightEndCtr_ = nullptr;
+    obs::Counter *mshrStallCyclesCtr_ = nullptr;
+    PfCounters pf_[2];
     /** @} */
+
+    /** Last cycle a demand was rejected on full MSHRs (dedupes the
+     *  MshrFullStall trace events to burst starts). */
+    Cycle lastMshrStall_ = ~Cycle{0};
+
+    /** Per-interval feedback time series (folded into RunStats). */
+    std::vector<IntervalSample> intervalSeries_;
+
+    PgStatsMap pgStats_;
 
     std::vector<PrefetchRequest> scratch_;
     std::vector<std::uint8_t> blockBuf_;

@@ -16,18 +16,29 @@ simulateMultiCore(const SystemConfig &cfg,
                   const std::vector<const Workload *> &workloads,
                   const std::vector<double> &alone_ipc)
 {
+    return simulateMultiCore(cfg, workloads, alone_ipc,
+                             Observability{});
+}
+
+MultiCoreResult
+simulateMultiCore(const SystemConfig &cfg,
+                  const std::vector<const Workload *> &workloads,
+                  const std::vector<double> &alone_ipc,
+                  const Observability &obs)
+{
     const unsigned n = static_cast<unsigned>(workloads.size());
     assert(n > 0);
     assert(alone_ipc.size() == workloads.size());
 
     DramSystem dram(cfg.dram, n);
+    dram.attachObservability(obs);
     std::vector<std::unique_ptr<MemorySystem>> memories;
     std::vector<std::unique_ptr<Core>> cores;
     memories.reserve(n);
     cores.reserve(n);
     for (unsigned i = 0; i < n; ++i) {
         memories.push_back(std::make_unique<MemorySystem>(
-            cfg, i, workloads[i]->image.clone(), &dram));
+            cfg, i, workloads[i]->image.clone(), &dram, &obs));
         cores.push_back(std::make_unique<Core>(
             workloads[i], memories.back().get(), cfg.core));
         cores.back()->setWrapAround(true);

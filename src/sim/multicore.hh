@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "obs/observability.hh"
 #include "sim/config.hh"
 #include "trace/trace.hh"
 
@@ -49,6 +50,16 @@ MultiCoreResult simulateMultiCore(
     const SystemConfig &cfg,
     const std::vector<const Workload *> &workloads,
     const std::vector<double> &alone_ipc);
+
+/**
+ * As above, with an observability bundle shared by every core's
+ * memory system (counters are prefixed "core<N>.") and the DRAM
+ * controller. Observability never changes simulated behaviour.
+ */
+MultiCoreResult simulateMultiCore(
+    const SystemConfig &cfg,
+    const std::vector<const Workload *> &workloads,
+    const std::vector<double> &alone_ipc, const Observability &obs);
 
 } // namespace ecdp
 

@@ -10,8 +10,16 @@ namespace ecdp
 RunStats
 simulate(const SystemConfig &cfg, const Workload &workload)
 {
+    return simulate(cfg, workload, Observability{});
+}
+
+RunStats
+simulate(const SystemConfig &cfg, const Workload &workload,
+         const Observability &obs)
+{
     DramSystem dram(cfg.dram, 1);
-    MemorySystem memory(cfg, 0, workload.image.clone(), &dram);
+    dram.attachObservability(obs);
+    MemorySystem memory(cfg, 0, workload.image.clone(), &dram, &obs);
     Core core(&workload, &memory, cfg.core);
 
     Cycle cycle = 0;

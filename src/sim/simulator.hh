@@ -6,6 +6,7 @@
 #ifndef ECDP_SIM_SIMULATOR_HH
 #define ECDP_SIM_SIMULATOR_HH
 
+#include "obs/observability.hh"
 #include "sim/config.hh"
 #include "trace/trace.hh"
 
@@ -18,6 +19,15 @@ namespace ecdp
  * reused across runs and configurations.
  */
 RunStats simulate(const SystemConfig &cfg, const Workload &workload);
+
+/**
+ * As above, with an observability bundle wired through the memory
+ * system and DRAM. Observability never changes simulated behaviour —
+ * only what is recorded about it — so both overloads produce
+ * identical stats for the same (cfg, workload).
+ */
+RunStats simulate(const SystemConfig &cfg, const Workload &workload,
+                  const Observability &obs);
 
 } // namespace ecdp
 

@@ -58,6 +58,21 @@ writeRunStatsJson(std::ostream &os, const RunStats &stats,
        << "\"l2DemandMisses\":" << stats.l2DemandMisses << ","
        << "\"l2LdsMisses\":" << stats.l2LdsMisses << ","
        << "\"intervals\":" << stats.intervals << ","
+       << "\"intervalSeries\":[";
+    for (std::size_t i = 0; i < stats.intervalSeries.size(); ++i) {
+        const IntervalSample &s = stats.intervalSeries[i];
+        os << (i ? "," : "") << "{\"cycle\":" << s.cycle
+           << ",\"accuracy\":[" << s.accuracy[0] << ","
+           << s.accuracy[1] << "],\"coverage\":[" << s.coverage[0]
+           << "," << s.coverage[1] << "],\"primaryLevel\":"
+           << static_cast<int>(s.primaryLevel)
+           << ",\"ldsLevel\":" << static_cast<int>(s.ldsLevel)
+           << ",\"primaryEnabled\":"
+           << (s.primaryEnabled ? "true" : "false")
+           << ",\"ldsEnabled\":"
+           << (s.ldsEnabled ? "true" : "false") << "}";
+    }
+    os << "],"
        << "\"prefetchers\":{";
     const char *names[2] = {"primary", "lds"};
     for (unsigned which = 0; which < 2; ++which) {
@@ -126,6 +141,22 @@ JsonValue::asArray() const
     if (kind_ != Kind::Array)
         throw JsonError("JSON value is not an array");
     return array_;
+}
+
+const std::map<std::string, JsonValue> &
+JsonValue::asObject() const
+{
+    if (kind_ != Kind::Object)
+        throw JsonError("JSON value is not an object");
+    return object_;
+}
+
+const std::string &
+JsonValue::numberText() const
+{
+    if (kind_ != Kind::Number)
+        throw JsonError("JSON value is not a number");
+    return scalar_;
 }
 
 const JsonValue *

@@ -54,7 +54,15 @@ class JsonValue
     std::int64_t asI64() const;
     const std::string &asString() const;
     const std::vector<JsonValue> &asArray() const;
+    const std::map<std::string, JsonValue> &asObject() const;
     /** @} */
+
+    /**
+     * Source text of a Number, exactly as parsed. The golden-stats
+     * tests compare this so a counter differing in the 17th digit
+     * cannot hide behind double rounding.
+     */
+    const std::string &numberText() const;
 
     /** Object member, or nullptr when missing / not an object. */
     const JsonValue *find(const std::string &key) const;

@@ -227,6 +227,20 @@ expectSameStats(const RunStats &a, const RunStats &b)
     EXPECT_EQ(a.finalPrimaryEnabled, b.finalPrimaryEnabled);
     EXPECT_EQ(a.finalLdsEnabled, b.finalLdsEnabled);
     EXPECT_EQ(a.intervals, b.intervals);
+    ASSERT_EQ(a.intervalSeries.size(), b.intervalSeries.size());
+    for (std::size_t i = 0; i < a.intervalSeries.size(); ++i) {
+        const IntervalSample &x = a.intervalSeries[i];
+        const IntervalSample &y = b.intervalSeries[i];
+        EXPECT_EQ(x.cycle, y.cycle);
+        for (unsigned which = 0; which < 2; ++which) {
+            EXPECT_EQ(x.accuracy[which], y.accuracy[which]);
+            EXPECT_EQ(x.coverage[which], y.coverage[which]);
+        }
+        EXPECT_EQ(x.primaryLevel, y.primaryLevel);
+        EXPECT_EQ(x.ldsLevel, y.ldsLevel);
+        EXPECT_EQ(x.primaryEnabled, y.primaryEnabled);
+        EXPECT_EQ(x.ldsEnabled, y.ldsEnabled);
+    }
 }
 
 } // namespace
@@ -300,6 +314,18 @@ TEST(ResultCacheTest, RoundTripsExactly)
     SystemConfig cfg = configs::noPrefetch();
     RunStats stats = simulate(cfg, ctx.ref("parser"));
     stats.pgStats[PgId{0x400, -2}] = PgStats{17, 5};
+    // Exercise the v2 interval-series leg even though a noPrefetch
+    // run records none of its own.
+    IntervalSample sample;
+    sample.cycle = 12345;
+    sample.accuracy[0] = 0.125;
+    sample.accuracy[1] = 1.0 / 3.0; // not exactly representable
+    sample.coverage[0] = 0.75;
+    sample.coverage[1] = 0.0;
+    sample.primaryLevel = AggLevel::Conservative;
+    sample.ldsLevel = AggLevel::Aggressive;
+    sample.primaryEnabled = false;
+    stats.intervalSeries.push_back(sample);
     const std::uint64_t hash = configHash(cfg);
 
     cache.store("parser", hash, stats);

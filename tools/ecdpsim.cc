@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "compiler/profiling_compiler.hh"
+#include "obs/trace_session.hh"
 #include "sim/experiment.hh"
 #include "sim/multicore.hh"
 #include "sim/simulator.hh"
@@ -136,7 +137,16 @@ runSingle(const Options &opts)
         cfg.intervalEvictions =
             static_cast<std::uint64_t>(opts.interval);
     Workload workload = buildWorkload(opts.bench, opts.input);
-    RunStats stats = simulate(cfg, workload);
+    RunStats stats;
+    if (obs::TraceSession *session = obs::TraceSession::global()) {
+        obs::EventTracer tracer(obs::EventTracer::capacityFromEnv());
+        obs::MetricRegistry metrics;
+        stats = simulate(cfg, workload,
+                         Observability{&metrics, &tracer});
+        session->flush(opts.bench + ":" + opts.config, tracer);
+    } else {
+        stats = simulate(cfg, workload);
+    }
     if (opts.json) {
         writeRunStatsJson(std::cout, stats, opts.config);
         std::cout << '\n';
@@ -167,7 +177,20 @@ runMulti(const Options &opts)
         ptrs.push_back(&workload);
         alone.push_back(simulate(cfg, workload).ipc);
     }
-    MultiCoreResult result = simulateMultiCore(cfg, ptrs, alone);
+    MultiCoreResult result;
+    if (obs::TraceSession *session = obs::TraceSession::global()) {
+        // One tracer for the whole mix; events carry the core index.
+        obs::EventTracer tracer(obs::EventTracer::capacityFromEnv());
+        obs::MetricRegistry metrics;
+        result = simulateMultiCore(cfg, ptrs, alone,
+                                   Observability{&metrics, &tracer});
+        std::string label;
+        for (const std::string &name : opts.multicore)
+            label += (label.empty() ? "" : "+") + name;
+        session->flush(label + ":" + opts.config, tracer);
+    } else {
+        result = simulateMultiCore(cfg, ptrs, alone);
+    }
     if (opts.json) {
         std::cout << "{\"config\":\"" << jsonEscape(opts.config)
                   << "\",\"weightedSpeedup\":"
