@@ -1,0 +1,264 @@
+/**
+ * @file
+ * simbench: wall-clock benchmark of the event-driven cycle-skipping
+ * scheduler against per-cycle polling.
+ *
+ * For each Olden pointer-chasing workload this runs the identical
+ * simulation twice — `cycleSkipping = false` (per-cycle polling) and
+ * `true` (next-event jumps) — timing each with steady_clock (best of
+ * N reps) and verifying the two runs' full stats JSON byte-identical
+ * before reporting any speedup. The output is machine-readable JSON
+ * (schema BENCH_simbench/v1, see EXPERIMENTS.md).
+ *
+ * Wall-clock seconds are machine-dependent; the on/off *speedup
+ * ratio* is not (both modes run on the same machine in the same
+ * process). The CI perf-smoke job therefore compares the geometric
+ * mean speedup against a committed baseline with `--check`, not the
+ * absolute times.
+ *
+ * Usage:
+ *   simbench [--quick] [--reps N] [--out FILE]
+ *            [--check BASELINE.json] [--tolerance FRAC]
+ *
+ *   --quick      two workloads, one rep: a ctest smoke that the
+ *                harness and the identity oracle work at all.
+ *   --check F    exit non-zero if any workload's stats diverge
+ *                between modes, or if the geometric-mean speedup
+ *                drops below baseline * (1 - tolerance).
+ *   --tolerance  slack fraction for --check (default 0.25).
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+#include "stats/json.hh"
+#include "stats/stats.hh"
+#include "workloads/workload.hh"
+
+using namespace ecdp;
+
+namespace
+{
+
+struct ModeTiming
+{
+    double wallSeconds = 0.0;
+    double cyclesPerSec = 0.0;
+};
+
+struct WorkloadResult
+{
+    std::string name;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    ModeTiming percycle;
+    ModeTiming eventDriven;
+    double speedup = 0.0;
+    bool identical = false;
+};
+
+std::string
+statsJson(const RunStats &stats)
+{
+    std::ostringstream os;
+    writeRunStatsJson(os, stats, "simbench");
+    return os.str();
+}
+
+/** Best-of-@p reps wall time for one (workload, mode) pair. */
+ModeTiming
+timeMode(const SystemConfig &base, const Workload &workload,
+         bool skipping, int reps, RunStats &stats_out)
+{
+    SystemConfig cfg = base;
+    cfg.cycleSkipping = skipping;
+    double best = -1.0;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        RunStats stats = simulate(cfg, workload);
+        auto t1 = std::chrono::steady_clock::now();
+        double secs = std::chrono::duration<double>(t1 - t0).count();
+        if (best < 0.0 || secs < best) {
+            best = secs;
+            stats_out = std::move(stats);
+        }
+    }
+    ModeTiming t;
+    t.wallSeconds = best;
+    t.cyclesPerSec = best > 0.0
+        ? static_cast<double>(stats_out.cycles) / best
+        : 0.0;
+    return t;
+}
+
+WorkloadResult
+benchWorkload(const SystemConfig &cfg, const std::string &name,
+              int reps)
+{
+    const Workload workload = buildWorkload(name, InputSet::Train);
+    WorkloadResult r;
+    r.name = name;
+    RunStats polled, skipped;
+    r.percycle = timeMode(cfg, workload, false, reps, polled);
+    r.eventDriven = timeMode(cfg, workload, true, reps, skipped);
+    r.cycles = skipped.cycles;
+    r.instructions = skipped.instructions;
+    // The oracle: a speedup only counts if the results are the same.
+    r.identical = statsJson(polled) == statsJson(skipped);
+    r.speedup = r.eventDriven.wallSeconds > 0.0
+        ? r.percycle.wallSeconds / r.eventDriven.wallSeconds
+        : 0.0;
+    return r;
+}
+
+void
+writeModeJson(std::ostream &os, const char *key, const ModeTiming &t)
+{
+    os << "\"" << key << "\": {\"wallSeconds\": " << t.wallSeconds
+       << ", \"cyclesPerSec\": " << t.cyclesPerSec << "}";
+}
+
+void
+writeReport(std::ostream &os, const std::vector<WorkloadResult> &rs,
+            const std::string &config_label, int reps,
+            double gmean_speedup)
+{
+    os.precision(6);
+    os << "{\n  \"schema\": \"BENCH_simbench/v1\",\n"
+       << "  \"config\": \"" << jsonEscape(config_label) << "\",\n"
+       << "  \"reps\": " << reps << ",\n  \"workloads\": [\n";
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        const WorkloadResult &r = rs[i];
+        os << "    {\"name\": \"" << jsonEscape(r.name)
+           << "\", \"cycles\": " << r.cycles
+           << ", \"instructions\": " << r.instructions << ",\n     ";
+        writeModeJson(os, "percycle", r.percycle);
+        os << ",\n     ";
+        writeModeJson(os, "eventDriven", r.eventDriven);
+        os << ",\n     \"speedup\": " << r.speedup
+           << ", \"identical\": " << (r.identical ? "true" : "false")
+           << "}" << (i + 1 < rs.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"gmeanSpeedup\": " << gmean_speedup << "\n}\n";
+}
+
+/** Baseline gmean speedup from a committed BENCH_simbench.json. */
+double
+baselineGmean(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        throw std::runtime_error("simbench: cannot open baseline " +
+                                 path);
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    JsonValue doc = parseJson(buf.str());
+    if (doc.at("schema").asString() != "BENCH_simbench/v1") {
+        throw std::runtime_error(
+            "simbench: unexpected baseline schema");
+    }
+    return doc.at("gmeanSpeedup").asDouble();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    int reps = 3;
+    double tolerance = 0.25;
+    std::string out_path;
+    std::string check_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "simbench: " << arg
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--reps") {
+            reps = std::stoi(next());
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--check") {
+            check_path = next();
+        } else if (arg == "--tolerance") {
+            tolerance = std::stod(next());
+        } else {
+            std::cerr << "simbench: unknown argument " << arg << "\n";
+            return 2;
+        }
+    }
+
+    // Olden pointer-chasing suite: the linked-data-structure
+    // workloads the paper targets, and the ones whose long
+    // dependence-stall gaps cycle skipping exploits.
+    std::vector<std::string> names = {"bisort",    "health",
+                                      "mst",       "perimeter",
+                                      "voronoi",   "pfast"};
+    if (quick) {
+        names = {"bisort", "health"};
+        reps = 1;
+    }
+
+    // A representative hybrid config: stream + CDP under coordinated
+    // throttling exercises the feedback-interval machinery too.
+    const SystemConfig cfg = configs::streamCdpThrottled();
+    const std::string config_label = "stream+cdp+throttle";
+
+    std::vector<WorkloadResult> results;
+    std::vector<double> ratios;
+    bool all_identical = true;
+    for (const std::string &name : names) {
+        WorkloadResult r = benchWorkload(cfg, name, reps);
+        std::cerr << "simbench: " << r.name << " speedup " << r.speedup
+                  << "x (" << r.percycle.wallSeconds << "s -> "
+                  << r.eventDriven.wallSeconds << "s), identical="
+                  << (r.identical ? "yes" : "NO") << "\n";
+        all_identical = all_identical && r.identical;
+        ratios.push_back(r.speedup);
+        results.push_back(std::move(r));
+    }
+    const double gmean_speedup = gmean(ratios);
+
+    std::ostringstream report;
+    writeReport(report, results, config_label, reps, gmean_speedup);
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        out << report.str();
+    } else {
+        std::cout << report.str();
+    }
+
+    if (!all_identical) {
+        std::cerr << "simbench: FAIL — event-driven stats diverge "
+                     "from per-cycle polling\n";
+        return 1;
+    }
+    if (!check_path.empty()) {
+        const double base = baselineGmean(check_path);
+        const double floor = base * (1.0 - tolerance);
+        std::cerr << "simbench: gmean speedup " << gmean_speedup
+                  << "x vs baseline " << base << "x (floor " << floor
+                  << "x)\n";
+        if (gmean_speedup < floor) {
+            std::cerr << "simbench: FAIL — speedup regressed beyond "
+                      << tolerance * 100.0 << "% tolerance\n";
+            return 1;
+        }
+    }
+    return 0;
+}

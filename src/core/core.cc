@@ -137,6 +137,63 @@ Core::resetPass()
     std::fill(completion_.begin(), completion_.end(), kPending);
 }
 
+Cycle
+Core::nextEventCycle(Cycle now) const
+{
+    Cycle wake = kNoEventCycle;
+
+    // Retire: non-memory fillers at the head always retire next
+    // cycle; a memory head with a known completion blocks everything
+    // behind it until that cycle (if the completion is already due,
+    // retirement merely ran out of width this cycle — resume next).
+    // A head whose completion is still kPending is an unissued load;
+    // the pending-loads walk below bounds it.
+    if (!rob_.empty()) {
+        const RobEntry &head = rob_.front();
+        if (!head.isMem)
+            return now + 1;
+        Cycle done = completion_[head.traceIdx];
+        if (done != kPending)
+            wake = std::min(wake, std::max(done, now + 1));
+    }
+
+    // Issue: a load whose dependence is already satisfied was held
+    // back only by the per-cycle issue budget or a memory-system
+    // rejection — both retried (with observable side effects such as
+    // the MSHR stall-cycle counters) every cycle, so no skipping.
+    // Otherwise the earliest state change is the earliest known
+    // dependence completion. Dependences whose completion is itself
+    // kPending are other unissued loads in this same list, so the
+    // walk bottoms out: the lowest-indexed pending load's dependence
+    // is always a store, an issued load, or absent.
+    for (std::size_t idx : pendingLoads_) {
+        const TraceEntry &entry = workload_->trace[idx];
+        if (entry.dep == kNoDep)
+            return now + 1;
+        Cycle ready = completion_[static_cast<std::size_t>(entry.dep)];
+        if (ready == kPending)
+            continue;
+        if (ready <= now)
+            return now + 1;
+        wake = std::min(wake, ready);
+    }
+
+    // Dispatch: possible next cycle whenever there is ROB space and
+    // the next entry is a filler batch or a memory op with LSQ space.
+    // A full ROB or LSQ only drains through retirement, which the
+    // retire bound above already covers.
+    if (cursor_ < workload_->trace.size() &&
+        robCount_ < params_.robEntries) {
+        const TraceEntry &entry = workload_->trace[cursor_];
+        std::uint32_t fillers =
+            fillersPrimed_ ? fillersLeft_ : entry.nonMemBefore;
+        if (fillers > 0 || lsqCount_ < params_.lsqEntries)
+            return now + 1;
+    }
+
+    return wake;
+}
+
 void
 Core::tick(Cycle now)
 {

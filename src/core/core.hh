@@ -79,6 +79,29 @@ class Core
     /** Advance one cycle: retire, issue ready loads, dispatch. */
     void tick(Cycle now);
 
+    /**
+     * Earliest cycle after @p now at which tick() could do anything —
+     * the event-driven scheduler's wakeup bound. Must be called after
+     * tick(now); every cycle in (now, nextEventCycle(now)) is
+     * guaranteed to be a no-op tick (no retirement, no issue, no
+     * dispatch, no memory-system call), so the simulation loop may
+     * skip straight to the bound with bit-identical results.
+     *
+     * The bound is deliberately conservative: whenever the core could
+     * conceivably act next cycle — fillers at the ROB head, a
+     * dispatchable entry, or a dependence-satisfied load that was
+     * held back by an issue-budget or memory-system stall (whose
+     * retry has observable side effects: stall-cycle counters) — it
+     * answers now + 1. A later bound is only returned when the core
+     * is provably idle until a known completion time: the ROB head
+     * waiting on its miss, or every issuable load waiting on a
+     * dependence with a known completion cycle.
+     *
+     * Returns kNoEventCycle when the core can never act again without
+     * external input (finished, non-wrapping).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** True once every trace entry has been retired at least once. */
     bool finishedOnce() const { return finishedOnce_; }
 

@@ -6,14 +6,33 @@
 namespace ecdp
 {
 
-DramSystem::DramSystem(const DramParams &params, unsigned cores)
+namespace
+{
+
+unsigned
+log2Floor(std::uint32_t v)
+{
+    unsigned shift = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++shift;
+    }
+    return shift;
+}
+
+} // namespace
+
+DramSystem::DramSystem(const DramParams &params, unsigned cores,
+                       std::uint32_t block_bytes)
     : params_(params),
       bufferCapacity_(params.requestBufferPerCore * cores),
+      blockShift_(log2Floor(block_bytes)),
       bankFree_(params.banks, 0),
       perCoreBus_(cores, 0)
 {
     assert(cores > 0);
     assert(params.banks > 0);
+    assert(block_bytes > 0);
 }
 
 unsigned
@@ -21,7 +40,11 @@ DramSystem::bankIndex(unsigned core, Addr block_addr) const
 {
     // Fold several address ranges plus the core id so that regular
     // strides and identical per-core heap layouts spread over banks.
-    std::uint32_t v = block_addr >> 7;
+    // The shift discards exactly the intra-block bits: with it
+    // hard-coded for 128 B blocks, a 64 B-block configuration would
+    // alias each adjacent block pair into the same bank and every
+    // sequential stream would see a fixed lockstep bank pattern.
+    std::uint32_t v = block_addr >> blockShift_;
     v ^= v >> 6;
     v ^= core * 0x9e3779b9u;
     return v % params_.banks;
@@ -33,6 +56,17 @@ DramSystem::bufferOccupancy(Cycle now)
     while (!inFlight_.empty() && inFlight_.top() <= now)
         inFlight_.pop();
     return static_cast<unsigned>(inFlight_.size());
+}
+
+Cycle
+DramSystem::nextEventCycle(Cycle now)
+{
+    // Drain entries that already completed; their timestamps are in
+    // the past and would otherwise pin the bound to now + 1 forever.
+    bufferOccupancy(now);
+    if (inFlight_.empty())
+        return kNoEventCycle;
+    return std::max(inFlight_.top(), now + 1);
 }
 
 void
@@ -111,7 +145,13 @@ DramSystem::writeback(unsigned core, Addr block_addr, Cycle now)
 {
     if (writebacksCtr_)
         writebacksCtr_->inc();
-    reserve(core, block_addr, now);
+    // A writeback occupies a request-buffer entry until its bus
+    // transfer completes, just like a read — otherwise writeback
+    // bursts are invisible to the per-core buffer limit and
+    // bandwidth contention is underestimated. Unlike reads it is
+    // never refused: the evicting cache has no write buffer to stall
+    // into, so the entry is posted even when the buffer is full.
+    inFlight_.push(reserve(core, block_addr, now));
 }
 
 } // namespace ecdp

@@ -55,8 +55,13 @@ class DramSystem
     /**
      * @param params Timing parameters.
      * @param cores Number of cores sharing the memory system.
+     * @param block_bytes Cache-block (bus transfer) size; the bank
+     *        hash discards the intra-block bits, so it must match the
+     *        last-level block size or adjacent blocks alias into
+     *        lockstep bank patterns.
      */
-    DramSystem(const DramParams &params, unsigned cores);
+    DramSystem(const DramParams &params, unsigned cores,
+               std::uint32_t block_bytes = 128);
 
     /**
      * Try to accept a read (fill) request.
@@ -73,9 +78,14 @@ class DramSystem
                               unsigned reserve = 0);
 
     /**
-     * Post a writeback. Writebacks reserve bank and bus time and count
-     * as bus transactions but nothing waits for them, and they bypass
-     * the request buffer (modelling a separate write buffer).
+     * Post a writeback. Writebacks reserve bank and bus time, count
+     * as bus transactions, and occupy a request-buffer entry until
+     * their bus transfer completes, so a writeback burst pushes the
+     * buffer toward full and delays later reads' acceptance exactly
+     * like reads do. Nothing ever waits for a writeback and one is
+     * never rejected (the evicting cache has nowhere to hold the
+     * dirty block), so occupancy may transiently exceed capacity;
+     * reads arriving in that window are refused until it drains.
      */
     void writeback(unsigned core, Addr block_addr, Cycle now);
 
@@ -94,6 +104,19 @@ class DramSystem
     unsigned bufferCapacity() const { return bufferCapacity_; }
 
     /**
+     * Earliest cycle after @p now at which the request buffer drains
+     * an entry (the next in-flight completion), or kNoEventCycle when
+     * nothing is in flight. Purely passive state cannot wake anyone
+     * on its own — callers that were refused retry every cycle and
+     * pin the clock themselves — so this is a belt-and-braces bound
+     * for the cycle-skipping scheduler, never the binding one.
+     * Non-const: it pops already-completed entries (the same lazy
+     * drain bufferOccupancy() performs) so a stale heap top cannot
+     * pin the clock to now + 1.
+     */
+    Cycle nextEventCycle(Cycle now);
+
+    /**
      * Attach the run's observability bundle. Registers the "dram.*"
      * counters (reads, writebacks, bank_conflicts, buffer_rejects)
      * and emits DramBankConflict events for requests that arrive
@@ -110,9 +133,12 @@ class DramSystem
 
     DramParams params_;
     unsigned bufferCapacity_;
+    /** log2 of the block size: bits the bank hash discards. */
+    unsigned blockShift_;
     std::vector<Cycle> bankFree_;
     Cycle busFree_ = 0;
-    /** Completion times of in-flight reads (buffer occupancy). */
+    /** Completion times of in-flight reads and writebacks (request
+     *  buffer occupancy). */
     std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>
         inFlight_;
     std::uint64_t busTransactions_ = 0;

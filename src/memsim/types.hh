@@ -20,6 +20,14 @@ using Addr = std::uint32_t;
 /** Core clock cycle count. */
 using Cycle = std::uint64_t;
 
+/**
+ * "No scheduled event": the sentinel nextEventCycle() answers when a
+ * component cannot act again without external input. The event-driven
+ * simulation loop takes the minimum over all components, so the
+ * sentinel (max Cycle) never wins while anything has work pending.
+ */
+inline constexpr Cycle kNoEventCycle = ~Cycle{0};
+
 /** Width of a simulated pointer in bytes. */
 inline constexpr unsigned kPointerBytes = 4;
 

@@ -128,6 +128,11 @@ configHash(const SystemConfig &cfg)
     h.u64(cfg.idealNoPollution ? 1 : 0);
     h.u64(cfg.maxCycles);
 
+    // cfg.cycleSkipping is deliberately NOT hashed: it is a pure
+    // wall-clock optimisation with bit-identical results (enforced by
+    // the SkippingIsExact tests), so both settings denote the same
+    // simulated configuration and must share memo/result-cache keys.
+
     return h.value();
 }
 

@@ -110,6 +110,20 @@ struct SystemConfig
 
     /** Safety limit for the cycle loop. */
     Cycle maxCycles = 4'000'000'000ull;
+
+    /**
+     * Event-driven cycle skipping: advance the clock directly to the
+     * next cycle any component can act on (the minimum over the
+     * cores' wakeups, pending fills, queued prefetches and DRAM
+     * drains) instead of ticking every cycle. A pure wall-clock
+     * optimisation — results are bit-identical either way (see
+     * DESIGN.md's exactness argument and the SkippingIsExact tests),
+     * which is also why the flag is deliberately excluded from
+     * configHash(): both settings name the same simulated machine.
+     * Off is only useful for the simbench speed comparison and for
+     * debugging the scheduler itself.
+     */
+    bool cycleSkipping = true;
 };
 
 /** Per-pointer-group usefulness statistics. */

@@ -677,20 +677,27 @@ MemorySystem::issuePrefetches(Cycle now)
 }
 
 FeedbackSnapshot
-MemorySystem::snapshot(unsigned which) const
+MemorySystem::makeSnapshot(const PrefetcherFeedback &fb,
+                           std::uint64_t aged_misses,
+                           std::uint64_t aged_pollution)
 {
     FeedbackSnapshot snap;
-    snap.accuracy = feedback_[which].accuracy();
-    snap.coverage =
-        feedback_[which].coverage(demandMissCounter_.value());
-    snap.lateness = feedback_[which].lateness();
-    std::uint64_t misses = demandMissCounter_.value();
-    snap.pollution = misses == 0
+    snap.accuracy = fb.accuracy();
+    snap.coverage = fb.coverage(aged_misses);
+    snap.lateness = fb.lateness();
+    snap.pollution = aged_misses == 0
         ? 0.0
-        : static_cast<double>(pollutionEvents_[which].value()) /
-              static_cast<double>(misses);
-    snap.anyPrefetches = feedback_[which].anyPrefetches();
+        : static_cast<double>(aged_pollution) /
+              static_cast<double>(aged_misses);
+    snap.anyPrefetches = fb.anyPrefetches();
     return snap;
+}
+
+FeedbackSnapshot
+MemorySystem::snapshot(unsigned which) const
+{
+    return makeSnapshot(feedback_[which], demandMissCounter_.value(),
+                        pollutionEvents_[which].value());
 }
 
 void
@@ -775,8 +782,31 @@ MemorySystem::tick(Cycle now)
     }
 }
 
+Cycle
+MemorySystem::nextEventCycle(Cycle now) const
+{
+    // Ready prefetches are (re)tried every cycle, and every attempt
+    // can have observable effects (drop counters, DRAM buffer-reject
+    // counters), so no cycle with a non-empty ready queue may be
+    // skipped.
+    if (!readyQueue_.empty())
+        return now + 1;
+    // An already-crossed interval boundary fires at the next tick;
+    // the eviction delta is monotonic and only moves on fill/demand
+    // activity, so if it has not crossed yet it cannot cross during
+    // skipped (idle) cycles.
+    if (l2_.evictions() - lastIntervalEvictions_ >=
+        cfg_.intervalEvictions) {
+        return now + 1;
+    }
+    Cycle wake = earliestFill_;
+    if (!delayedQueue_.empty())
+        wake = std::min(wake, delayedQueue_.top().readyAt);
+    return wake > now ? wake : now + 1;
+}
+
 void
-MemorySystem::collectStats(RunStats &out)
+MemorySystem::collectStats(RunStats &out, Cycle now)
 {
     // Fold the end-of-run gauges in first so the registry satisfies
     // the conservation identities at the same instant the RunStats
@@ -839,6 +869,47 @@ MemorySystem::collectStats(RunStats &out)
     out.finalLdsEnabled = ldsEnabled_;
     out.intervals = intervals_;
     out.intervalSeries = intervalSeries_;
+
+    // Trailing partial interval: interval ends are only detected via
+    // the eviction delta in tick(), so a run that stops mid-interval
+    // would silently drop its tail from the series. Emit one final
+    // sample for it, computed on *copies* of the interval counters:
+    // endInterval() on the copies applies the same Equation 3 aging a
+    // real boundary would, while the live feedback/throttle state —
+    // and therefore simulated behaviour, should the caller keep
+    // ticking — stays untouched. No throttling decision is applied
+    // (the run ended before the boundary), so the sample reports the
+    // levels as they stand.
+    const bool partial_activity =
+        l2_.evictions() > lastIntervalEvictions_ ||
+        demandMissCounter_.during() > 0 ||
+        feedback_[0].currentIntervalActive() ||
+        feedback_[1].currentIntervalActive();
+    if (partial_activity) {
+        PrefetcherFeedback fb[2] = {feedback_[0], feedback_[1]};
+        IntervalCounter misses = demandMissCounter_;
+        IntervalCounter pollution[2] = {pollutionEvents_[0],
+                                        pollutionEvents_[1]};
+        for (unsigned which = 0; which < 2; ++which) {
+            fb[which].endInterval();
+            pollution[which].endInterval();
+        }
+        misses.endInterval();
+
+        IntervalSample sample;
+        sample.cycle = now;
+        for (unsigned which = 0; which < 2; ++which) {
+            const FeedbackSnapshot snap = makeSnapshot(
+                fb[which], misses.value(), pollution[which].value());
+            sample.accuracy[which] = snap.accuracy;
+            sample.coverage[which] = snap.coverage;
+        }
+        sample.primaryLevel = primaryLevel_;
+        sample.ldsLevel = ldsLevel_;
+        sample.primaryEnabled = primaryEnabled_;
+        sample.ldsEnabled = ldsEnabled_;
+        out.intervalSeries.push_back(sample);
+    }
 }
 
 } // namespace ecdp

@@ -74,12 +74,36 @@ class MemorySystem : public CoreMemoryInterface
     void tick(Cycle now);
 
     /**
+     * Earliest cycle after @p now at which tick() could do anything —
+     * the event-driven scheduler's wakeup bound. Call after the
+     * owning core's tick(now) (core activity enqueues prefetches and
+     * allocates MSHRs). Guarantees every cycle in (now, bound) is a
+     * no-op tick: no fill is due before earliestFill_, a non-empty
+     * ready queue forces now + 1 (issuePrefetches runs — and counts
+     * drops / DRAM rejects — every cycle it has work), delayed
+     * prefetches wake at their readyAt, and a crossed eviction-delta
+     * interval boundary forces now + 1 so endInterval fires on the
+     * same cycle it would have under per-cycle polling.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
      * Fold lifetime counters into @p out. Non-const because it also
      * folds end-of-run gauges (queue depths, resident-prefetch
      * census, in-flight MSHRs) into the metric registry so the
      * conservation identities balance at any collection point.
+     *
+     * A run that ends mid-feedback-interval has a trailing partial
+     * interval that never hit the eviction-delta boundary in tick();
+     * collectStats appends one final sample for it (stamped with
+     * @p now, the run's end cycle) to out.intervalSeries so short
+     * runs are not missing their tail in the stats JSON. The sample
+     * is computed from copies of the interval counters — simulation
+     * and throttling state are untouched, so collecting stats
+     * mid-run or repeatedly is safe and idempotent. out.intervals
+     * keeps counting completed intervals only.
      */
-    void collectStats(RunStats &out);
+    void collectStats(RunStats &out, Cycle now = 0);
 
     /** @{ Introspection for tests and benches. */
     const Cache &l2() const { return l2_; }
@@ -205,6 +229,10 @@ class MemorySystem : public CoreMemoryInterface
                       PrefetchSource insert_source, Cycle now);
     void issuePrefetches(Cycle now);
     void endInterval(Cycle now);
+    /** Snapshot from explicit (possibly copied) interval counters. */
+    static FeedbackSnapshot makeSnapshot(const PrefetcherFeedback &fb,
+                                         std::uint64_t aged_misses,
+                                         std::uint64_t aged_pollution);
     FeedbackSnapshot snapshot(unsigned which) const;
     void applyPrimaryLevel(AggLevel level);
     void applyLdsLevel(AggLevel level);

@@ -1,5 +1,6 @@
 #include "sim/multicore.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 
@@ -30,7 +31,7 @@ simulateMultiCore(const SystemConfig &cfg,
     assert(n > 0);
     assert(alone_ipc.size() == workloads.size());
 
-    DramSystem dram(cfg.dram, n);
+    DramSystem dram(cfg.dram, n, cfg.l2BlockBytes);
     dram.attachObservability(obs);
     std::vector<std::unique_ptr<MemorySystem>> memories;
     std::vector<std::unique_ptr<Core>> cores;
@@ -52,12 +53,33 @@ simulateMultiCore(const SystemConfig &cfg,
         }
         return true;
     };
+    // Event-driven main loop (see simulate()): the clock jumps to the
+    // minimum next-event cycle across every core, memory system and
+    // the shared DRAM. Cores interact only through the shared DRAM,
+    // whose contention is resolved at request-acceptance time with
+    // completion timestamps, so the global minimum is exactly the
+    // next cycle anything in the system can do — skipping to it is
+    // bit-identical to per-cycle polling.
     while (!all_done() && cycle < cfg.maxCycles) {
         for (unsigned i = 0; i < n; ++i)
             memories[i]->tick(cycle);
         for (unsigned i = 0; i < n; ++i)
             cores[i]->tick(cycle);
-        ++cycle;
+        Cycle next = cycle + 1;
+        if (cfg.cycleSkipping && !all_done()) {
+            // Cheapest bounds first with an early exit once one pins
+            // the clock to the next cycle (see simulate()): on busy
+            // cycles the remaining bounds cannot lower the minimum.
+            Cycle wake = kNoEventCycle;
+            for (unsigned i = 0; i < n && wake > cycle + 1; ++i)
+                wake = std::min(wake, memories[i]->nextEventCycle(cycle));
+            for (unsigned i = 0; i < n && wake > cycle + 1; ++i)
+                wake = std::min(wake, cores[i]->nextEventCycle(cycle));
+            if (wake > cycle + 1)
+                wake = std::min(wake, dram.nextEventCycle(cycle));
+            next = std::max(next, std::min(wake, cfg.maxCycles));
+        }
+        cycle = next;
     }
 
     MultiCoreResult result;
@@ -84,7 +106,7 @@ simulateMultiCore(const SystemConfig &cfg,
             ? 0.0
             : 1000.0 * static_cast<double>(stats.busTransactions) /
                   static_cast<double>(stats.instructions);
-        memories[i]->collectStats(stats);
+        memories[i]->collectStats(stats, stats.cycles);
         result.perCore.push_back(std::move(stats));
 
         double ratio = alone_ipc[i] <= 0.0

@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
+
 #include "core/core.hh"
 #include "dram/dram.hh"
 #include "sim/memory_system.hh"
@@ -17,16 +19,39 @@ RunStats
 simulate(const SystemConfig &cfg, const Workload &workload,
          const Observability &obs)
 {
-    DramSystem dram(cfg.dram, 1);
+    DramSystem dram(cfg.dram, 1, cfg.l2BlockBytes);
     dram.attachObservability(obs);
     MemorySystem memory(cfg, 0, workload.image.clone(), &dram, &obs);
     Core core(&workload, &memory, cfg.core);
 
+    // Event-driven main loop: every iteration ticks exactly as the
+    // per-cycle loop would, but the clock then jumps straight to the
+    // earliest cycle any component can act on. The skipped cycles are
+    // provably no-op ticks (see nextEventCycle contracts and
+    // DESIGN.md), so results are bit-identical with skipping on or
+    // off — only wall-clock differs.
     Cycle cycle = 0;
     while (!core.finishedOnce() && cycle < cfg.maxCycles) {
         memory.tick(cycle);
         core.tick(cycle);
-        ++cycle;
+        Cycle next = cycle + 1;
+        if (cfg.cycleSkipping && !core.finishedOnce()) {
+            // Cheapest bound first, and stop as soon as one pins the
+            // clock to the very next cycle: on busy cycles (prefetch
+            // queues draining, ROB retiring) the remaining bounds
+            // cannot raise the minimum, and computing them would make
+            // skipping a net loss on workloads that rarely idle.
+            Cycle wake = memory.nextEventCycle(cycle);
+            if (wake > cycle + 1)
+                wake = std::min(wake, core.nextEventCycle(cycle));
+            if (wake > cycle + 1)
+                wake = std::min(wake, dram.nextEventCycle(cycle));
+            // All-idle with no scheduled event is a hang; jump to the
+            // watchdog so the loop exits at the same cycle count the
+            // polling loop would have spun to.
+            next = std::max(next, std::min(wake, cfg.maxCycles));
+        }
+        cycle = next;
     }
 
     RunStats stats;
@@ -48,7 +73,7 @@ simulate(const SystemConfig &cfg, const Workload &workload,
         ? 0.0
         : 1000.0 * static_cast<double>(stats.busTransactions) /
               static_cast<double>(stats.instructions);
-    memory.collectStats(stats);
+    memory.collectStats(stats, stats.cycles);
     return stats;
 }
 

@@ -7,7 +7,7 @@ double
 PrefetcherFeedback::accuracy() const
 {
     if (issued_.value() == 0)
-        return 1.0;
+        return heldAccuracy_;
     double acc =
         static_cast<double>(used_.value() + late_.value()) /
         static_cast<double>(issued_.value());

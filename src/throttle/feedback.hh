@@ -47,19 +47,32 @@ class PrefetcherFeedback
     void onPrefetchUsed() { used_.add(); }
     void onPrefetchLate() { late_.add(); }
 
-    /** Fold the current interval per Equation 3. */
+    /** Fold the current interval per Equation 3. While the aged
+     *  issued count is nonzero the freshly computed accuracy is also
+     *  latched, so a later fully-throttled (zero-issue) stretch keeps
+     *  reporting the last real measurement. */
     void endInterval()
     {
         issued_.endInterval();
         used_.endInterval();
         late_.endInterval();
+        if (issued_.value() > 0)
+            heldAccuracy_ = accuracy();
     }
 
     /** Equation 1 over the aged counters. A prefetch counts as used
      *  here if a demand consumed it at all — from the cache (the
      *  prefetched tag bit) or by merging into its in-flight MSHR
      *  (late): both are hardware-observable and both mean the pointer
-     *  was truly needed. */
+     *  was truly needed.
+     *
+     *  When the aged issued count is zero the last held measurement
+     *  is reported instead: 0/0 carries no information, and treating
+     *  it as perfect accuracy would let the FDP/coordinated
+     *  throttlers re-promote a fully-throttled inaccurate prefetcher
+     *  the very next interval. A prefetcher that never issued
+     *  anything still reports 1.0 (an idle prefetcher is never
+     *  punished). */
     double accuracy() const;
 
     /** Equation 2; @p aged_demand_misses is the shared total-misses. */
@@ -74,10 +87,20 @@ class PrefetcherFeedback
     std::uint64_t lifetimeUsed() const { return used_.lifetime(); }
     std::uint64_t lifetimeLate() const { return late_.lifetime(); }
 
+    /** True when any counter saw activity in the current (not yet
+     *  folded) interval — the trailing-partial-interval flush test. */
+    bool currentIntervalActive() const
+    {
+        return issued_.during() > 0 || used_.during() > 0 ||
+               late_.during() > 0;
+    }
+
   private:
     IntervalCounter issued_;
     IntervalCounter used_;
     IntervalCounter late_;
+    /** Last accuracy measured over a nonzero aged issued count. */
+    double heldAccuracy_ = 1.0;
 };
 
 /**

@@ -39,12 +39,55 @@ TEST(Feedback, AccuracyCountsUsedAndLate)
     EXPECT_NEAR(fb.accuracy(), 0.6, 1e-9);
 }
 
-TEST(Feedback, AccuracyIsOneWithNoPrefetches)
+TEST(Feedback, AccuracyIsOneWithNoPrefetchesEver)
 {
+    // A prefetcher that never issued anything has no measurement to
+    // hold; it stays at the "idle prefetchers are never punished"
+    // default of 1.0.
     PrefetcherFeedback fb;
     fb.endInterval();
     EXPECT_DOUBLE_EQ(fb.accuracy(), 1.0);
     EXPECT_FALSE(fb.anyPrefetches());
+}
+
+TEST(Feedback, ZeroIssueIntervalsHoldPreviousAccuracy)
+{
+    // An inaccurate prefetcher gets throttled to zero issue; its aged
+    // issued count decays to 0 within a few intervals. 0/0 must not
+    // read as perfect accuracy — it holds the last real measurement,
+    // so the throttler does not immediately re-promote it.
+    PrefetcherFeedback fb;
+    for (int i = 0; i < 16; ++i)
+        fb.onPrefetchIssued();
+    fb.onPrefetchUsed();
+    fb.endInterval();
+    EXPECT_NEAR(fb.accuracy(), 0.0, 1e-9); // aged 0 used / 8 issued
+    // Fully throttled from here on: issued ages 8 -> 4 -> 2 -> 1 -> 0.
+    for (int i = 0; i < 6; ++i)
+        fb.endInterval();
+    EXPECT_FALSE(fb.anyPrefetches());
+    EXPECT_NEAR(fb.accuracy(), 0.0, 1e-9); // held, not 1.0
+}
+
+TEST(Feedback, HeldAccuracyKeepsFdpFromRepromoting)
+{
+    // The end-to-end FDP consequence of the hold: a fully-throttled
+    // inaccurate prefetcher keeps deciding Down every interval
+    // instead of bouncing back up on a fake accuracy of 1.0.
+    PrefetcherFeedback fb;
+    for (int i = 0; i < 32; ++i)
+        fb.onPrefetchIssued();
+    fb.onPrefetchUsed();
+    fb.endInterval();
+    FdpThrottler fdp;
+    for (int i = 0; i < 8; ++i) {
+        FeedbackSnapshot s;
+        s.accuracy = fb.accuracy();
+        s.anyPrefetches = fb.anyPrefetches();
+        EXPECT_EQ(fdp.decide(s), ThrottleDecision::Down)
+            << "interval " << i;
+        fb.endInterval(); // nothing issued: fully throttled
+    }
 }
 
 TEST(Feedback, CoverageUsesSharedMissCounter)
