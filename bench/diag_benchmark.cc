@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <unordered_set>
 #include <vector>
+#include "memsim/block_geometry.hh"
 #include "sim/experiment.hh"
 #include "compiler/profiling_compiler.hh"
 
@@ -22,10 +23,11 @@ int main(int argc, char** argv) {
     std::string name = argc > 1 ? argv[1] : "mcf";
     ExperimentContext ctx;
     const Workload& wl = ctx.ref(name);
+    const BlockGeometry geom{128};
     std::unordered_set<Addr> blocks;
     std::uint64_t loads = 0, lds = 0;
     for (auto& e : wl.trace) {
-        blocks.insert(e.vaddr & ~Addr{127});
+        blocks.insert(geom.alignDown(e.vaddr));
         loads += e.kind == AccessKind::Load;
         lds += e.isLds;
     }

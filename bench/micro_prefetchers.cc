@@ -78,12 +78,17 @@ BENCHMARK(BM_GhbMiss);
 void
 BM_MarkovMiss(benchmark::State &state)
 {
-    MarkovPrefetcher markov;
+    const BlockGeometry geom{128};
+    MarkovPrefetcher markov(geom);
     std::vector<PrefetchRequest> out;
     std::mt19937 rng(7);
     for (auto _ : state) {
         out.clear();
-        markov.onDemandMiss(0x40000000 + (rng() % 4096) * 128, out);
+        markov.onDemandMiss(
+            geom.blockOf(Addr{0x40000000u +
+                              static_cast<std::uint32_t>(rng() % 4096) *
+                                  128u}),
+            out);
         benchmark::DoNotOptimize(out.data());
     }
 }

@@ -92,7 +92,7 @@ timeMode(const SystemConfig &base, const Workload &workload,
     ModeTiming t;
     t.wallSeconds = best;
     t.cyclesPerSec = best > 0.0
-        ? static_cast<double>(stats_out.cycles) / best
+        ? static_cast<double>(stats_out.cycles.raw()) / best
         : 0.0;
     return t;
 }
@@ -107,7 +107,7 @@ benchWorkload(const SystemConfig &cfg, const std::string &name,
     RunStats polled, skipped;
     r.percycle = timeMode(cfg, workload, false, reps, polled);
     r.eventDriven = timeMode(cfg, workload, true, reps, skipped);
-    r.cycles = skipped.cycles;
+    r.cycles = skipped.cycles.raw();
     r.instructions = skipped.instructions;
     // The oracle: a speedup only counts if the results are the same.
     r.identical = statsJson(polled) == statsJson(skipped);

@@ -57,7 +57,7 @@ main()
     rivals.header({"mechanism", "bits", "KB"});
     StreamPrefetcher stream;
     DependenceBasedPrefetcher dbp;
-    MarkovPrefetcher markov;
+    MarkovPrefetcher markov{BlockGeometry{128}};
     GhbPrefetcher ghb;
     HardwareFilter filter;
     auto rrow = [&rivals](const char *name, std::uint64_t bits) {

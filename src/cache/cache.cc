@@ -9,11 +9,7 @@ namespace ecdp
 
 Cache::Cache(std::string name, std::uint32_t size_bytes,
              std::uint32_t assoc, std::uint32_t block_bytes)
-    : name_(std::move(name)),
-      blockBytes_(block_bytes),
-      blockMask_(block_bytes - 1),
-      blockShift_(static_cast<std::uint32_t>(std::countr_zero(block_bytes))),
-      assoc_(assoc)
+    : name_(std::move(name)), geom_(block_bytes), assoc_(assoc)
 {
     assert(std::has_single_bit(block_bytes));
     assert(size_bytes % (assoc * block_bytes) == 0);
@@ -27,7 +23,7 @@ CacheBlock *
 Cache::lookup(Addr addr, bool update_lru)
 {
     std::uint32_t set = setIndex(addr);
-    Addr tag = tagOf(addr);
+    BlockAddr tag = tagOf(addr);
     for (std::uint32_t way = 0; way < assoc_; ++way) {
         CacheBlock &block = blocks_[set * assoc_ + way];
         if (block.valid && block.tag == tag) {
@@ -43,7 +39,7 @@ const CacheBlock *
 Cache::peek(Addr addr) const
 {
     std::uint32_t set = setIndex(addr);
-    Addr tag = tagOf(addr);
+    BlockAddr tag = tagOf(addr);
     for (std::uint32_t way = 0; way < assoc_; ++way) {
         const CacheBlock &block = blocks_[set * assoc_ + way];
         if (block.valid && block.tag == tag)
@@ -56,7 +52,7 @@ Cache::Victim
 Cache::insert(Addr addr, PrefetchSource source)
 {
     std::uint32_t set = setIndex(addr);
-    Addr tag = tagOf(addr);
+    BlockAddr tag = tagOf(addr);
 
     // Victim priority: matching tag (refresh) > invalid way > true LRU.
     CacheBlock *victim_block = nullptr;
@@ -82,7 +78,7 @@ Cache::insert(Addr addr, PrefetchSource source)
     if (victim_block->valid && victim_block->tag != tag) {
         victim.valid = true;
         victim.dirty = victim_block->dirty;
-        victim.addr = (victim_block->tag << blockShift_);
+        victim.addr = geom_.baseOf(victim_block->tag);
         victim.wasPrefetchedPrimary = victim_block->prefetchedPrimary;
         victim.wasPrefetchedLds = victim_block->prefetchedLds;
         ++evictions_;
@@ -99,7 +95,7 @@ Cache::insert(Addr addr, PrefetchSource source)
         victim_block->pgValid = false;
         victim_block->pg = PgId{};
         victim_block->cdpDepth = 0;
-        victim_block->prefetchLatency = 0;
+        victim_block->prefetchLatency = Cycle{};
     }
     return victim;
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "memsim/block_geometry.hh"
 #include "memsim/types.hh"
 
 namespace ecdp
@@ -40,7 +41,7 @@ struct PgIdHash
     std::size_t operator()(const PgId &id) const
     {
         return std::hash<std::uint64_t>{}(
-            (std::uint64_t{id.loadPc} << 16) ^
+            (std::uint64_t{id.loadPc.raw()} << 16) ^
             static_cast<std::uint16_t>(id.slot));
     }
 };
@@ -50,7 +51,7 @@ struct CacheBlock
 {
     bool valid = false;
     bool dirty = false;
-    Addr tag = 0;
+    BlockAddr tag{};
     /** LRU timestamp (global monotonic counter). */
     std::uint64_t lastUse = 0;
     /** The paper's prefetched-stream / prefetched-CDP tag bits. */
@@ -63,7 +64,7 @@ struct CacheBlock
     std::uint8_t cdpDepth = 0;
     /** Issue-to-fill latency of the prefetch that fetched the block
      *  (stats only; drives the Section 4 contention analysis). */
-    Cycle prefetchLatency = 0;
+    Cycle prefetchLatency{};
 };
 
 /**
@@ -85,15 +86,18 @@ class Cache
           std::uint32_t block_bytes);
 
     /** Address of the block containing @p addr. */
-    Addr blockAddr(Addr addr) const { return addr & ~blockMask_; }
+    Addr blockAddr(Addr addr) const { return geom_.alignDown(addr); }
 
     /** Byte offset of @p addr within its block. */
     std::uint32_t blockOffset(Addr addr) const
     {
-        return addr & blockMask_;
+        return geom_.offsetIn(addr);
     }
 
-    std::uint32_t blockBytes() const { return blockBytes_; }
+    /** Block geometry (size/shift/mask) of this cache's lines. */
+    const BlockGeometry &geom() const { return geom_; }
+
+    std::uint32_t blockBytes() const { return geom_.blockBytes(); }
     std::uint32_t numBlocks() const { return numBlocks_; }
 
     /**
@@ -152,15 +156,14 @@ class Cache
   private:
     std::uint32_t setIndex(Addr addr) const
     {
-        return (addr >> blockShift_) & (numSets_ - 1);
+        return geom_.blockOf(addr).raw() & (numSets_ - 1);
     }
 
-    Addr tagOf(Addr addr) const { return addr >> blockShift_; }
+    /** The tag store keys blocks by their full block number. */
+    BlockAddr tagOf(Addr addr) const { return geom_.blockOf(addr); }
 
     std::string name_;
-    std::uint32_t blockBytes_;
-    std::uint32_t blockMask_;
-    std::uint32_t blockShift_;
+    BlockGeometry geom_;
     std::uint32_t assoc_;
     std::uint32_t numSets_;
     std::uint32_t numBlocks_;

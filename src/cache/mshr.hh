@@ -27,9 +27,9 @@ struct Mshr
     bool valid = false;
     Addr blockAddr = 0;
     /** Completion time of the fill, fixed when DRAM accepts it. */
-    Cycle fillAt = 0;
+    Cycle fillAt{};
     /** Cycle the request was accepted by DRAM. */
-    Cycle issuedAt = 0;
+    Cycle issuedAt{};
     /** True once any demand request waits on this fill. */
     bool demand = false;
     /** True when a store wrote the block while it was in flight. */
@@ -94,7 +94,7 @@ class MshrFile
     /** Earliest fill time among valid entries (max Cycle if none). */
     Cycle earliestFill() const
     {
-        Cycle earliest = ~Cycle{0};
+        Cycle earliest = Cycle{~std::uint64_t{0}};
         for (const Mshr &entry : entries_) {
             if (entry.valid && entry.fillAt < earliest)
                 earliest = entry.fillAt;

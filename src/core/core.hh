@@ -162,7 +162,7 @@ class Core
     /** Completion cycle per trace entry for the current pass;
      *  kPending when not yet complete. */
     std::vector<Cycle> completion_;
-    static constexpr Cycle kPending = ~Cycle{0};
+    static constexpr Cycle kPending = Cycle{~std::uint64_t{0}};
 
     /** Dispatched, un-issued loads (trace indices). */
     std::vector<std::size_t> pendingLoads_;
@@ -170,7 +170,7 @@ class Core
     std::uint64_t retired_ = 0;
     std::uint64_t retiredFirstPass_ = 0;
     bool finishedOnce_ = false;
-    Cycle finishCycle_ = 0;
+    Cycle finishCycle_{};
     bool wrapAround_ = false;
     bool passDone_ = false;
 };

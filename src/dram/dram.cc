@@ -6,28 +6,12 @@
 namespace ecdp
 {
 
-namespace
-{
-
-unsigned
-log2Floor(std::uint32_t v)
-{
-    unsigned shift = 0;
-    while (v > 1) {
-        v >>= 1;
-        ++shift;
-    }
-    return shift;
-}
-
-} // namespace
-
 DramSystem::DramSystem(const DramParams &params, unsigned cores,
                        std::uint32_t block_bytes)
     : params_(params),
       bufferCapacity_(params.requestBufferPerCore * cores),
-      blockShift_(log2Floor(block_bytes)),
-      bankFree_(params.banks, 0),
+      geom_(block_bytes),
+      bankFree_(params.banks, Cycle{}),
       perCoreBus_(cores, 0)
 {
     assert(cores > 0);
@@ -40,12 +24,12 @@ DramSystem::bankIndex(unsigned core, Addr block_addr) const
 {
     // Fold several address ranges plus the core id so that regular
     // strides and identical per-core heap layouts spread over banks.
-    // The shift discards exactly the intra-block bits: with it
-    // hard-coded for 128 B blocks, a 64 B-block configuration would
-    // alias each adjacent block pair into the same bank and every
-    // sequential stream would see a fixed lockstep bank pattern.
-    std::uint32_t v = block_addr >> blockShift_;
-    v ^= v >> 6;
+    // BlockGeometry discards exactly the intra-block bits: with a
+    // shift hard-coded for 128 B blocks, a 64 B-block configuration
+    // would alias each adjacent block pair into the same bank and
+    // every sequential stream would see a fixed lockstep bank pattern.
+    std::uint32_t v = geom_.blockOf(block_addr).raw();
+    v ^= v >> 6; // simlint-allow(magic-block-shift): hash mixing
     v ^= core * 0x9e3779b9u;
     return v % params_.banks;
 }
@@ -102,9 +86,9 @@ DramSystem::reserve(unsigned core, Addr block_addr, Cycle now)
             event.type = obs::EventType::DramBankConflict;
             event.core = static_cast<std::uint16_t>(core);
             event.cycle = now;
-            event.addr = block_addr;
+            event.addr = block_addr.raw();
             event.a = static_cast<std::uint8_t>(bank);
-            event.arg = bankFree_[bank] - earliest;
+            event.arg = (bankFree_[bank] - earliest).raw();
             tracer_->record(event);
         }
     }

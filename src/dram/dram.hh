@@ -20,6 +20,7 @@
 #include <queue>
 #include <vector>
 
+#include "memsim/block_geometry.hh"
 #include "memsim/types.hh"
 #include "obs/observability.hh"
 
@@ -31,13 +32,13 @@ struct DramParams
 {
     unsigned banks = 8;
     /** Cycles a bank stays busy per access (throughput limit). */
-    Cycle bankBusy = 50;
+    Cycle bankBusy{50};
     /** Bus occupancy of one block transfer: 128 B over an 8 B bus at a
      *  5:1 frequency ratio = 16 beats x 5 core cycles. */
-    Cycle busTransfer = 80;
+    Cycle busTransfer{80};
     /** Fixed pipeline latency so an uncontended access takes
      *  front + bankBusy + busTransfer = 450 cycles. */
-    Cycle frontLatency = 320;
+    Cycle frontLatency{320};
     /** Request buffer entries per core (total = entries x cores). */
     unsigned requestBufferPerCore = 32;
 };
@@ -133,10 +134,10 @@ class DramSystem
 
     DramParams params_;
     unsigned bufferCapacity_;
-    /** log2 of the block size: bits the bank hash discards. */
-    unsigned blockShift_;
+    /** Block geometry whose intra-block bits the bank hash discards. */
+    BlockGeometry geom_;
     std::vector<Cycle> bankFree_;
-    Cycle busFree_ = 0;
+    Cycle busFree_{};
     /** Completion times of in-flight reads and writebacks (request
      *  buffer occupancy). */
     std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The single owner of every byte<->block address conversion.
+ *
+ * PR 3 found the DRAM bank hash hard-coding a `>> 7` (128-byte) shift
+ * and silently aliasing adjacent 64-byte blocks; the same latent
+ * assumption lived in the pollution filters and the Markov table. All
+ * block-size-dependent address manipulation now funnels through this
+ * class: components hold a BlockGeometry derived from the configured
+ * block size and never shift or mask an address themselves. The
+ * simlint `magic-block-shift` rule (tools/simlint) enforces that no
+ * block-shift literal exists outside this file.
+ */
+
+#ifndef ECDP_MEMSIM_BLOCK_GEOMETRY_HH
+#define ECDP_MEMSIM_BLOCK_GEOMETRY_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "memsim/types.hh"
+
+namespace ecdp
+{
+
+/**
+ * Geometry of a power-of-two cache block: size, derived shift and
+ * mask, and the byte<->block conversions every component needs.
+ */
+class BlockGeometry
+{
+  public:
+    /** @param block_bytes Block size in bytes (power of two, >= 1). */
+    constexpr explicit BlockGeometry(std::uint32_t block_bytes)
+        : bytes_(block_bytes), shift_(log2Of(block_bytes)),
+          mask_(block_bytes - 1)
+    {
+        assert(block_bytes != 0 &&
+               (block_bytes & (block_bytes - 1)) == 0 &&
+               "block size must be a power of two");
+    }
+
+    constexpr std::uint32_t blockBytes() const { return bytes_; }
+    constexpr unsigned blockShift() const { return shift_; }
+    constexpr std::uint32_t blockMask() const { return mask_; }
+
+    /** Block number containing @p addr. */
+    constexpr BlockAddr blockOf(ByteAddr addr) const
+    {
+        return BlockAddr(addr.raw() >> shift_);
+    }
+
+    /** First byte of block @p block. */
+    constexpr ByteAddr baseOf(BlockAddr block) const
+    {
+        return ByteAddr(block.raw() << shift_);
+    }
+
+    /** @p addr rounded down to its block's first byte. */
+    constexpr ByteAddr alignDown(ByteAddr addr) const
+    {
+        return ByteAddr(addr.raw() & ~mask_);
+    }
+
+    /** Byte offset of @p addr within its block. */
+    constexpr std::uint32_t offsetIn(ByteAddr addr) const
+    {
+        return addr.raw() & mask_;
+    }
+
+    /** Do @p a and @p b fall in the same block? */
+    constexpr bool sameBlock(ByteAddr a, ByteAddr b) const
+    {
+        return blockOf(a) == blockOf(b);
+    }
+
+    /**
+     * Block number as a signed value, for prefetchers (stream, GHB)
+     * that track directions and deltas in signed block space.
+     */
+    constexpr std::int64_t signedBlockOf(ByteAddr addr) const
+    {
+        return static_cast<std::int64_t>(addr.raw() >> shift_);
+    }
+
+    /** First byte of signed block number @p block (must be >= 0 and
+     *  fit the 32-bit address space). */
+    constexpr ByteAddr baseOfSigned(std::int64_t block) const
+    {
+        return ByteAddr(
+            static_cast<std::uint32_t>(static_cast<std::uint64_t>(block)
+                                       << shift_));
+    }
+
+    constexpr bool operator==(const BlockGeometry &) const = default;
+
+  private:
+    static constexpr unsigned log2Of(std::uint32_t v)
+    {
+        unsigned s = 0;
+        while ((std::uint32_t{1} << s) < v)
+            ++s;
+        return s;
+    }
+
+    std::uint32_t bytes_;
+    unsigned shift_;
+    std::uint32_t mask_;
+};
+
+} // namespace ecdp
+
+#endif // ECDP_MEMSIM_BLOCK_GEOMETRY_HH

@@ -10,8 +10,9 @@ BumpAllocator::allocate(std::size_t bytes, std::size_t align)
 {
     assert(bytes > 0);
     assert(align > 0 && (align & (align - 1)) == 0);
-    Addr aligned = static_cast<Addr>((next_ + align - 1) & ~(align - 1));
-    next_ = aligned + static_cast<Addr>(bytes);
+    std::uint32_t a = static_cast<std::uint32_t>(align);
+    Addr aligned{(next_.raw() + a - 1) & ~(a - 1)};
+    next_ = aligned + bytes;
     return aligned;
 }
 
@@ -19,7 +20,8 @@ void
 BumpAllocator::alignTo(std::size_t boundary)
 {
     assert(boundary > 0 && (boundary & (boundary - 1)) == 0);
-    next_ = static_cast<Addr>((next_ + boundary - 1) & ~(boundary - 1));
+    std::uint32_t b = static_cast<std::uint32_t>(boundary);
+    next_ = Addr{(next_.raw() + b - 1) & ~(b - 1)};
 }
 
 } // namespace ecdp

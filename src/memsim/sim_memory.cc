@@ -9,14 +9,14 @@ namespace ecdp
 const SimMemory::Page *
 SimMemory::findPage(Addr addr) const
 {
-    auto it = pages_.find(addr >> kPageShift);
+    auto it = pages_.find(pageIndex(addr));
     return it == pages_.end() ? nullptr : it->second.get();
 }
 
 SimMemory::Page &
 SimMemory::touchPage(Addr addr)
 {
-    auto &slot = pages_[addr >> kPageShift];
+    auto &slot = pages_[pageIndex(addr)];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
@@ -31,7 +31,7 @@ SimMemory::write(Addr addr, unsigned size, std::uint64_t value)
     for (unsigned i = 0; i < size; ++i) {
         Addr byte_addr = addr + i;
         Page &page = touchPage(byte_addr);
-        page[byte_addr & (kPageBytes - 1)] =
+        page[offsetInPage(byte_addr)] =
             static_cast<std::uint8_t>(value >> (8 * i));
     }
 }
@@ -45,7 +45,7 @@ SimMemory::read(Addr addr, unsigned size) const
         Addr byte_addr = addr + i;
         const Page *page = findPage(byte_addr);
         std::uint8_t byte =
-            page ? (*page)[byte_addr & (kPageBytes - 1)] : 0;
+            page ? (*page)[offsetInPage(byte_addr)] : 0;
         value |= std::uint64_t{byte} << (8 * i);
     }
     return value;
@@ -65,12 +65,12 @@ SimMemory::readBlock(Addr addr, std::uint8_t *out, std::size_t len) const
 {
     std::size_t done = 0;
     while (done < len) {
-        Addr cur = addr + static_cast<Addr>(done);
-        std::size_t in_page = kPageBytes - (cur & (kPageBytes - 1));
+        Addr cur = addr + done;
+        std::size_t in_page = kPageBytes - offsetInPage(cur);
         std::size_t chunk = std::min(in_page, len - done);
         if (const Page *page = findPage(cur)) {
             std::memcpy(out + done,
-                        page->data() + (cur & (kPageBytes - 1)), chunk);
+                        page->data() + offsetInPage(cur), chunk);
         } else {
             std::memset(out + done, 0, chunk);
         }

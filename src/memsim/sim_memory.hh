@@ -44,12 +44,15 @@ class SimMemory
     std::uint64_t read(Addr addr, unsigned size) const;
 
     /** Write a simulated pointer (4 bytes). */
-    void writePointer(Addr addr, Addr value) { write(addr, 4, value); }
+    void writePointer(Addr addr, Addr value)
+    {
+        write(addr, 4, value.raw());
+    }
 
     /** Read a simulated pointer (4 bytes). */
     Addr readPointer(Addr addr) const
     {
-        return static_cast<Addr>(read(addr, 4));
+        return Addr(static_cast<std::uint32_t>(read(addr, 4)));
     }
 
     /**
@@ -75,6 +78,18 @@ class SimMemory
 
   private:
     using Page = std::array<std::uint8_t, kPageBytes>;
+
+    /** Sparse-map key of the page containing @p addr. */
+    static std::uint32_t pageIndex(Addr addr)
+    {
+        return addr.raw() >> kPageShift;
+    }
+
+    /** Byte offset of @p addr within its page. */
+    static std::size_t offsetInPage(Addr addr)
+    {
+        return addr.raw() & (kPageBytes - 1);
+    }
 
     /** Find the page containing @p addr, or null if untouched. */
     const Page *findPage(Addr addr) const;

@@ -4,21 +4,243 @@
  *
  * The simulated machine is x86-32: virtual addresses and pointers are
  * 4 bytes wide (Section 5 of the paper). Cycle counts are 64-bit.
+ *
+ * Addresses and cycle counts are *strong* wrapper types rather than
+ * bare integer aliases, so the classic simulator bug class — treating
+ * a byte address as a block index (or vice versa), or mixing a cycle
+ * count into an instruction count — fails to compile instead of
+ * silently corrupting a hash or a latency:
+ *
+ *  - ByteAddr   a byte-granular simulated virtual address. Supports
+ *               pointer-style arithmetic with integral byte offsets,
+ *               but deliberately has *no* shift or mask operators:
+ *               every byte<->block conversion must go through
+ *               BlockGeometry (memsim/block_geometry.hh).
+ *  - BlockAddr  a cache-block *number* (byte address >> block shift).
+ *               Only BlockGeometry mints these from byte addresses;
+ *               block-indexed tables (pollution filters, Markov
+ *               tables, bank hashes) take BlockAddr so handing them a
+ *               byte address is a type error.
+ *  - Cycle      an absolute core-clock time or cycle delta. Explicit
+ *               construction only, so instruction counts (plain
+ *               std::uint64_t) cannot quietly become times.
+ *
+ * All three are zero-overhead: same size, alignment and layout as the
+ * raw integers they wrap (static_asserts below), trivially copyable,
+ * and every operation is a constexpr inline on the raw value.
  */
 
 #ifndef ECDP_MEMSIM_TYPES_HH
 #define ECDP_MEMSIM_TYPES_HH
 
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <ostream>
+#include <type_traits>
 
 namespace ecdp
 {
 
-/** Simulated virtual address (x86-32, 4-byte pointers). */
-using Addr = std::uint32_t;
+/**
+ * Simulated virtual byte address (x86-32, 4-byte pointers).
+ *
+ * Implicitly constructible from a raw 32-bit value: workload
+ * generators and tests mint addresses from literals and allocator
+ * arithmetic, and an integer entering the address domain is exactly
+ * what construction means. Leaving the domain is explicit (raw()),
+ * and reinterpreting bits (shifting, masking) is impossible without
+ * BlockGeometry — which is where the safety lives.
+ */
+class ByteAddr
+{
+  public:
+    constexpr ByteAddr() = default;
+    constexpr ByteAddr(std::uint32_t raw) : v_(raw) {}
 
-/** Core clock cycle count. */
-using Cycle = std::uint64_t;
+    /** The raw 32-bit address value. */
+    constexpr std::uint32_t raw() const { return v_; }
+
+    /** @{ Pointer-style arithmetic with integral byte offsets.
+     *  Wraps mod 2^32 like the simulated hardware would. */
+    template <typename I,
+              std::enable_if_t<std::is_integral_v<I>, int> = 0>
+    constexpr ByteAddr operator+(I bytes) const
+    {
+        return ByteAddr(
+            static_cast<std::uint32_t>(v_ + static_cast<std::uint32_t>(bytes)));
+    }
+
+    template <typename I,
+              std::enable_if_t<std::is_integral_v<I>, int> = 0>
+    constexpr ByteAddr operator-(I bytes) const
+    {
+        return ByteAddr(
+            static_cast<std::uint32_t>(v_ - static_cast<std::uint32_t>(bytes)));
+    }
+
+    template <typename I,
+              std::enable_if_t<std::is_integral_v<I>, int> = 0>
+    constexpr ByteAddr &operator+=(I bytes)
+    {
+        v_ += static_cast<std::uint32_t>(bytes);
+        return *this;
+    }
+    /** @} */
+
+    /** Byte distance between two addresses (this - other, mod 2^32). */
+    constexpr std::uint32_t operator-(ByteAddr other) const
+    {
+        return v_ - other.v_;
+    }
+
+    constexpr bool operator==(const ByteAddr &) const = default;
+    constexpr auto operator<=>(const ByteAddr &) const = default;
+
+  private:
+    std::uint32_t v_ = 0;
+};
+
+/**
+ * Cache-block number: a byte address with the intra-block bits
+ * discarded *and shifted out*. Two ByteAddrs in the same block map to
+ * the same BlockAddr; adjacent blocks map to adjacent BlockAddrs
+ * regardless of the configured block size.
+ *
+ * Construction from a raw integer is explicit, and no arithmetic with
+ * byte quantities exists: BlockGeometry::blockOf() is the only
+ * sensible producer, and block-indexed tables the only consumers.
+ */
+class BlockAddr
+{
+  public:
+    constexpr BlockAddr() = default;
+    constexpr explicit BlockAddr(std::uint32_t block_number)
+        : v_(block_number)
+    {}
+
+    /** The raw block number (for indexing / hashing). */
+    constexpr std::uint32_t raw() const { return v_; }
+
+    /** @p n blocks further on (n may be negative). */
+    template <typename I,
+              std::enable_if_t<std::is_integral_v<I>, int> = 0>
+    constexpr BlockAddr operator+(I n) const
+    {
+        return BlockAddr(
+            static_cast<std::uint32_t>(v_ + static_cast<std::uint32_t>(n)));
+    }
+
+    constexpr bool operator==(const BlockAddr &) const = default;
+    constexpr auto operator<=>(const BlockAddr &) const = default;
+
+  private:
+    std::uint32_t v_ = 0;
+};
+
+/**
+ * Core clock cycle count (absolute time or delta).
+ *
+ * Explicit construction only: `Cycle{n}` marks every point where a
+ * plain integer (a latency parameter, a parsed JSON field) enters the
+ * time domain, and an instruction count can never be passed where a
+ * time is expected. Cycle+Cycle / Cycle-Cycle arithmetic and integral
+ * offsets (`now + 1`) are allowed; leaving the domain is raw().
+ */
+class Cycle
+{
+  public:
+    constexpr Cycle() = default;
+    constexpr explicit Cycle(std::uint64_t v) : v_(v) {}
+
+    constexpr std::uint64_t raw() const { return v_; }
+
+    constexpr Cycle operator+(Cycle other) const
+    {
+        return Cycle(v_ + other.v_);
+    }
+    constexpr Cycle operator-(Cycle other) const
+    {
+        return Cycle(v_ - other.v_);
+    }
+
+    template <typename I,
+              std::enable_if_t<std::is_integral_v<I>, int> = 0>
+    constexpr Cycle operator+(I n) const
+    {
+        return Cycle(v_ + static_cast<std::uint64_t>(n));
+    }
+    template <typename I,
+              std::enable_if_t<std::is_integral_v<I>, int> = 0>
+    constexpr Cycle operator-(I n) const
+    {
+        return Cycle(v_ - static_cast<std::uint64_t>(n));
+    }
+
+    constexpr Cycle &operator+=(Cycle other)
+    {
+        v_ += other.v_;
+        return *this;
+    }
+    template <typename I,
+              std::enable_if_t<std::is_integral_v<I>, int> = 0>
+    constexpr Cycle &operator+=(I n)
+    {
+        v_ += static_cast<std::uint64_t>(n);
+        return *this;
+    }
+    constexpr Cycle &operator++()
+    {
+        ++v_;
+        return *this;
+    }
+    constexpr Cycle operator++(int)
+    {
+        Cycle old = *this;
+        ++v_;
+        return old;
+    }
+
+    constexpr bool operator==(const Cycle &) const = default;
+    constexpr auto operator<=>(const Cycle &) const = default;
+
+  private:
+    std::uint64_t v_ = 0;
+};
+
+/** @{ Zero-overhead guarantees: the wrappers are layout-identical to
+ *  the raw integers they replace. */
+static_assert(sizeof(ByteAddr) == sizeof(std::uint32_t) &&
+              alignof(ByteAddr) == alignof(std::uint32_t) &&
+              std::is_trivially_copyable_v<ByteAddr> &&
+              std::is_standard_layout_v<ByteAddr>);
+static_assert(sizeof(BlockAddr) == sizeof(std::uint32_t) &&
+              alignof(BlockAddr) == alignof(std::uint32_t) &&
+              std::is_trivially_copyable_v<BlockAddr> &&
+              std::is_standard_layout_v<BlockAddr>);
+static_assert(sizeof(Cycle) == sizeof(std::uint64_t) &&
+              alignof(Cycle) == alignof(std::uint64_t) &&
+              std::is_trivially_copyable_v<Cycle> &&
+              std::is_standard_layout_v<Cycle>);
+/** @} */
+
+/** @{ Stream output (test diagnostics) prints the raw value. */
+inline std::ostream &operator<<(std::ostream &os, ByteAddr a)
+{
+    return os << a.raw();
+}
+inline std::ostream &operator<<(std::ostream &os, BlockAddr b)
+{
+    return os << b.raw();
+}
+inline std::ostream &operator<<(std::ostream &os, Cycle c)
+{
+    return os << c.raw();
+}
+/** @} */
+
+/** Historical alias: a simulated virtual (byte) address. */
+using Addr = ByteAddr;
 
 /**
  * "No scheduled event": the sentinel nextEventCycle() answers when a
@@ -26,7 +248,7 @@ using Cycle = std::uint64_t;
  * simulation loop takes the minimum over all components, so the
  * sentinel (max Cycle) never wins while anything has work pending.
  */
-inline constexpr Cycle kNoEventCycle = ~Cycle{0};
+inline constexpr Cycle kNoEventCycle = Cycle{~std::uint64_t{0}};
 
 /** Width of a simulated pointer in bytes. */
 inline constexpr unsigned kPointerBytes = 4;
@@ -42,5 +264,29 @@ inline constexpr Addr kGlobalBase = 0x10000000u;
 inline constexpr Addr kStackBase = 0xbf000000u;
 
 } // namespace ecdp
+
+/** @{ Hash support so the strong types key unordered containers. */
+template <> struct std::hash<ecdp::ByteAddr>
+{
+    std::size_t operator()(const ecdp::ByteAddr &a) const noexcept
+    {
+        return std::hash<std::uint32_t>{}(a.raw());
+    }
+};
+template <> struct std::hash<ecdp::BlockAddr>
+{
+    std::size_t operator()(const ecdp::BlockAddr &a) const noexcept
+    {
+        return std::hash<std::uint32_t>{}(a.raw());
+    }
+};
+template <> struct std::hash<ecdp::Cycle>
+{
+    std::size_t operator()(const ecdp::Cycle &c) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(c.raw());
+    }
+};
+/** @} */
 
 #endif // ECDP_MEMSIM_TYPES_HH

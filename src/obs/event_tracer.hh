@@ -100,7 +100,7 @@ struct TraceEvent
     std::uint8_t b = 0;
     /** Core the event belongs to. */
     std::uint16_t core = 0;
-    Cycle cycle = 0;
+    Cycle cycle{};
     /** Block address for memory events, otherwise 0. */
     std::uint64_t addr = 0;
     /** Wide per-type operand (bank-conflict wait cycles, ...). */

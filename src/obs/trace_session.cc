@@ -48,7 +48,7 @@ writeChromeTraceEvent(std::ostream &os, unsigned pid,
         // alongside it draws the level timeline in trace viewers.
         os << "{\"name\":\"throttle-transition\",\"ph\":\"i\",\"s\":"
               "\"t\",\"ts\":"
-           << event.cycle << ",\"pid\":" << pid
+           << event.cycle.raw() << ",\"pid\":" << pid
            << ",\"tid\":" << event.core << ",\"args\":{\"pf\":\""
            << pf << "\",\"from\":";
         writeLevel(os, event.a);
@@ -56,7 +56,7 @@ writeChromeTraceEvent(std::ostream &os, unsigned pid,
         writeLevel(os, event.b);
         os << "}},\n";
         os << "{\"name\":\"agg-level." << pf
-           << "\",\"ph\":\"C\",\"ts\":" << event.cycle
+           << "\",\"ph\":\"C\",\"ts\":" << event.cycle.raw()
            << ",\"pid\":" << pid << ",\"tid\":" << event.core
            << ",\"args\":{\"level\":"
            << (event.b == kLevelDisabled
@@ -66,7 +66,7 @@ writeChromeTraceEvent(std::ostream &os, unsigned pid,
         return;
       case EventType::IntervalSample:
         os << "{\"name\":\"feedback." << pf
-           << "\",\"ph\":\"C\",\"ts\":" << event.cycle
+           << "\",\"ph\":\"C\",\"ts\":" << event.cycle.raw()
            << ",\"pid\":" << pid << ",\"tid\":" << event.core
            << ",\"args\":{\"accuracy\":" << event.x
            << ",\"coverage\":" << event.y << "}}";
@@ -74,7 +74,7 @@ writeChromeTraceEvent(std::ostream &os, unsigned pid,
       case EventType::PrefetchDrop:
         os << "{\"name\":\"prefetch-drop\",\"ph\":\"i\",\"s\":\"t\","
               "\"ts\":"
-           << event.cycle << ",\"pid\":" << pid
+           << event.cycle.raw() << ",\"pid\":" << pid
            << ",\"tid\":" << event.core << ",\"args\":{\"pf\":\""
            << pf << "\",\"reason\":\""
            << dropReasonName(static_cast<DropReason>(event.a))
@@ -84,7 +84,7 @@ writeChromeTraceEvent(std::ostream &os, unsigned pid,
         break;
     }
     os << "{\"name\":\"" << eventTypeName(event.type)
-       << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << event.cycle
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << event.cycle.raw()
        << ",\"pid\":" << pid << ",\"tid\":" << event.core
        << ",\"args\":{";
     bool first = true;

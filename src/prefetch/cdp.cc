@@ -8,7 +8,7 @@ namespace ecdp
 
 ContentDirectedPrefetcher::ContentDirectedPrefetcher(unsigned compare_bits,
                                                      unsigned block_bytes)
-    : compareBits_(compare_bits), blockBytes_(block_bytes)
+    : compareBits_(compare_bits), geom_(block_bytes)
 {
     assert(compare_bits >= 1 && compare_bits <= 31);
     assert(std::has_single_bit(block_bytes));
@@ -20,8 +20,10 @@ ContentDirectedPrefetcher::isPointerCandidate(Addr block_vaddr,
 {
     if (word == 0)
         return false;
+    // Segment compare: the high-order compare bits of the *value*
+    // against those of the block's own virtual address.
     unsigned shift = 32 - compareBits_;
-    return (word >> shift) == (block_vaddr >> shift);
+    return (word >> shift) == (block_vaddr.raw() >> shift);
 }
 
 void
@@ -39,11 +41,9 @@ ContentDirectedPrefetcher::scan(Addr block_vaddr,
             return;
     }
 
-    const Addr block_mask = blockBytes_ - 1;
-    const unsigned slots = blockBytes_ / kPointerBytes;
-    const int access_word =
-        static_cast<int>((ctx.accessByteOffset & block_mask) /
-                         kPointerBytes);
+    const unsigned slots = geom_.blockBytes() / kPointerBytes;
+    const int access_word = static_cast<int>(
+        (ctx.accessByteOffset & geom_.blockMask()) / kPointerBytes);
 
     // Dedupe targets within one scan so several pointers to the same
     // block cost one request.
@@ -65,7 +65,7 @@ ContentDirectedPrefetcher::scan(Addr block_vaddr,
             continue;
         }
 
-        Addr target_block = word & ~block_mask;
+        Addr target_block = geom_.alignDown(Addr{word});
         if (target_block == block_vaddr)
             continue; // self-pointer: already resident
         bool dup = false;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "memsim/block_geometry.hh"
 #include "prefetch/hint_table.hh"
 #include "prefetch/prefetcher.hh"
 
@@ -112,7 +113,7 @@ class ContentDirectedPrefetcher
 
   private:
     unsigned compareBits_;
-    unsigned blockBytes_;
+    BlockGeometry geom_;
     unsigned maxDepth_ = 4;
     AggLevel level_ = AggLevel::Aggressive;
     FilterMode filterMode_ = FilterMode::None;

@@ -21,10 +21,11 @@ DependenceBasedPrefetcher::onLoadIssue(Addr pc, Addr addr)
         const PpwEntry &entry = ppw_[idx];
         if (!entry.valid)
             continue;
-        std::int64_t offset = std::int64_t{addr} - entry.value;
+        std::int64_t offset =
+            std::int64_t{addr.raw()} - std::int64_t{entry.value.raw()};
         if (offset < 0 || offset >= kMaxOffset)
             continue;
-        CtEntry &slot = ct_[entry.pc % ct_.size()];
+        CtEntry &slot = ct_[entry.pc.raw() % ct_.size()];
         slot.valid = true;
         slot.producerPc = entry.pc;
         slot.offset = static_cast<std::int32_t>(offset);
@@ -38,10 +39,10 @@ void
 DependenceBasedPrefetcher::onLoadComplete(Addr pc, Addr value,
                                           std::vector<PrefetchRequest> &out)
 {
-    const CtEntry &slot = ct_[pc % ct_.size()];
+    const CtEntry &slot = ct_[pc.raw() % ct_.size()];
     if (slot.valid && slot.producerPc == pc && value != 0) {
         PrefetchRequest req;
-        req.blockAddr = value + static_cast<Addr>(slot.offset);
+        req.blockAddr = value + slot.offset;
         req.source = PrefetchSource::Lds;
         out.push_back(req);
     }

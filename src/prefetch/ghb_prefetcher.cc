@@ -7,8 +7,7 @@ namespace ecdp
 {
 
 GhbPrefetcher::GhbPrefetcher(unsigned entries, unsigned block_bytes)
-    : blockShift_(static_cast<unsigned>(std::countr_zero(block_bytes))),
-      history_(entries, 0)
+    : geom_(block_bytes), history_(entries, 0)
 {
     assert(entries >= 4);
     assert(std::has_single_bit(block_bytes));
@@ -17,7 +16,7 @@ GhbPrefetcher::GhbPrefetcher(unsigned entries, unsigned block_bytes)
 void
 GhbPrefetcher::onDemandMiss(Addr addr, std::vector<PrefetchRequest> &out)
 {
-    const std::int64_t block = addr >> blockShift_;
+    const std::int64_t block = geom_.signedBlockOf(addr);
     history_[writes_ % history_.size()] = block;
     ++writes_;
     if (writes_ < 3)
@@ -48,11 +47,12 @@ GhbPrefetcher::onDemandMiss(Addr addr, std::vector<PrefetchRequest> &out)
                     succ < n ? at(succ) - at(succ - 1) : d1;
                 next += delta;
                 if (next < 0 ||
-                    next > (std::int64_t{1} << (32 - blockShift_)) - 1) {
+                    next > (std::int64_t{1}
+                            << (32 - geom_.blockShift())) - 1) {
                     break;
                 }
                 PrefetchRequest req;
-                req.blockAddr = static_cast<Addr>(next) << blockShift_;
+                req.blockAddr = geom_.baseOfSigned(next);
                 req.source = PrefetchSource::Primary;
                 out.push_back(req);
             }

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "memsim/block_geometry.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace ecdp
@@ -57,7 +58,7 @@ class GhbPrefetcher
                static_cast<std::uint32_t>(d2);
     }
 
-    unsigned blockShift_;
+    BlockGeometry geom_;
     unsigned degree_ = 4;
     /** Circular buffer of global miss block numbers. */
     std::vector<std::int64_t> history_;

@@ -26,30 +26,27 @@ class HardwareFilter
     /** @param entries Bit-table entries (65536 = 8 KB). */
     explicit HardwareFilter(unsigned entries = 65536);
 
-    /** Should a prefetch of @p block_addr be allowed? */
-    bool allow(Addr block_addr) const
-    {
-        return !bits_[index(block_addr)];
-    }
+    /** Should a prefetch of @p block be allowed? */
+    bool allow(BlockAddr block) const { return !bits_[index(block)]; }
 
     /** A prefetched block was evicted without being used. */
-    void onPrefetchEvictedUnused(Addr block_addr)
+    void onPrefetchEvictedUnused(BlockAddr block)
     {
-        bits_[index(block_addr)] = true;
+        bits_[index(block)] = true;
     }
 
     /** A prefetched block was used by a demand request. */
-    void onPrefetchUsed(Addr block_addr)
+    void onPrefetchUsed(BlockAddr block)
     {
-        bits_[index(block_addr)] = false;
+        bits_[index(block)] = false;
     }
 
     std::uint64_t storageBits() const { return bits_.size(); }
 
   private:
-    std::size_t index(Addr block_addr) const
+    std::size_t index(BlockAddr block) const
     {
-        std::uint32_t v = block_addr >> 7;
+        std::uint32_t v = block.raw();
         v ^= v >> 16;
         return v % bits_.size();
     }

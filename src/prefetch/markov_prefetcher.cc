@@ -5,18 +5,19 @@
 namespace ecdp
 {
 
-MarkovPrefetcher::MarkovPrefetcher(unsigned entries)
-    : table_(entries)
+MarkovPrefetcher::MarkovPrefetcher(const BlockGeometry &geom,
+                                   unsigned entries)
+    : geom_(geom), table_(entries)
 {
     assert(entries > 0);
 }
 
 void
-MarkovPrefetcher::onDemandMiss(Addr block_addr,
+MarkovPrefetcher::onDemandMiss(BlockAddr block,
                                std::vector<PrefetchRequest> &out)
 {
-    // Record block_addr as a successor of the previous miss.
-    if (lastMissValid_ && lastMiss_ != block_addr) {
+    // Record block as a successor of the previous miss.
+    if (lastMissValid_ && lastMiss_ != block) {
         Entry &prev = entryFor(lastMiss_);
         if (!prev.valid || prev.key != lastMiss_) {
             prev = Entry{};
@@ -29,7 +30,7 @@ MarkovPrefetcher::onDemandMiss(Addr block_addr,
         for (unsigned i = 0; i < kSuccessors; ++i) {
             if (prev.age[i] < 0xff)
                 ++prev.age[i];
-            if (prev.succ[i] == block_addr)
+            if (prev.succ[i] == block)
                 found = true, victim = i;
         }
         if (!found) {
@@ -37,21 +38,21 @@ MarkovPrefetcher::onDemandMiss(Addr block_addr,
                 if (prev.age[i] > prev.age[victim])
                     victim = i;
             }
-            prev.succ[victim] = block_addr;
+            prev.succ[victim] = block;
         }
         prev.age[victim] = 0;
     }
-    lastMiss_ = block_addr;
+    lastMiss_ = block;
     lastMissValid_ = true;
 
     // Prefetch the recorded successors of this miss.
-    const Entry &cur = entryFor(block_addr);
-    if (cur.valid && cur.key == block_addr) {
+    const Entry &cur = entryFor(block);
+    if (cur.valid && cur.key == block) {
         for (unsigned i = 0; i < kSuccessors; ++i) {
-            if (cur.succ[i] == 0 || cur.succ[i] == block_addr)
+            if (cur.succ[i] == BlockAddr{} || cur.succ[i] == block)
                 continue;
             PrefetchRequest req;
-            req.blockAddr = cur.succ[i];
+            req.blockAddr = geom_.baseOf(cur.succ[i]);
             req.source = PrefetchSource::Lds;
             out.push_back(req);
         }

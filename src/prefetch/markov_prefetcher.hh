@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "memsim/block_geometry.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace ecdp
@@ -33,16 +34,19 @@ class MarkovPrefetcher
     static constexpr unsigned kSuccessors = 4;
 
     /**
+     * @param geom Block geometry of the cache level being prefetched
+     *        (the correlation table is indexed by block number).
      * @param entries Correlation table entries (65536 = 1 MB with
      *        4 x 4-byte successors per entry).
      */
-    explicit MarkovPrefetcher(unsigned entries = 65536);
+    explicit MarkovPrefetcher(const BlockGeometry &geom,
+                              unsigned entries = 65536);
 
     /**
      * Train on a demand miss and emit prefetches for the recorded
      * successors of the missing block.
      */
-    void onDemandMiss(Addr block_addr, std::vector<PrefetchRequest> &out);
+    void onDemandMiss(BlockAddr block, std::vector<PrefetchRequest> &out);
 
     std::uint64_t storageBits() const
     {
@@ -53,19 +57,20 @@ class MarkovPrefetcher
   private:
     struct Entry
     {
-        Addr key = 0;
+        BlockAddr key{};
         bool valid = false;
-        std::array<Addr, kSuccessors> succ{};
+        std::array<BlockAddr, kSuccessors> succ{};
         std::array<std::uint8_t, kSuccessors> age{};
     };
 
-    Entry &entryFor(Addr block_addr)
+    Entry &entryFor(BlockAddr block)
     {
-        return table_[(block_addr >> 7) % table_.size()];
+        return table_[block.raw() % table_.size()];
     }
 
+    BlockGeometry geom_;
     std::vector<Entry> table_;
-    Addr lastMiss_ = 0;
+    BlockAddr lastMiss_{};
     bool lastMissValid_ = false;
 };
 

@@ -8,8 +8,7 @@ namespace ecdp
 {
 
 StreamPrefetcher::StreamPrefetcher(unsigned streams, unsigned block_bytes)
-    : blockShift_(static_cast<unsigned>(std::countr_zero(block_bytes))),
-      streams_(streams)
+    : geom_(block_bytes), streams_(streams)
 {
     assert(streams > 0);
     assert(std::has_single_bit(block_bytes));
@@ -36,10 +35,11 @@ void
 StreamPrefetcher::emit(std::int64_t block,
                        std::vector<PrefetchRequest> &out)
 {
-    if (block < 0 || block > (std::int64_t{1} << (32 - blockShift_)) - 1)
+    if (block < 0 ||
+        block > (std::int64_t{1} << (32 - geom_.blockShift())) - 1)
         return;
     PrefetchRequest req;
-    req.blockAddr = static_cast<Addr>(block) << blockShift_;
+    req.blockAddr = geom_.baseOfSigned(block);
     req.source = PrefetchSource::Primary;
     out.push_back(req);
 }
@@ -47,7 +47,7 @@ StreamPrefetcher::emit(std::int64_t block,
 void
 StreamPrefetcher::trigger(Addr addr, std::vector<PrefetchRequest> &out)
 {
-    const std::int64_t block = addr >> blockShift_;
+    const std::int64_t block = geom_.signedBlockOf(addr);
 
     // 1. Monitor-state streams: a trigger inside the monitored region
     //    advances the frontier up to `distance` blocks ahead of it,

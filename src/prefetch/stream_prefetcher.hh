@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "memsim/block_geometry.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace ecdp
@@ -77,7 +78,7 @@ class StreamPrefetcher
 
     void emit(std::int64_t block, std::vector<PrefetchRequest> &out);
 
-    unsigned blockShift_;
+    BlockGeometry geom_;
     unsigned distance_ = 32;
     unsigned degree_ = 4;
     AggLevel level_ = AggLevel::Aggressive;

@@ -96,7 +96,7 @@ ResultCache::load(const std::string &name, std::uint64_t hash) const
 
         RunStats stats;
         stats.workload = name;
-        stats.cycles = doc.at("cycles").asU64();
+        stats.cycles = Cycle{doc.at("cycles").asU64()};
         stats.instructions = doc.at("instructions").asU64();
         stats.ipc = doc.at("ipc").asDouble();
         stats.timedOut = doc.at("timedOut").asBool();
@@ -144,7 +144,7 @@ ResultCache::load(const std::string &name, std::uint64_t hash) const
         for (const JsonValue &item :
              doc.at("intervalSeries").asArray()) {
             IntervalSample sample;
-            sample.cycle = item.at("cycle").asU64();
+            sample.cycle = Cycle{item.at("cycle").asU64()};
             for (unsigned which = 0; which < 2; ++which) {
                 sample.accuracy[which] =
                     item.at("accuracy").asArray().at(which)
@@ -190,7 +190,7 @@ ResultCache::store(const std::string &name, std::uint64_t hash,
         os << "{\"version\":" << kVersion << ","
            << "\"configHash\":\"" << hashHex(hash) << "\","
            << "\"workload\":\"" << jsonEscape(name) << "\","
-           << "\"cycles\":" << stats.cycles << ","
+           << "\"cycles\":" << stats.cycles.raw() << ","
            << "\"instructions\":" << stats.instructions << ","
            << "\"ipc\":";
         writeDouble(os, stats.ipc);
@@ -219,7 +219,7 @@ ResultCache::store(const std::string &name, std::uint64_t hash,
             if (!first)
                 os << ",";
             first = false;
-            os << "{\"pc\":" << id_.loadPc
+            os << "{\"pc\":" << id_.loadPc.raw()
                << ",\"slot\":" << id_.slot
                << ",\"issued\":" << pg.issued
                << ",\"used\":" << pg.used << "}";
@@ -238,7 +238,7 @@ ResultCache::store(const std::string &name, std::uint64_t hash,
         for (std::size_t i = 0; i < stats.intervalSeries.size();
              ++i) {
             const IntervalSample &s = stats.intervalSeries[i];
-            os << (i ? "," : "") << "{\"cycle\":" << s.cycle
+            os << (i ? "," : "") << "{\"cycle\":" << s.cycle.raw()
                << ",\"accuracy\":[";
             writeDouble(os, s.accuracy[0]);
             os << ",";

@@ -64,18 +64,18 @@ configHash(const SystemConfig &cfg)
     h.u64(cfg.l1Bytes);
     h.u64(cfg.l1Assoc);
     h.u64(cfg.l1BlockBytes);
-    h.u64(cfg.l1Latency);
+    h.u64(cfg.l1Latency.raw());
 
     h.u64(cfg.l2Bytes);
     h.u64(cfg.l2Assoc);
     h.u64(cfg.l2BlockBytes);
-    h.u64(cfg.l2Latency);
+    h.u64(cfg.l2Latency.raw());
     h.u64(cfg.l2Mshrs);
 
     h.u64(cfg.dram.banks);
-    h.u64(cfg.dram.bankBusy);
-    h.u64(cfg.dram.busTransfer);
-    h.u64(cfg.dram.frontLatency);
+    h.u64(cfg.dram.bankBusy.raw());
+    h.u64(cfg.dram.busTransfer.raw());
+    h.u64(cfg.dram.frontLatency.raw());
     h.u64(cfg.dram.requestBufferPerCore);
 
     h.u64(static_cast<std::uint64_t>(cfg.primary));
@@ -103,7 +103,7 @@ configHash(const SystemConfig &cfg)
                   });
         h.u64(entries.size());
         for (const auto &[pc, hint] : entries) {
-            h.u64(pc);
+            h.u64(pc.raw());
             h.u64(hint.pos);
             h.u64(hint.neg);
         }
@@ -126,7 +126,7 @@ configHash(const SystemConfig &cfg)
 
     h.u64(cfg.idealLds ? 1 : 0);
     h.u64(cfg.idealNoPollution ? 1 : 0);
-    h.u64(cfg.maxCycles);
+    h.u64(cfg.maxCycles.raw());
 
     // cfg.cycleSkipping is deliberately NOT hashed: it is a pure
     // wall-clock optimisation with bit-identical results (enforced by

@@ -49,14 +49,14 @@ struct SystemConfig
     std::uint32_t l1Bytes = 32 * 1024;
     std::uint32_t l1Assoc = 4;
     std::uint32_t l1BlockBytes = 64;
-    Cycle l1Latency = 2;
+    Cycle l1Latency{2};
     /** @} */
 
     /** @{ L2 (last-level) cache (Table 5). */
     std::uint32_t l2Bytes = 1024 * 1024;
     std::uint32_t l2Assoc = 8;
     std::uint32_t l2BlockBytes = 128;
-    Cycle l2Latency = 15;
+    Cycle l2Latency{15};
     unsigned l2Mshrs = 32;
     /** @} */
 
@@ -109,7 +109,7 @@ struct SystemConfig
     /** @} */
 
     /** Safety limit for the cycle loop. */
-    Cycle maxCycles = 4'000'000'000ull;
+    Cycle maxCycles{4'000'000'000ull};
 
     /**
      * Event-driven cycle skipping: advance the clock directly to the
@@ -159,7 +159,7 @@ std::uint64_t configHash(const SystemConfig &cfg);
 struct IntervalSample
 {
     /** Cycle at which the interval ended. */
-    Cycle cycle = 0;
+    Cycle cycle{};
     /** @{ Indexed by prefetcher: 0 = primary, 1 = LDS. */
     double accuracy[2] = {0.0, 0.0};
     double coverage[2] = {0.0, 0.0};
@@ -174,7 +174,7 @@ struct IntervalSample
 struct RunStats
 {
     std::string workload;
-    Cycle cycles = 0;
+    Cycle cycles{};
     std::uint64_t instructions = 0;
     double ipc = 0.0;
     /** True when the run hit the maxCycles watchdog before the trace

@@ -42,7 +42,7 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, unsigned core_id,
     assert(dram_);
     bindCounters();
     if (cfg_.lds == LdsKind::Markov)
-        markov_ = std::make_unique<MarkovPrefetcher>();
+        markov_ = std::make_unique<MarkovPrefetcher>(l2_.geom());
     if (cfg_.hwFilter)
         hwFilter_ = std::make_unique<HardwareFilter>();
     if (cfg_.lds == LdsKind::Ecdp) {
@@ -124,7 +124,7 @@ MemorySystem::dropPrefetch(PrefetchSource source, obs::DropReason reason,
         event.a = static_cast<std::uint8_t>(reason);
         event.core = static_cast<std::uint16_t>(coreId_);
         event.cycle = now;
-        event.addr = block_addr;
+        event.addr = block_addr.raw();
         tracer_->record(event);
     }
 }
@@ -136,7 +136,7 @@ MemorySystem::noteMshrStall(Cycle now)
     // The core retries a rejected load every cycle; trace only the
     // first cycle of each contiguous stall burst.
     const bool burst_start =
-        lastMshrStall_ == ~Cycle{0} || now > lastMshrStall_ + 1;
+        lastMshrStall_ == Cycle{~std::uint64_t{0}} || now > lastMshrStall_ + 1;
     lastMshrStall_ = now;
     if (tracer_ && burst_start) {
         obs::TraceEvent event;
@@ -191,13 +191,13 @@ MemorySystem::recordDemandMiss(Addr block_addr, bool is_lds,
         event.a = is_lds ? 1 : 0;
         event.core = static_cast<std::uint16_t>(coreId_);
         event.cycle = now;
-        event.addr = block_addr;
+        event.addr = block_addr.raw();
         tracer_->record(event);
     }
     if (!probe_pollution)
         return;
     for (unsigned which = 0; which < 2; ++which) {
-        if (pollutionFilter_[which].test(block_addr))
+        if (pollutionFilter_[which].test(l2_.geom().blockOf(block_addr)))
             pollutionEvents_[which].add();
     }
 }
@@ -229,13 +229,13 @@ MemorySystem::onDemandUseOfPrefetch(CacheBlock *block, Addr block_addr,
     const unsigned which = was_lds ? 1u : 0u;
     feedback_[which].onPrefetchUsed();
     pf_[which].used->inc();
-    pf_[which].usefulLatencySum->add(block->prefetchLatency);
+    pf_[which].usefulLatencySum->add(block->prefetchLatency.raw());
     pf_[which].usefulLatencyCount->inc();
     if (block->pgValid)
         ++pgStats_[block->pg].used;
     pabRecord(which, true);
     if (hwFilter_ && was_lds)
-        hwFilter_->onPrefetchUsed(block_addr);
+        hwFilter_->onPrefetchUsed(l2_.geom().blockOf(block_addr));
     if (was_primary && cfg_.primary == PrimaryKind::Stream &&
         primaryEnabled_) {
         // A hit on a stream-prefetched block keeps the stream alive.
@@ -257,7 +257,7 @@ MemorySystem::trainOnDemandMiss(const TraceEntry &entry, Cycle now)
     else if (cfg_.primary == PrimaryKind::Ghb && primaryEnabled_)
         ghb_.onDemandMiss(entry.vaddr, scratch_);
     if (cfg_.lds == LdsKind::Markov && ldsEnabled_)
-        markov_->onDemandMiss(l2_.blockAddr(entry.vaddr), scratch_);
+        markov_->onDemandMiss(l2_.geom().blockOf(entry.vaddr), scratch_);
     drainScratch(now, now);
 }
 
@@ -370,7 +370,7 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
             feedback_[which].onPrefetchUsed();
             pf_[which].used->inc();
             pf_[which].sideUsed->inc();
-            pf_[which].usefulLatencySum->add(side.latency);
+            pf_[which].usefulLatencySum->add(side.latency.raw());
             pf_[which].usefulLatencyCount->inc();
             if (side.pgValid)
                 ++pgStats_[side.pg].used;
@@ -495,11 +495,13 @@ MemorySystem::handleVictim(const Cache::Victim &victim,
         pf_[1].evictedUnused->inc();
         pabRecord(1, false);
         if (hwFilter_)
-            hwFilter_->onPrefetchEvictedUnused(victim.addr);
+            hwFilter_->onPrefetchEvictedUnused(
+                l2_.geom().blockOf(victim.addr));
     }
     if (insert_source != PrefetchSource::None) {
         pollutionFilter_[srcIndex(insert_source)]
-            .onPrefetchEvictedDemandBlock(victim.addr);
+            .onPrefetchEvictedDemandBlock(
+                l2_.geom().blockOf(victim.addr));
     }
 }
 
@@ -519,8 +521,8 @@ MemorySystem::installFill(Mshr &mshr, Cycle now)
             event.a = mshr.demand ? 1 : 0;
             event.core = static_cast<std::uint16_t>(coreId_);
             event.cycle = now;
-            event.addr = block_addr;
-            event.arg = now - mshr.issuedAt;
+            event.addr = block_addr.raw();
+            event.arg = (now - mshr.issuedAt).raw();
             tracer_->record(event);
         }
     }
@@ -558,7 +560,8 @@ MemorySystem::installFill(Mshr &mshr, Cycle now)
                     ++pgStats_[mshr.pgRoot].used;
                 pabRecord(srcIndex(source), true);
                 if (hwFilter_ && source == PrefetchSource::Lds)
-                    hwFilter_->onPrefetchUsed(block_addr);
+                    hwFilter_->onPrefetchUsed(
+                        l2_.geom().blockOf(block_addr));
                 block->prefetchedPrimary = false;
                 block->prefetchedLds = false;
                 block->pgValid = false;
@@ -596,7 +599,7 @@ MemorySystem::installFill(Mshr &mshr, Cycle now)
 void
 MemorySystem::processFills(Cycle now)
 {
-    earliestFill_ = ~Cycle{0};
+    earliestFill_ = Cycle{~std::uint64_t{0}};
     for (Mshr &mshr : mshrs_.entries()) {
         if (!mshr.valid)
             continue;
@@ -633,7 +636,7 @@ MemorySystem::issuePrefetches(Cycle now)
                  sideBuffer_.count(req.blockAddr))
             reject = obs::DropReason::SideBuffered;
         else if (hwFilter_ && req.source == PrefetchSource::Lds &&
-                 !hwFilter_->allow(req.blockAddr))
+                 !hwFilter_->allow(l2_.geom().blockOf(req.blockAddr)))
             reject = obs::DropReason::HwFilter;
         if (reject) {
             dropPrefetch(req.source, *reject, req.blockAddr, now);
@@ -666,7 +669,7 @@ MemorySystem::issuePrefetches(Cycle now)
                 static_cast<std::uint8_t>(srcIndex(req.source));
             event.core = static_cast<std::uint16_t>(coreId_);
             event.cycle = now;
-            event.addr = req.blockAddr;
+            event.addr = req.blockAddr.raw();
             tracer_->record(event);
         }
         if (req.pgValid)

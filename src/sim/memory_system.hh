@@ -103,7 +103,7 @@ class MemorySystem : public CoreMemoryInterface
      * mid-run or repeatedly is safe and idempotent. out.intervals
      * keeps counting completed intervals only.
      */
-    void collectStats(RunStats &out, Cycle now = 0);
+    void collectStats(RunStats &out, Cycle now = Cycle{});
 
     /** @{ Introspection for tests and benches. */
     const Cache &l2() const { return l2_; }
@@ -124,7 +124,7 @@ class MemorySystem : public CoreMemoryInterface
     struct QueuedPrefetch
     {
         PrefetchRequest req;
-        Cycle readyAt = 0;
+        Cycle readyAt{};
     };
 
     struct DelayedOrder
@@ -142,7 +142,7 @@ class MemorySystem : public CoreMemoryInterface
         PrefetchSource source = PrefetchSource::None;
         bool pgValid = false;
         PgId pg{};
-        Cycle latency = 0;
+        Cycle latency{};
         std::uint8_t depth = 0;
     };
 
@@ -283,7 +283,7 @@ class MemorySystem : public CoreMemoryInterface
 
     std::unordered_map<Addr, SideEntry> sideBuffer_;
 
-    Cycle earliestFill_ = ~Cycle{0};
+    Cycle earliestFill_ = Cycle{~std::uint64_t{0}};
     std::uint64_t lastIntervalEvictions_ = 0;
     std::uint64_t intervals_ = 0;
 
@@ -307,7 +307,7 @@ class MemorySystem : public CoreMemoryInterface
 
     /** Last cycle a demand was rejected on full MSHRs (dedupes the
      *  MshrFullStall trace events to burst starts). */
-    Cycle lastMshrStall_ = ~Cycle{0};
+    Cycle lastMshrStall_ = Cycle{~std::uint64_t{0}};
 
     /** Per-interval feedback time series (folded into RunStats). */
     std::vector<IntervalSample> intervalSeries_;

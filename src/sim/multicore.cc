@@ -45,7 +45,7 @@ simulateMultiCore(const SystemConfig &cfg,
         cores.back()->setWrapAround(true);
     }
 
-    Cycle cycle = 0;
+    Cycle cycle{};
     auto all_done = [&cores]() {
         for (const auto &core : cores) {
             if (!core->finishedOnce())
@@ -97,10 +97,10 @@ simulateMultiCore(const SystemConfig &cfg,
         stats.instructions = core_timed_out
             ? cores[i]->retired()
             : cores[i]->retiredFirstPass();
-        stats.ipc = stats.cycles == 0
+        stats.ipc = stats.cycles.raw() == 0
             ? 0.0
             : static_cast<double>(stats.instructions) /
-                  static_cast<double>(stats.cycles);
+                  static_cast<double>(stats.cycles.raw());
         stats.busTransactions = dram.busTransactions(i);
         stats.bpki = stats.instructions == 0
             ? 0.0

@@ -30,7 +30,7 @@ simulate(const SystemConfig &cfg, const Workload &workload,
     // provably no-op ticks (see nextEventCycle contracts and
     // DESIGN.md), so results are bit-identical with skipping on or
     // off — only wall-clock differs.
-    Cycle cycle = 0;
+    Cycle cycle{};
     while (!core.finishedOnce() && cycle < cfg.maxCycles) {
         memory.tick(cycle);
         core.tick(cycle);
@@ -60,14 +60,14 @@ simulate(const SystemConfig &cfg, const Workload &workload,
     // NDEBUG and let a hung config report garbage IPC silently.
     stats.timedOut = !core.finishedOnce();
     stats.cycles = stats.timedOut
-        ? (cycle ? cycle : 1)
-        : (core.finishCycle() ? core.finishCycle() : 1);
+        ? (cycle.raw() ? cycle : Cycle{1})
+        : (core.finishCycle().raw() ? core.finishCycle() : Cycle{1});
     // retiredFirstPass() is only latched at completion; a timed-out
     // run reports whatever actually retired.
     stats.instructions =
         stats.timedOut ? core.retired() : core.retiredFirstPass();
     stats.ipc = static_cast<double>(stats.instructions) /
-                static_cast<double>(stats.cycles);
+                static_cast<double>(stats.cycles.raw());
     stats.busTransactions = dram.busTransactions(0);
     stats.bpki = stats.instructions == 0
         ? 0.0

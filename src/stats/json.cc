@@ -48,7 +48,7 @@ writeRunStatsJson(std::ostream &os, const RunStats &stats,
     os << "\"workload\":\"" << jsonEscape(stats.workload) << "\",";
     if (!label.empty())
         os << "\"config\":\"" << jsonEscape(label) << "\",";
-    os << "\"cycles\":" << stats.cycles << ","
+    os << "\"cycles\":" << stats.cycles.raw() << ","
        << "\"instructions\":" << stats.instructions << ","
        << "\"ipc\":" << stats.ipc << ","
        << "\"bpki\":" << stats.bpki << ","
@@ -61,7 +61,7 @@ writeRunStatsJson(std::ostream &os, const RunStats &stats,
        << "\"intervalSeries\":[";
     for (std::size_t i = 0; i < stats.intervalSeries.size(); ++i) {
         const IntervalSample &s = stats.intervalSeries[i];
-        os << (i ? "," : "") << "{\"cycle\":" << s.cycle
+        os << (i ? "," : "") << "{\"cycle\":" << s.cycle.raw()
            << ",\"accuracy\":[" << s.accuracy[0] << ","
            << s.accuracy[1] << "],\"coverage\":[" << s.coverage[0]
            << "," << s.coverage[1] << "],\"primaryLevel\":"
@@ -406,12 +406,15 @@ class Parser
                 if (code < 0x80) {
                     out += static_cast<char>(code);
                 } else if (code < 0x800) {
-                    out += static_cast<char>(0xc0 | (code >> 6));
+                    unsigned hi =
+                        code >> 6; // simlint-allow(magic-block-shift): utf-8
+                    out += static_cast<char>(0xc0 | hi);
                     out += static_cast<char>(0x80 | (code & 0x3f));
                 } else {
                     out += static_cast<char>(0xe0 | (code >> 12));
-                    out += static_cast<char>(0x80 |
-                                             ((code >> 6) & 0x3f));
+                    unsigned mid =
+                        code >> 6; // simlint-allow(magic-block-shift): utf-8
+                    out += static_cast<char>(0x80 | (mid & 0x3f));
                     out += static_cast<char>(0x80 | (code & 0x3f));
                 }
                 break;

@@ -40,15 +40,15 @@ PollutionFilter::PollutionFilter(unsigned entries)
 }
 
 void
-PollutionFilter::onPrefetchEvictedDemandBlock(Addr block_addr)
+PollutionFilter::onPrefetchEvictedDemandBlock(BlockAddr block)
 {
-    bits_[index(block_addr)] = true;
+    bits_[index(block)] = true;
 }
 
 bool
-PollutionFilter::test(Addr block_addr) const
+PollutionFilter::test(BlockAddr block) const
 {
-    return bits_[index(block_addr)];
+    return bits_[index(block)];
 }
 
 void

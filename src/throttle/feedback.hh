@@ -112,17 +112,17 @@ class PollutionFilter
   public:
     explicit PollutionFilter(unsigned entries = 4096);
 
-    void onPrefetchEvictedDemandBlock(Addr block_addr);
+    void onPrefetchEvictedDemandBlock(BlockAddr block);
 
     /** Does this demand miss hit a prefetch-evicted block? */
-    bool test(Addr block_addr) const;
+    bool test(BlockAddr block) const;
 
     void clear();
 
   private:
-    std::size_t index(Addr block_addr) const
+    std::size_t index(BlockAddr block) const
     {
-        std::uint32_t v = block_addr >> 7;
+        std::uint32_t v = block.raw();
         v ^= v >> 13;
         return v % bits_.size();
     }

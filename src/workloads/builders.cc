@@ -60,9 +60,20 @@ streamScan(TraceBuilder &tb, Addr pc, Addr base, std::size_t count,
            std::uint32_t stride, unsigned gap)
 {
     for (std::size_t i = 0; i < count; ++i) {
-        tb.load(pc, base + static_cast<Addr>(i) * stride, 4, kNoDep,
-                false, gap);
+        tb.load(pc, base + i * stride, 4, kNoDep, false, gap);
     }
+}
+
+std::uint32_t
+packLookupKey(std::size_t bucket, std::size_t slot, unsigned slot_bits)
+{
+    assert(slot_bits > 0 && slot_bits < 32);
+    // slot+1 must fit in the slot field (the +1 keeps keys nonzero).
+    assert(slot + 1 < (std::size_t{1} << slot_bits));
+    // bucket must fit in the remaining bits or keys from different
+    // buckets would alias.
+    assert(bucket < (std::size_t{1} << (32 - slot_bits)));
+    return static_cast<std::uint32_t>((bucket << slot_bits) | (slot + 1));
 }
 
 } // namespace ecdp

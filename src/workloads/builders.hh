@@ -54,6 +54,20 @@ std::vector<Addr> allocShuffled(TraceBuilder &tb, std::size_t count,
 void streamScan(TraceBuilder &tb, Addr pc, Addr base,
                 std::size_t count, std::uint32_t stride, unsigned gap);
 
+/**
+ * Pack a (bucket, slot) pair into one nonzero lookup key, giving the
+ * slot the low @p slot_bits bits (stored as slot+1 so a zero word in
+ * memory never matches a real key).
+ *
+ * The shifted-OR packing is only injective while slot+1 fits in its
+ * field and bucket fits in the remaining bits; the asserts reject any
+ * workload geometry that would silently alias two keys (a hash-chain
+ * lookup would then stop at the wrong node and the trace's dependence
+ * structure would change).
+ */
+std::uint32_t packLookupKey(std::size_t bucket, std::size_t slot,
+                            unsigned slot_bits);
+
 } // namespace ecdp
 
 #endif // ECDP_WORKLOADS_BUILDERS_HH

@@ -48,7 +48,7 @@ buildMst(InputSet input)
     std::vector<Addr> payloads = allocSequential(tb, nodes * 2, 32);
 
     auto key_of = [](std::size_t b, std::size_t k) {
-        return static_cast<std::uint32_t>((b << 8) | (k + 1));
+        return packLookupKey(b, k, 8);
     };
 
     for (std::size_t b = 0; b < buckets; ++b) {
@@ -70,7 +70,7 @@ buildMst(InputSet input)
     }
     Addr bucket_arr = tb.heap().allocate(buckets * 4, 128);
     for (std::size_t b = 0; b < buckets; ++b)
-        tb.mem().writePointer(bucket_arr + static_cast<Addr>(b) * 4,
+        tb.mem().writePointer(bucket_arr + static_cast<std::uint32_t>(b) * 4,
                               node_addrs[b * chain]);
 
     constexpr Addr kPcBucket = 0x401000, kPcKey = 0x401010;
@@ -91,7 +91,7 @@ buildMst(InputSet input)
             present ? key_of(b, depth) : 0xffffffffu;
 
         auto [node, ref] = tb.loadPointer(
-            kPcBucket, bucket_arr + static_cast<Addr>(b) * 4, last_ref,
+            kPcBucket, bucket_arr + static_cast<std::uint32_t>(b) * 4, last_ref,
             10);
         while (node != 0) {
             std::uint32_t key =
@@ -187,8 +187,8 @@ buildBisort(InputSet input)
                     tb.loadPointer(kPcSwapL, node + 4, ref, 2);
                 auto [right, rref] =
                     tb.loadPointer(kPcSwapR, node + 8, ref, 2);
-                tb.store(kPcSwapL, node + 4, 4, right, rref, true, 2);
-                tb.store(kPcSwapR, node + 8, 4, left, lref, true, 2);
+                tb.store(kPcSwapL, node + 4, 4, right.raw(), rref, true, 2);
+                tb.store(kPcSwapR, node + 8, 4, left.raw(), lref, true, 2);
             }
             bool go_left = rng() % 2 == 0;
             auto [child, cref] = tb.loadPointer(
@@ -400,7 +400,9 @@ buildVoronoi(InputSet input)
             Addr field_pc = which < 17 ? kPcNext
                           : which < 19 ? kPcTwin
                                        : kPcPrev;
-            Addr field_off = which < 17 ? 4u : which < 19 ? 12u : 8u;
+            std::uint32_t field_off = which < 17 ? 4u
+                                   : which < 19 ? 12u
+                                                : 8u;
             auto [target, tref] =
                 tb.loadPointer(field_pc, edge + field_off, ref, 10);
             edge = target;
@@ -430,7 +432,7 @@ buildPfast(InputSet input)
     Addr regions = tb.heap().allocate(nodes * 256, 128);
 
     auto key_of = [](std::size_t b, std::size_t k) {
-        return static_cast<std::uint32_t>((b << 4) | (k + 1));
+        return packLookupKey(b, k, 4);
     };
     for (std::size_t b = 0; b < buckets; ++b) {
         for (std::size_t k = 0; k < chain; ++k) {
@@ -439,7 +441,7 @@ buildPfast(InputSet input)
             tb.mem().write(node, 4, key_of(b, k));
             tb.mem().writePointer(node + 4,
                                   regions +
-                                      static_cast<Addr>(i) * 256);
+                                      static_cast<std::uint32_t>(i) * 256);
             tb.mem().writePointer(node + 8,
                                   k + 1 < chain ? node_addrs[i + 1]
                                                 : 0);
@@ -448,7 +450,7 @@ buildPfast(InputSet input)
     }
     Addr bucket_arr = tb.heap().allocate(buckets * 4, 128);
     for (std::size_t b = 0; b < buckets; ++b)
-        tb.mem().writePointer(bucket_arr + static_cast<Addr>(b) * 4,
+        tb.mem().writePointer(bucket_arr + static_cast<std::uint32_t>(b) * 4,
                               node_addrs[b * chain]);
 
     constexpr Addr kPcBucket = 0x406000, kPcKey = 0x406010;
@@ -466,7 +468,7 @@ buildPfast(InputSet input)
         std::uint32_t target =
             present ? key_of(b, depth) : 0xffffffffu;
         auto [node, ref] = tb.loadPointer(
-            kPcBucket, bucket_arr + static_cast<Addr>(b) * 4, last_ref,
+            kPcBucket, bucket_arr + static_cast<std::uint32_t>(b) * 4, last_ref,
             8);
         while (node != 0) {
             std::uint32_t key =

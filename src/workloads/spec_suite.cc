@@ -67,7 +67,7 @@ buildMcf(InputSet input)
     for (std::size_t it = 0; it < iterations; ++it) {
         // Price-update sweep over the next arc chunk (streaming).
         streamScan(tb, kPcArc,
-                   arcs + static_cast<Addr>(
+                   arcs + static_cast<std::uint32_t>(
                               (arc_pos % 180000) * 16),
                    arc_chunk, 16, 30);
         arc_pos += arc_chunk;
@@ -115,7 +115,7 @@ buildAstar(InputSet input)
         allocSequential(tb, node_count, 128, 128);
     Addr htable = tb.heap().allocate(2 * 1024 * 1024, 128);
     Addr adjacency = tb.heap().allocate(
-        static_cast<Addr>(node_count) * 32, 128);
+        static_cast<std::uint32_t>(node_count) * 32, 128);
     for (std::size_t i = 0; i < node_count; ++i) {
         Addr node = node_addrs[i];
         tb.mem().write(node, 4, static_cast<std::uint32_t>(rng()));
@@ -130,8 +130,8 @@ buildAstar(InputSet input)
                                          (i + 1 + rng() % dim) %
                                          node_count));
         tb.mem().writePointer(node + 24,
-                              adjacency + static_cast<Addr>(i) * 32);
-        tb.mem().write(adjacency + static_cast<Addr>(i) * 32, 4,
+                              adjacency + static_cast<std::uint32_t>(i) * 32);
+        tb.mem().write(adjacency + static_cast<std::uint32_t>(i) * 32, 4,
                        static_cast<std::uint32_t>(i % dim));
         for (unsigned d = 0; d < 8; ++d)
             tb.mem().write(node + 28 + 4 * d, 4, rng() % 256);
@@ -152,7 +152,7 @@ buildAstar(InputSet input)
             tb.load(kPcG, node, 4, ref, true, 30);
             // Heuristic table: a short streaming burst per expansion.
             streamScan(tb, kPcHeur,
-                       htable + static_cast<Addr>(
+                       htable + static_cast<std::uint32_t>(
                                     (heur_pos % 120000) * 16),
                        10, 16, 3);
             heur_pos += 10;
@@ -377,7 +377,7 @@ buildOmnetpp(InputSet input)
             tb.mem().write(msgs[i], 4, 0x006d0067u);
             prev = event;
         }
-        tb.mem().writePointer(bucket_heads + static_cast<Addr>(b) * 4,
+        tb.mem().writePointer(bucket_heads + static_cast<std::uint32_t>(b) * 4,
                               event_addrs[b * per_bucket]);
     }
 
@@ -390,7 +390,7 @@ buildOmnetpp(InputSet input)
     for (std::size_t e = 0; e < events; ++e) {
         // Pop the head of the current bucket.
         std::size_t b = e % buckets;
-        Addr head_slot = bucket_heads + static_cast<Addr>(b) * 4;
+        Addr head_slot = bucket_heads + static_cast<std::uint32_t>(b) * 4;
         auto [head, href] = tb.loadPointer(kPcHead, head_slot, kNoDep,
                                            6);
         if (head == 0)
@@ -403,16 +403,16 @@ buildOmnetpp(InputSet input)
         }
         auto [second, sref] =
             tb.loadPointer(kPcNext, head + 4, href, 4);
-        tb.store(kPcLink, head_slot, 4, second, sref, false, 2);
+        tb.store(kPcLink, head_slot, 4, second.raw(), sref, false, 2);
 
         // Re-insert into another bucket: the walk is the hot loop.
         std::size_t b2 = (b + 1 + rng() % (buckets - 1)) % buckets;
-        Addr slot2 = bucket_heads + static_cast<Addr>(b2) * 4;
+        Addr slot2 = bucket_heads + static_cast<std::uint32_t>(b2) * 4;
         auto [cur, cref] = tb.loadPointer(kPcHead + 4, slot2, kNoDep,
                                           3);
         std::size_t hops = 4 + rng() % 80;
         if (cur == 0) {
-            tb.store(kPcLink + 4, slot2, 4, head, href, false, 2);
+            tb.store(kPcLink + 4, slot2, 4, head.raw(), href, false, 2);
             tb.store(kPcLink + 8, head + 4, 4, 0, href, true, 2);
             continue;
         }
@@ -433,9 +433,9 @@ buildOmnetpp(InputSet input)
         }
         auto [after, aref] = tb.loadPointer(kPcNext + 4, cur + 4, cref,
                                             2);
-        tb.store(kPcLink + 12, cur + 4, 4, head, cref, true, 2);
-        tb.store(kPcLink + 16, head + 4, 4, after, aref, true, 2);
-        tb.store(kPcLink + 20, head + 8, 4, cur, cref, true, 2);
+        tb.store(kPcLink + 12, cur + 4, 4, head.raw(), cref, true, 2);
+        tb.store(kPcLink + 16, head + 4, 4, after.raw(), aref, true, 2);
+        tb.store(kPcLink + 20, head + 8, 4, cur.raw(), cref, true, 2);
     }
     return std::move(tb).finish();
 }
@@ -467,7 +467,7 @@ buildPerlbench(InputSet input)
         for (std::size_t k = 0; k < chain; ++k) {
             std::size_t i = b * chain + k;
             Addr node = node_addrs[i];
-            Addr value = strings + static_cast<Addr>(i) * 64;
+            Addr value = strings + static_cast<std::uint32_t>(i) * 64;
             tb.mem().write(node, 4, key_of(b, k));
             tb.mem().writePointer(node + 4, value);
             tb.mem().writePointer(node + 8,
@@ -481,7 +481,7 @@ buildPerlbench(InputSet input)
     }
     Addr bucket_arr = tb.heap().allocate(buckets * 4, 128);
     for (std::size_t b = 0; b < buckets; ++b)
-        tb.mem().writePointer(bucket_arr + static_cast<Addr>(b) * 4,
+        tb.mem().writePointer(bucket_arr + static_cast<std::uint32_t>(b) * 4,
                               node_addrs[b * chain]);
 
     Addr bytecode = tb.heap().allocate(1024 * 1024, 128);
@@ -498,7 +498,7 @@ buildPerlbench(InputSet input)
     for (std::size_t l = 0; l < lookups; ++l) {
         // Interpret a run of bytecode between symbol lookups.
         streamScan(tb, kPcOp,
-                   bytecode + static_cast<Addr>((op_pos % 60000) * 16),
+                   bytecode + static_cast<std::uint32_t>((op_pos % 60000) * 16),
                    6, 16, 4);
         op_pos += 6;
         std::size_t b = rng() % buckets;
@@ -510,7 +510,7 @@ buildPerlbench(InputSet input)
         std::uint32_t target =
             present ? key_of(b, depth) : 0xffffffffu;
         auto [node, ref] = tb.loadPointer(
-            kPcBucket, bucket_arr + static_cast<Addr>(b) * 4, last_ref,
+            kPcBucket, bucket_arr + static_cast<std::uint32_t>(b) * 4, last_ref,
             12);
         while (node != 0) {
             std::uint32_t key =

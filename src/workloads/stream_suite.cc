@@ -42,7 +42,7 @@ buildGemsfdtd(InputSet input)
 
     tb.beginTimed();
     for (std::size_t i = 0; i < n; ++i) {
-        Addr off = static_cast<Addr>(i) * 16;
+        std::uint32_t off = static_cast<std::uint32_t>(i) * 16;
         tb.load(kPcEx, ex + off, 4, kNoDep, false, 40);
         tb.load(kPcEy, ey + off, 4, kNoDep, false, 40);
         tb.load(kPcEz, ez + off, 4, kNoDep, false, 40);
@@ -67,7 +67,7 @@ buildH264ref(InputSet input)
     tb.beginTimed();
     for (std::size_t b = 0; b < blocks; ++b) {
         Addr rbase = ref_frame + (rng() % 30000) * 128;
-        Addr cbase = cur_frame + static_cast<Addr>(b % 15000) * 128;
+        Addr cbase = cur_frame + static_cast<std::uint32_t>(b % 15000) * 128;
         for (unsigned i = 0; i < 24; ++i) {
             tb.load(kPcRef, rbase + i * 16, 4, kNoDep, false, 10);
             tb.load(kPcCur, cbase + i * 16, 4, kNoDep, false, 10);
@@ -105,13 +105,13 @@ buildBzip2(InputSet input)
 
     tb.beginTimed();
     for (std::size_t i = 0; i < n; ++i) {
-        Addr pos = static_cast<Addr>(i) * 32;
+        std::uint32_t pos = static_cast<std::uint32_t>(i) * 32;
         if (i % 5 < 3) {
             tb.load(kPcSeq, data + pos, 4, kNoDep, false, 14);
         } else {
             // Back-reference into the recent window.
-            Addr back = (rng() % (128 * 1024));
-            Addr target = pos > back ? pos - back : 0;
+            std::uint32_t back = (rng() % (128 * 1024));
+            std::uint32_t target = pos > back ? pos - back : 0;
             tb.load(kPcWin, data + target, 4, kNoDep, false, 14);
         }
     }
@@ -129,19 +129,19 @@ buildMilc(InputSet input)
     Addr su3 = region(tb, 3);
     Addr idx = tb.heap().allocate(n * 4, 128);
     for (std::size_t i = 0; i < n; ++i)
-        tb.mem().write(idx + static_cast<Addr>(i) * 4, 4,
+        tb.mem().write(idx + static_cast<std::uint32_t>(i) * 4, 4,
                        rng() % 700000);
     constexpr Addr kPcA = 0x425000, kPcIdx = 0x425004;
     constexpr Addr kPcGather = 0x425008;
 
     tb.beginTimed();
     for (std::size_t i = 0; i < n; ++i) {
-        tb.load(kPcA, su3 + static_cast<Addr>(i) * 32, 4, kNoDep,
+        tb.load(kPcA, su3 + static_cast<std::uint32_t>(i) * 32, 4, kNoDep,
                 false, 14);
-        TraceRef iref = tb.load(kPcIdx, idx + static_cast<Addr>(i) * 4,
+        TraceRef iref = tb.load(kPcIdx, idx + static_cast<std::uint32_t>(i) * 4,
                                 4, kNoDep, false, 6);
         std::uint32_t j = static_cast<std::uint32_t>(
-            tb.mem().read(idx + static_cast<Addr>(i) * 4, 4));
+            tb.mem().read(idx + static_cast<std::uint32_t>(i) * 4, 4));
         tb.load(kPcGather, su3 + j * 4, 4, iref, false, 8);
     }
     return std::move(tb).finish();
@@ -160,7 +160,7 @@ buildLbm(InputSet input)
 
     tb.beginTimed();
     for (std::size_t i = 0; i < n; ++i) {
-        Addr off = static_cast<Addr>(i) * 128;
+        std::uint32_t off = static_cast<std::uint32_t>(i) * 128;
         tb.load(kPcSrc, src + off, 4, kNoDep, false, 8);
         tb.store(kPcDst, dst + off, 4, i, kNoDep, false, 8);
     }

@@ -1,0 +1,18 @@
+// A raw integer must not silently become a block number; explicit
+// BlockAddr{n} marks the (rare) deliberate conversions.
+
+#include "memsim/types.hh"
+
+using namespace ecdp;
+
+BlockAddr control()
+{
+    return BlockAddr{7u};
+}
+
+#ifndef CONTROL_ONLY
+BlockAddr bad()
+{
+    return 7u; // must not compile
+}
+#endif

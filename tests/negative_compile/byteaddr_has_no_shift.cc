@@ -1,0 +1,18 @@
+// ByteAddr deliberately has no shift operators: byte->block
+// conversion must go through BlockGeometry, never a bare `>> 7`.
+
+#include "memsim/types.hh"
+
+using namespace ecdp;
+
+std::uint32_t control(ByteAddr a)
+{
+    return a.raw();
+}
+
+#ifndef CONTROL_ONLY
+std::uint32_t bad(ByteAddr a)
+{
+    return a >> 7; // must not compile
+}
+#endif

@@ -1,0 +1,19 @@
+// A byte address must not convert to a block number: only
+// BlockGeometry::blockOf() mints BlockAddr values.
+
+#include "memsim/block_geometry.hh"
+#include "memsim/types.hh"
+
+using namespace ecdp;
+
+BlockAddr control(ByteAddr a)
+{
+    return BlockGeometry{128}.blockOf(a);
+}
+
+#ifndef CONTROL_ONLY
+BlockAddr bad(ByteAddr a)
+{
+    return a; // must not compile
+}
+#endif

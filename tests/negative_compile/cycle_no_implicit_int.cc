@@ -1,0 +1,18 @@
+// An instruction count (plain integer) must not silently become a
+// time; entering the cycle domain is always an explicit Cycle{n}.
+
+#include "memsim/types.hh"
+
+using namespace ecdp;
+
+Cycle control()
+{
+    return Cycle{100};
+}
+
+#ifndef CONTROL_ONLY
+Cycle bad()
+{
+    return 100; // must not compile
+}
+#endif

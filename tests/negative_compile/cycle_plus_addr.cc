@@ -1,0 +1,18 @@
+// Times and addresses live in different domains: adding one to the
+// other is meaningless and must not compile.
+
+#include "memsim/types.hh"
+
+using namespace ecdp;
+
+Cycle control(Cycle t)
+{
+    return t + Cycle{8};
+}
+
+#ifndef CONTROL_ONLY
+Cycle bad(Cycle t, ByteAddr a)
+{
+    return t + a; // must not compile
+}
+#endif

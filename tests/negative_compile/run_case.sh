@@ -1,0 +1,32 @@
+#!/bin/sh
+# Negative-compile harness driver for one case file.
+#
+# Each case contains a positive-control section (always compiled) and
+# an ill-formed section guarded by #ifndef CONTROL_ONLY. The case
+# passes when the control build succeeds AND the full build fails:
+# the control run proves a failure comes from the seeded type error,
+# not from a broken include path or flag.
+#
+# Usage: run_case.sh <compiler> <include-dir> <case.cc>
+
+set -u
+
+cxx=$1
+inc=$2
+case_file=$3
+
+if ! "$cxx" -std=c++20 -fsyntax-only -I "$inc" -DCONTROL_ONLY \
+        "$case_file" 2>/dev/null; then
+    echo "FAIL: control build of $case_file did not compile" \
+         "(harness is broken, not the type system)" >&2
+    exit 1
+fi
+
+if "$cxx" -std=c++20 -fsyntax-only -I "$inc" "$case_file" 2>/dev/null; then
+    echo "FAIL: $case_file compiled; the type system no longer" \
+         "rejects this unit-mixing bug" >&2
+    exit 1
+fi
+
+echo "PASS: $case_file rejected as expected"
+exit 0

@@ -31,7 +31,7 @@ TEST(BumpAllocator, RespectsAlignment)
     BumpAllocator heap;
     heap.allocate(3);
     Addr aligned = heap.allocate(8, 64);
-    EXPECT_EQ(aligned % 64, 0u);
+    EXPECT_EQ(aligned.raw() % 64, 0u);
 }
 
 TEST(BumpAllocator, DefaultAlignmentIsEight)
@@ -39,7 +39,7 @@ TEST(BumpAllocator, DefaultAlignmentIsEight)
     BumpAllocator heap;
     heap.allocate(5);
     Addr next = heap.allocate(4);
-    EXPECT_EQ(next % 8, 0u);
+    EXPECT_EQ(next.raw() % 8, 0u);
 }
 
 TEST(BumpAllocator, AlignToSkipsToBoundary)
@@ -47,7 +47,7 @@ TEST(BumpAllocator, AlignToSkipsToBoundary)
     BumpAllocator heap;
     heap.allocate(10);
     heap.alignTo(128);
-    EXPECT_EQ(heap.next() % 128, 0u);
+    EXPECT_EQ(heap.next().raw() % 128, 0u);
 }
 
 TEST(BumpAllocator, TracksBytesAllocated)

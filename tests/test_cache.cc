@@ -176,7 +176,7 @@ TEST_P(CacheGeometryTest, OffsetsAndBlockAddrsConsistent)
     for (Addr addr :
          {Addr{0x40000000}, Addr{0x40000000 + block - 1},
           Addr{0x40000000 + 3 * block + 5}}) {
-        EXPECT_EQ(cache.blockAddr(addr) % block, 0u);
+        EXPECT_EQ(cache.blockAddr(addr).raw() % block, 0u);
         EXPECT_LT(cache.blockOffset(addr), block);
         EXPECT_EQ(cache.blockAddr(addr) + cache.blockOffset(addr),
                   addr);
@@ -209,23 +209,23 @@ TEST(MshrFile, FullAfterCapacityAllocations)
 TEST(MshrFile, RipeReturnsOnlyDueFills)
 {
     MshrFile mshrs(4);
-    mshrs.allocate(0x40000000).fillAt = 100;
-    mshrs.allocate(0x40000080).fillAt = 200;
-    EXPECT_EQ(mshrs.ripe(150).size(), 1u);
-    EXPECT_EQ(mshrs.ripe(250).size(), 2u);
-    EXPECT_EQ(mshrs.ripe(50).size(), 0u);
+    mshrs.allocate(0x40000000).fillAt = Cycle{100};
+    mshrs.allocate(0x40000080).fillAt = Cycle{200};
+    EXPECT_EQ(mshrs.ripe(Cycle{150}).size(), 1u);
+    EXPECT_EQ(mshrs.ripe(Cycle{250}).size(), 2u);
+    EXPECT_EQ(mshrs.ripe(Cycle{50}).size(), 0u);
 }
 
 TEST(MshrFile, EarliestFillTracksMinimum)
 {
     MshrFile mshrs(4);
-    EXPECT_EQ(mshrs.earliestFill(), ~Cycle{0});
-    mshrs.allocate(0x40000000).fillAt = 300;
+    EXPECT_EQ(mshrs.earliestFill(), kNoEventCycle);
+    mshrs.allocate(0x40000000).fillAt = Cycle{300};
     Mshr &second = mshrs.allocate(0x40000080);
-    second.fillAt = 100;
-    EXPECT_EQ(mshrs.earliestFill(), 100u);
+    second.fillAt = Cycle{100};
+    EXPECT_EQ(mshrs.earliestFill(), Cycle{100});
     mshrs.release(second);
-    EXPECT_EQ(mshrs.earliestFill(), 300u);
+    EXPECT_EQ(mshrs.earliestFill(), Cycle{300});
 }
 
 TEST(MshrFile, EcdpStorageMatchesTable7)

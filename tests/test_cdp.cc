@@ -84,7 +84,7 @@ TEST(Cdp, SelfPointersAreSkipped)
 {
     ContentDirectedPrefetcher cdp(8, 128);
     BlockImage img;
-    img.word(3, kBlock + 8); // points into its own block
+    img.word(3, (kBlock + 8).raw()); // points into its own block
     std::vector<PrefetchRequest> out;
     cdp.scan(kBlock, img.bytes, demandCtx(), out);
     EXPECT_TRUE(out.empty());
@@ -277,10 +277,10 @@ TEST_P(CdpCompareBitsTest, MatchRequiresExactlyTopBits)
     const unsigned bits = GetParam();
     ContentDirectedPrefetcher cdp(bits, 128);
     // Flip the bit just below the compared region: still a match.
-    std::uint32_t flip_low = kBlock ^ (1u << (31 - bits));
+    std::uint32_t flip_low = kBlock.raw() ^ (1u << (31 - bits));
     EXPECT_TRUE(cdp.isPointerCandidate(kBlock, flip_low));
     // Flip the lowest bit inside the compared region: mismatch.
-    std::uint32_t flip_in = kBlock ^ (1u << (32 - bits));
+    std::uint32_t flip_in = kBlock.raw() ^ (1u << (32 - bits));
     EXPECT_FALSE(cdp.isPointerCandidate(kBlock, flip_in));
 }
 

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "memsim/block_geometry.hh"
 #include "prefetch/dbp.hh"
 #include "prefetch/ghb_prefetcher.hh"
 #include "prefetch/hardware_filter.hh"
@@ -64,39 +65,42 @@ TEST(Dbp, StorageIsAbout3KB)
 
 TEST(Markov, RecordsAndReplaysSuccessors)
 {
-    MarkovPrefetcher markov(1024);
+    const BlockGeometry geom{128};
+    MarkovPrefetcher markov(geom, 1024);
     std::vector<PrefetchRequest> out;
-    markov.onDemandMiss(0x40000000, out);
-    markov.onDemandMiss(0x40010000, out); // successor of the first
+    markov.onDemandMiss(geom.blockOf(0x40000000), out);
+    markov.onDemandMiss(geom.blockOf(0x40010000), out); // successor of the first
     out.clear();
-    markov.onDemandMiss(0x40000000, out); // repeat the first miss
+    markov.onDemandMiss(geom.blockOf(0x40000000), out); // repeat the first miss
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].blockAddr, 0x40010000u);
 }
 
 TEST(Markov, KeepsUpToFourSuccessors)
 {
-    MarkovPrefetcher markov(1024);
+    const BlockGeometry geom{128};
+    MarkovPrefetcher markov(geom, 1024);
     std::vector<PrefetchRequest> out;
     for (unsigned i = 1; i <= 4; ++i) {
-        markov.onDemandMiss(0x40000000, out);
-        markov.onDemandMiss(0x40000000 + i * 0x1000, out);
+        markov.onDemandMiss(geom.blockOf(0x40000000), out);
+        markov.onDemandMiss(geom.blockOf(0x40000000 + i * 0x1000), out);
     }
     out.clear();
-    markov.onDemandMiss(0x40000000, out);
+    markov.onDemandMiss(geom.blockOf(0x40000000), out);
     EXPECT_EQ(out.size(), 4u);
 }
 
 TEST(Markov, FifthSuccessorEvictsOldest)
 {
-    MarkovPrefetcher markov(1024);
+    const BlockGeometry geom{128};
+    MarkovPrefetcher markov(geom, 1024);
     std::vector<PrefetchRequest> out;
     for (unsigned i = 1; i <= 5; ++i) {
-        markov.onDemandMiss(0x40000000, out);
-        markov.onDemandMiss(0x40000000 + i * 0x1000, out);
+        markov.onDemandMiss(geom.blockOf(0x40000000), out);
+        markov.onDemandMiss(geom.blockOf(0x40000000 + i * 0x1000), out);
     }
     out.clear();
-    markov.onDemandMiss(0x40000000, out);
+    markov.onDemandMiss(geom.blockOf(0x40000000), out);
     EXPECT_EQ(out.size(), 4u);
     for (const PrefetchRequest &req : out)
         EXPECT_NE(req.blockAddr, 0x40001000u); // oldest gone
@@ -104,15 +108,16 @@ TEST(Markov, FifthSuccessorEvictsOldest)
 
 TEST(Markov, CannotPredictUnseenAddresses)
 {
-    MarkovPrefetcher markov(1024);
+    const BlockGeometry geom{128};
+    MarkovPrefetcher markov(geom, 1024);
     std::vector<PrefetchRequest> out;
-    markov.onDemandMiss(0x40770000, out);
+    markov.onDemandMiss(geom.blockOf(0x40770000), out);
     EXPECT_TRUE(out.empty());
 }
 
 TEST(Markov, StorageIsAbout1MB)
 {
-    MarkovPrefetcher markov; // default 65536 entries
+    MarkovPrefetcher markov{BlockGeometry{128}}; // default 65536 entries
     double mb =
         static_cast<double>(markov.storageBits()) / 8 / 1024 / 1024;
     EXPECT_GT(mb, 1.0);
@@ -128,7 +133,7 @@ TEST(Ghb, ReplaysDeltaPatterns)
     std::vector<std::int64_t> deltas{1, 2, 1, 2, 1};
     for (std::int64_t d : deltas) {
         ghb.onDemandMiss(addr, out);
-        addr += static_cast<Addr>(d * 128);
+        addr += static_cast<std::uint32_t>(d * 128);
     }
     out.clear();
     ghb.onDemandMiss(addr, out);
@@ -187,11 +192,13 @@ TEST(Ghb, StorageIsAbout12KB)
 TEST(HardwareFilter, BlocksPreviouslyUselessPrefetches)
 {
     HardwareFilter filter;
-    EXPECT_TRUE(filter.allow(0x40000000));
-    filter.onPrefetchEvictedUnused(0x40000000);
-    EXPECT_FALSE(filter.allow(0x40000000));
-    filter.onPrefetchUsed(0x40000000);
-    EXPECT_TRUE(filter.allow(0x40000000));
+    const BlockGeometry geom{128};
+    const BlockAddr block = geom.blockOf(0x40000000);
+    EXPECT_TRUE(filter.allow(block));
+    filter.onPrefetchEvictedUnused(block);
+    EXPECT_FALSE(filter.allow(block));
+    filter.onPrefetchUsed(block);
+    EXPECT_TRUE(filter.allow(block));
 }
 
 TEST(HardwareFilter, StorageIs8KB)

@@ -31,7 +31,7 @@ class StubMemory : public CoreMemoryInterface
 
     unsigned loads = 0;
     unsigned stores = 0;
-    Cycle rejectUntil = 0;
+    Cycle rejectUntil{};
 
   private:
     Cycle latency_;
@@ -72,8 +72,8 @@ storeEntry(Addr addr)
 Cycle
 runToCompletion(Core &core)
 {
-    Cycle cycle = 0;
-    while (!core.finishedOnce() && cycle < 10'000'000) {
+    Cycle cycle{};
+    while (!core.finishedOnce() && cycle < Cycle{10'000'000}) {
         core.tick(cycle);
         ++cycle;
     }
@@ -83,18 +83,18 @@ runToCompletion(Core &core)
 
 TEST(Core, SingleLoadCompletesAfterMemoryLatency)
 {
-    StubMemory mem(100);
+    StubMemory mem(Cycle{100});
     Workload wl = makeWorkload({loadEntry(0x40000000)});
     Core core(&wl, &mem);
     Cycle end = runToCompletion(core);
-    EXPECT_GE(end, 100u);
-    EXPECT_LT(end, 120u);
+    EXPECT_GE(end, Cycle{100u});
+    EXPECT_LT(end, Cycle{120u});
     EXPECT_EQ(core.retiredFirstPass(), 1u);
 }
 
 TEST(Core, IndependentLoadsOverlap)
 {
-    StubMemory mem(400);
+    StubMemory mem(Cycle{400});
     std::vector<TraceEntry> entries;
     for (unsigned i = 0; i < 8; ++i)
         entries.push_back(loadEntry(0x40000000 + 128 * i));
@@ -102,12 +102,12 @@ TEST(Core, IndependentLoadsOverlap)
     Core core(&wl, &mem);
     Cycle end = runToCompletion(core);
     // 8 independent misses overlap: far less than 8 x 400.
-    EXPECT_LT(end, 500u);
+    EXPECT_LT(end, Cycle{500u});
 }
 
 TEST(Core, DependentLoadsSerialize)
 {
-    StubMemory mem(400);
+    StubMemory mem(Cycle{400});
     std::vector<TraceEntry> entries;
     entries.push_back(loadEntry(0x40000000));
     for (unsigned i = 1; i < 4; ++i) {
@@ -118,12 +118,12 @@ TEST(Core, DependentLoadsSerialize)
     Core core(&wl, &mem);
     Cycle end = runToCompletion(core);
     // A 4-deep pointer chain costs at least 4 serialized latencies.
-    EXPECT_GE(end, 4 * 400u);
+    EXPECT_GE(end, Cycle{4 * 400u});
 }
 
 TEST(Core, RetireWidthBoundsIpc)
 {
-    StubMemory mem(1);
+    StubMemory mem(Cycle{1});
     std::vector<TraceEntry> entries;
     for (unsigned i = 0; i < 100; ++i)
         entries.push_back(loadEntry(0x40000000, kNoDep, 39));
@@ -131,7 +131,7 @@ TEST(Core, RetireWidthBoundsIpc)
     Core core(&wl, &mem);
     Cycle end = runToCompletion(core);
     double ipc = static_cast<double>(core.retiredFirstPass()) /
-                 static_cast<double>(end);
+                 static_cast<double>(end.raw());
     EXPECT_LE(ipc, 4.0 + 1e-9);
     EXPECT_GT(ipc, 3.0); // near-ideal with 1-cycle memory
 }
@@ -140,58 +140,58 @@ TEST(Core, RobLimitsMemoryLevelParallelism)
 {
     // 256-entry ROB with 255 fillers between loads: at most ~2 loads
     // in flight, so 16 loads of 400 cycles take >= ~8 x 400.
-    StubMemory mem(400);
+    StubMemory mem(Cycle{400});
     std::vector<TraceEntry> entries;
     for (unsigned i = 0; i < 16; ++i)
         entries.push_back(loadEntry(0x40000000 + 128 * i, kNoDep, 255));
     Workload wl = makeWorkload(entries);
     Core core(&wl, &mem);
     Cycle end = runToCompletion(core);
-    EXPECT_GE(end, 8 * 400u);
+    EXPECT_GE(end, Cycle{8 * 400u});
 }
 
 TEST(Core, LsqLimitsOutstandingMemoryOps)
 {
     // 64 adjacent loads with no fillers: the 32-entry LSQ caps MLP at
     // 32, so the run needs at least two memory rounds.
-    StubMemory mem(400);
+    StubMemory mem(Cycle{400});
     std::vector<TraceEntry> entries;
     for (unsigned i = 0; i < 64; ++i)
         entries.push_back(loadEntry(0x40000000 + 128 * i));
     Workload wl = makeWorkload(entries);
     Core core(&wl, &mem);
     Cycle end = runToCompletion(core);
-    EXPECT_GE(end, 2 * 400u);
-    EXPECT_LT(end, 3 * 400u + 100);
+    EXPECT_GE(end, Cycle{2 * 400u});
+    EXPECT_LT(end, Cycle{3 * 400u + 100});
 }
 
 TEST(Core, StoresDoNotStall)
 {
-    StubMemory mem(400);
+    StubMemory mem(Cycle{400});
     std::vector<TraceEntry> entries;
     for (unsigned i = 0; i < 20; ++i)
         entries.push_back(storeEntry(0x40000000 + 128 * i));
     Workload wl = makeWorkload(entries);
     Core core(&wl, &mem);
     Cycle end = runToCompletion(core);
-    EXPECT_LT(end, 100u);
+    EXPECT_LT(end, Cycle{100u});
     EXPECT_EQ(mem.stores, 20u);
 }
 
 TEST(Core, RetriesWhenMemoryRejects)
 {
-    StubMemory mem(50);
-    mem.rejectUntil = 300;
+    StubMemory mem(Cycle{50});
+    mem.rejectUntil = Cycle{300};
     Workload wl = makeWorkload({loadEntry(0x40000000)});
     Core core(&wl, &mem);
     Cycle end = runToCompletion(core);
-    EXPECT_GE(end, 350u);
+    EXPECT_GE(end, Cycle{350u});
     EXPECT_GT(mem.loads, 1u); // it retried
 }
 
 TEST(Core, DependencyOnStoreValueWaits)
 {
-    StubMemory mem(100);
+    StubMemory mem(Cycle{100});
     std::vector<TraceEntry> entries;
     entries.push_back(loadEntry(0x40000000));
     entries.push_back(loadEntry(0x40000100, 0));
@@ -199,29 +199,29 @@ TEST(Core, DependencyOnStoreValueWaits)
     Workload wl = makeWorkload(entries);
     Core core(&wl, &mem);
     Cycle end = runToCompletion(core);
-    EXPECT_GE(end, 300u);
+    EXPECT_GE(end, Cycle{300u});
 }
 
 TEST(Core, FillersConsumeRetireBandwidth)
 {
-    StubMemory mem(1);
+    StubMemory mem(Cycle{1});
     // One load with 400 leading fillers: retire at 4/cycle means at
     // least 100 cycles.
     Workload wl = makeWorkload({loadEntry(0x40000000, kNoDep, 400)});
     Core core(&wl, &mem);
     Cycle end = runToCompletion(core);
-    EXPECT_GE(end, 100u);
+    EXPECT_GE(end, Cycle{100u});
     EXPECT_EQ(core.retiredFirstPass(), 401u);
 }
 
 TEST(Core, WrapAroundRestartsTrace)
 {
-    StubMemory mem(10);
+    StubMemory mem(Cycle{10});
     Workload wl = makeWorkload({loadEntry(0x40000000),
                                 loadEntry(0x40000100)});
     Core core(&wl, &mem);
     core.setWrapAround(true);
-    for (Cycle cycle = 0; cycle < 2000; ++cycle)
+    for (Cycle cycle{}; cycle < Cycle{2000}; ++cycle)
         core.tick(cycle);
     EXPECT_TRUE(core.finishedOnce());
     EXPECT_GT(core.retired(), core.retiredFirstPass());
@@ -229,15 +229,15 @@ TEST(Core, WrapAroundRestartsTrace)
 
 TEST(Core, FirstPassStatsFrozenAfterFinish)
 {
-    StubMemory mem(10);
+    StubMemory mem(Cycle{10});
     Workload wl = makeWorkload({loadEntry(0x40000000)});
     Core core(&wl, &mem);
     core.setWrapAround(true);
-    for (Cycle cycle = 0; cycle < 500; ++cycle)
+    for (Cycle cycle{}; cycle < Cycle{500}; ++cycle)
         core.tick(cycle);
     std::uint64_t first = core.retiredFirstPass();
     Cycle finish = core.finishCycle();
-    for (Cycle cycle = 500; cycle < 1000; ++cycle)
+    for (Cycle cycle{500}; cycle < Cycle{1000}; ++cycle)
         core.tick(cycle);
     EXPECT_EQ(core.retiredFirstPass(), first);
     EXPECT_EQ(core.finishCycle(), finish);
@@ -245,7 +245,7 @@ TEST(Core, FirstPassStatsFrozenAfterFinish)
 
 TEST(Core, CustomWidthChangesRetireBound)
 {
-    StubMemory mem(1);
+    StubMemory mem(Cycle{1});
     std::vector<TraceEntry> entries;
     for (unsigned i = 0; i < 50; ++i)
         entries.push_back(loadEntry(0x40000000, kNoDep, 19));
@@ -255,7 +255,7 @@ TEST(Core, CustomWidthChangesRetireBound)
     Core core(&wl, &mem, narrow);
     Cycle end = runToCompletion(core);
     double ipc = static_cast<double>(core.retiredFirstPass()) /
-                 static_cast<double>(end);
+                 static_cast<double>(end.raw());
     EXPECT_LE(ipc, 2.0 + 1e-9);
 }
 

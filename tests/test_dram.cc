@@ -22,26 +22,26 @@ params()
 TEST(Dram, UncontendedLatencyIs450)
 {
     DramSystem dram(params(), 1);
-    auto done = dram.read(0, 0x40000000, 1000);
+    auto done = dram.read(0, 0x40000000, Cycle{1000});
     ASSERT_TRUE(done.has_value());
-    EXPECT_EQ(*done - 1000, 450u);
+    EXPECT_EQ(*done - 1000, Cycle{450});
 }
 
 TEST(Dram, SameBankRequestsSerializeOnBankTime)
 {
     DramSystem dram(params(), 1);
-    Cycle first = *dram.read(0, 0x40000000, 0);
+    Cycle first = *dram.read(0, 0x40000000, Cycle{});
     // Same block address -> same bank.
-    Cycle second = *dram.read(0, 0x40000000, 0);
+    Cycle second = *dram.read(0, 0x40000000, Cycle{});
     EXPECT_GE(second, first + params().bankBusy);
 }
 
 TEST(Dram, DifferentBanksOverlapButShareTheBus)
 {
     DramSystem dram(params(), 1);
-    Cycle first = *dram.read(0, 0x40000000, 0);
+    Cycle first = *dram.read(0, 0x40000000, Cycle{});
     // A different bank: bank time overlaps, bus serializes.
-    Cycle second = *dram.read(0, 0x40000080, 0);
+    Cycle second = *dram.read(0, 0x40000080, Cycle{});
     EXPECT_EQ(second, first + params().busTransfer);
 }
 
@@ -52,8 +52,8 @@ TEST(Dram, BankHashFollowsConfiguredBlockSize)
     // pair onto one bank, so consecutive blocks serialized on bank
     // busy time instead of overlapping across banks.
     DramSystem dram(DramParams{}, 1, 64);
-    Cycle first = *dram.read(0, 0x40000000, 0);
-    Cycle second = *dram.read(0, 0x40000040, 0);
+    Cycle first = *dram.read(0, 0x40000000, Cycle{});
+    Cycle second = *dram.read(0, 0x40000040, Cycle{});
     // Adjacent 64 B blocks: different banks, bus-serialized only.
     EXPECT_EQ(second, first + DramParams{}.busTransfer);
 }
@@ -63,17 +63,17 @@ TEST(Dram, DefaultBlockSizeBankHashUnchanged)
     // 128 B blocks (the Table 5 default) keep the historical >>7
     // behaviour: same block -> same bank -> bankBusy serialization.
     DramSystem dram(DramParams{}, 1, 128);
-    Cycle first = *dram.read(0, 0x40000000, 0);
-    Cycle second = *dram.read(0, 0x40000000, 0);
+    Cycle first = *dram.read(0, 0x40000000, Cycle{});
+    Cycle second = *dram.read(0, 0x40000000, Cycle{});
     EXPECT_GE(second, first + DramParams{}.bankBusy);
 }
 
 TEST(Dram, BusSerializesEveryTransfer)
 {
     DramSystem dram(params(), 1);
-    Cycle prev = 0;
+    Cycle prev{};
     for (unsigned i = 0; i < 16; ++i) {
-        Cycle done = *dram.read(0, 0x40000000 + i * 128, 0);
+        Cycle done = *dram.read(0, 0x40000000 + i * 128, Cycle{});
         if (i > 0) {
             EXPECT_GE(done, prev + params().busTransfer);
         }
@@ -84,9 +84,9 @@ TEST(Dram, BusSerializesEveryTransfer)
 TEST(Dram, CountsBusTransactions)
 {
     DramSystem dram(params(), 2);
-    dram.read(0, 0x40000000, 0);
-    dram.read(1, 0x40010000, 0);
-    dram.writeback(0, 0x40020000, 0);
+    dram.read(0, 0x40000000, Cycle{});
+    dram.read(1, 0x40010000, Cycle{});
+    dram.writeback(0, 0x40020000, Cycle{});
     EXPECT_EQ(dram.busTransactions(), 3u);
     EXPECT_EQ(dram.busTransactions(0), 2u);
     EXPECT_EQ(dram.busTransactions(1), 1u);
@@ -96,17 +96,17 @@ TEST(Dram, BufferRejectsWhenFull)
 {
     DramSystem dram(params(), 1); // 32 entries
     for (unsigned i = 0; i < 32; ++i)
-        EXPECT_TRUE(dram.read(0, 0x40000000 + i * 128, 0).has_value());
-    EXPECT_FALSE(dram.read(0, 0x41000000, 0).has_value());
+        EXPECT_TRUE(dram.read(0, 0x40000000 + i * 128, Cycle{}).has_value());
+    EXPECT_FALSE(dram.read(0, 0x41000000, Cycle{}).has_value());
 }
 
 TEST(Dram, BufferDrainsAsRequestsComplete)
 {
     DramSystem dram(params(), 1);
-    Cycle last = 0;
+    Cycle last{};
     for (unsigned i = 0; i < 32; ++i)
-        last = *dram.read(0, 0x40000000 + i * 128, 0);
-    EXPECT_FALSE(dram.read(0, 0x41000000, 0).has_value());
+        last = *dram.read(0, 0x40000000 + i * 128, Cycle{});
+    EXPECT_FALSE(dram.read(0, 0x41000000, Cycle{}).has_value());
     EXPECT_TRUE(dram.read(0, 0x41000000, last + 1).has_value());
 }
 
@@ -116,51 +116,51 @@ TEST(Dram, ReserveKeepsEntriesForDemands)
     // Prefetches (reserve 8) may only use 24 of the 32 entries.
     unsigned accepted = 0;
     for (unsigned i = 0; i < 32; ++i) {
-        if (dram.read(0, 0x40000000 + i * 128, 0, 8))
+        if (dram.read(0, 0x40000000 + i * 128, Cycle{}, 8))
             ++accepted;
     }
     EXPECT_EQ(accepted, 24u);
     // A demand (no reserve) still gets in.
-    EXPECT_TRUE(dram.read(0, 0x41000000, 0).has_value());
+    EXPECT_TRUE(dram.read(0, 0x41000000, Cycle{}).has_value());
 }
 
 TEST(Dram, WritebacksAreNeverRejected)
 {
     DramSystem dram(params(), 1);
     for (unsigned i = 0; i < 32; ++i)
-        dram.read(0, 0x40000000 + i * 128, 0);
+        dram.read(0, 0x40000000 + i * 128, Cycle{});
     // Buffer is full, but writebacks still go through (and consume
     // bus bandwidth): the evicting cache has nowhere to stall into.
     std::uint64_t before = dram.busTransactions();
-    dram.writeback(0, 0x42000000, 0);
+    dram.writeback(0, 0x42000000, Cycle{});
     EXPECT_EQ(dram.busTransactions(), before + 1);
     // The posted writeback transiently overshoots the capacity.
-    EXPECT_EQ(dram.bufferOccupancy(0), 33u);
+    EXPECT_EQ(dram.bufferOccupancy(Cycle{}), 33u);
 }
 
 TEST(Dram, WritebacksOccupyRequestBufferEntries)
 {
     DramSystem dram(params(), 1); // 32 entries
-    EXPECT_EQ(dram.bufferOccupancy(0), 0u);
+    EXPECT_EQ(dram.bufferOccupancy(Cycle{}), 0u);
     for (unsigned i = 0; i < 32; ++i)
-        dram.writeback(0, 0x40000000 + i * 128, 0);
-    EXPECT_EQ(dram.bufferOccupancy(0), 32u);
+        dram.writeback(0, 0x40000000 + i * 128, Cycle{});
+    EXPECT_EQ(dram.bufferOccupancy(Cycle{}), 32u);
     // A writeback burst fills the buffer and refuses later reads —
     // the bandwidth contention the per-core request-buffer limit is
     // supposed to model.
-    EXPECT_FALSE(dram.read(0, 0x41000000, 0).has_value());
+    EXPECT_FALSE(dram.read(0, 0x41000000, Cycle{}).has_value());
 }
 
 TEST(Dram, WritebackOccupancyDrainsAtBusCompletion)
 {
     DramSystem dram(params(), 1);
     for (unsigned i = 0; i < 32; ++i)
-        dram.writeback(0, 0x40000000 + i * 128, 0);
+        dram.writeback(0, 0x40000000 + i * 128, Cycle{});
     // All writebacks have completed their bus transfers well before
     // front + 32 * (bank + bus) cycles; the buffer is empty again.
     const Cycle horizon =
         params().frontLatency +
-        32 * (params().bankBusy + params().busTransfer);
+        32 * (params().bankBusy.raw() + params().busTransfer.raw());
     EXPECT_EQ(dram.bufferOccupancy(horizon), 0u);
     EXPECT_TRUE(dram.read(0, 0x41000000, horizon).has_value());
 }
@@ -169,10 +169,10 @@ TEST(Dram, WritebacksDelayLaterReads)
 {
     DramSystem dram(params(), 1);
     for (unsigned i = 0; i < 8; ++i)
-        dram.writeback(0, 0x40000000 + i * 128, 0);
-    Cycle done = *dram.read(0, 0x41000000, 0);
+        dram.writeback(0, 0x40000000 + i * 128, Cycle{});
+    Cycle done = *dram.read(0, 0x41000000, Cycle{});
     // The read's bus slot comes after the writebacks'.
-    EXPECT_GT(done - 0, 450u);
+    EXPECT_GT(done, Cycle{450});
 }
 
 TEST(Dram, MultiCoreBufferScales)
@@ -184,8 +184,8 @@ TEST(Dram, MultiCoreBufferScales)
 TEST(Dram, OccupancyReflectsInFlightReads)
 {
     DramSystem dram(params(), 1);
-    Cycle done = *dram.read(0, 0x40000000, 0);
-    EXPECT_EQ(dram.bufferOccupancy(0), 1u);
+    Cycle done = *dram.read(0, 0x40000000, Cycle{});
+    EXPECT_EQ(dram.bufferOccupancy(Cycle{}), 1u);
     EXPECT_EQ(dram.bufferOccupancy(done), 0u);
 }
 
@@ -194,12 +194,12 @@ TEST(Dram, ContentionRaisesLatencyOfLaterRequests)
     // The Section 4 premise: a burst of (prefetch) requests inflates
     // the latency of a subsequent (demand) request.
     DramSystem quiet(params(), 1);
-    Cycle alone = *quiet.read(0, 0x40000000, 0) - 0;
+    Cycle alone = *quiet.read(0, 0x40000000, Cycle{});
 
     DramSystem busy(params(), 1);
     for (unsigned i = 0; i < 16; ++i)
-        busy.read(0, 0x41000000 + i * 128, 0, 8);
-    Cycle contended = *busy.read(0, 0x40000000, 0) - 0;
+        busy.read(0, 0x41000000 + i * 128, Cycle{}, 8);
+    Cycle contended = *busy.read(0, 0x40000000, Cycle{});
     EXPECT_GT(contended, alone);
 }
 

@@ -117,7 +117,7 @@ TEST_P(SkippingIsExact, StatsJsonIsByteIdentical)
     RunStats stats = expectExact(c.bench, caseConfig(c));
     // Sanity: these runs actually finish and do real work.
     EXPECT_FALSE(stats.timedOut);
-    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_GT(stats.cycles, Cycle{});
     EXPECT_GT(stats.instructions, 0u);
 }
 
@@ -158,10 +158,10 @@ TEST(SkippingIsExactEdge, MaxCyclesWatchdog)
     // cycle with the identical partial stats: the skipping loop
     // clamps its jumps to maxCycles.
     SystemConfig cfg = configs::baseline();
-    cfg.maxCycles = 20'000;
+    cfg.maxCycles = Cycle{20'000};
     RunStats stats = expectExact("health", cfg);
     EXPECT_TRUE(stats.timedOut);
-    EXPECT_EQ(stats.cycles, 20'000u);
+    EXPECT_EQ(stats.cycles, Cycle{20'000});
 }
 
 TEST(SkippingIsExactEdge, MultiCoreSharedDram)

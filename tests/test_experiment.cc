@@ -40,7 +40,7 @@ TEST(Configs, Table5Defaults)
     // Uncontended DRAM latency must be the paper's 450 cycles.
     EXPECT_EQ(cfg.dram.frontLatency + cfg.dram.bankBusy +
                   cfg.dram.busTransfer,
-              450u);
+              Cycle{450});
 }
 
 TEST(Configs, FullProposalWiresEcdpAndCoordination)

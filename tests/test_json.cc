@@ -27,7 +27,7 @@ TEST(Json, WritesAllTopLevelFields)
 {
     RunStats stats;
     stats.workload = "health";
-    stats.cycles = 1000;
+    stats.cycles = Cycle{1000};
     stats.instructions = 4000;
     stats.ipc = 4.0;
     stats.bpki = 12.5;
@@ -118,7 +118,7 @@ TEST(JsonParser, RoundTripsTheStatsWriter)
 {
     RunStats stats;
     stats.workload = "health";
-    stats.cycles = 123456789;
+    stats.cycles = Cycle{123456789};
     stats.instructions = 42;
     stats.ipc = 0.1234567890123456;
     stats.timedOut = true;

@@ -70,10 +70,10 @@ noPrefetchConfig()
 TEST(MemorySystem, MissThenL1Hit)
 {
     Rig rig(noPrefetchConfig());
-    auto first = rig.mem.load(loadAt(0x40000000), 0);
+    auto first = rig.mem.load(loadAt(0x40000000), Cycle{});
     ASSERT_TRUE(first.has_value());
-    EXPECT_GE(*first, 450u);
-    tickUntil(rig.mem, 0, *first + 1);
+    EXPECT_GE(*first, Cycle{450});
+    tickUntil(rig.mem, Cycle{}, *first + 1);
     // After the fill, the same address hits in the L1.
     auto second = rig.mem.load(loadAt(0x40000000), *first + 2);
     ASSERT_TRUE(second.has_value());
@@ -83,8 +83,8 @@ TEST(MemorySystem, MissThenL1Hit)
 TEST(MemorySystem, L2HitAfterL1Eviction)
 {
     Rig rig(noPrefetchConfig());
-    auto first = rig.mem.load(loadAt(0x40000000), 0);
-    tickUntil(rig.mem, 0, *first + 1);
+    auto first = rig.mem.load(loadAt(0x40000000), Cycle{});
+    tickUntil(rig.mem, Cycle{}, *first + 1);
     Cycle now = *first + 2;
     // Thrash the L1 set (32 KB, 4-way, 64 B lines: set stride 8 KB).
     for (unsigned i = 1; i <= 8; ++i) {
@@ -101,8 +101,8 @@ TEST(MemorySystem, L2HitAfterL1Eviction)
 TEST(MemorySystem, SecondaryMissMergesIntoMshr)
 {
     Rig rig(noPrefetchConfig());
-    auto first = rig.mem.load(loadAt(0x40000000), 0);
-    auto merged = rig.mem.load(loadAt(0x40000040), 1);
+    auto first = rig.mem.load(loadAt(0x40000000), Cycle{});
+    auto merged = rig.mem.load(loadAt(0x40000040), Cycle{1});
     ASSERT_TRUE(merged.has_value());
     // Same L2 block: completes with the first fill, costs no second
     // bus transaction.
@@ -115,26 +115,26 @@ TEST(MemorySystem, MshrExhaustionRejectsLoads)
     Rig rig(noPrefetchConfig());
     for (unsigned i = 0; i < 32; ++i) {
         EXPECT_TRUE(
-            rig.mem.load(loadAt(0x40000000 + i * 128), 0).has_value());
+            rig.mem.load(loadAt(0x40000000 + i * 128), Cycle{}).has_value());
     }
-    EXPECT_FALSE(rig.mem.load(loadAt(0x41000000), 0).has_value());
+    EXPECT_FALSE(rig.mem.load(loadAt(0x41000000), Cycle{}).has_value());
 }
 
 TEST(MemorySystem, StoresUpdateTheImageImmediately)
 {
     Rig rig(noPrefetchConfig());
-    rig.mem.store(storeAt(0x40000000, 0xabcd), 0);
+    rig.mem.store(storeAt(0x40000000, 0xabcd), Cycle{});
     EXPECT_EQ(rig.mem.image().read(0x40000000, 4), 0xabcdu);
 }
 
 TEST(MemorySystem, DirtyEvictionsWriteBack)
 {
     Rig rig(noPrefetchConfig());
-    rig.mem.store(storeAt(0x40000000, 1), 0);
+    rig.mem.store(storeAt(0x40000000, 1), Cycle{});
     std::uint64_t before = rig.dram.busTransactions();
     // Evict the dirty block: fill the L2 set (1 MB, 8-way, 128 B:
     // set stride 128 KB).
-    Cycle now = 1;
+    Cycle now{1};
     for (unsigned i = 1; i <= 9; ++i) {
         auto fill =
             rig.mem.load(loadAt(0x40000000 + i * 131072), now);
@@ -150,7 +150,7 @@ TEST(MemorySystem, StreamPrefetchCountsAsUsedOnHit)
     SystemConfig cfg; // stream prefetcher on
     Rig rig(cfg);
     // Two nearby misses train a stream, which prefetches ahead.
-    Cycle now = 0;
+    Cycle now{};
     for (unsigned i = 0; i < 2; ++i) {
         auto fill = rig.mem.load(loadAt(0x40000000 + i * 128), now);
         ASSERT_TRUE(fill.has_value());
@@ -181,10 +181,10 @@ TEST(MemorySystem, CdpScansDemandFillsAndPrefetches)
     Rig rig(cdpConfig());
     // Plant a pointer in the missed block.
     rig.mem.image().writePointer(0x40000004, 0x40008000);
-    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), 0);
+    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), Cycle{});
     ASSERT_TRUE(fill.has_value());
     // Tick long enough for the prefetch itself to fill the L2.
-    tickUntil(rig.mem, 0, *fill + 600);
+    tickUntil(rig.mem, Cycle{}, *fill + 600);
     RunStats stats;
     rig.mem.collectStats(stats);
     EXPECT_EQ(stats.prefIssued[1], 1u);
@@ -203,8 +203,8 @@ TEST(MemorySystem, CdpRecursionFollowsChains)
     // A -> B -> C chain through pointers at offset 0.
     rig.mem.image().writePointer(0x40000000, 0x40010000);
     rig.mem.image().writePointer(0x40010000, 0x40020000);
-    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), 0);
-    tickUntil(rig.mem, 0, *fill + 1200);
+    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), Cycle{});
+    tickUntil(rig.mem, Cycle{}, *fill + 1200);
     RunStats stats;
     rig.mem.collectStats(stats);
     // Both B (depth 1) and C (depth 2, from the recursive scan of
@@ -219,8 +219,8 @@ TEST(MemorySystem, CdpDepthOneDoesNotRecurse)
     Rig rig(cfg);
     rig.mem.image().writePointer(0x40000000, 0x40010000);
     rig.mem.image().writePointer(0x40010000, 0x40020000);
-    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), 0);
-    tickUntil(rig.mem, 0, *fill + 1200);
+    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), Cycle{});
+    tickUntil(rig.mem, Cycle{}, *fill + 1200);
     RunStats stats;
     rig.mem.collectStats(stats);
     EXPECT_EQ(stats.prefIssued[1], 1u);
@@ -234,8 +234,8 @@ TEST(MemorySystem, EcdpHintsGateDemandScans)
     cfg.hints = &hints;
     Rig rig(cfg);
     rig.mem.image().writePointer(0x40000004, 0x40008000);
-    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), 0);
-    tickUntil(rig.mem, 0, *fill + 10);
+    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), Cycle{});
+    tickUntil(rig.mem, Cycle{}, *fill + 10);
     RunStats stats;
     rig.mem.collectStats(stats);
     EXPECT_EQ(stats.prefIssued[1], 0u);
@@ -251,8 +251,8 @@ TEST(MemorySystem, EcdpHintedSlotIsPrefetched)
     Rig rig(cfg);
     rig.mem.image().writePointer(0x40000004, 0x40008000); // slot +1
     rig.mem.image().writePointer(0x40000008, 0x40009000); // slot +2
-    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), 0);
-    tickUntil(rig.mem, 0, *fill + 10);
+    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), Cycle{});
+    tickUntil(rig.mem, Cycle{}, *fill + 10);
     RunStats stats;
     rig.mem.collectStats(stats);
     EXPECT_EQ(stats.prefIssued[1], 1u);
@@ -264,8 +264,8 @@ TEST(MemorySystem, LatePrefetchCountsAsLateNotUsed)
 {
     Rig rig(cdpConfig());
     rig.mem.image().writePointer(0x40000000, 0x40010000);
-    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), 0);
-    tickUntil(rig.mem, 0, *fill + 2);
+    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), Cycle{});
+    tickUntil(rig.mem, Cycle{}, *fill + 2);
     // Demand the prefetched block while it is still in flight.
     auto merged = rig.mem.load(loadAt(0x40010000), *fill + 3);
     ASSERT_TRUE(merged.has_value());
@@ -283,12 +283,12 @@ TEST(MemorySystem, IdealLdsTurnsLdsMissesIntoHits)
     SystemConfig cfg = noPrefetchConfig();
     cfg.idealLds = true;
     Rig rig(cfg);
-    auto lds = rig.mem.load(loadAt(0x40000000, 0x1000, true), 0);
+    auto lds = rig.mem.load(loadAt(0x40000000, 0x1000, true), Cycle{});
     ASSERT_TRUE(lds.has_value());
     EXPECT_EQ(*lds, rig.cfg.l1Latency + rig.cfg.l2Latency);
     // Non-LDS misses still go to memory.
-    auto normal = rig.mem.load(loadAt(0x40010000, 0x1000, false), 0);
-    EXPECT_GE(*normal, 450u);
+    auto normal = rig.mem.load(loadAt(0x40010000, 0x1000, false), Cycle{});
+    EXPECT_GE(*normal, Cycle{450});
 }
 
 TEST(MemorySystem, IdealNoPollutionSideBuffersPrefetches)
@@ -297,8 +297,8 @@ TEST(MemorySystem, IdealNoPollutionSideBuffersPrefetches)
     cfg.idealNoPollution = true;
     Rig rig(cfg);
     rig.mem.image().writePointer(0x40000000, 0x40010000);
-    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), 0);
-    tickUntil(rig.mem, 0, *fill + 600);
+    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), Cycle{});
+    tickUntil(rig.mem, Cycle{}, *fill + 600);
     // The prefetched block is not in the L2 (no pollution)...
     EXPECT_EQ(rig.mem.l2().peek(0x40010000), nullptr);
     // ...but a demand still gets it at L2-hit cost from the buffer.
@@ -319,8 +319,8 @@ TEST(MemorySystem, HardwareFilterDropsRepeatOffenders)
     Rig rig(cfg);
     rig.mem.image().writePointer(0x40000000, 0x48000000);
     // Fetch, let the prefetch land, evict it unused, then refetch.
-    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), 0);
-    tickUntil(rig.mem, 0, *fill + 600);
+    auto fill = rig.mem.load(loadAt(0x40000000, 0x1000, true), Cycle{});
+    tickUntil(rig.mem, Cycle{}, *fill + 600);
     Cycle now = *fill + 601;
     for (unsigned i = 0; i < 200; ++i) {
         auto f = rig.mem.load(loadAt(0x41000000 + i * 128), now);
@@ -359,7 +359,7 @@ TEST(MemorySystem, CoordinatedThrottlingReactsToUselessPrefetches)
     for (unsigned i = 0; i < 8192; ++i)
         rig.mem.image().writePointer(0x40000000 + i * 128,
                                      0x40800000 + rnd(i) % 0x100000);
-    Cycle now = 0;
+    Cycle now{};
     for (unsigned i = 0; i < 1200; ++i) {
         auto fill =
             rig.mem.load(loadAt(0x40000000 + i * 128, 0x1000, true),
@@ -389,7 +389,7 @@ TEST(MemorySystem, PabKeepsOnlyOnePrefetcherEnabled)
     for (unsigned i = 0; i < 8192; ++i)
         rig.mem.image().writePointer(0x40000000 + i * 128,
                                      0x40f00000 + (i % 512) * 128);
-    Cycle now = 0;
+    Cycle now{};
     for (unsigned i = 0; i < 1200; ++i) {
         auto fill =
             rig.mem.load(loadAt(0x40000000 + i * 128, 0x1000, true),

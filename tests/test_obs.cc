@@ -97,20 +97,20 @@ eventAt(Cycle cycle)
 TEST(EventTracer, HoldsEverythingUnderCapacity)
 {
     obs::EventTracer tracer(8);
-    for (Cycle c = 0; c < 5; ++c)
+    for (Cycle c{}; c < Cycle{5}; ++c)
         tracer.record(eventAt(c));
     EXPECT_EQ(tracer.size(), 5u);
     EXPECT_EQ(tracer.overwritten(), 0u);
     auto events = tracer.snapshot();
     ASSERT_EQ(events.size(), 5u);
-    for (Cycle c = 0; c < 5; ++c)
-        EXPECT_EQ(events[c].cycle, c);
+    for (Cycle c{}; c < Cycle{5}; ++c)
+        EXPECT_EQ(events[c.raw()].cycle, c);
 }
 
 TEST(EventTracer, WraparoundKeepsNewest)
 {
     obs::EventTracer tracer(4);
-    for (Cycle c = 0; c < 10; ++c)
+    for (Cycle c{}; c < Cycle{10}; ++c)
         tracer.record(eventAt(c));
     EXPECT_EQ(tracer.size(), 4u);
     EXPECT_EQ(tracer.capacity(), 4u);
@@ -119,13 +119,13 @@ TEST(EventTracer, WraparoundKeepsNewest)
     ASSERT_EQ(events.size(), 4u);
     // The newest window survives, oldest first.
     for (std::size_t i = 0; i < 4; ++i)
-        EXPECT_EQ(events[i].cycle, 6 + i);
+        EXPECT_EQ(events[i].cycle, Cycle{6 + i});
 }
 
 TEST(EventTracer, ForEachMatchesSnapshot)
 {
     obs::EventTracer tracer(4);
-    for (Cycle c = 0; c < 6; ++c)
+    for (Cycle c{}; c < Cycle{6}; ++c)
         tracer.record(eventAt(c));
     std::vector<Cycle> seen;
     tracer.forEach(
@@ -144,14 +144,14 @@ TEST(EventTracer, ControlEventsSurviveFloods)
 
     obs::TraceEvent transition;
     transition.type = obs::EventType::ThrottleTransition;
-    transition.cycle = 10;
+    transition.cycle = Cycle{10};
     tracer.record(transition);
 
-    for (Cycle c = 100; c < 1100; ++c)
+    for (Cycle c{100}; c < Cycle{1100}; ++c)
         tracer.record(eventAt(c));
 
     bool found = false;
-    Cycle last = 0;
+    Cycle last{};
     tracer.forEach([&](const obs::TraceEvent &event) {
         if (event.type == obs::EventType::ThrottleTransition)
             found = true;
@@ -226,7 +226,7 @@ TEST(TraceSession, FlushedRunsParseAndCarryLabels)
     ASSERT_TRUE(session.ok());
 
     obs::EventTracer tracer;
-    obs::TraceEvent miss = eventAt(100);
+    obs::TraceEvent miss = eventAt(Cycle{100});
     miss.addr = 0x1000;
     tracer.record(miss);
 
@@ -234,7 +234,7 @@ TEST(TraceSession, FlushedRunsParseAndCarryLabels)
     drop.type = obs::EventType::PrefetchDrop;
     drop.source = 1;
     drop.a = static_cast<std::uint8_t>(obs::DropReason::HwFilter);
-    drop.cycle = 200;
+    drop.cycle = Cycle{200};
     tracer.record(drop);
 
     unsigned pid_a = session.flush("health:full", tracer);
@@ -281,7 +281,7 @@ TEST(TraceSession, ThrottleTransitionEmitsCounterTrack)
     event.source = 0;
     event.a = 3; // from Aggressive
     event.b = 2; // to Moderate
-    event.cycle = 5000;
+    event.cycle = Cycle{5000};
     tracer.record(event);
     session.flush("health:cdp+throttle", tracer);
     session.close();

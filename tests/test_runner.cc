@@ -107,7 +107,7 @@ TEST(ConfigHashTest, EveryTweakedKnobChangesTheHash)
                   c.coordThresholds.tCoverage += 0.1;
               }));
     EXPECT_NE(base, tweaked([](SystemConfig &c) {
-                  c.maxCycles = 1000;
+                  c.maxCycles = Cycle{1000};
               }));
     EXPECT_NE(base, tweaked([](SystemConfig &c) {
                   c.idealLds = true;
@@ -161,13 +161,13 @@ TEST(ExperimentContextTest, SameConfigUnderTwoLabelsRunsOnce)
 TEST(SimulatorTimeout, SingleCoreWatchdogSetsTimedOut)
 {
     SystemConfig cfg = configs::noPrefetch();
-    cfg.maxCycles = 5000;
+    cfg.maxCycles = Cycle{5000};
     RunStats stats = simulate(cfg, buildWorkload("parser",
                                                  InputSet::Train));
     EXPECT_TRUE(stats.timedOut);
     EXPECT_EQ(stats.cycles, cfg.maxCycles);
     // A finished run must not be flagged.
-    cfg.maxCycles = 4'000'000'000ull;
+    cfg.maxCycles = Cycle{4'000'000'000ull};
     RunStats done = simulate(cfg, buildWorkload("parser",
                                                 InputSet::Train));
     EXPECT_FALSE(done.timedOut);
@@ -177,7 +177,7 @@ TEST(SimulatorTimeout, SingleCoreWatchdogSetsTimedOut)
 TEST(SimulatorTimeout, MultiCoreWatchdogSetsTimedOut)
 {
     SystemConfig cfg = configs::noPrefetch();
-    cfg.maxCycles = 5000;
+    cfg.maxCycles = Cycle{5000};
     const Workload a = buildWorkload("parser", InputSet::Train);
     const Workload b = buildWorkload("bisort", InputSet::Train);
     MultiCoreResult result =
@@ -317,7 +317,7 @@ TEST(ResultCacheTest, RoundTripsExactly)
     // Exercise the v2 interval-series leg even though a noPrefetch
     // run records none of its own.
     IntervalSample sample;
-    sample.cycle = 12345;
+    sample.cycle = Cycle{12345};
     sample.accuracy[0] = 0.125;
     sample.accuracy[1] = 1.0 / 3.0; // not exactly representable
     sample.coverage[0] = 0.75;

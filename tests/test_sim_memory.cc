@@ -148,7 +148,7 @@ TEST_P(SimMemorySizeTest, RoundTripAtVariousOffsets)
     const std::uint64_t mask =
         size == 8 ? ~0ull : (1ull << (8 * size)) - 1;
     for (Addr offset : {0u, 1u, 3u, 127u, 4093u}) {
-        Addr addr = 0x40000000 + offset;
+        Addr addr = 0x40000000 + offset.raw();
         mem.write(addr, size, pattern);
         EXPECT_EQ(mem.read(addr, size), pattern & mask)
             << "size " << size << " offset " << offset;

@@ -115,7 +115,7 @@ TEST(Simulator, StatsAreInternallyConsistent)
     EXPECT_LE(s.prefUsed[1], s.prefIssued[1]);
     EXPECT_LE(s.l2LdsMisses, s.l2DemandMisses);
     EXPECT_LE(s.l2DemandMisses, s.l2DemandAccesses);
-    EXPECT_GT(s.cycles, 0u);
+    EXPECT_GT(s.cycles, Cycle{});
     EXPECT_GT(s.instructions, 0u);
 }
 

@@ -160,7 +160,7 @@ TEST_P(StreamStrideTest, TrainsAndFollowsDirection)
     Addr base = 0x44000000;
     trigger(pf, base);
     auto reqs =
-        trigger(pf, base + static_cast<Addr>(stride_blocks * 128));
+        trigger(pf, base + stride_blocks * 128);
     ASSERT_FALSE(reqs.empty())
         << "stride " << stride_blocks << " blocks";
     if (stride_blocks > 0)

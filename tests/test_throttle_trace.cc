@@ -49,7 +49,7 @@ TEST(ThrottleMonitor, EmitsNothingForInitialState)
     obs::ThrottleMonitor monitor(&tracer, 0, 0,
                                  AggLevel::Aggressive);
     EXPECT_FALSE(
-        monitor.observe(100, AggLevel::Aggressive, true));
+        monitor.observe(Cycle{100}, AggLevel::Aggressive, true));
     EXPECT_EQ(tracer.size(), 0u);
 }
 
@@ -61,9 +61,9 @@ TEST(ThrottleMonitor, NullTracerStillTracksState)
     obs::ThrottleMonitor monitor(nullptr, 0, 0,
                                  AggLevel::Aggressive);
     EXPECT_TRUE(
-        monitor.observe(100, AggLevel::Conservative, true));
+        monitor.observe(Cycle{100}, AggLevel::Conservative, true));
     EXPECT_FALSE(
-        monitor.observe(200, AggLevel::Conservative, true));
+        monitor.observe(Cycle{200}, AggLevel::Conservative, true));
 }
 
 TEST(ThrottleMonitor, EncodesDisableAsLevel255)
@@ -72,15 +72,15 @@ TEST(ThrottleMonitor, EncodesDisableAsLevel255)
     obs::ThrottleMonitor monitor(&tracer, 2, 1,
                                  AggLevel::Moderate);
     // PAB turns the prefetcher off, then later back on.
-    EXPECT_TRUE(monitor.observe(500, AggLevel::Moderate, false));
-    EXPECT_TRUE(monitor.observe(900, AggLevel::Moderate, true));
+    EXPECT_TRUE(monitor.observe(Cycle{500}, AggLevel::Moderate, false));
+    EXPECT_TRUE(monitor.observe(Cycle{900}, AggLevel::Moderate, true));
     auto events = transitions(tracer);
     ASSERT_EQ(events.size(), 2u);
     EXPECT_EQ(events[0].a, 2u);
     EXPECT_EQ(events[0].b, obs::kLevelDisabled);
     EXPECT_EQ(events[0].core, 2u);
     EXPECT_EQ(events[0].source, 1u);
-    EXPECT_EQ(events[0].cycle, 500u);
+    EXPECT_EQ(events[0].cycle, Cycle{500});
     EXPECT_EQ(events[1].a, obs::kLevelDisabled);
     EXPECT_EQ(events[1].b, 2u);
 }
@@ -97,7 +97,7 @@ struct ThrottleRig
     obs::EventTracer tracer;
     AggLevel level = AggLevel::Aggressive;
     obs::ThrottleMonitor monitor{&tracer, 0, 0, level};
-    Cycle now = 0;
+    Cycle now{};
 
     bool step(const FeedbackSnapshot &self,
               const FeedbackSnapshot &rival)
@@ -128,7 +128,7 @@ TEST(CoordinatedThrottleTrace, RampDownEmitsEachStepOnce)
     for (std::size_t i = 0; i < 3; ++i) {
         EXPECT_EQ(events[i].a, expect[i][0]) << "step " << i;
         EXPECT_EQ(events[i].b, expect[i][1]) << "step " << i;
-        EXPECT_EQ(events[i].cycle, (i + 1) * 1000) << "step " << i;
+        EXPECT_EQ(events[i].cycle, Cycle{(i + 1) * 1000}) << "step " << i;
     }
 }
 
@@ -181,11 +181,11 @@ TEST(FdpThrottleTrace, DecisionMatrixDrivesMonitor)
     };
 
     // High accuracy + late -> Up.
-    EXPECT_TRUE(step(0.9, 0.5, 0.0, 1000));
+    EXPECT_TRUE(step(0.9, 0.5, 0.0, Cycle{1000}));
     // High accuracy, timely -> Nothing.
-    EXPECT_FALSE(step(0.9, 0.0, 0.0, 2000));
+    EXPECT_FALSE(step(0.9, 0.0, 0.0, Cycle{2000}));
     // Low accuracy -> Down.
-    EXPECT_TRUE(step(0.1, 0.0, 0.0, 3000));
+    EXPECT_TRUE(step(0.1, 0.0, 0.0, Cycle{3000}));
 
     auto events = transitions(tracer);
     ASSERT_EQ(events.size(), 2u);

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "memsim/block_geometry.hh"
 #include "throttle/coordinated_throttler.hh"
 #include "throttle/fdp_throttler.hh"
 #include "throttle/feedback.hh"
@@ -126,11 +127,13 @@ TEST(Feedback, LifetimeCountsSurviveAging)
 TEST(PollutionFilterTest, RemembersAndClears)
 {
     PollutionFilter filter(64);
-    EXPECT_FALSE(filter.test(0x40000000));
-    filter.onPrefetchEvictedDemandBlock(0x40000000);
-    EXPECT_TRUE(filter.test(0x40000000));
+    const BlockGeometry geom{128};
+    const BlockAddr block = geom.blockOf(0x40000000);
+    EXPECT_FALSE(filter.test(block));
+    filter.onPrefetchEvictedDemandBlock(block);
+    EXPECT_TRUE(filter.test(block));
     filter.clear();
-    EXPECT_FALSE(filter.test(0x40000000));
+    EXPECT_FALSE(filter.test(block));
 }
 
 // ---------------------------------------------------------------

@@ -17,7 +17,7 @@ namespace ecdp
 namespace
 {
 
-constexpr Addr kBlockMask = ~Addr{127};
+constexpr std::uint32_t kBlockMask = ~std::uint32_t{127};
 
 TEST(MstDetails, ChainHopsChangeCacheBlocks)
 {
@@ -33,8 +33,8 @@ TEST(MstDetails, ChainHopsChangeCacheBlocks)
         if (!producer.isLds)
             continue;
         ++hops;
-        same_block += (e.vaddr & kBlockMask) ==
-                      (producer.vaddr & kBlockMask);
+        same_block += (e.vaddr.raw() & kBlockMask) ==
+                      (producer.vaddr.raw() & kBlockMask);
     }
     ASSERT_GT(hops, 1000u);
     EXPECT_LT(static_cast<double>(same_block) /
@@ -78,8 +78,9 @@ TEST(HealthDetails, PatientsAreCoResidentWithNextVillage)
     }
     ASSERT_NE(patient, 0u);
     // Its block holds exactly 2 patients (64 B each).
-    Addr buddy = (patient & kBlockMask) == patient ? patient + 64
-                                                   : patient - 64;
+    Addr buddy = (patient.raw() & kBlockMask) == patient.raw()
+                     ? patient + 64
+                     : patient - 64;
     // Both are patient nodes: their next pointers are heap addresses
     // or null.
     Addr next = wl.image.readPointer(buddy + 8);
@@ -116,7 +117,7 @@ TEST(AstarDetails, NodesAreBlockAligned)
     Workload wl = buildWorkload("astar", InputSet::Train);
     for (const TraceEntry &e : wl.trace) {
         if (e.pc == 0x412000) { // the g-field load
-            EXPECT_EQ(e.vaddr % 128, 0u);
+            EXPECT_EQ(e.vaddr.raw() % 128, 0u);
         }
     }
 }
@@ -132,7 +133,7 @@ TEST(ArtDetails, FloatsMostlyDontLookLikePointers)
         std::uint32_t word =
             static_cast<std::uint32_t>(wl.image.read(addr, 4));
         ++sampled;
-        pointerish += (word >> 24) == (kHeapBase >> 24);
+        pointerish += (word >> 24) == (kHeapBase.raw() >> 24);
     }
     EXPECT_LT(static_cast<double>(pointerish) /
                   static_cast<double>(sampled),
@@ -172,7 +173,7 @@ TEST(StreamingDetails, NoHeapPointersInStreamImages)
             std::uint32_t word =
                 static_cast<std::uint32_t>(wl.image.read(addr, 4));
             pointerish +=
-                word != 0 && (word >> 24) == (kHeapBase >> 24);
+                word != 0 && (word >> 24) == (kHeapBase.raw() >> 24);
         }
         EXPECT_EQ(pointerish, 0u) << name;
     }

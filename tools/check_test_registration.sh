@@ -1,10 +1,8 @@
 #!/bin/sh
-# Guard against silently-unregistered tests: every gtest suite
-# defined in tests/*.cc must show up in the ctest listing of the
-# built test binary. A suite can go missing when a source file never
-# makes it into the ecdp_tests target (a stale file glob) or when
-# gtest discovery fails — either way a "green" CI run would simply
-# not be running those tests.
+# Thin compatibility wrapper: the test-registration check now lives
+# in tools/simlint/simlint.py as the `test-registration` rule (one
+# lint gate instead of two). Existing callers (CI, muscle memory)
+# keep working.
 #
 # Usage: tools/check_test_registration.sh [build-dir]   (default: build)
 
@@ -13,31 +11,5 @@ set -eu
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build=${1:-"$repo/build"}
 
-if [ ! -d "$build" ]; then
-    echo "error: build dir $build not found" >&2
-    exit 1
-fi
-
-listing=$(ctest --test-dir "$build" -N)
-
-# Suite names from TEST(Suite, ...) / TEST_F(Fixture, ...) /
-# TEST_P(Suite, ...) definitions. Parameterized and fixture suites
-# appear in ctest names as ".../Suite.Test/...", so a plain
-# "Suite." match covers all three forms.
-suites=$(grep -hoE 'TEST(_[FP])?\( *[A-Za-z0-9_]+' "$repo"/tests/*.cc |
-    sed -E 's/TEST(_[FP])?\( *//' | sort -u)
-
-status=0
-for suite in $suites; do
-    if ! printf '%s\n' "$listing" | grep -q "$suite\."; then
-        echo "error: suite '$suite' is compiled in tests/ but not" \
-             "registered with ctest" >&2
-        status=1
-    fi
-done
-
-if [ "$status" -eq 0 ]; then
-    count=$(printf '%s\n' "$suites" | wc -l)
-    echo "check_test_registration: $count suites, all registered."
-fi
-exit $status
+exec python3 "$repo/tools/simlint/simlint.py" \
+    --rules test-registration --build-dir "$build"

@@ -1,0 +1,33 @@
+// Intentionally-broken header: one seeded violation per simlint
+// static rule. See fixtures/README.md.
+
+#ifndef ECDP_SIMLINT_FIXTURE_BAD_EXAMPLE_HH
+#define ECDP_SIMLINT_FIXTURE_BAD_EXAMPLE_HH
+
+#include <cstdint>
+
+namespace fixture
+{
+
+namespace obs
+{
+class Counter;
+}
+
+class BadExample
+{
+  public:
+    // raw-addr-param: byte address smuggled in as a bare integer.
+    void lookup(std::uint32_t addr);
+
+    // magic-block-shift: hand-rolled 128-byte block math.
+    static std::uint32_t blockOf(std::uint32_t a) { return a >> 7; }
+
+  private:
+    // unregistered-counter: declared, never wired to the registry.
+    obs::Counter *lostEventsCtr_ = nullptr;
+};
+
+} // namespace fixture
+
+#endif // ECDP_SIMLINT_FIXTURE_BAD_EXAMPLE_HH

@@ -1,0 +1,11 @@
+// test-registration fixture: this suite is never compiled into any
+// test binary, so it cannot appear in a ctest listing. simlint must
+// flag it when pointed here with --root and a real --build-dir.
+// (Never built; only scanned.)
+
+#include <gtest/gtest.h>
+
+TEST(SimlintOrphanSuite, NeverRegistered)
+{
+    SUCCEED();
+}

@@ -1,0 +1,302 @@
+#!/usr/bin/env python3
+"""simlint — static invariant checker for the ECDP simulator tree.
+
+Enforces repository invariants that the C++ type system cannot (or
+that live across files), so the byte-vs-block and silent-stat bug
+classes fail CI instead of corrupting experiments:
+
+  magic-block-shift     No shift by a literal 6/7/8 (the usual block
+                        shifts for 64/128/256-byte blocks) anywhere in
+                        src/ outside memsim/block_geometry.hh. Every
+                        byte<->block conversion must go through
+                        BlockGeometry so it tracks the configured
+                        block size.
+  raw-addr-param        No public interface in a src/ header may take
+                        a raw std::uint32_t/std::uint64_t parameter
+                        named like an address (addr/vaddr/pc/...).
+                        Use ByteAddr/BlockAddr/Cycle from
+                        memsim/types.hh so unit mixing cannot compile.
+  unregistered-counter  Every obs::Counter* member declared in src/
+                        must be registered with the MetricRegistry
+                        (assigned from a counter(...) call) somewhere
+                        in src/. An unregistered counter is a null
+                        deref waiting on the hot path — or a stat that
+                        silently never reaches the output JSON.
+  test-registration     Every gtest suite defined in tests/*.cc must
+                        appear in the ctest listing of the built test
+                        binary (requires --build-dir). A suite can go
+                        missing when a source file never makes it into
+                        the test target or gtest discovery fails —
+                        either way a "green" run simply isn't running
+                        those tests.
+
+Suppress a finding by putting, on the offending line (or the line
+above it):
+
+    // simlint-allow(<rule>): <reason>
+
+The reason is mandatory by convention: a suppression without a why
+will not survive review.
+
+Usage:
+    tools/simlint/simlint.py [--root DIR] [--build-dir DIR]
+                             [--rules r1,r2] [--list-rules]
+
+Exit status: 0 clean, 1 violations found, 2 usage/environment error.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+RULES = (
+    "magic-block-shift",
+    "raw-addr-param",
+    "unregistered-counter",
+    "test-registration",
+)
+
+ALLOW_RE = re.compile(r"simlint-allow\(([a-z-]+)\)")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def iter_source_files(root, subdir, exts=(".hh", ".cc")):
+    base = os.path.join(root, subdir)
+    for dirpath, _dirnames, filenames in sorted(os.walk(base)):
+        for name in sorted(filenames):
+            if name.endswith(exts):
+                yield os.path.join(dirpath, name)
+
+
+def allowed(lines, idx, rule):
+    """True if line idx (0-based) carries or follows a suppression."""
+    here = ALLOW_RE.search(lines[idx])
+    if here and here.group(1) == rule:
+        return True
+    if idx > 0:
+        above = ALLOW_RE.search(lines[idx - 1])
+        if above and above.group(1) == rule and \
+                lines[idx - 1].lstrip().startswith("//"):
+            return True
+    return False
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root)
+
+
+# --- magic-block-shift ------------------------------------------------
+
+SHIFT_RE = re.compile(r"(<<|>>)\s*[678]\b")
+SHIFT_EXEMPT = os.path.join("src", "memsim", "block_geometry.hh")
+
+
+def check_magic_block_shift(root):
+    out = []
+    for path in iter_source_files(root, "src"):
+        rel = relpath(root, path)
+        if rel == SHIFT_EXEMPT:
+            continue
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        for i, line in enumerate(lines):
+            code = line.split("//", 1)[0]
+            if not SHIFT_RE.search(code):
+                continue
+            if allowed(lines, i, "magic-block-shift"):
+                continue
+            out.append(Violation(
+                rel, i + 1, "magic-block-shift",
+                "shift by literal block-shift candidate (6/7/8); "
+                "use BlockGeometry (memsim/block_geometry.hh) or "
+                "add 'simlint-allow(magic-block-shift): <reason>'"))
+    return out
+
+
+# --- raw-addr-param ---------------------------------------------------
+
+ADDR_PARAM_RE = re.compile(
+    r"std::uint(?:32|64)_t\s+(\w+)\s*(?:=\s*[\w:{}]+\s*)?[,)]")
+ADDR_NAME_RE = re.compile(r"(addr|vaddr|paddr)", re.IGNORECASE)
+
+
+def is_addr_name(name):
+    if ADDR_NAME_RE.search(name):
+        return True
+    return name in ("pc", "loadPc") or name.endswith("Pc") or \
+        (name.startswith("pc") and len(name) > 2 and name[2].isupper())
+
+
+def check_raw_addr_param(root):
+    out = []
+    for path in iter_source_files(root, "src", exts=(".hh",)):
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        for i, line in enumerate(lines):
+            code = line.split("//", 1)[0]
+            for m in ADDR_PARAM_RE.finditer(code):
+                name = m.group(1)
+                if not is_addr_name(name):
+                    continue
+                if allowed(lines, i, "raw-addr-param"):
+                    continue
+                out.append(Violation(
+                    rel, i + 1, "raw-addr-param",
+                    "raw integer parameter '%s' looks like an "
+                    "address; use ByteAddr/BlockAddr from "
+                    "memsim/types.hh" % name))
+    return out
+
+
+# --- unregistered-counter ---------------------------------------------
+
+COUNTER_DECL_RE = re.compile(
+    r"(?:obs::)?Counter\s*\*\s*(\w+)\s*(?:\[\w*\])?\s*=\s*(?:nullptr|\{\})")
+COUNTER_REG_RE = re.compile(
+    r"\b(\w+)\s*(?:\[\w+\])?\s*=\s*&[^;]*?\bcounter\(", re.DOTALL)
+
+
+def check_unregistered_counter(root):
+    decls = []  # (rel, line_no, name)
+    registered = set()
+    for path in iter_source_files(root, "src"):
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            code = line.split("//", 1)[0]
+            m = COUNTER_DECL_RE.search(code)
+            if m and not allowed(lines, i, "unregistered-counter"):
+                decls.append((rel, i + 1, m.group(1)))
+        for m in COUNTER_REG_RE.finditer(text):
+            registered.add(m.group(1))
+    out = []
+    for rel, line_no, name in decls:
+        if name in registered:
+            continue
+        out.append(Violation(
+            rel, line_no, "unregistered-counter",
+            "obs::Counter* member '%s' is never assigned from a "
+            "MetricRegistry counter(...) call; register it or it "
+            "stays null and its stat never reaches the output" % name))
+    return out
+
+
+# --- test-registration ------------------------------------------------
+
+TEST_SUITE_RE = re.compile(r"TEST(?:_[FP])?\(\s*([A-Za-z0-9_]+)")
+
+
+def check_test_registration(root, build_dir):
+    out = []
+    suites = {}
+    for path in iter_source_files(root, "tests", exts=(".cc",)):
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        for i, line in enumerate(lines):
+            m = TEST_SUITE_RE.search(line.split("//", 1)[0])
+            if m:
+                suites.setdefault(m.group(1), (rel, i + 1))
+    try:
+        listing = subprocess.run(
+            ["ctest", "--test-dir", build_dir, "-N"],
+            capture_output=True, text=True, check=True).stdout
+    except (OSError, subprocess.CalledProcessError) as e:
+        print("simlint: error: ctest listing failed for %r: %s"
+              % (build_dir, e), file=sys.stderr)
+        sys.exit(2)
+    # Fixture and parameterized suites appear in ctest names as
+    # ".../Suite.Test/...", so a plain "Suite." match covers
+    # TEST, TEST_F and TEST_P alike.
+    for suite in sorted(suites):
+        if suite + "." not in listing:
+            rel, line_no = suites[suite]
+            out.append(Violation(
+                rel, line_no, "test-registration",
+                "gtest suite '%s' is defined in tests/ but absent "
+                "from the ctest listing — it would silently not "
+                "run in CI" % suite))
+    return out
+
+
+# --- driver -----------------------------------------------------------
+
+def main(argv):
+    default_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap = argparse.ArgumentParser(prog="simlint")
+    ap.add_argument("--root", default=default_root,
+                    help="repository root to scan (default: the repo "
+                         "containing this script)")
+    ap.add_argument("--build-dir", default=None,
+                    help="CMake build dir; enables the "
+                         "test-registration rule")
+    ap.add_argument("--rules", default=None,
+                    help="comma-separated subset of rules to run")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for r in RULES:
+            print(r)
+        return 0
+
+    if args.rules is not None:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        for r in rules:
+            if r not in RULES:
+                print("simlint: error: unknown rule %r (see "
+                      "--list-rules)" % r, file=sys.stderr)
+                return 2
+        if "test-registration" in rules and args.build_dir is None:
+            print("simlint: error: test-registration needs "
+                  "--build-dir", file=sys.stderr)
+            return 2
+    else:
+        rules = [r for r in RULES
+                 if r != "test-registration" or args.build_dir]
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print("simlint: error: %s has no src/ directory" % root,
+              file=sys.stderr)
+        return 2
+
+    violations = []
+    if "magic-block-shift" in rules:
+        violations += check_magic_block_shift(root)
+    if "raw-addr-param" in rules:
+        violations += check_raw_addr_param(root)
+    if "unregistered-counter" in rules:
+        violations += check_unregistered_counter(root)
+    if "test-registration" in rules:
+        violations += check_test_registration(root, args.build_dir)
+
+    for v in violations:
+        print(v)
+    if violations:
+        print("simlint: %d violation(s) in %s" %
+              (len(violations), root), file=sys.stderr)
+        return 1
+    print("simlint: clean (%s) over %s" % (", ".join(rules), root))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

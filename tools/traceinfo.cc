@@ -15,6 +15,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "memsim/block_geometry.hh"
 #include "stats/table.hh"
 #include "workloads/workload.hh"
 
@@ -23,7 +24,7 @@ namespace
 
 using namespace ecdp;
 
-constexpr Addr kBlockMask = ~Addr{127};
+constexpr BlockGeometry kGeom{128};
 
 void
 dependencyStats(const Workload &workload)
@@ -82,7 +83,7 @@ blockStats(const Workload &workload)
 {
     std::unordered_map<Addr, std::uint64_t> touches;
     for (const TraceEntry &entry : workload.trace)
-        ++touches[entry.vaddr & kBlockMask];
+        ++touches[kGeom.alignDown(entry.vaddr)];
     std::uint64_t total = workload.trace.size();
     std::cout << "block-level locality:\n"
               << "  distinct 128 B blocks : " << touches.size() << " ("
@@ -99,14 +100,14 @@ pointerScan(const Workload &workload)
     // What greedy CDP sees: pointer candidates per touched block.
     std::unordered_set<Addr> blocks;
     for (const TraceEntry &entry : workload.trace)
-        blocks.insert(entry.vaddr & kBlockMask);
+        blocks.insert(kGeom.alignDown(entry.vaddr));
     std::uint64_t candidates = 0;
     for (Addr block : blocks) {
         for (unsigned slot = 0; slot < 32; ++slot) {
-            Addr word = static_cast<Addr>(
+            std::uint32_t word = static_cast<std::uint32_t>(
                 workload.image.read(block + 4 * slot, 4));
-            candidates +=
-                word != 0 && (word >> 24) == (block >> 24);
+            candidates += word != 0 &&
+                          (word >> 24) == (block.raw() >> 24);
         }
     }
     std::cout << "content-directed view:\n"
