@@ -1,20 +1,32 @@
 /**
  * @file
  * simbench: wall-clock benchmark of the event-driven cycle-skipping
- * scheduler against per-cycle polling.
+ * scheduler against per-cycle polling, with a per-phase attribution
+ * pass that names the subsystem a perf change came from.
  *
  * For each Olden pointer-chasing workload this runs the identical
  * simulation twice — `cycleSkipping = false` (per-cycle polling) and
- * `true` (next-event jumps) — timing each with steady_clock (best of
- * N reps) and verifying the two runs' full stats JSON byte-identical
- * before reporting any speedup. The output is machine-readable JSON
- * (schema BENCH_simbench/v1, see EXPERIMENTS.md).
+ * `true` (next-event jumps) — timing each with steady_clock and
+ * verifying the two runs' full stats JSON byte-identical before
+ * reporting any speedup. Each (workload, mode) pair pays one untimed
+ * warm-up rep (allocator pools, page faults, branch predictors), then
+ * records min/median/max over the timed reps; derived rates use the
+ * min. A separate, profiled event-driven rep attributes wall time to
+ * phases (core advance, cache probe, CDP scan, DRAM, scheduler,
+ * stats) via obs::PhaseProfiler; its clock-read overhead is why it is
+ * never one of the timed reps. The output is machine-readable JSON
+ * (schema BENCH_simbench/v2, see EXPERIMENTS.md).
  *
  * Wall-clock seconds are machine-dependent; the on/off *speedup
  * ratio* is not (both modes run on the same machine in the same
- * process). The CI perf-smoke job therefore compares the geometric
- * mean speedup against a committed baseline with `--check`, not the
- * absolute times.
+ * process). The CI perf-smoke job compares, against a committed
+ * baseline with `--check`:
+ *   - the geometric-mean speedup (machine-independent), and
+ *   - `mst` event-driven cycles/sec (machine-class-sensitive, hence
+ *     the generous tolerance): mst is event-dense, skipping cannot
+ *     help it, so its cycles/sec is the canary for raw per-event-cost
+ *     regressions that the speedup ratio is blind to — a slowdown
+ *     hitting both modes equally leaves the ratio unchanged.
  *
  * Usage:
  *   simbench [--quick] [--reps N] [--out FILE]
@@ -23,11 +35,14 @@
  *   --quick      two workloads, one rep: a ctest smoke that the
  *                harness and the identity oracle work at all.
  *   --check F    exit non-zero if any workload's stats diverge
- *                between modes, or if the geometric-mean speedup
- *                drops below baseline * (1 - tolerance).
+ *                between modes, if the geometric-mean speedup drops
+ *                below baseline * (1 - tolerance), or if mst
+ *                event-driven cycles/sec drops below baseline mst
+ *                cycles/sec * (1 - tolerance).
  *   --tolerance  slack fraction for --check (default 0.25).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -35,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/phase_profiler.hh"
 #include "sim/experiment.hh"
 #include "sim/simulator.hh"
 #include "stats/json.hh"
@@ -46,10 +62,34 @@ using namespace ecdp;
 namespace
 {
 
+/**
+ * Floor for measured wall times in divisions. A simulation that
+ * completes inside one steady_clock quantum would otherwise report a
+ * zero wall time, and `speedup = 0` / `cyclesPerSec = 0` poisons the
+ * geometric mean to 0 — failing the CI gate on a machine for being
+ * too fast.
+ */
+constexpr double kMinWallSeconds = 1e-7;
+
+double
+flooredWall(double secs)
+{
+    return std::max(secs, kMinWallSeconds);
+}
+
 struct ModeTiming
 {
+    /** Minimum over the timed reps (after one untimed warm-up). */
     double wallSeconds = 0.0;
+    double wallMedian = 0.0;
+    double wallMax = 0.0;
     double cyclesPerSec = 0.0;
+};
+
+struct PhaseBreakdown
+{
+    double seconds[obs::PhaseProfiler::kPhaseCount] = {};
+    double total = 0.0;
 };
 
 struct WorkloadResult
@@ -61,6 +101,7 @@ struct WorkloadResult
     ModeTiming eventDriven;
     double speedup = 0.0;
     bool identical = false;
+    PhaseBreakdown phases;
 };
 
 std::string
@@ -71,30 +112,55 @@ statsJson(const RunStats &stats)
     return os.str();
 }
 
-/** Best-of-@p reps wall time for one (workload, mode) pair. */
+/**
+ * Time one (workload, mode) pair: one untimed warm-up rep, then
+ * @p reps timed reps summarized as min/median/max.
+ */
 ModeTiming
 timeMode(const SystemConfig &base, const Workload &workload,
          bool skipping, int reps, RunStats &stats_out)
 {
     SystemConfig cfg = base;
     cfg.cycleSkipping = skipping;
-    double best = -1.0;
-    for (int r = 0; r < reps; ++r) {
+    stats_out = simulate(cfg, workload); // warm-up, never timed
+    std::vector<double> secs(static_cast<std::size_t>(reps));
+    for (double &s : secs) {
         auto t0 = std::chrono::steady_clock::now();
         RunStats stats = simulate(cfg, workload);
         auto t1 = std::chrono::steady_clock::now();
-        double secs = std::chrono::duration<double>(t1 - t0).count();
-        if (best < 0.0 || secs < best) {
-            best = secs;
-            stats_out = std::move(stats);
-        }
+        s = std::chrono::duration<double>(t1 - t0).count();
     }
+    std::sort(secs.begin(), secs.end());
     ModeTiming t;
-    t.wallSeconds = best;
-    t.cyclesPerSec = best > 0.0
-        ? static_cast<double>(stats_out.cycles.raw()) / best
-        : 0.0;
+    t.wallSeconds = secs.front();
+    t.wallMedian = secs[secs.size() / 2];
+    t.wallMax = secs.back();
+    t.cyclesPerSec = static_cast<double>(stats_out.cycles.raw()) /
+                     flooredWall(t.wallSeconds);
     return t;
+}
+
+/** One additional event-driven rep with phase attribution attached.
+ *  Clock reads at every phase switch make this rep slower than the
+ *  timed ones; only the *distribution* across phases is reported. */
+PhaseBreakdown
+profilePhases(const SystemConfig &base, const Workload &workload)
+{
+    SystemConfig cfg = base;
+    cfg.cycleSkipping = true;
+    obs::PhaseProfiler profiler;
+    Observability obs;
+    obs.phases = &profiler;
+    profiler.start();
+    simulate(cfg, workload, obs);
+    profiler.stop();
+    PhaseBreakdown b;
+    for (unsigned p = 0; p < obs::PhaseProfiler::kPhaseCount; ++p) {
+        b.seconds[p] = profiler.seconds(
+            static_cast<obs::PhaseProfiler::Phase>(p));
+    }
+    b.total = profiler.totalSeconds();
+    return b;
 }
 
 WorkloadResult
@@ -111,9 +177,9 @@ benchWorkload(const SystemConfig &cfg, const std::string &name,
     r.instructions = skipped.instructions;
     // The oracle: a speedup only counts if the results are the same.
     r.identical = statsJson(polled) == statsJson(skipped);
-    r.speedup = r.eventDriven.wallSeconds > 0.0
-        ? r.percycle.wallSeconds / r.eventDriven.wallSeconds
-        : 0.0;
+    r.speedup = r.percycle.wallSeconds /
+                flooredWall(r.eventDriven.wallSeconds);
+    r.phases = profilePhases(cfg, workload);
     return r;
 }
 
@@ -121,7 +187,25 @@ void
 writeModeJson(std::ostream &os, const char *key, const ModeTiming &t)
 {
     os << "\"" << key << "\": {\"wallSeconds\": " << t.wallSeconds
+       << ", \"wallMedian\": " << t.wallMedian
+       << ", \"wallMax\": " << t.wallMax
        << ", \"cyclesPerSec\": " << t.cyclesPerSec << "}";
+}
+
+void
+writePhasesJson(std::ostream &os, const PhaseBreakdown &b)
+{
+    os << "\"phases\": {";
+    for (unsigned p = 0; p < obs::PhaseProfiler::kPhaseCount; ++p) {
+        const auto phase = static_cast<obs::PhaseProfiler::Phase>(p);
+        const double frac =
+            b.total > 0.0 ? b.seconds[p] / b.total : 0.0;
+        os << (p ? ", " : "") << "\""
+           << obs::PhaseProfiler::name(phase)
+           << "\": {\"seconds\": " << b.seconds[p]
+           << ", \"fraction\": " << frac << "}";
+    }
+    os << ", \"totalSeconds\": " << b.total << "}";
 }
 
 void
@@ -130,7 +214,7 @@ writeReport(std::ostream &os, const std::vector<WorkloadResult> &rs,
             double gmean_speedup)
 {
     os.precision(6);
-    os << "{\n  \"schema\": \"BENCH_simbench/v1\",\n"
+    os << "{\n  \"schema\": \"BENCH_simbench/v2\",\n"
        << "  \"config\": \"" << jsonEscape(config_label) << "\",\n"
        << "  \"reps\": " << reps << ",\n  \"workloads\": [\n";
     for (std::size_t i = 0; i < rs.size(); ++i) {
@@ -143,14 +227,23 @@ writeReport(std::ostream &os, const std::vector<WorkloadResult> &rs,
         writeModeJson(os, "eventDriven", r.eventDriven);
         os << ",\n     \"speedup\": " << r.speedup
            << ", \"identical\": " << (r.identical ? "true" : "false")
-           << "}" << (i + 1 < rs.size() ? "," : "") << "\n";
+           << ",\n     ";
+        writePhasesJson(os, r.phases);
+        os << "}" << (i + 1 < rs.size() ? "," : "") << "\n";
     }
     os << "  ],\n  \"gmeanSpeedup\": " << gmean_speedup << "\n}\n";
 }
 
-/** Baseline gmean speedup from a committed BENCH_simbench.json. */
-double
-baselineGmean(const std::string &path)
+struct Baseline
+{
+    double gmeanSpeedup = 0.0;
+    /** mst event-driven cycles/sec; 0 when the baseline has no mst. */
+    double mstEventCyclesPerSec = 0.0;
+};
+
+/** Baseline figures from a committed BENCH_simbench.json (v2). */
+Baseline
+readBaseline(const std::string &path)
 {
     std::ifstream in(path);
     if (!in) {
@@ -160,11 +253,20 @@ baselineGmean(const std::string &path)
     std::stringstream buf;
     buf << in.rdbuf();
     JsonValue doc = parseJson(buf.str());
-    if (doc.at("schema").asString() != "BENCH_simbench/v1") {
+    if (doc.at("schema").asString() != "BENCH_simbench/v2") {
         throw std::runtime_error(
-            "simbench: unexpected baseline schema");
+            "simbench: unexpected baseline schema (want "
+            "BENCH_simbench/v2)");
     }
-    return doc.at("gmeanSpeedup").asDouble();
+    Baseline base;
+    base.gmeanSpeedup = doc.at("gmeanSpeedup").asDouble();
+    for (const JsonValue &w : doc.at("workloads").asArray()) {
+        if (w.at("name").asString() == "mst") {
+            base.mstEventCyclesPerSec =
+                w.at("eventDriven").at("cyclesPerSec").asDouble();
+        }
+    }
+    return base;
 }
 
 } // namespace
@@ -202,6 +304,11 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    if (reps < 1) {
+        std::cerr << "simbench: --reps must be >= 1 (got " << reps
+                  << ")\n";
+        return 2;
+    }
 
     // Olden pointer-chasing suite: the linked-data-structure
     // workloads the paper targets, and the ones whose long
@@ -226,7 +333,9 @@ main(int argc, char **argv)
         WorkloadResult r = benchWorkload(cfg, name, reps);
         std::cerr << "simbench: " << r.name << " speedup " << r.speedup
                   << "x (" << r.percycle.wallSeconds << "s -> "
-                  << r.eventDriven.wallSeconds << "s), identical="
+                  << r.eventDriven.wallSeconds << "s), "
+                  << r.eventDriven.cyclesPerSec
+                  << " cyc/s event-driven, identical="
                   << (r.identical ? "yes" : "NO") << "\n";
         all_identical = all_identical && r.identical;
         ratios.push_back(r.speedup);
@@ -249,16 +358,43 @@ main(int argc, char **argv)
         return 1;
     }
     if (!check_path.empty()) {
-        const double base = baselineGmean(check_path);
-        const double floor = base * (1.0 - tolerance);
+        const Baseline base = readBaseline(check_path);
+        bool failed = false;
+
+        const double floor = base.gmeanSpeedup * (1.0 - tolerance);
         std::cerr << "simbench: gmean speedup " << gmean_speedup
-                  << "x vs baseline " << base << "x (floor " << floor
-                  << "x)\n";
+                  << "x vs baseline " << base.gmeanSpeedup
+                  << "x (floor " << floor << "x)\n";
         if (gmean_speedup < floor) {
             std::cerr << "simbench: FAIL — speedup regressed beyond "
                       << tolerance * 100.0 << "% tolerance\n";
-            return 1;
+            failed = true;
         }
+
+        // Per-event-cost canary: compare mst event-driven cycles/sec
+        // when both this run and the baseline have it.
+        const WorkloadResult *mst = nullptr;
+        for (const WorkloadResult &r : results) {
+            if (r.name == "mst")
+                mst = &r;
+        }
+        if (mst && base.mstEventCyclesPerSec > 0.0) {
+            const double mst_floor =
+                base.mstEventCyclesPerSec * (1.0 - tolerance);
+            std::cerr << "simbench: mst "
+                      << mst->eventDriven.cyclesPerSec
+                      << " cyc/s vs baseline "
+                      << base.mstEventCyclesPerSec << " (floor "
+                      << mst_floor << ")\n";
+            if (mst->eventDriven.cyclesPerSec < mst_floor) {
+                std::cerr << "simbench: FAIL — mst per-event cost "
+                             "regressed beyond "
+                          << tolerance * 100.0 << "% tolerance\n";
+                failed = true;
+            }
+        }
+        if (failed)
+            return 1;
     }
     return 0;
 }

@@ -1,3 +1,4 @@
+// simlint: hot-path
 #include "cache/cache.hh"
 
 #include <bit>
@@ -16,86 +17,65 @@ Cache::Cache(std::string name, std::uint32_t size_bytes,
     numSets_ = size_bytes / (assoc * block_bytes);
     assert(std::has_single_bit(numSets_));
     numBlocks_ = numSets_ * assoc_;
-    blocks_.resize(numBlocks_);
-}
-
-CacheBlock *
-Cache::lookup(Addr addr, bool update_lru)
-{
-    std::uint32_t set = setIndex(addr);
-    BlockAddr tag = tagOf(addr);
-    for (std::uint32_t way = 0; way < assoc_; ++way) {
-        CacheBlock &block = blocks_[set * assoc_ + way];
-        if (block.valid && block.tag == tag) {
-            if (update_lru)
-                block.lastUse = ++lruClock_;
-            return &block;
-        }
-    }
-    return nullptr;
-}
-
-const CacheBlock *
-Cache::peek(Addr addr) const
-{
-    std::uint32_t set = setIndex(addr);
-    BlockAddr tag = tagOf(addr);
-    for (std::uint32_t way = 0; way < assoc_; ++way) {
-        const CacheBlock &block = blocks_[set * assoc_ + way];
-        if (block.valid && block.tag == tag)
-            return &block;
-    }
-    return nullptr;
+    tags_.assign(numBlocks_, kEmptyWay);
+    lastUse_.assign(numBlocks_, 0);
+    payload_.resize(numBlocks_);
 }
 
 Cache::Victim
 Cache::insert(Addr addr, PrefetchSource source)
 {
-    std::uint32_t set = setIndex(addr);
-    BlockAddr tag = tagOf(addr);
+    const std::uint32_t base = setIndex(addr) * assoc_;
+    const std::uint64_t tag = tagOf(addr).raw();
+    std::uint64_t *tags = tags_.data() + base;
 
-    // Victim priority: matching tag (refresh) > invalid way > true LRU.
-    CacheBlock *victim_block = nullptr;
-    for (std::uint32_t way = 0; way < assoc_ && !victim_block; ++way) {
-        CacheBlock &block = blocks_[set * assoc_ + way];
-        if (block.valid && block.tag == tag)
-            victim_block = &block;
+    // Victim priority: matching tag (refresh) > invalid way > true LRU
+    // (earliest way wins ties, as before the SoA layout).
+    std::uint32_t victim_way = assoc_;
+    for (std::uint32_t way = 0; way < assoc_ && victim_way == assoc_;
+         ++way) {
+        if (tags[way] == tag)
+            victim_way = way;
     }
-    for (std::uint32_t way = 0; way < assoc_ && !victim_block; ++way) {
-        CacheBlock &block = blocks_[set * assoc_ + way];
-        if (!block.valid)
-            victim_block = &block;
+    for (std::uint32_t way = 0; way < assoc_ && victim_way == assoc_;
+         ++way) {
+        if (tags[way] == kEmptyWay)
+            victim_way = way;
     }
-    if (!victim_block) {
-        for (std::uint32_t way = 0; way < assoc_; ++way) {
-            CacheBlock &block = blocks_[set * assoc_ + way];
-            if (!victim_block || block.lastUse < victim_block->lastUse)
-                victim_block = &block;
+    if (victim_way == assoc_) {
+        victim_way = 0;
+        for (std::uint32_t way = 1; way < assoc_; ++way) {
+            if (lastUse_[base + way] < lastUse_[base + victim_way])
+                victim_way = way;
         }
     }
 
+    const std::uint64_t old_tag = tags[victim_way];
+    CacheBlock &block = payload_[base + victim_way];
+
     Victim victim;
-    if (victim_block->valid && victim_block->tag != tag) {
+    if (old_tag != kEmptyWay && old_tag != tag) {
         victim.valid = true;
-        victim.dirty = victim_block->dirty;
-        victim.addr = geom_.baseOf(victim_block->tag);
-        victim.wasPrefetchedPrimary = victim_block->prefetchedPrimary;
-        victim.wasPrefetchedLds = victim_block->prefetchedLds;
+        victim.dirty = block.dirty;
+        victim.addr =
+            geom_.baseOf(BlockAddr{static_cast<std::uint32_t>(old_tag)});
+        victim.wasPrefetchedPrimary = block.prefetchedPrimary;
+        victim.wasPrefetchedLds = block.prefetchedLds;
         ++evictions_;
     }
 
-    bool refresh = victim_block->valid && victim_block->tag == tag;
-    victim_block->valid = true;
-    victim_block->tag = tag;
-    victim_block->lastUse = ++lruClock_;
+    const bool refresh = old_tag == tag;
+    tags[victim_way] = tag;
+    lastUse_[base + victim_way] = ++lruClock_;
     if (!refresh) {
-        victim_block->dirty = false;
-        victim_block->prefetchedPrimary = source == PrefetchSource::Primary;
-        victim_block->prefetchedLds = source == PrefetchSource::Lds;
-        victim_block->pgValid = false;
-        victim_block->pg = PgId{};
-        victim_block->cdpDepth = 0;
-        victim_block->prefetchLatency = Cycle{};
+        ++contentVersion_;
+        block.dirty = false;
+        block.prefetchedPrimary = source == PrefetchSource::Primary;
+        block.prefetchedLds = source == PrefetchSource::Lds;
+        block.pgValid = false;
+        block.pg = PgId{};
+        block.cdpDepth = 0;
+        block.prefetchLatency = Cycle{};
     }
     return victim;
 }
@@ -104,12 +84,12 @@ Cache::PrefetchedResident
 Cache::prefetchedResident() const
 {
     PrefetchedResident census;
-    for (const CacheBlock &block : blocks_) {
-        if (!block.valid)
+    for (std::uint32_t i = 0; i < numBlocks_; ++i) {
+        if (tags_[i] == kEmptyWay)
             continue;
-        if (block.prefetchedPrimary)
+        if (payload_[i].prefetchedPrimary)
             ++census.primary;
-        if (block.prefetchedLds)
+        if (payload_[i].prefetchedLds)
             ++census.lds;
     }
     return census;
@@ -118,8 +98,15 @@ Cache::prefetchedResident() const
 void
 Cache::invalidate(Addr addr)
 {
-    if (CacheBlock *block = lookup(addr, false))
-        block->valid = false;
+    const std::uint32_t base = setIndex(addr) * assoc_;
+    const std::uint64_t tag = tagOf(addr).raw();
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        if (tags_[base + way] == tag) {
+            tags_[base + way] = kEmptyWay;
+            ++contentVersion_;
+            return;
+        }
+    }
 }
 
 } // namespace ecdp

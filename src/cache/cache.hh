@@ -4,7 +4,14 @@
  * bits the paper's feedback mechanism relies on (Section 4.1), plus
  * pointer-group bookkeeping used for profiling and the Figure 4/10
  * usefulness analyses.
+ *
+ * The tag store is laid out structure-of-arrays: a set probe walks one
+ * contiguous lane of 64-bit tags (a single cache line at 8-way
+ * associativity) instead of striding across full per-block records.
+ * The cold per-block payload (dirty/prefetched bits, pointer-group
+ * attribution) lives in a parallel lane touched only on hits.
  */
+// simlint: hot-path
 
 #ifndef ECDP_CACHE_CACHE_HH
 #define ECDP_CACHE_CACHE_HH
@@ -46,14 +53,14 @@ struct PgIdHash
     }
 };
 
-/** State of one cache block. */
+/**
+ * Cold per-block state of one cache block. Validity, tag and LRU order
+ * live in the Cache's hot lanes, not here: a lookup touches this
+ * record only on a hit.
+ */
 struct CacheBlock
 {
-    bool valid = false;
     bool dirty = false;
-    BlockAddr tag{};
-    /** LRU timestamp (global monotonic counter). */
-    std::uint64_t lastUse = 0;
     /** The paper's prefetched-stream / prefetched-CDP tag bits. */
     bool prefetchedPrimary = false;
     bool prefetchedLds = false;
@@ -104,10 +111,34 @@ class Cache
      * Look up @p addr.
      *
      * @param update_lru When true, a hit refreshes LRU state.
-     * @return The block on a hit, nullptr on a miss.
+     * @return The block's cold payload on a hit, nullptr on a miss.
      */
-    CacheBlock *lookup(Addr addr, bool update_lru = true);
-    const CacheBlock *peek(Addr addr) const;
+    CacheBlock *lookup(Addr addr, bool update_lru = true)
+    {
+        const std::uint32_t base = setIndex(addr) * assoc_;
+        const std::uint64_t tag = tagOf(addr).raw();
+        const std::uint64_t *tags = tags_.data() + base;
+        for (std::uint32_t way = 0; way < assoc_; ++way) {
+            if (tags[way] == tag) {
+                if (update_lru)
+                    lastUse_[base + way] = ++lruClock_;
+                return &payload_[base + way];
+            }
+        }
+        return nullptr;
+    }
+
+    const CacheBlock *peek(Addr addr) const
+    {
+        const std::uint32_t base = setIndex(addr) * assoc_;
+        const std::uint64_t tag = tagOf(addr).raw();
+        const std::uint64_t *tags = tags_.data() + base;
+        for (std::uint32_t way = 0; way < assoc_; ++way) {
+            if (tags[way] == tag)
+                return &payload_[base + way];
+        }
+        return nullptr;
+    }
 
     /** Evicted-block description returned by insert(). */
     struct Victim
@@ -133,6 +164,13 @@ class Cache
     /** Number of evictions of valid blocks so far (interval clock). */
     std::uint64_t evictions() const { return evictions_; }
 
+    /**
+     * Monotonic counter of content changes (inserts and invalidates;
+     * LRU refreshes do not count). Lets callers that memoize
+     * residency-dependent decisions detect when a re-probe is needed.
+     */
+    std::uint64_t contentVersion() const { return contentVersion_; }
+
     /** End-of-run census of still-resident unused prefetches. */
     struct PrefetchedResident
     {
@@ -154,6 +192,11 @@ class Cache
     }
 
   private:
+    /** Tag-lane sentinel for an empty way. Real tags are block
+     *  *numbers* of 32-bit byte addresses, so they can never collide
+     *  with an all-ones 64-bit value. */
+    static constexpr std::uint64_t kEmptyWay = ~std::uint64_t{0};
+
     std::uint32_t setIndex(Addr addr) const
     {
         return geom_.blockOf(addr).raw() & (numSets_ - 1);
@@ -169,7 +212,13 @@ class Cache
     std::uint32_t numBlocks_;
     std::uint64_t lruClock_ = 0;
     std::uint64_t evictions_ = 0;
-    std::vector<CacheBlock> blocks_;
+    std::uint64_t contentVersion_ = 0;
+    /** @{ Structure-of-arrays block state, all indexed
+     *  set * assoc + way. Hot probe lane first. */
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<CacheBlock> payload_;
+    /** @} */
 };
 
 } // namespace ecdp

@@ -1,3 +1,4 @@
+// simlint: hot-path
 #include "cache/mshr.hh"
 
 #include <cassert>
@@ -6,19 +7,10 @@ namespace ecdp
 {
 
 MshrFile::MshrFile(unsigned entries)
-    : entries_(entries), free_(entries)
+    : entries_(entries), addrs_(entries, 0), free_(entries)
 {
     assert(entries > 0);
-}
-
-Mshr *
-MshrFile::find(Addr block_addr)
-{
-    for (Mshr &entry : entries_) {
-        if (entry.valid && entry.blockAddr == block_addr)
-            return &entry;
-    }
-    return nullptr;
+    assert(entries <= 64 && "validity bitmask is 64 bits wide");
 }
 
 Mshr &
@@ -26,38 +18,42 @@ MshrFile::allocate(Addr block_addr)
 {
     assert(!full());
     assert(!find(block_addr));
-    for (Mshr &entry : entries_) {
-        if (!entry.valid) {
-            entry = Mshr{};
-            entry.valid = true;
-            entry.blockAddr = block_addr;
-            --free_;
-            ++allocations_;
-            return entry;
-        }
-    }
-    assert(false && "MshrFile::allocate with no free entry");
-    __builtin_unreachable();
+    // Lowest clear bit == first invalid entry, matching the original
+    // linear scan's allocation order.
+    const unsigned i = static_cast<unsigned>(std::countr_one(validMask_));
+    assert(i < entries_.size());
+    Mshr &entry = entries_[i];
+    entry = Mshr{};
+    entry.valid = true;
+    entry.blockAddr = block_addr;
+    addrs_[i] = block_addr.raw();
+    validMask_ |= std::uint64_t{1} << i;
+    --free_;
+    ++allocations_;
+    return entry;
 }
 
 void
 MshrFile::release(Mshr &entry)
 {
     assert(entry.valid);
+    const auto i = static_cast<std::size_t>(&entry - entries_.data());
+    assert(i < entries_.size());
     entry.valid = false;
+    validMask_ &= ~(std::uint64_t{1} << i);
     ++free_;
     ++releases_;
 }
 
-std::vector<Mshr *>
-MshrFile::ripe(Cycle now)
+void
+MshrFile::ripe(Cycle now, std::vector<Mshr *> &out)
 {
-    std::vector<Mshr *> result;
-    for (Mshr &entry : entries_) {
-        if (entry.valid && entry.fillAt <= now)
-            result.push_back(&entry);
+    out.clear();
+    for (std::uint64_t mask = validMask_; mask; mask &= mask - 1) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(mask));
+        if (entries_[i].fillAt <= now)
+            out.push_back(&entries_[i]);
     }
-    return result;
 }
 
 } // namespace ecdp

@@ -7,11 +7,18 @@
  * is exactly the per-MSHR storage the paper's Table 7 accounts for
  * (32 entries x (7 + 16) bits): the content-directed prefetcher needs
  * both at fill time to decide which pointers in the block to prefetch.
+ *
+ * The file keeps a hot probe lane — a packed array of block addresses
+ * plus a validity bitmask — beside the cold entry records. find() is
+ * called once per prefetch-issue attempt (every busy cycle), so it
+ * walks the 8-byte-stride lane instead of the full Mshr structs.
  */
+// simlint: hot-path
 
 #ifndef ECDP_CACHE_MSHR_HH
 #define ECDP_CACHE_MSHR_HH
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -56,11 +63,22 @@ struct Mshr
 class MshrFile
 {
   public:
-    /** @param entries Capacity (32 in the baseline, Table 5). */
+    /** @param entries Capacity (32 in the baseline, Table 5; at most
+     *  64, the width of the validity bitmask). */
     explicit MshrFile(unsigned entries);
 
     /** Find the in-flight entry for @p block_addr, or nullptr. */
-    Mshr *find(Addr block_addr);
+    Mshr *find(Addr block_addr)
+    {
+        const std::uint32_t raw = block_addr.raw();
+        for (std::uint64_t mask = validMask_; mask; mask &= mask - 1) {
+            const unsigned i =
+                static_cast<unsigned>(std::countr_zero(mask));
+            if (addrs_[i] == raw)
+                return &entries_[i];
+        }
+        return nullptr;
+    }
 
     /** True when no entry is free. */
     bool full() const { return free_ == 0; }
@@ -81,23 +99,38 @@ class MshrFile
     /** Release @p entry after its fill completes. */
     void release(Mshr &entry);
 
-    /** All valid entries whose fill time is <= @p now (fill order is
-     *  resolved by the memory system, which iterates this). */
-    std::vector<Mshr *> ripe(Cycle now);
+    /**
+     * Append all valid entries whose fill time is <= @p now to
+     * @p out (cleared first), in entry-index order. The caller owns
+     * the scratch buffer so a per-event call costs no allocation once
+     * the buffer has grown to the file's capacity.
+     */
+    void ripe(Cycle now, std::vector<Mshr *> &out);
+
+    /** Validity bitmask: bit i set iff entries()[i] is in flight.
+     *  Snapshot it to iterate while releasing entries. */
+    std::uint64_t validMask() const { return validMask_; }
 
     /**
      * Raw entry storage for the memory system's fill loop. Entries
      * are stable (fixed vector); releasing during iteration is safe.
+     * Callers must not flip Mshr::valid directly — allocate() and
+     * release() own it (and the validity bitmask beside it).
      */
     std::vector<Mshr> &entries() { return entries_; }
+
+    /** Entry at index @p i (paired with validMask() iteration). */
+    Mshr &entry(unsigned i) { return entries_[i]; }
 
     /** Earliest fill time among valid entries (max Cycle if none). */
     Cycle earliestFill() const
     {
         Cycle earliest = Cycle{~std::uint64_t{0}};
-        for (const Mshr &entry : entries_) {
-            if (entry.valid && entry.fillAt < earliest)
-                earliest = entry.fillAt;
+        for (std::uint64_t mask = validMask_; mask; mask &= mask - 1) {
+            const unsigned i =
+                static_cast<unsigned>(std::countr_zero(mask));
+            if (entries_[i].fillAt < earliest)
+                earliest = entries_[i].fillAt;
         }
         return earliest;
     }
@@ -110,13 +143,18 @@ class MshrFile
 
     /** @{ Lifetime accounting: allocations == releases + inFlight()
      *  must hold at any instant (the conservation-law tests check it
-     *  at end of run). */
+     *  at end of run). The sum also serves as an occupancy version:
+     *  it moves exactly when the set of in-flight blocks changes. */
     std::uint64_t allocations() const { return allocations_; }
     std::uint64_t releases() const { return releases_; }
     /** @} */
 
   private:
     std::vector<Mshr> entries_;
+    /** Hot probe lane: addrs_[i] mirrors entries_[i].blockAddr for
+     *  every bit i set in validMask_. */
+    std::vector<std::uint32_t> addrs_;
+    std::uint64_t validMask_ = 0;
     unsigned free_;
     std::uint64_t allocations_ = 0;
     std::uint64_t releases_ = 0;

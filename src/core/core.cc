@@ -1,3 +1,4 @@
+// simlint: hot-path
 #include "core/core.hh"
 
 #include <algorithm>
@@ -54,17 +55,27 @@ Core::retire(Cycle now)
 void
 Core::issueLoads(Cycle now)
 {
-    if (pendingLoads_.empty())
+    if (pendingLoads_.empty() || now < issueRecheckAt_)
         return;
-    std::vector<std::size_t> still_pending;
-    still_pending.reserve(pendingLoads_.size());
+    // Compact in place: loads that stay pending slide toward the
+    // front in their original order. This runs every busy cycle, so
+    // it must not allocate.
+    std::size_t keep = 0;
     unsigned issued = 0;
     bool memory_stalled = false;
-    for (std::size_t idx : pendingLoads_) {
+    Cycle earliest_ready = kPending;
+    for (std::size_t i = 0; i < pendingLoads_.size(); ++i) {
+        const std::size_t idx = pendingLoads_[i];
         const TraceEntry &entry = workload_->trace[idx];
         if (memory_stalled || issued >= params_.issuePerCycle ||
             !depSatisfied(entry, now)) {
-            still_pending.push_back(idx);
+            if (entry.dep != kNoDep) {
+                Cycle ready =
+                    completion_[static_cast<std::size_t>(entry.dep)];
+                if (ready != kPending && ready > now)
+                    earliest_ready = std::min(earliest_ready, ready);
+            }
+            pendingLoads_[keep++] = idx;
             continue;
         }
         std::optional<Cycle> done = memory_->load(entry, now);
@@ -72,13 +83,23 @@ Core::issueLoads(Cycle now)
             // The memory system is out of buffers; no point trying
             // the remaining loads this cycle.
             memory_stalled = true;
-            still_pending.push_back(idx);
+            pendingLoads_[keep++] = idx;
             continue;
         }
         completion_[idx] = std::max(*done, now + 1);
         ++issued;
     }
-    pendingLoads_ = std::move(still_pending);
+    pendingLoads_.resize(keep);
+    // Nothing issued and nothing stalled means every pending load is
+    // waiting on a dependence: either one with a known completion
+    // (the earliest bounds the next possible issue) or on another
+    // load in this same list, which cannot issue before that bound
+    // either. Until then — or until dispatch() adds state — walking
+    // the list is provably a no-op, with no observable side effects
+    // skipped (memory_->load was never called).
+    issueRecheckAt_ = (issued == 0 && !memory_stalled)
+                          ? earliest_ready
+                          : Cycle{0};
 }
 
 void
@@ -121,6 +142,10 @@ Core::dispatch(Cycle now)
             completion_[cursor_] = kPending;
             pendingLoads_.push_back(cursor_);
         }
+        // Either branch changes what issueLoads() could do: a store
+        // completion may satisfy a dependence, a new load must be
+        // considered. Re-walk on the next tick.
+        issueRecheckAt_ = Cycle{0};
         --budget;
         ++cursor_;
         fillersPrimed_ = false;
@@ -134,6 +159,7 @@ Core::resetPass()
     fillersPrimed_ = false;
     fillersLeft_ = 0;
     pendingLoads_.clear();
+    issueRecheckAt_ = Cycle{0};
     std::fill(completion_.begin(), completion_.end(), kPending);
 }
 

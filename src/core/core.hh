@@ -167,6 +167,18 @@ class Core
     /** Dispatched, un-issued loads (trace indices). */
     std::vector<std::size_t> pendingLoads_;
 
+    /**
+     * Cycles strictly before this one cannot issue any pending load,
+     * so issueLoads() returns without walking the list. Set after a
+     * walk that issued nothing (to the earliest known dependence
+     * completion — the same bottoming-out argument nextEventCycle()
+     * documents) and reset to 0 ("always walk") whenever the
+     * assumption could break: a load issued, the memory system
+     * stalled (retries carry observable stall counters), dispatch
+     * completed a store or queued a new load, or the pass reset.
+     */
+    Cycle issueRecheckAt_{};
+
     std::uint64_t retired_ = 0;
     std::uint64_t retiredFirstPass_ = 0;
     bool finishedOnce_ = false;

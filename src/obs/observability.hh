@@ -13,6 +13,7 @@
 
 #include "obs/event_tracer.hh"
 #include "obs/metrics.hh"
+#include "obs/phase_profiler.hh"
 
 namespace ecdp
 {
@@ -21,6 +22,8 @@ struct Observability
 {
     obs::MetricRegistry *metrics = nullptr;
     obs::EventTracer *tracer = nullptr;
+    /** Wall-clock phase attribution; null = unprofiled run. */
+    obs::PhaseProfiler *phases = nullptr;
 };
 
 } // namespace ecdp

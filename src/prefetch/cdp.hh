@@ -9,7 +9,16 @@
  * pointer and becomes a prefetch candidate. Filtering applies only to
  * blocks fetched by demand misses; blocks fetched by CDP's own
  * (recursive) prefetches are always scanned greedily (Section 3).
+ *
+ * The slot walk is the simulator's innermost content loop (32 slots
+ * per 128B fill), so the candidate test is factored into a bitmask
+ * kernel: one AVX2 compare classifies 8 slots at a time when the
+ * build host supports it (ECDP_HAVE_AVX2), with a scalar kernel that
+ * is both the portable fallback and the fuzz-test oracle. Only the
+ * candidate *test* is vectorized; filtering, dedup and request
+ * construction stay scalar and run only on the (sparse) hits.
  */
+// simlint: hot-path
 
 #ifndef ECDP_PREFETCH_CDP_HH
 #define ECDP_PREFETCH_CDP_HH
@@ -105,11 +114,34 @@ class ContentDirectedPrefetcher
      * @param out Receives the candidates (deduplicated per scan).
      */
     void scan(Addr block_vaddr, const std::uint8_t *bytes,
-              const ScanContext &ctx,
-              std::vector<PrefetchRequest> &out) const;
+              const ScanContext &ctx, std::vector<PrefetchRequest> &out);
 
     /** Is @p word predicted to be a pointer in @p block_vaddr? */
     bool isPointerCandidate(Addr block_vaddr, std::uint32_t word) const;
+
+    /**
+     * Bitmask of pointer-candidate slots: bit s is set iff the
+     * little-endian word at slot s of @p bytes passes
+     * isPointerCandidate(). @p slots must be <= 64 (scan() chunks
+     * larger blocks). Dispatches to the AVX2 kernel when the build
+     * selected one, else to the scalar kernel.
+     */
+    std::uint64_t candidateMask(Addr block_vaddr,
+                                const std::uint8_t *bytes,
+                                unsigned slots) const;
+
+    /** Portable kernel behind candidateMask(); always built so the
+     *  fuzz test can use it as the oracle for the SIMD kernel. */
+    std::uint64_t candidateMaskScalar(Addr block_vaddr,
+                                      const std::uint8_t *bytes,
+                                      unsigned slots) const;
+
+#if defined(ECDP_HAVE_AVX2)
+    /** AVX2 kernel: one 256-bit compare classifies 8 slots. */
+    std::uint64_t candidateMaskAvx2(Addr block_vaddr,
+                                    const std::uint8_t *bytes,
+                                    unsigned slots) const;
+#endif
 
   private:
     unsigned compareBits_;
@@ -118,6 +150,9 @@ class ContentDirectedPrefetcher
     AggLevel level_ = AggLevel::Aggressive;
     FilterMode filterMode_ = FilterMode::None;
     const HintTable *hints_ = nullptr;
+    /** Per-scan dedup scratch; member so scan() never allocates once
+     *  the vector has grown to its high-water mark. */
+    std::vector<Addr> seen_;
 };
 
 } // namespace ecdp

@@ -1,6 +1,7 @@
 #include "sim/memory_system.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <string>
 
@@ -20,6 +21,7 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, unsigned core_id,
       metrics_(obs && obs->metrics ? obs->metrics
                                    : ownedMetrics_.get()),
       tracer_(obs ? obs->tracer : nullptr),
+      phases_(obs ? obs->phases : nullptr),
       primaryMonitor_(tracer_, core_id, 0, cfg.primaryStartLevel),
       ldsMonitor_(tracer_, core_id, 1, cfg.ldsStartLevel),
       l1_("L1D", cfg.l1Bytes, cfg.l1Assoc, cfg.l1BlockBytes),
@@ -310,6 +312,8 @@ MemorySystem::enqueuePrefetch(const PrefetchRequest &req, Cycle ready_at,
 std::optional<Cycle>
 MemorySystem::load(const TraceEntry &entry, Cycle now)
 {
+    obs::PhaseProfiler::Scoped scope(
+        phases_, obs::PhaseProfiler::Phase::CacheProbe);
     const Addr addr = entry.vaddr;
 
     if (l1_.lookup(addr)) {
@@ -426,6 +430,8 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
 void
 MemorySystem::store(const TraceEntry &entry, Cycle now)
 {
+    obs::PhaseProfiler::Scoped scope(
+        phases_, obs::PhaseProfiler::Phase::CacheProbe);
     image_.write(entry.vaddr, entry.size, entry.storeValue);
 
     if (CacheBlock *block = l1_.lookup(entry.vaddr)) {
@@ -473,6 +479,8 @@ MemorySystem::scanAndEnqueue(
     Addr block_addr, const ContentDirectedPrefetcher::ScanContext &ctx,
     Cycle now)
 {
+    obs::PhaseProfiler::Scoped scope(
+        phases_, obs::PhaseProfiler::Phase::CdpScan);
     image_.readBlock(block_addr, blockBuf_.data(), blockBuf_.size());
     scratch_.clear();
     cdp_.scan(block_addr, blockBuf_.data(), ctx, scratch_);
@@ -600,9 +608,12 @@ void
 MemorySystem::processFills(Cycle now)
 {
     earliestFill_ = Cycle{~std::uint64_t{0}};
-    for (Mshr &mshr : mshrs_.entries()) {
-        if (!mshr.valid)
-            continue;
+    // Snapshot the validity mask: installFill() releases the entry it
+    // fills, and no new entries are allocated inside the loop.
+    for (std::uint64_t mask = mshrs_.validMask(); mask;
+         mask &= mask - 1) {
+        Mshr &mshr =
+            mshrs_.entry(static_cast<unsigned>(std::countr_zero(mask)));
         if (mshr.fillAt <= now)
             installFill(mshr, now);
         else

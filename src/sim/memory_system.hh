@@ -248,6 +248,7 @@ class MemorySystem : public CoreMemoryInterface
     std::unique_ptr<obs::MetricRegistry> ownedMetrics_;
     obs::MetricRegistry *metrics_;
     obs::EventTracer *tracer_;
+    obs::PhaseProfiler *phases_;
     obs::ThrottleMonitor primaryMonitor_;
     obs::ThrottleMonitor ldsMonitor_;
     /** @} */

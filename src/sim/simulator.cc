@@ -24,6 +24,9 @@ simulate(const SystemConfig &cfg, const Workload &workload,
     MemorySystem memory(cfg, 0, workload.image.clone(), &dram, &obs);
     Core core(&workload, &memory, cfg.core);
 
+    using Phase = obs::PhaseProfiler::Phase;
+    obs::PhaseProfiler *prof = obs.phases;
+
     // Event-driven main loop: every iteration ticks exactly as the
     // per-cycle loop would, but the clock then jumps straight to the
     // earliest cycle any component can act on. The skipped cycles are
@@ -32,10 +35,17 @@ simulate(const SystemConfig &cfg, const Workload &workload,
     // off — only wall-clock differs.
     Cycle cycle{};
     while (!core.finishedOnce() && cycle < cfg.maxCycles) {
-        memory.tick(cycle);
-        core.tick(cycle);
+        {
+            obs::PhaseProfiler::Scoped scope(prof, Phase::MemTick);
+            memory.tick(cycle);
+        }
+        {
+            obs::PhaseProfiler::Scoped scope(prof, Phase::CoreTick);
+            core.tick(cycle);
+        }
         Cycle next = cycle + 1;
         if (cfg.cycleSkipping && !core.finishedOnce()) {
+            obs::PhaseProfiler::Scoped scope(prof, Phase::Scheduler);
             // Cheapest bound first, and stop as soon as one pins the
             // clock to the very next cycle: on busy cycles (prefetch
             // queues draining, ROB retiring) the remaining bounds
@@ -54,6 +64,7 @@ simulate(const SystemConfig &cfg, const Workload &workload,
         cycle = next;
     }
 
+    obs::PhaseProfiler::Scoped stats_scope(prof, Phase::Stats);
     RunStats stats;
     stats.workload = workload.name;
     // Unconditional watchdog check: an assert would compile out under

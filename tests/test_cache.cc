@@ -211,9 +211,15 @@ TEST(MshrFile, RipeReturnsOnlyDueFills)
     MshrFile mshrs(4);
     mshrs.allocate(0x40000000).fillAt = Cycle{100};
     mshrs.allocate(0x40000080).fillAt = Cycle{200};
-    EXPECT_EQ(mshrs.ripe(Cycle{150}).size(), 1u);
-    EXPECT_EQ(mshrs.ripe(Cycle{250}).size(), 2u);
-    EXPECT_EQ(mshrs.ripe(Cycle{50}).size(), 0u);
+    std::vector<Mshr *> due;
+    mshrs.ripe(Cycle{150}, due);
+    EXPECT_EQ(due.size(), 1u);
+    mshrs.ripe(Cycle{250}, due);
+    EXPECT_EQ(due.size(), 2u);
+    // The out-parameter is cleared on every call, so a stale larger
+    // result cannot leak through.
+    mshrs.ripe(Cycle{50}, due);
+    EXPECT_EQ(due.size(), 0u);
 }
 
 TEST(MshrFile, EarliestFillTracksMinimum)

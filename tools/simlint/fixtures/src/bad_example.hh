@@ -5,6 +5,9 @@
 #define ECDP_SIMLINT_FIXTURE_BAD_EXAMPLE_HH
 
 #include <cstdint>
+#include <vector>
+
+// simlint: hot-path
 
 namespace fixture
 {
@@ -22,6 +25,10 @@ class BadExample
 
     // magic-block-shift: hand-rolled 128-byte block math.
     static std::uint32_t blockOf(std::uint32_t a) { return a >> 7; }
+
+    // hot-path-vector: returns a freshly heap-allocated vector from a
+    // file tagged hot-path (the pre-flattening Mshr::ripe() shape).
+    std::vector<int *> ripe(std::uint64_t now);
 
   private:
     // unregistered-counter: declared, never wired to the registry.

@@ -29,6 +29,17 @@ classes fail CI instead of corrupting experiments:
                         the test target or gtest discovery fails —
                         either way a "green" run simply isn't running
                         those tests.
+  hot-path-vector       In files tagged '// simlint: hot-path', no
+                        line may construct a std::vector by value: a
+                        per-event heap allocation is exactly the bug
+                        class the hot-path flattening removed
+                        (Mshr::ripe() once returned a fresh vector per
+                        event). Members (identifier ending in '_') and
+                        references/pointers are fine — the rule
+                        targets locals and by-value returns. Move the
+                        buffer to a caller-owned scratch member, or
+                        suppress with a reason if the line provably
+                        runs outside the event loop.
 
 Suppress a finding by putting, on the offending line (or the line
 above it):
@@ -56,6 +67,7 @@ RULES = (
     "raw-addr-param",
     "unregistered-counter",
     "test-registration",
+    "hot-path-vector",
 )
 
 ALLOW_RE = re.compile(r"simlint-allow\(([a-z-]+)\)")
@@ -235,6 +247,71 @@ def check_test_registration(root, build_dir):
     return out
 
 
+# --- hot-path-vector --------------------------------------------------
+
+HOT_PATH_MARK_RE = re.compile(r"//\s*simlint:\s*hot-path\b")
+VECTOR_RE = re.compile(r"std::vector\s*<")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def vector_by_value_at(code, start):
+    """True if the std::vector< at @p start declares a by-value object.
+
+    @p start indexes the character right after the opening '<'. Tracks
+    template nesting to the matching '>', then inspects what follows:
+    a reference or pointer ('&'/'*') is not an allocation site, and an
+    identifier ending in '_' is a member buffer by the repo's naming
+    convention (allocated once at construction, reused per event).
+    Anything else — a local, a by-value return type, or a braced
+    temporary — is a per-event allocation candidate. A '<' that never
+    closes on this line (multi-line declaration) is skipped rather
+    than guessed at.
+    """
+    depth = 1
+    i = start
+    while i < len(code) and depth:
+        if code[i] == "<":
+            depth += 1
+        elif code[i] == ">":
+            depth -= 1
+        i += 1
+    if depth:
+        return False
+    while i < len(code) and code[i].isspace():
+        i += 1
+    if i < len(code) and code[i] in "&*":
+        return False
+    m = IDENT_RE.match(code, i)
+    if m and m.group(0).endswith("_"):
+        return False
+    return True
+
+
+def check_hot_path_vector(root):
+    out = []
+    for path in iter_source_files(root, "src"):
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        if not any(HOT_PATH_MARK_RE.search(l) for l in lines):
+            continue
+        for i, line in enumerate(lines):
+            code = line.split("//", 1)[0]
+            for m in VECTOR_RE.finditer(code):
+                if not vector_by_value_at(code, m.end()):
+                    continue
+                if allowed(lines, i, "hot-path-vector"):
+                    continue
+                out.append(Violation(
+                    rel, i + 1, "hot-path-vector",
+                    "by-value std::vector in a hot-path file is a "
+                    "per-event allocation; use a caller-owned "
+                    "scratch member (name ending in '_') or add "
+                    "'simlint-allow(hot-path-vector): <reason>'"))
+                break
+    return out
+
+
 # --- driver -----------------------------------------------------------
 
 def main(argv):
@@ -287,6 +364,8 @@ def main(argv):
         violations += check_unregistered_counter(root)
     if "test-registration" in rules:
         violations += check_test_registration(root, args.build_dir)
+    if "hot-path-vector" in rules:
+        violations += check_hot_path_vector(root)
 
     for v in violations:
         print(v)
