@@ -15,7 +15,14 @@
  * phases (core advance, cache probe, CDP scan, DRAM, scheduler,
  * stats) via obs::PhaseProfiler; its clock-read overhead is why it is
  * never one of the timed reps. The output is machine-readable JSON
- * (schema BENCH_simbench/v2, see EXPERIMENTS.md).
+ * (schema BENCH_simbench/v3, see EXPERIMENTS.md).
+ *
+ * Besides the legacy two-slot stack, one run benchmarks a
+ * three-engine hybrid (stream+cdp+isb under coordinated throttling)
+ * on `health`: the N-engine stack walks more per-event state (one
+ * feedback lane and counter scope per slot), so its event-driven
+ * cycles/sec is the canary for regressions in the engine-stack
+ * generalization that the two-slot numbers cannot see.
  *
  * Wall-clock seconds are machine-dependent; the on/off *speedup
  * ratio* is not (both modes run on the same machine in the same
@@ -214,7 +221,7 @@ writeReport(std::ostream &os, const std::vector<WorkloadResult> &rs,
             double gmean_speedup)
 {
     os.precision(6);
-    os << "{\n  \"schema\": \"BENCH_simbench/v2\",\n"
+    os << "{\n  \"schema\": \"BENCH_simbench/v3\",\n"
        << "  \"config\": \"" << jsonEscape(config_label) << "\",\n"
        << "  \"reps\": " << reps << ",\n  \"workloads\": [\n";
     for (std::size_t i = 0; i < rs.size(); ++i) {
@@ -231,7 +238,25 @@ writeReport(std::ostream &os, const std::vector<WorkloadResult> &rs,
         writePhasesJson(os, r.phases);
         os << "}" << (i + 1 < rs.size() ? "," : "") << "\n";
     }
-    os << "  ],\n  \"gmeanSpeedup\": " << gmean_speedup << "\n}\n";
+    os << "  ],\n  \"gmeanSpeedup\": " << gmean_speedup << ",\n";
+}
+
+/** v3 addition: the three-engine hybrid entry (same shape as a
+ *  workloads[] element, plus its own config label). */
+void
+writeHybridJson(std::ostream &os, const WorkloadResult &r,
+                const std::string &config_label)
+{
+    os << "  \"hybrid\": {\"config\": \"" << jsonEscape(config_label)
+       << "\", \"name\": \"" << jsonEscape(r.name)
+       << "\", \"cycles\": " << r.cycles
+       << ", \"instructions\": " << r.instructions << ",\n   ";
+    writeModeJson(os, "percycle", r.percycle);
+    os << ",\n   ";
+    writeModeJson(os, "eventDriven", r.eventDriven);
+    os << ",\n   \"speedup\": " << r.speedup
+       << ", \"identical\": " << (r.identical ? "true" : "false")
+       << "}\n}\n";
 }
 
 struct Baseline
@@ -239,9 +264,11 @@ struct Baseline
     double gmeanSpeedup = 0.0;
     /** mst event-driven cycles/sec; 0 when the baseline has no mst. */
     double mstEventCyclesPerSec = 0.0;
+    /** Hybrid-stack event-driven cycles/sec (v3); 0 when absent. */
+    double hybridEventCyclesPerSec = 0.0;
 };
 
-/** Baseline figures from a committed BENCH_simbench.json (v2). */
+/** Baseline figures from a committed BENCH_simbench.json (v3). */
 Baseline
 readBaseline(const std::string &path)
 {
@@ -253,10 +280,10 @@ readBaseline(const std::string &path)
     std::stringstream buf;
     buf << in.rdbuf();
     JsonValue doc = parseJson(buf.str());
-    if (doc.at("schema").asString() != "BENCH_simbench/v2") {
+    if (doc.at("schema").asString() != "BENCH_simbench/v3") {
         throw std::runtime_error(
             "simbench: unexpected baseline schema (want "
-            "BENCH_simbench/v2)");
+            "BENCH_simbench/v3)");
     }
     Baseline base;
     base.gmeanSpeedup = doc.at("gmeanSpeedup").asDouble();
@@ -266,6 +293,10 @@ readBaseline(const std::string &path)
                 w.at("eventDriven").at("cyclesPerSec").asDouble();
         }
     }
+    base.hybridEventCyclesPerSec = doc.at("hybrid")
+                                       .at("eventDriven")
+                                       .at("cyclesPerSec")
+                                       .asDouble();
     return base;
 }
 
@@ -343,8 +374,23 @@ main(int argc, char **argv)
     }
     const double gmean_speedup = gmean(ratios);
 
+    // v3 hybrid canary: a three-engine stack (third slot via the
+    // registry) on health, so --check also guards the N-engine
+    // dispatch path the two-slot matrix above never touches.
+    SystemConfig hybridCfg = configs::streamCdpThrottled();
+    hybridCfg.engines = {"stream", "cdp", "isb"};
+    const std::string hybrid_label = "stream+cdp+isb+coordinated";
+    WorkloadResult hybrid = benchWorkload(hybridCfg, "health", reps);
+    std::cerr << "simbench: hybrid(" << hybrid_label << ") "
+              << hybrid.name << " speedup " << hybrid.speedup << "x, "
+              << hybrid.eventDriven.cyclesPerSec
+              << " cyc/s event-driven, identical="
+              << (hybrid.identical ? "yes" : "NO") << "\n";
+    all_identical = all_identical && hybrid.identical;
+
     std::ostringstream report;
     writeReport(report, results, config_label, reps, gmean_speedup);
+    writeHybridJson(report, hybrid, hybrid_label);
     if (!out_path.empty()) {
         std::ofstream out(out_path);
         out << report.str();
@@ -389,6 +435,24 @@ main(int argc, char **argv)
             if (mst->eventDriven.cyclesPerSec < mst_floor) {
                 std::cerr << "simbench: FAIL — mst per-event cost "
                              "regressed beyond "
+                          << tolerance * 100.0 << "% tolerance\n";
+                failed = true;
+            }
+        }
+        // Same canary for the three-engine hybrid stack: a slowdown
+        // confined to the N-engine dispatch path would be invisible
+        // to both the gmean ratio and the mst floor.
+        if (base.hybridEventCyclesPerSec > 0.0) {
+            const double hybrid_floor =
+                base.hybridEventCyclesPerSec * (1.0 - tolerance);
+            std::cerr << "simbench: hybrid "
+                      << hybrid.eventDriven.cyclesPerSec
+                      << " cyc/s vs baseline "
+                      << base.hybridEventCyclesPerSec << " (floor "
+                      << hybrid_floor << ")\n";
+            if (hybrid.eventDriven.cyclesPerSec < hybrid_floor) {
+                std::cerr << "simbench: FAIL — hybrid per-event "
+                             "cost regressed beyond "
                           << tolerance * 100.0 << "% tolerance\n";
                 failed = true;
             }

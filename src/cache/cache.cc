@@ -23,7 +23,7 @@ Cache::Cache(std::string name, std::uint32_t size_bytes,
 }
 
 Cache::Victim
-Cache::insert(Addr addr, PrefetchSource source)
+Cache::insert(Addr addr, std::uint8_t owner)
 {
     const std::uint32_t base = setIndex(addr) * assoc_;
     const std::uint64_t tag = tagOf(addr).raw();
@@ -59,8 +59,7 @@ Cache::insert(Addr addr, PrefetchSource source)
         victim.dirty = block.dirty;
         victim.addr =
             geom_.baseOf(BlockAddr{static_cast<std::uint32_t>(old_tag)});
-        victim.wasPrefetchedPrimary = block.prefetchedPrimary;
-        victim.wasPrefetchedLds = block.prefetchedLds;
+        victim.prefetchOwner = block.prefetchOwner;
         ++evictions_;
     }
 
@@ -70,8 +69,7 @@ Cache::insert(Addr addr, PrefetchSource source)
     if (!refresh) {
         ++contentVersion_;
         block.dirty = false;
-        block.prefetchedPrimary = source == PrefetchSource::Primary;
-        block.prefetchedLds = source == PrefetchSource::Lds;
+        block.prefetchOwner = owner;
         block.pgValid = false;
         block.pg = PgId{};
         block.cdpDepth = 0;
@@ -87,12 +85,24 @@ Cache::prefetchedResident() const
     for (std::uint32_t i = 0; i < numBlocks_; ++i) {
         if (tags_[i] == kEmptyWay)
             continue;
-        if (payload_[i].prefetchedPrimary)
+        if (payload_[i].prefetchOwner == 0)
             ++census.primary;
-        if (payload_[i].prefetchedLds)
+        else if (payload_[i].prefetchOwner == 1)
             ++census.lds;
     }
     return census;
+}
+
+void
+Cache::prefetchedResidentByOwner(std::vector<std::uint64_t> &out) const
+{
+    for (std::uint32_t i = 0; i < numBlocks_; ++i) {
+        if (tags_[i] == kEmptyWay)
+            continue;
+        const std::uint8_t owner = payload_[i].prefetchOwner;
+        if (owner < out.size())
+            ++out[owner];
+    }
 }
 
 void

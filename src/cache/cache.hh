@@ -30,6 +30,14 @@ namespace ecdp
 enum class PrefetchSource : std::uint8_t { None = 0, Primary, Lds };
 
 /**
+ * "No engine": sentinel for the per-block prefetched-owner tag and the
+ * MSHR engine field. Real owners are indices into the MemorySystem's
+ * engine stack (0 = the legacy primary slot, 1 = the legacy LDS slot),
+ * so the all-ones byte can never collide with one.
+ */
+inline constexpr std::uint8_t kNoPrefetchOwner = 0xff;
+
+/**
  * Identity of a pointer group PG(L, X): the static load L (by PC) and
  * the signed pointer-slot offset X (in pointer-sized words) from the
  * byte the load accessed (Section 3 of the paper).
@@ -61,9 +69,13 @@ struct PgIdHash
 struct CacheBlock
 {
     bool dirty = false;
-    /** The paper's prefetched-stream / prefetched-CDP tag bits. */
-    bool prefetchedPrimary = false;
-    bool prefetchedLds = false;
+    /**
+     * The paper's prefetched-by tag, generalized: the engine-stack
+     * index of the prefetcher that fetched the block, or
+     * kNoPrefetchOwner for demand fills. Engine 0 is the legacy
+     * "prefetched-stream" bit, engine 1 the "prefetched-CDP" bit.
+     */
+    std::uint8_t prefetchOwner = kNoPrefetchOwner;
     /** PG that caused the CDP prefetch of this block (stats only). */
     bool pgValid = false;
     PgId pg;
@@ -146,17 +158,19 @@ class Cache
         bool valid = false;
         bool dirty = false;
         Addr addr = 0;
-        bool wasPrefetchedPrimary = false;
-        bool wasPrefetchedLds = false;
+        /** Engine that had prefetched the victim (kNoPrefetchOwner if
+         *  it was demand-fetched or already consumed). */
+        std::uint8_t prefetchOwner = kNoPrefetchOwner;
     };
 
     /**
      * Insert the block containing @p addr, evicting the LRU way.
      *
-     * @param source Prefetcher that fetched the block (None = demand).
+     * @param owner Engine-stack index of the prefetcher that fetched
+     *        the block (kNoPrefetchOwner = demand fill).
      * @return Description of the victim (valid = a block was evicted).
      */
-    Victim insert(Addr addr, PrefetchSource source = PrefetchSource::None);
+    Victim insert(Addr addr, std::uint8_t owner = kNoPrefetchOwner);
 
     /** Invalidate the block containing @p addr if present. */
     void invalidate(Addr addr);
@@ -171,7 +185,8 @@ class Cache
      */
     std::uint64_t contentVersion() const { return contentVersion_; }
 
-    /** End-of-run census of still-resident unused prefetches. */
+    /** End-of-run census of still-resident unused prefetches (legacy
+     *  two-slot view: owner 0 = primary, owner 1 = lds). */
     struct PrefetchedResident
     {
         std::uint64_t primary = 0;
@@ -181,6 +196,10 @@ class Cache
     /** Count resident blocks whose prefetched tag bit is still set
      *  (i.e. prefetched but never consumed by a demand). */
     PrefetchedResident prefetchedResident() const;
+
+    /** Per-engine census: out[i] counts resident blocks still owned by
+     *  engine i (owners >= out.size() are ignored). */
+    void prefetchedResidentByOwner(std::vector<std::uint64_t> &out) const;
 
     const std::string &name() const { return name_; }
 

@@ -41,8 +41,9 @@ struct Mshr
     bool demand = false;
     /** True when a store wrote the block while it was in flight. */
     bool dirty = false;
-    /** Prefetcher that created the entry (None for demand misses). */
-    PrefetchSource source = PrefetchSource::None;
+    /** Engine-stack index of the prefetcher that created the entry
+     *  (kNoPrefetchOwner for demand misses). */
+    std::uint8_t engine = kNoPrefetchOwner;
 
     /** @{ ECDP scan context (demand misses only). */
     Addr loadPc = 0;

@@ -82,7 +82,7 @@ ProfilingCompiler::profileStats(const Workload &train,
             if (block->pgValid) {
                 ++stats[block->pg].used;
                 block->pgValid = false;
-                block->prefetchedLds = false;
+                block->prefetchOwner = kNoPrefetchOwner;
             }
             continue;
         }
@@ -108,7 +108,7 @@ ProfilingCompiler::profileStats(const Workload &train,
             ++expanded;
             if (req.pgValid)
                 ++stats[req.pg].issued;
-            l2.insert(req.blockAddr, PrefetchSource::Lds);
+            l2.insert(req.blockAddr, 1); // LDS slot of the legacy stack
             CacheBlock *block = l2.lookup(req.blockAddr, false);
             block->pgValid = req.pgValid;
             block->pg = req.pg;

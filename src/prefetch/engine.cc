@@ -1,0 +1,67 @@
+#include "prefetch/engine.hh"
+
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace ecdp
+{
+
+EngineRegistry &
+EngineRegistry::instance()
+{
+    static EngineRegistry registry;
+    static std::once_flag builtins;
+    std::call_once(builtins, [] { registerBuiltinEngines(registry); });
+    return registry;
+}
+
+void
+EngineRegistry::add(const std::string &name, Factory factory)
+{
+    auto [it, inserted] = factories_.emplace(name, std::move(factory));
+    (void)it;
+    if (!inserted) {
+        throw std::logic_error("prefetch engine \"" + name +
+                               "\" is already registered");
+    }
+}
+
+bool
+EngineRegistry::contains(const std::string &name) const
+{
+    return factories_.count(name) != 0;
+}
+
+std::vector<std::string>
+EngineRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &[name, factory] : factories_) {
+        (void)factory;
+        out.push_back(name); // std::map iterates sorted
+    }
+    return out;
+}
+
+std::unique_ptr<PrefetchEngine>
+EngineRegistry::create(const std::string &name,
+                       const EngineContext &ctx) const
+{
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+        std::string known;
+        for (const auto &[key, factory] : factories_) {
+            (void)factory;
+            known += known.empty() ? "" : ", ";
+            known += key;
+        }
+        throw std::invalid_argument("unknown prefetch engine \"" +
+                                    name + "\" (known engines: " +
+                                    known + ")");
+    }
+    return it->second(ctx);
+}
+
+} // namespace ecdp

@@ -1,0 +1,49 @@
+#include "prefetch/engines.hh"
+
+#include <memory>
+#include <stdexcept>
+
+#include "prefetch/dspatch_prefetcher.hh"
+#include "prefetch/isb_prefetcher.hh"
+
+namespace ecdp
+{
+
+void
+registerBuiltinEngines(EngineRegistry &registry)
+{
+    registry.add("none", [](const EngineContext &) {
+        return std::make_unique<NullEngine>();
+    });
+    registry.add("stream", [](const EngineContext &ctx) {
+        return std::make_unique<StreamEngine>(ctx);
+    });
+    registry.add("ghb", [](const EngineContext &ctx) {
+        return std::make_unique<GhbEngine>(ctx);
+    });
+    registry.add("cdp", [](const EngineContext &ctx) {
+        return std::make_unique<CdpEngine>(ctx, /*hinted=*/false);
+    });
+    registry.add("ecdp", [](const EngineContext &ctx) {
+        if (ctx.hints == nullptr) {
+            throw std::invalid_argument(
+                "engine \"ecdp\" requires compiler hints "
+                "(SystemConfig::hints)");
+        }
+        return std::make_unique<CdpEngine>(ctx, /*hinted=*/true);
+    });
+    registry.add("markov", [](const EngineContext &ctx) {
+        return std::make_unique<MarkovEngine>(ctx);
+    });
+    registry.add("dbp", [](const EngineContext &ctx) {
+        return std::make_unique<DbpEngine>(ctx);
+    });
+    registry.add("isb", [](const EngineContext &ctx) {
+        return std::make_unique<IsbPrefetcher>(ctx);
+    });
+    registry.add("dspatch", [](const EngineContext &ctx) {
+        return std::make_unique<DspatchPrefetcher>(ctx);
+    });
+}
+
+} // namespace ecdp

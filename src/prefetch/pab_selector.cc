@@ -5,16 +5,17 @@
 namespace ecdp
 {
 
-PabSelector::PabSelector(unsigned window)
-    : window_(window)
+PabSelector::PabSelector(unsigned window, unsigned lanes)
+    : window_(window), outcomes_(lanes)
 {
     assert(window > 0);
+    assert(lanes >= 1);
 }
 
 void
 PabSelector::recordOutcome(unsigned which, bool used)
 {
-    assert(which < 2);
+    assert(which < outcomes_.size());
     auto &ring = outcomes_[which];
     ring.push_back(used);
     if (ring.size() > window_)
@@ -24,7 +25,7 @@ PabSelector::recordOutcome(unsigned which, bool used)
 double
 PabSelector::accuracy(unsigned which) const
 {
-    assert(which < 2);
+    assert(which < outcomes_.size());
     const auto &ring = outcomes_[which];
     if (ring.empty())
         return 1.0; // no evidence yet: assume accurate
@@ -38,7 +39,18 @@ PabSelector::accuracy(unsigned which) const
 unsigned
 PabSelector::select() const
 {
-    return accuracy(1) > accuracy(0) ? 1u : 0u;
+    // Strict greater-than keeps ties at the lowest index, which for
+    // the legacy two-lane configuration means ties go to the primary.
+    unsigned best = 0;
+    double bestAcc = accuracy(0);
+    for (unsigned i = 1; i < outcomes_.size(); ++i) {
+        const double acc = accuracy(i);
+        if (acc > bestAcc) {
+            best = i;
+            bestAcc = acc;
+        }
+    }
+    return best;
 }
 
 } // namespace ecdp

@@ -19,14 +19,17 @@ namespace ecdp
 {
 
 /**
- * Sliding-window accuracy selector over two prefetchers
- * (0 = primary, 1 = LDS).
+ * Sliding-window accuracy selector over an engine stack (lane i =
+ * stack slot i; the legacy pair is lanes 0 = primary, 1 = LDS).
  */
 class PabSelector
 {
   public:
-    /** @param window Outcomes remembered per prefetcher. */
-    explicit PabSelector(unsigned window = 64);
+    /**
+     * @param window Outcomes remembered per prefetcher.
+     * @param lanes Engine-stack slots competing for selection.
+     */
+    explicit PabSelector(unsigned window = 64, unsigned lanes = 2);
 
     /** Record a resolved prefetch outcome for prefetcher @p which. */
     void recordOutcome(unsigned which, bool used);
@@ -36,13 +39,14 @@ class PabSelector
 
     /**
      * Re-evaluate: returns the index of the only prefetcher that
-     * should stay enabled (ties go to the primary).
+     * should stay enabled (ties go to the lowest index, so the legacy
+     * pair still ties to the primary).
      */
     unsigned select() const;
 
   private:
     unsigned window_;
-    std::deque<bool> outcomes_[2];
+    std::vector<std::deque<bool>> outcomes_;
 };
 
 } // namespace ecdp

@@ -54,8 +54,11 @@ struct PrefetchRequest
 {
     /** Block-aligned target address. */
     Addr blockAddr = 0;
-    /** Which prefetcher generated it (tags the cache block). */
+    /** Which prefetcher class generated it (legacy two-slot view). */
     PrefetchSource source = PrefetchSource::None;
+    /** Engine-stack index of the generating engine; stamped by the
+     *  MemorySystem when it drains an engine hook's output. */
+    std::uint8_t engine = 0;
     /** CDP recursion depth of the request (1 = from a demand scan). */
     std::uint8_t depth = 0;
     /** Root pointer group of the (possibly recursive) CDP chain. */

@@ -160,7 +160,26 @@ ResultCache::load(const std::string &name, std::uint64_t hash) const
             sample.primaryEnabled =
                 item.at("primaryEnabled").asBool();
             sample.ldsEnabled = item.at("ldsEnabled").asBool();
+            for (const JsonValue &x : item.at("extra").asArray()) {
+                EngineIntervalExtra extra;
+                extra.accuracy = x.at("accuracy").asDouble();
+                extra.coverage = x.at("coverage").asDouble();
+                extra.level =
+                    static_cast<AggLevel>(x.at("level").asI64());
+                extra.enabled = x.at("enabled").asBool();
+                sample.extra.push_back(extra);
+            }
             stats.intervalSeries.push_back(sample);
+        }
+        for (const JsonValue &item : doc.at("engines").asArray()) {
+            RunStats::EngineRunStats es;
+            es.instance = item.at("instance").asString();
+            es.engine = item.at("engine").asString();
+            es.issued = item.at("issued").asU64();
+            es.used = item.at("used").asU64();
+            es.late = item.at("late").asU64();
+            es.dropped = item.at("dropped").asU64();
+            stats.engineStats.push_back(std::move(es));
         }
         return stats;
     } catch (const JsonError &) {
@@ -253,7 +272,28 @@ ResultCache::store(const std::string &name, std::uint64_t hash,
                << ",\"primaryEnabled\":"
                << (s.primaryEnabled ? "true" : "false")
                << ",\"ldsEnabled\":"
-               << (s.ldsEnabled ? "true" : "false") << "}";
+               << (s.ldsEnabled ? "true" : "false")
+               << ",\"extra\":[";
+            for (std::size_t e = 0; e < s.extra.size(); ++e) {
+                const EngineIntervalExtra &x = s.extra[e];
+                os << (e ? "," : "") << "{\"accuracy\":";
+                writeDouble(os, x.accuracy);
+                os << ",\"coverage\":";
+                writeDouble(os, x.coverage);
+                os << ",\"level\":" << static_cast<int>(x.level)
+                   << ",\"enabled\":"
+                   << (x.enabled ? "true" : "false") << "}";
+            }
+            os << "]}";
+        }
+        os << "],\"engines\":[";
+        for (std::size_t i = 0; i < stats.engineStats.size(); ++i) {
+            const RunStats::EngineRunStats &es = stats.engineStats[i];
+            os << (i ? "," : "") << "{\"instance\":\""
+               << jsonEscape(es.instance) << "\",\"engine\":\""
+               << jsonEscape(es.engine) << "\",\"issued\":" << es.issued
+               << ",\"used\":" << es.used << ",\"late\":" << es.late
+               << ",\"dropped\":" << es.dropped << "}";
         }
         os << "]}\n";
         if (!os)

@@ -35,8 +35,10 @@ class ResultCache
 {
   public:
     /** Cache format version; readers reject anything else.
-     *  v2 added the per-interval feedback series (intervalSeries). */
-    static constexpr int kVersion = 2;
+     *  v2 added the per-interval feedback series (intervalSeries);
+     *  v3 added per-engine-slot totals (engineStats) and the extra
+     *  interval slots of N-engine stacks. */
+    static constexpr int kVersion = 3;
 
     /**
      * Cache configured by ECDP_RESULT_CACHE, or nullptr when the

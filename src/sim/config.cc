@@ -80,6 +80,16 @@ configHash(const SystemConfig &cfg)
 
     h.u64(static_cast<std::uint64_t>(cfg.primary));
     h.u64(static_cast<std::uint64_t>(cfg.lds));
+    // The explicit engine stack is hashed order- and duplicate-
+    // sensitively: ["stream","cdp"] and ["cdp","stream"] assign
+    // different slots (start levels, counter scopes, PAB tie-breaks),
+    // so they are different configurations.
+    h.u64(cfg.engines.size());
+    for (const std::string &name : cfg.engines) {
+        h.u64(name.size());
+        for (char c : name)
+            h.u64(static_cast<unsigned char>(c));
+    }
     h.u64(cfg.streamEntries);
     h.u64(cfg.cdpCompareBits);
     h.u64(cfg.prefetchQueueEntries);
@@ -134,6 +144,44 @@ configHash(const SystemConfig &cfg)
     // simulated configuration and must share memo/result-cache keys.
 
     return h.value();
+}
+
+std::vector<std::string>
+effectiveEngineStack(const SystemConfig &cfg)
+{
+    if (!cfg.engines.empty())
+        return cfg.engines;
+
+    std::vector<std::string> stack(2);
+    switch (cfg.primary) {
+      case PrimaryKind::None: stack[0] = "none"; break;
+      case PrimaryKind::Stream: stack[0] = "stream"; break;
+      case PrimaryKind::Ghb: stack[0] = "ghb"; break;
+    }
+    switch (cfg.lds) {
+      case LdsKind::None: stack[1] = "none"; break;
+      case LdsKind::Cdp: stack[1] = "cdp"; break;
+      case LdsKind::Ecdp: stack[1] = "ecdp"; break;
+      case LdsKind::Dbp: stack[1] = "dbp"; break;
+      case LdsKind::Markov: stack[1] = "markov"; break;
+    }
+    return stack;
+}
+
+std::vector<std::string>
+engineInstanceNames(const std::vector<std::string> &stack)
+{
+    std::vector<std::string> names;
+    names.reserve(stack.size());
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+        if (i == 0)
+            names.push_back("primary");
+        else if (i == 1)
+            names.push_back("lds");
+        else
+            names.push_back(stack[i] + std::to_string(i));
+    }
+    return names;
 }
 
 } // namespace ecdp

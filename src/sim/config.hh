@@ -65,6 +65,15 @@ struct SystemConfig
     /** @{ Prefetcher selection. */
     PrimaryKind primary = PrimaryKind::Stream;
     LdsKind lds = LdsKind::None;
+    /**
+     * Explicit engine stack by registry name (e.g. {"stream", "cdp",
+     * "isb"}). When empty (the default), the stack derives from the
+     * legacy primary/lds pair above — see effectiveEngineStack().
+     * Slot order matters: slot 0 keeps the "primary" counter scope and
+     * start level, slot 1 "lds", and the order is part of
+     * configHash().
+     */
+    std::vector<std::string> engines;
     unsigned streamEntries = 32;
     unsigned cdpCompareBits = 8;
     unsigned prefetchQueueEntries = 128;
@@ -151,11 +160,39 @@ using PgStatsMap = std::unordered_map<PgId, PgStats, PgIdHash>;
 std::uint64_t configHash(const SystemConfig &cfg);
 
 /**
+ * The engine stack a configuration actually runs: cfg.engines when
+ * non-empty, otherwise exactly two slots derived from the legacy
+ * primary/lds kinds ("none" fills an empty slot so both legacy
+ * feedback lanes keep existing — an idle lane reports accuracy 1.0,
+ * which the PAB selector's tie-breaking depends on).
+ */
+std::vector<std::string> effectiveEngineStack(const SystemConfig &cfg);
+
+/**
+ * Stats/counter instance name of each stack slot: slot 0 is always
+ * "primary" and slot 1 "lds" (the accounting tests and JSON schema key
+ * on those), further slots are "<engine><slot>" — unique even when
+ * one engine name appears twice.
+ */
+std::vector<std::string>
+engineInstanceNames(const std::vector<std::string> &stack);
+
+/**
  * One feedback-interval boundary: the aged accuracy/coverage sample
  * the throttler saw and the throttling state after its decision was
  * applied. RunStats carries the full series so post-hoc tooling can
  * plot throttle-level timelines without re-running the simulation.
  */
+/** Feedback/throttle state of one engine-stack slot beyond the legacy
+ *  pair (IntervalSample::extra[i] describes stack slot i + 2). */
+struct EngineIntervalExtra
+{
+    double accuracy = 0.0;
+    double coverage = 0.0;
+    AggLevel level = AggLevel::Aggressive;
+    bool enabled = true;
+};
+
 struct IntervalSample
 {
     /** Cycle at which the interval ended. */
@@ -168,6 +205,8 @@ struct IntervalSample
     AggLevel ldsLevel = AggLevel::Aggressive;
     bool primaryEnabled = true;
     bool ldsEnabled = true;
+    /** Slots 2.. of an N-engine stack (empty for legacy pairs). */
+    std::vector<EngineIntervalExtra> extra;
 };
 
 /** Statistics of one single-core run. */
@@ -214,6 +253,24 @@ struct RunStats
     /** Per-interval feedback/throttle time series (one entry per
      *  completed interval, in order). */
     std::vector<IntervalSample> intervalSeries;
+
+    /** Lifetime totals of one engine-stack slot (all slots, including
+     *  the legacy pair, in stack order). */
+    struct EngineRunStats
+    {
+        /** Counter-scope instance name ("primary", "lds", "isb2"). */
+        std::string instance;
+        /** Registry name of the engine in the slot. */
+        std::string engine;
+        std::uint64_t issued = 0;
+        std::uint64_t used = 0;
+        std::uint64_t late = 0;
+        std::uint64_t dropped = 0;
+    };
+
+    /** Per-engine totals; the legacy arrays above remain the slot-0/1
+     *  view the paper's two-prefetcher analyses consume. */
+    std::vector<EngineRunStats> engineStats;
 
     /** Fraction of prefetches used from the cache (tag-bit metric). */
     double accuracy(unsigned which) const

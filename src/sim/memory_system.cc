@@ -15,6 +15,8 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, unsigned core_id,
       coreId_(core_id),
       image_(std::move(image)),
       dram_(dram),
+      stackNames_(effectiveEngineStack(cfg)),
+      instanceNames_(engineInstanceNames(stackNames_)),
       ownedMetrics_(obs && obs->metrics
                         ? nullptr
                         : std::make_unique<obs::MetricRegistry>()),
@@ -22,42 +24,61 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, unsigned core_id,
                                    : ownedMetrics_.get()),
       tracer_(obs ? obs->tracer : nullptr),
       phases_(obs ? obs->phases : nullptr),
-      primaryMonitor_(tracer_, core_id, 0, cfg.primaryStartLevel),
-      ldsMonitor_(tracer_, core_id, 1, cfg.ldsStartLevel),
       l1_("L1D", cfg.l1Bytes, cfg.l1Assoc, cfg.l1BlockBytes),
       l2_("L2", cfg.l2Bytes, cfg.l2Assoc, cfg.l2BlockBytes),
       mshrs_(cfg.l2Mshrs),
-      stream_(cfg.streamEntries, cfg.l2BlockBytes),
-      ghb_(1024, cfg.l2BlockBytes),
-      cdp_(cfg.cdpCompareBits, cfg.l2BlockBytes),
-      dbp_(),
-      pab_(cfg.pabWindow),
+      pab_(cfg.pabWindow,
+           static_cast<unsigned>(stackNames_.size())),
       coordinated_(cfg.coordThresholds),
       fdp_(cfg.fdpThresholds),
-      pollutionFilter_{
-          PollutionFilter(cfg.fdpThresholds.pollutionFilterEntries),
-          PollutionFilter(cfg.fdpThresholds.pollutionFilterEntries)},
-      primaryLevel_(cfg.primaryStartLevel),
-      ldsLevel_(cfg.ldsStartLevel),
       blockBuf_(cfg.l2BlockBytes, 0)
 {
     assert(dram_);
-    bindCounters();
-    if (cfg_.lds == LdsKind::Markov)
-        markov_ = std::make_unique<MarkovPrefetcher>(l2_.geom());
+    assert(!stackNames_.empty());
+
+    EngineContext ectx;
+    ectx.geom = l2_.geom();
+    ectx.streamEntries = cfg_.streamEntries;
+    ectx.cdpCompareBits = cfg_.cdpCompareBits;
+    ectx.grpCoarse = cfg_.grpCoarse;
+    ectx.hints = cfg_.hints;
+
+    EngineRegistry &registry = EngineRegistry::instance();
+    engines_.reserve(stackNames_.size());
+    for (const std::string &name : stackNames_)
+        engines_.push_back(registry.create(name, ectx));
+
+    const std::size_t n = engines_.size();
+    ldsClass_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ldsClass_[i] =
+            engines_[i]->statClass() == PrefetchEngine::Class::Lds;
+        if (engines_[i]->wantsLoadValues())
+            loadValueEngines_.push_back(static_cast<std::uint8_t>(i));
+        if (engines_[i]->wantsFillScan())
+            fillScanEngines_.push_back(static_cast<std::uint8_t>(i));
+    }
+
+    feedback_.resize(n);
+    pollutionEvents_.resize(n);
+    pollutionFilter_.assign(
+        n, PollutionFilter(cfg_.fdpThresholds.pollutionFilterEntries));
+    levels_.assign(n, AggLevel::Aggressive);
+    levels_[0] = cfg_.primaryStartLevel;
+    if (n > 1)
+        levels_[1] = cfg_.ldsStartLevel;
+    enabled_.assign(n, 1);
+    monitors_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        monitors_.emplace_back(tracer_, core_id,
+                               static_cast<unsigned>(i), levels_[i]);
+    }
     if (cfg_.hwFilter)
         hwFilter_ = std::make_unique<HardwareFilter>();
-    if (cfg_.lds == LdsKind::Ecdp) {
-        assert(cfg_.hints && "ECDP requires compiler hints");
-        cdp_.setFilterMode(cfg_.grpCoarse
-                               ? ContentDirectedPrefetcher::
-                                     FilterMode::GrpCoarse
-                               : ContentDirectedPrefetcher::
-                                     FilterMode::EcdpHints);
-        cdp_.setHints(cfg_.hints);
-    }
-    applyPrimaryLevel(primaryLevel_);
-    applyLdsLevel(ldsLevel_);
+    pf_.resize(n);
+    bindCounters();
+    for (std::size_t i = 0; i < n; ++i)
+        applyLevel(i, levels_[i]);
 }
 
 void
@@ -84,14 +105,13 @@ MemorySystem::bindCounters()
     mshrInFlightEndCtr_ = &mshr.counter("in_flight_end");
     mshrStallCyclesCtr_ = &mshr.counter("demand_stall_cycles");
 
-    static const char *const kSourceName[2] = {"primary", "lds"};
     static const char *const kDropName[6] = {
         "queue_full",  "source_disabled", "cached",
         "in_flight",   "side_buffer",     "hw_filter",
     };
-    for (unsigned which = 0; which < 2; ++which) {
-        obs::MetricScope pf =
-            core.scope(std::string("pf.") + kSourceName[which] + ".");
+    for (std::size_t which = 0; which < pf_.size(); ++which) {
+        obs::MetricScope pf = core.scope(std::string("pf.") +
+                                         instanceNames_[which] + ".");
         PfCounters &c = pf_[which];
         c.generated = &pf.counter("generated");
         c.queued = &pf.counter("queued");
@@ -115,14 +135,14 @@ MemorySystem::bindCounters()
 }
 
 void
-MemorySystem::dropPrefetch(PrefetchSource source, obs::DropReason reason,
+MemorySystem::dropPrefetch(std::uint8_t engine, obs::DropReason reason,
                            Addr block_addr, Cycle now)
 {
-    pf_[srcIndex(source)].drop[static_cast<unsigned>(reason)]->inc();
+    pf_[engine].drop[static_cast<unsigned>(reason)]->inc();
     if (tracer_) {
         obs::TraceEvent event;
         event.type = obs::EventType::PrefetchDrop;
-        event.source = static_cast<std::uint8_t>(srcIndex(source));
+        event.source = engine;
         event.a = static_cast<std::uint8_t>(reason);
         event.core = static_cast<std::uint16_t>(coreId_);
         event.cycle = now;
@@ -151,28 +171,17 @@ MemorySystem::noteMshrStall(Cycle now)
 }
 
 void
-MemorySystem::applyPrimaryLevel(AggLevel level)
+MemorySystem::applyLevel(std::size_t which, AggLevel level)
 {
-    primaryLevel_ = level;
-    stream_.setAggressiveness(level);
-    static constexpr unsigned ghb_degree[kNumAggLevels] = {1, 1, 2, 4};
-    ghb_.setDegree(ghb_degree[static_cast<unsigned>(level)]);
+    levels_[which] = level;
+    engines_[which]->setAggressiveness(level);
 }
 
 void
-MemorySystem::applyLdsLevel(AggLevel level)
-{
-    ldsLevel_ = level;
-    cdp_.setAggressiveness(level);
-    // DBP and Markov expose no aggressiveness knob (the paper does not
-    // throttle them either).
-}
-
-void
-MemorySystem::pabRecord(unsigned which, bool used)
+MemorySystem::pabRecord(std::size_t which, bool used)
 {
     if (cfg_.throttle == ThrottleKind::Pab)
-        pab_.recordOutcome(which, used);
+        pab_.recordOutcome(static_cast<unsigned>(which), used);
 }
 
 void
@@ -198,7 +207,8 @@ MemorySystem::recordDemandMiss(Addr block_addr, bool is_lds,
     }
     if (!probe_pollution)
         return;
-    for (unsigned which = 0; which < 2; ++which) {
+    for (std::size_t which = 0; which < pollutionFilter_.size();
+         ++which) {
         if (pollutionFilter_[which].test(l2_.geom().blockOf(block_addr)))
             pollutionEvents_[which].add();
     }
@@ -224,29 +234,28 @@ void
 MemorySystem::onDemandUseOfPrefetch(CacheBlock *block, Addr block_addr,
                                     Cycle now)
 {
-    const bool was_primary = block->prefetchedPrimary;
-    const bool was_lds = block->prefetchedLds;
-    if (!was_primary && !was_lds)
+    const std::uint8_t owner = block->prefetchOwner;
+    if (owner == kNoPrefetchOwner)
         return;
-    const unsigned which = was_lds ? 1u : 0u;
-    feedback_[which].onPrefetchUsed();
-    pf_[which].used->inc();
-    pf_[which].usefulLatencySum->add(block->prefetchLatency.raw());
-    pf_[which].usefulLatencyCount->inc();
+    feedback_[owner].onPrefetchUsed();
+    pf_[owner].used->inc();
+    pf_[owner].usefulLatencySum->add(block->prefetchLatency.raw());
+    pf_[owner].usefulLatencyCount->inc();
     if (block->pgValid)
         ++pgStats_[block->pg].used;
-    pabRecord(which, true);
-    if (hwFilter_ && was_lds)
+    pabRecord(owner, true);
+    if (hwFilter_ && ldsClass_[owner])
         hwFilter_->onPrefetchUsed(l2_.geom().blockOf(block_addr));
-    if (was_primary && cfg_.primary == PrimaryKind::Stream &&
-        primaryEnabled_) {
-        // A hit on a stream-prefetched block keeps the stream alive.
+    if (enabled_[owner]) {
+        // A hit on a prefetched block retrains the owning engine (the
+        // stream prefetcher keeps its stream alive from here; engines
+        // without a retrigger hook no-op).
         scratch_.clear();
-        stream_.trigger(block_addr, scratch_);
+        engines_[owner]->onPrefetchHit(block_addr, scratch_);
+        stampScratch(0, owner);
         drainScratch(now, now);
     }
-    block->prefetchedPrimary = false;
-    block->prefetchedLds = false;
+    block->prefetchOwner = kNoPrefetchOwner;
     block->pgValid = false;
 }
 
@@ -254,26 +263,45 @@ void
 MemorySystem::trainOnDemandMiss(const TraceEntry &entry, Cycle now)
 {
     scratch_.clear();
-    if (cfg_.primary == PrimaryKind::Stream && primaryEnabled_)
-        stream_.trigger(entry.vaddr, scratch_);
-    else if (cfg_.primary == PrimaryKind::Ghb && primaryEnabled_)
-        ghb_.onDemandMiss(entry.vaddr, scratch_);
-    if (cfg_.lds == LdsKind::Markov && ldsEnabled_)
-        markov_->onDemandMiss(l2_.geom().blockOf(entry.vaddr), scratch_);
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        if (!enabled_[i])
+            continue;
+        const std::size_t base = scratch_.size();
+        engines_[i]->onDemandMiss(entry, scratch_);
+        stampScratch(base, static_cast<std::uint8_t>(i));
+    }
     drainScratch(now, now);
 }
 
 void
-MemorySystem::dbpComplete(const TraceEntry &entry, Cycle ready)
+MemorySystem::notifyLoadComplete(const TraceEntry &entry, Cycle ready)
 {
-    if (cfg_.lds != LdsKind::Dbp || !ldsEnabled_)
+    if (loadValueEngines_.empty())
         return;
     if (entry.size != kPointerBytes)
         return;
-    Addr value = image_.readPointer(entry.vaddr);
+    bool any = false;
+    for (std::uint8_t i : loadValueEngines_)
+        any = any || enabled_[i] != 0;
+    if (!any)
+        return;
+    const Addr value = image_.readPointer(entry.vaddr);
     scratch_.clear();
-    dbp_.onLoadComplete(entry.pc, value, scratch_);
+    for (std::uint8_t i : loadValueEngines_) {
+        if (!enabled_[i])
+            continue;
+        const std::size_t base = scratch_.size();
+        engines_[i]->onLoadComplete(entry.pc, value, scratch_);
+        stampScratch(base, i);
+    }
     drainScratch(ready, ready);
+}
+
+void
+MemorySystem::stampScratch(std::size_t base, std::uint8_t engine)
+{
+    for (std::size_t i = base; i < scratch_.size(); ++i)
+        scratch_[i].engine = engine;
 }
 
 void
@@ -288,17 +316,17 @@ void
 MemorySystem::enqueuePrefetch(const PrefetchRequest &req, Cycle ready_at,
                               Cycle now)
 {
-    pf_[srcIndex(req.source)].generated->inc();
+    pf_[req.engine].generated->inc();
     if (readyQueue_.size() + delayedQueue_.size() >=
         cfg_.prefetchQueueEntries) {
         // Prefetch request queue overflow: drop, but count it so
         // sweeps can see a too-small queue instead of silently losing
         // coverage.
-        dropPrefetch(req.source, obs::DropReason::QueueFull,
+        dropPrefetch(req.engine, obs::DropReason::QueueFull,
                      l2_.blockAddr(req.blockAddr), now);
         return;
     }
-    pf_[srcIndex(req.source)].queued->inc();
+    pf_[req.engine].queued->inc();
     QueuedPrefetch queued;
     queued.req = req;
     queued.req.blockAddr = l2_.blockAddr(req.blockAddr);
@@ -323,8 +351,10 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
 
     const Addr block_addr = l2_.blockAddr(addr);
 
-    if (cfg_.lds == LdsKind::Dbp && ldsEnabled_)
-        dbp_.onLoadIssue(entry.pc, addr);
+    for (std::uint8_t i : loadValueEngines_) {
+        if (enabled_[i])
+            engines_[i]->onLoadIssue(entry.pc, addr);
+    }
 
     if (CacheBlock *block = l2_.lookup(addr)) {
         demandLoadsCtr_->inc();
@@ -332,7 +362,7 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
         demandHitsCtr_->inc();
         onDemandUseOfPrefetch(block, block_addr, now);
         l1Fill(addr, false, now);
-        dbpComplete(entry, now + cfg_.l2Latency);
+        notifyLoadComplete(entry, now + cfg_.l2Latency);
         return now + cfg_.l1Latency + cfg_.l2Latency;
     }
 
@@ -344,7 +374,7 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
             mshr->demand = true;
             mshr->blockByteOffset =
                 static_cast<std::uint8_t>(l2_.blockOffset(addr));
-            if (mshr->source != PrefetchSource::None) {
+            if (mshr->engine != kNoPrefetchOwner) {
                 // A demand matching an in-flight prefetch: the
                 // prefetch is late. The block was not in the cache,
                 // so this still counts as a last-level demand miss
@@ -352,13 +382,13 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
                 // still trains the miss-stream predictors. The block
                 // is in flight, not prefetch-evicted, so the
                 // pollution filter is not probed.
-                feedback_[srcIndex(mshr->source)].onPrefetchLate();
+                feedback_[mshr->engine].onPrefetchLate();
                 recordDemandMiss(block_addr, entry.isLds, false, now);
                 trainOnDemandMiss(entry, now);
             }
         }
         Cycle done = std::max(mshr->fillAt, now);
-        dbpComplete(entry, done);
+        notifyLoadComplete(entry, done);
         return done + cfg_.l1Latency;
     }
 
@@ -370,7 +400,7 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
             demandAccessesCtr_->inc();
             sideHitsCtr_->inc();
             const SideEntry &side = it->second;
-            const unsigned which = srcIndex(side.source);
+            const std::uint8_t which = side.engine;
             feedback_[which].onPrefetchUsed();
             pf_[which].used->inc();
             pf_[which].sideUsed->inc();
@@ -379,10 +409,10 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
             if (side.pgValid)
                 ++pgStats_[side.pg].used;
             Cache::Victim victim = l2_.insert(block_addr);
-            handleVictim(victim, PrefetchSource::None, now);
+            handleVictim(victim, kNoPrefetchOwner, now);
             sideBuffer_.erase(it);
             l1Fill(addr, false, now);
-            dbpComplete(entry, now + cfg_.l2Latency);
+            notifyLoadComplete(entry, now + cfg_.l2Latency);
             return now + cfg_.l1Latency + cfg_.l2Latency;
         }
     }
@@ -393,7 +423,7 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
         demandAccessesCtr_->inc();
         idealHitsCtr_->inc();
         Cache::Victim victim = l2_.insert(block_addr);
-        handleVictim(victim, PrefetchSource::None, now);
+        handleVictim(victim, kNoPrefetchOwner, now);
         l1Fill(addr, false, now);
         return now + cfg_.l1Latency + cfg_.l2Latency;
     }
@@ -415,15 +445,15 @@ MemorySystem::load(const TraceEntry &entry, Cycle now)
     mshr.fillAt = *done;
     mshr.issuedAt = now;
     mshr.demand = true;
-    mshr.source = PrefetchSource::None;
+    mshr.engine = kNoPrefetchOwner;
     mshr.loadPc = entry.pc;
     mshr.blockByteOffset =
         static_cast<std::uint8_t>(l2_.blockOffset(addr));
-    mshr.scanOnFill = contentDirected() && ldsEnabled_;
+    mshr.scanOnFill = anyFillScanEnabled();
     earliestFill_ = std::min(earliestFill_, mshr.fillAt);
 
     trainOnDemandMiss(entry, now);
-    dbpComplete(entry, *done);
+    notifyLoadComplete(entry, *done);
     return *done + cfg_.l1Latency;
 }
 
@@ -465,67 +495,78 @@ MemorySystem::store(const TraceEntry &entry, Cycle now)
     Cache::Victim victim = l2_.insert(block_addr);
     if (CacheBlock *block = l2_.lookup(entry.vaddr, false))
         block->dirty = true;
-    handleVictim(victim, PrefetchSource::None, now);
+    handleVictim(victim, kNoPrefetchOwner, now);
     l1Fill(entry.vaddr, true, now);
-    if (cfg_.primary == PrimaryKind::Stream && primaryEnabled_) {
-        scratch_.clear();
-        stream_.trigger(entry.vaddr, scratch_);
-        drainScratch(now, now);
+    scratch_.clear();
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        if (!enabled_[i])
+            continue;
+        const std::size_t base = scratch_.size();
+        engines_[i]->onStoreMiss(entry.vaddr, scratch_);
+        stampScratch(base, static_cast<std::uint8_t>(i));
     }
+    drainScratch(now, now);
 }
 
 void
 MemorySystem::scanAndEnqueue(
-    Addr block_addr, const ContentDirectedPrefetcher::ScanContext &ctx,
-    Cycle now)
+    std::uint8_t engine, Addr block_addr,
+    const ContentDirectedPrefetcher::ScanContext &ctx, Cycle now)
 {
     obs::PhaseProfiler::Scoped scope(
         phases_, obs::PhaseProfiler::Phase::CdpScan);
     image_.readBlock(block_addr, blockBuf_.data(), blockBuf_.size());
     scratch_.clear();
-    cdp_.scan(block_addr, blockBuf_.data(), ctx, scratch_);
+    engines_[engine]->onFill(block_addr, blockBuf_.data(), ctx,
+                             scratch_);
+    stampScratch(0, engine);
     drainScratch(now, now);
 }
 
 void
 MemorySystem::handleVictim(const Cache::Victim &victim,
-                           PrefetchSource insert_source, Cycle now)
+                           std::uint8_t insert_owner, Cycle now)
 {
     if (!victim.valid)
         return;
     if (victim.dirty)
         dram_->writeback(coreId_, victim.addr, now);
-    if (victim.wasPrefetchedPrimary) {
-        pf_[0].evictedUnused->inc();
-        pabRecord(0, false);
-    }
-    if (victim.wasPrefetchedLds) {
-        pf_[1].evictedUnused->inc();
-        pabRecord(1, false);
-        if (hwFilter_)
+    if (victim.prefetchOwner != kNoPrefetchOwner) {
+        const std::uint8_t owner = victim.prefetchOwner;
+        pf_[owner].evictedUnused->inc();
+        pabRecord(owner, false);
+        if (hwFilter_ && ldsClass_[owner])
             hwFilter_->onPrefetchEvictedUnused(
                 l2_.geom().blockOf(victim.addr));
     }
-    if (insert_source != PrefetchSource::None) {
-        pollutionFilter_[srcIndex(insert_source)]
-            .onPrefetchEvictedDemandBlock(
-                l2_.geom().blockOf(victim.addr));
+    if (insert_owner != kNoPrefetchOwner) {
+        pollutionFilter_[insert_owner].onPrefetchEvictedDemandBlock(
+            l2_.geom().blockOf(victim.addr));
     }
+}
+
+bool
+MemorySystem::anyFillScanEnabled() const
+{
+    for (std::uint8_t i : fillScanEngines_) {
+        if (enabled_[i])
+            return true;
+    }
+    return false;
 }
 
 void
 MemorySystem::installFill(Mshr &mshr, Cycle now)
 {
     const Addr block_addr = mshr.blockAddr;
-    const PrefetchSource source = mshr.source;
+    const std::uint8_t owner = mshr.engine;
 
-    if (source != PrefetchSource::None) {
-        pf_[srcIndex(source)].filled->inc();
+    if (owner != kNoPrefetchOwner) {
+        pf_[owner].filled->inc();
         if (tracer_) {
             obs::TraceEvent event;
             event.type = obs::EventType::PrefetchFill;
-            event.source =
-                static_cast<std::uint8_t>(srcIndex(source));
+            event.source = owner;
             event.a = mshr.demand ? 1 : 0;
             event.core = static_cast<std::uint16_t>(coreId_);
             event.cycle = now;
@@ -536,23 +577,23 @@ MemorySystem::installFill(Mshr &mshr, Cycle now)
     }
 
     const bool side_buffered = cfg_.idealNoPollution &&
-                               source != PrefetchSource::None &&
+                               owner != kNoPrefetchOwner &&
                                !mshr.demand;
     if (side_buffered) {
         SideEntry side;
-        side.source = source;
+        side.engine = owner;
         side.pgValid = mshr.pgRootValid;
         side.pg = mshr.pgRoot;
         side.latency = now - mshr.issuedAt;
         side.depth = mshr.cdpDepth;
         sideBuffer_[block_addr] = side;
     } else {
-        Cache::Victim victim = l2_.insert(block_addr, source);
+        Cache::Victim victim = l2_.insert(block_addr, owner);
         CacheBlock *block = l2_.lookup(block_addr, false);
         assert(block);
         if (mshr.dirty)
             block->dirty = true;
-        if (source != PrefetchSource::None) {
+        if (owner != kNoPrefetchOwner) {
             block->prefetchLatency = now - mshr.issuedAt;
             block->cdpDepth = mshr.cdpDepth;
             block->pgValid = mshr.pgRootValid;
@@ -563,42 +604,44 @@ MemorySystem::installFill(Mshr &mshr, Cycle now)
                 // mechanism only sees cache-resident uses) but the
                 // PG that generated it did point at truly needed
                 // data, so the profiling statistics credit it.
-                pf_[srcIndex(source)].consumedLate->inc();
+                pf_[owner].consumedLate->inc();
                 if (mshr.pgRootValid)
                     ++pgStats_[mshr.pgRoot].used;
-                pabRecord(srcIndex(source), true);
-                if (hwFilter_ && source == PrefetchSource::Lds)
+                pabRecord(owner, true);
+                if (hwFilter_ && ldsClass_[owner])
                     hwFilter_->onPrefetchUsed(
                         l2_.geom().blockOf(block_addr));
-                block->prefetchedPrimary = false;
-                block->prefetchedLds = false;
+                block->prefetchOwner = kNoPrefetchOwner;
                 block->pgValid = false;
                 l1Fill(block_addr + mshr.blockByteOffset, false, now);
             }
         } else {
             l1Fill(block_addr + mshr.blockByteOffset, false, now);
         }
-        handleVictim(victim, source, now);
+        handleVictim(victim, owner, now);
     }
 
     // Content-directed scan of the freshly arrived block.
-    if (contentDirected() && ldsEnabled_) {
-        if (source == PrefetchSource::None && mshr.scanOnFill) {
+    if (owner == kNoPrefetchOwner) {
+        if (mshr.scanOnFill) {
             ContentDirectedPrefetcher::ScanContext ctx;
             ctx.demandFill = true;
             ctx.loadPc = mshr.loadPc;
             ctx.accessByteOffset = mshr.blockByteOffset;
             ctx.fillDepth = 0;
-            scanAndEnqueue(block_addr, ctx, now);
-        } else if (source == PrefetchSource::Lds &&
-                   cdp_.shouldScan(mshr.cdpDepth)) {
-            ContentDirectedPrefetcher::ScanContext ctx;
-            ctx.demandFill = false;
-            ctx.fillDepth = mshr.cdpDepth;
-            ctx.pgValid = mshr.pgRootValid;
-            ctx.pgRoot = mshr.pgRoot;
-            scanAndEnqueue(block_addr, ctx, now);
+            for (std::uint8_t i : fillScanEngines_) {
+                if (enabled_[i])
+                    scanAndEnqueue(i, block_addr, ctx, now);
+            }
         }
+    } else if (engines_[owner]->wantsFillScan() && enabled_[owner] &&
+               engines_[owner]->scansOwnFillAt(mshr.cdpDepth)) {
+        ContentDirectedPrefetcher::ScanContext ctx;
+        ctx.demandFill = false;
+        ctx.fillDepth = mshr.cdpDepth;
+        ctx.pgValid = mshr.pgRootValid;
+        ctx.pgRoot = mshr.pgRoot;
+        scanAndEnqueue(owner, block_addr, ctx, now);
     }
 
     mshrs_.release(mshr);
@@ -637,7 +680,7 @@ MemorySystem::issuePrefetches(Cycle now)
         // Classify the filter decision so each discard is counted
         // (and traced) under its reason instead of vanishing.
         std::optional<obs::DropReason> reject;
-        if (!sourceEnabled(req.source))
+        if (!enabled_[req.engine])
             reject = obs::DropReason::SourceDisabled;
         else if (l2_.peek(req.blockAddr))
             reject = obs::DropReason::AlreadyCached;
@@ -646,11 +689,11 @@ MemorySystem::issuePrefetches(Cycle now)
         else if (cfg_.idealNoPollution &&
                  sideBuffer_.count(req.blockAddr))
             reject = obs::DropReason::SideBuffered;
-        else if (hwFilter_ && req.source == PrefetchSource::Lds &&
+        else if (hwFilter_ && ldsClass_[req.engine] &&
                  !hwFilter_->allow(l2_.geom().blockOf(req.blockAddr)))
             reject = obs::DropReason::HwFilter;
         if (reject) {
-            dropPrefetch(req.source, *reject, req.blockAddr, now);
+            dropPrefetch(req.engine, *reject, req.blockAddr, now);
             readyQueue_.pop_front();
             continue;
         }
@@ -666,18 +709,17 @@ MemorySystem::issuePrefetches(Cycle now)
         Mshr &mshr = mshrs_.allocate(req.blockAddr);
         mshr.fillAt = *done;
         mshr.issuedAt = now;
-        mshr.source = req.source;
+        mshr.engine = req.engine;
         mshr.cdpDepth = req.depth;
         mshr.pgRoot = req.pg;
         mshr.pgRootValid = req.pgValid;
         earliestFill_ = std::min(earliestFill_, mshr.fillAt);
-        feedback_[srcIndex(req.source)].onPrefetchIssued();
-        pf_[srcIndex(req.source)].issued->inc();
+        feedback_[req.engine].onPrefetchIssued();
+        pf_[req.engine].issued->inc();
         if (tracer_) {
             obs::TraceEvent event;
             event.type = obs::EventType::PrefetchIssue;
-            event.source =
-                static_cast<std::uint8_t>(srcIndex(req.source));
+            event.source = req.engine;
             event.core = static_cast<std::uint16_t>(coreId_);
             event.cycle = now;
             event.addr = req.blockAddr.raw();
@@ -708,7 +750,7 @@ MemorySystem::makeSnapshot(const PrefetcherFeedback &fb,
 }
 
 FeedbackSnapshot
-MemorySystem::snapshot(unsigned which) const
+MemorySystem::snapshot(std::size_t which) const
 {
     return makeSnapshot(feedback_[which], demandMissCounter_.value(),
                         pollutionEvents_[which].value());
@@ -717,69 +759,87 @@ MemorySystem::snapshot(unsigned which) const
 void
 MemorySystem::endInterval(Cycle now)
 {
+    const std::size_t n = engines_.size();
     ++intervals_;
-    feedback_[0].endInterval();
-    feedback_[1].endInterval();
+    for (std::size_t i = 0; i < n; ++i)
+        feedback_[i].endInterval();
     demandMissCounter_.endInterval();
-    pollutionEvents_[0].endInterval();
-    pollutionEvents_[1].endInterval();
+    for (std::size_t i = 0; i < n; ++i)
+        pollutionEvents_[i].endInterval();
 
-    const FeedbackSnapshot primary = snapshot(0);
-    const FeedbackSnapshot lds = snapshot(1);
+    // All snapshots are taken before any decision is applied, so
+    // later slots never see an earlier slot's fresh decision.
+    std::vector<FeedbackSnapshot> snaps(n);
+    for (std::size_t i = 0; i < n; ++i)
+        snaps[i] = snapshot(i);
 
     switch (cfg_.throttle) {
       case ThrottleKind::None:
         break;
       case ThrottleKind::Coordinated:
-        applyPrimaryLevel(CoordinatedThrottler::apply(
-            primaryLevel_, coordinated_.decide(primary, lds)));
-        applyLdsLevel(CoordinatedThrottler::apply(
-            ldsLevel_, coordinated_.decide(lds, primary)));
+        for (std::size_t i = 0; i < n; ++i) {
+            applyLevel(i, CoordinatedThrottler::apply(
+                              levels_[i],
+                              coordinated_.decide(
+                                  snaps[i],
+                                  CoordinatedThrottler::rival(snaps,
+                                                              i))));
+        }
         break;
       case ThrottleKind::Fdp:
-        applyPrimaryLevel(CoordinatedThrottler::apply(
-            primaryLevel_, fdp_.decide(primary)));
-        applyLdsLevel(CoordinatedThrottler::apply(
-            ldsLevel_, fdp_.decide(lds)));
+        for (std::size_t i = 0; i < n; ++i) {
+            applyLevel(i, CoordinatedThrottler::apply(
+                              levels_[i], fdp_.decide(snaps[i])));
+        }
         break;
       case ThrottleKind::Pab: {
         const unsigned keep = pab_.select();
-        primaryEnabled_ = keep == 0;
-        ldsEnabled_ = keep == 1;
+        for (std::size_t i = 0; i < n; ++i)
+            enabled_[i] = i == keep ? 1 : 0;
         break;
       }
     }
 
     IntervalSample sample;
     sample.cycle = now;
-    sample.accuracy[0] = primary.accuracy;
-    sample.accuracy[1] = lds.accuracy;
-    sample.coverage[0] = primary.coverage;
-    sample.coverage[1] = lds.coverage;
-    sample.primaryLevel = primaryLevel_;
-    sample.ldsLevel = ldsLevel_;
-    sample.primaryEnabled = primaryEnabled_;
-    sample.ldsEnabled = ldsEnabled_;
+    sample.accuracy[0] = snaps[0].accuracy;
+    sample.coverage[0] = snaps[0].coverage;
+    sample.primaryLevel = levels_[0];
+    sample.primaryEnabled = enabled_[0] != 0;
+    if (n > 1) {
+        sample.accuracy[1] = snaps[1].accuracy;
+        sample.coverage[1] = snaps[1].coverage;
+        sample.ldsLevel = levels_[1];
+        sample.ldsEnabled = enabled_[1] != 0;
+    }
+    for (std::size_t i = 2; i < n; ++i) {
+        EngineIntervalExtra extra;
+        extra.accuracy = snaps[i].accuracy;
+        extra.coverage = snaps[i].coverage;
+        extra.level = levels_[i];
+        extra.enabled = enabled_[i] != 0;
+        sample.extra.push_back(extra);
+    }
     intervalSeries_.push_back(sample);
 
     if (tracer_) {
-        for (unsigned which = 0; which < 2; ++which) {
+        for (std::size_t which = 0; which < n; ++which) {
             obs::TraceEvent event;
             event.type = obs::EventType::IntervalSample;
             event.source = static_cast<std::uint8_t>(which);
             event.core = static_cast<std::uint16_t>(coreId_);
             event.cycle = now;
             event.arg = intervals_;
-            event.x = sample.accuracy[which];
-            event.y = sample.coverage[which];
+            event.x = snaps[which].accuracy;
+            event.y = snaps[which].coverage;
             tracer_->record(event);
         }
     }
-    primaryMonitor_.observe(now, primaryLevel_, primaryEnabled_);
-    ldsMonitor_.observe(now, ldsLevel_, ldsEnabled_);
+    for (std::size_t i = 0; i < n; ++i)
+        monitors_[i].observe(now, levels_[i], enabled_[i] != 0);
 
-    pollutionFilter_[0].clear();
-    pollutionFilter_[1].clear();
+    for (std::size_t i = 0; i < n; ++i)
+        pollutionFilter_[i].clear();
     lastIntervalEvictions_ = l2_.evictions();
 }
 
@@ -822,35 +882,38 @@ MemorySystem::nextEventCycle(Cycle now) const
 void
 MemorySystem::collectStats(RunStats &out, Cycle now)
 {
+    const std::size_t n = engines_.size();
+
     // Fold the end-of-run gauges in first so the registry satisfies
     // the conservation identities at the same instant the RunStats
     // snapshot is taken.
-    const Cache::PrefetchedResident census = l2_.prefetchedResident();
-    pf_[0].residentUnusedEnd->set(census.primary);
-    pf_[1].residentUnusedEnd->set(census.lds);
+    std::vector<std::uint64_t> resident(n, 0);
+    l2_.prefetchedResidentByOwner(resident);
+    for (std::size_t i = 0; i < n; ++i)
+        pf_[i].residentUnusedEnd->set(resident[i]);
 
-    std::uint64_t in_flight[2] = {0, 0};
+    std::vector<std::uint64_t> in_flight(n, 0);
     for (const Mshr &mshr : mshrs_.entries()) {
-        if (mshr.valid && mshr.source != PrefetchSource::None)
-            ++in_flight[srcIndex(mshr.source)];
+        if (mshr.valid && mshr.engine != kNoPrefetchOwner)
+            ++in_flight[mshr.engine];
     }
-    std::uint64_t in_queue[2] = {0, 0};
+    std::vector<std::uint64_t> in_queue(n, 0);
     for (const QueuedPrefetch &queued : readyQueue_)
-        ++in_queue[srcIndex(queued.req.source)];
+        ++in_queue[queued.req.engine];
     auto delayed = delayedQueue_;
     while (!delayed.empty()) {
-        ++in_queue[srcIndex(delayed.top().req.source)];
+        ++in_queue[delayed.top().req.engine];
         delayed.pop();
     }
-    std::uint64_t side_resident[2] = {0, 0};
+    std::vector<std::uint64_t> side_resident(n, 0);
     for (const auto &[addr, side] : sideBuffer_) {
         (void)addr;
-        ++side_resident[srcIndex(side.source)];
+        ++side_resident[side.engine];
     }
-    for (unsigned which = 0; which < 2; ++which) {
-        pf_[which].inFlightEnd->set(in_flight[which]);
-        pf_[which].inQueueEnd->set(in_queue[which]);
-        pf_[which].sideResidentEnd->set(side_resident[which]);
+    for (std::size_t i = 0; i < n; ++i) {
+        pf_[i].inFlightEnd->set(in_flight[i]);
+        pf_[i].inQueueEnd->set(in_queue[i]);
+        pf_[i].sideResidentEnd->set(side_resident[i]);
     }
     mshrAllocationsCtr_->set(mshrs_.allocations());
     mshrReleasesCtr_->set(mshrs_.releases());
@@ -860,7 +923,8 @@ MemorySystem::collectStats(RunStats &out, Cycle now)
     out.l2DemandAccesses = demandAccessesCtr_->value();
     out.l2DemandMisses = demandMissesCtr_->value();
     out.l2LdsMisses = ldsMissesCtr_->value();
-    for (unsigned which = 0; which < 2; ++which) {
+    for (std::size_t which = 0; which < std::min<std::size_t>(2, n);
+         ++which) {
         out.prefIssued[which] = feedback_[which].lifetimeIssued();
         out.prefUsed[which] = feedback_[which].lifetimeUsed();
         out.prefLate[which] = feedback_[which].lifetimeLate();
@@ -876,11 +940,32 @@ MemorySystem::collectStats(RunStats &out, Cycle now)
         out.usefulLatencyCount[which] =
             pf_[which].usefulLatencyCount->value();
     }
+    out.engineStats.clear();
+    out.engineStats.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        RunStats::EngineRunStats es;
+        es.instance = instanceNames_[i];
+        es.engine = stackNames_[i];
+        es.issued = feedback_[i].lifetimeIssued();
+        es.used = feedback_[i].lifetimeUsed();
+        es.late = feedback_[i].lifetimeLate();
+        es.dropped =
+            pf_[i]
+                .drop[static_cast<unsigned>(
+                    obs::DropReason::QueueFull)]
+                ->value();
+        out.engineStats.push_back(std::move(es));
+    }
     out.pgStats = pgStats_;
-    out.finalPrimaryLevel = primaryLevel_;
-    out.finalLdsLevel = ldsLevel_;
-    out.finalPrimaryEnabled = primaryEnabled_;
-    out.finalLdsEnabled = ldsEnabled_;
+    out.finalPrimaryLevel = levels_[0];
+    out.finalPrimaryEnabled = enabled_[0] != 0;
+    if (n > 1) {
+        out.finalLdsLevel = levels_[1];
+        out.finalLdsEnabled = enabled_[1] != 0;
+    } else {
+        out.finalLdsLevel = AggLevel::Aggressive;
+        out.finalLdsEnabled = true;
+    }
     out.intervals = intervals_;
     out.intervalSeries = intervalSeries_;
 
@@ -894,34 +979,46 @@ MemorySystem::collectStats(RunStats &out, Cycle now)
     // ticking — stays untouched. No throttling decision is applied
     // (the run ended before the boundary), so the sample reports the
     // levels as they stand.
-    const bool partial_activity =
-        l2_.evictions() > lastIntervalEvictions_ ||
-        demandMissCounter_.during() > 0 ||
-        feedback_[0].currentIntervalActive() ||
-        feedback_[1].currentIntervalActive();
+    bool partial_activity = l2_.evictions() > lastIntervalEvictions_ ||
+                            demandMissCounter_.during() > 0;
+    for (std::size_t i = 0; i < n && !partial_activity; ++i)
+        partial_activity = feedback_[i].currentIntervalActive();
     if (partial_activity) {
-        PrefetcherFeedback fb[2] = {feedback_[0], feedback_[1]};
+        std::vector<PrefetcherFeedback> fb(feedback_);
         IntervalCounter misses = demandMissCounter_;
-        IntervalCounter pollution[2] = {pollutionEvents_[0],
-                                        pollutionEvents_[1]};
-        for (unsigned which = 0; which < 2; ++which) {
-            fb[which].endInterval();
-            pollution[which].endInterval();
+        std::vector<IntervalCounter> pollution(pollutionEvents_);
+        for (std::size_t i = 0; i < n; ++i) {
+            fb[i].endInterval();
+            pollution[i].endInterval();
         }
         misses.endInterval();
 
+        std::vector<FeedbackSnapshot> snaps(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            snaps[i] = makeSnapshot(fb[i], misses.value(),
+                                    pollution[i].value());
+        }
+
         IntervalSample sample;
         sample.cycle = now;
-        for (unsigned which = 0; which < 2; ++which) {
-            const FeedbackSnapshot snap = makeSnapshot(
-                fb[which], misses.value(), pollution[which].value());
-            sample.accuracy[which] = snap.accuracy;
-            sample.coverage[which] = snap.coverage;
+        sample.accuracy[0] = snaps[0].accuracy;
+        sample.coverage[0] = snaps[0].coverage;
+        sample.primaryLevel = levels_[0];
+        sample.primaryEnabled = enabled_[0] != 0;
+        if (n > 1) {
+            sample.accuracy[1] = snaps[1].accuracy;
+            sample.coverage[1] = snaps[1].coverage;
+            sample.ldsLevel = levels_[1];
+            sample.ldsEnabled = enabled_[1] != 0;
         }
-        sample.primaryLevel = primaryLevel_;
-        sample.ldsLevel = ldsLevel_;
-        sample.primaryEnabled = primaryEnabled_;
-        sample.ldsEnabled = ldsEnabled_;
+        for (std::size_t i = 2; i < n; ++i) {
+            EngineIntervalExtra extra;
+            extra.accuracy = snaps[i].accuracy;
+            extra.coverage = snaps[i].coverage;
+            extra.level = levels_[i];
+            extra.enabled = enabled_[i] != 0;
+            sample.extra.push_back(extra);
+        }
         out.intervalSeries.push_back(sample);
     }
 }

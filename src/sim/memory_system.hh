@@ -1,8 +1,18 @@
 /**
  * @file
- * Per-core memory hierarchy: L1D, L2 with MSHRs, the hybrid prefetcher
- * pair (primary + LDS), feedback collection and throttling. Several
- * cores' memory systems share one DramSystem.
+ * Per-core memory hierarchy: L1D, L2 with MSHRs, an ordered stack of
+ * prefetch engines (SystemConfig::engines, by registry name), feedback
+ * collection and throttling. Several cores' memory systems share one
+ * DramSystem.
+ *
+ * Every engine slot owns its prefetched-bit tag in the cache (the
+ * CacheBlock::prefetchOwner index), its feedback/throttle lane and its
+ * counter scope, so the paper's accuracy/coverage/pollution machinery
+ * applies uniformly whether the stack is the paper's stream+CDP pair
+ * or an arbitrary N-engine hybrid. Legacy two-slot configurations
+ * (primary/lds kinds, empty cfg.engines) derive their stack via
+ * effectiveEngineStack() and behave bit-identically to the
+ * pre-registry implementation.
  *
  * Accounting lives in an obs::MetricRegistry (prefix "core<N>.")
  * rather than ad-hoc struct fields, so every run exposes the full
@@ -19,6 +29,7 @@
 #include <memory>
 #include <optional>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -32,12 +43,9 @@
 #include "obs/observability.hh"
 #include "obs/throttle_monitor.hh"
 #include "prefetch/cdp.hh"
-#include "prefetch/dbp.hh"
-#include "prefetch/ghb_prefetcher.hh"
+#include "prefetch/engine.hh"
 #include "prefetch/hardware_filter.hh"
-#include "prefetch/markov_prefetcher.hh"
 #include "prefetch/pab_selector.hh"
-#include "prefetch/stream_prefetcher.hh"
 #include "sim/config.hh"
 #include "throttle/coordinated_throttler.hh"
 #include "throttle/fdp_throttler.hh"
@@ -108,16 +116,50 @@ class MemorySystem : public CoreMemoryInterface
     /** @{ Introspection for tests and benches. */
     const Cache &l2() const { return l2_; }
     const Cache &l1() const { return l1_; }
-    AggLevel primaryLevel() const { return primaryLevel_; }
-    AggLevel ldsLevel() const { return ldsLevel_; }
-    bool primaryEnabled() const { return primaryEnabled_; }
-    bool ldsEnabled() const { return ldsEnabled_; }
+    AggLevel primaryLevel() const { return levels_[0]; }
+    AggLevel ldsLevel() const
+    {
+        return levels_.size() > 1 ? levels_[1] : AggLevel::Aggressive;
+    }
+    bool primaryEnabled() const { return enabled_[0] != 0; }
+    bool ldsEnabled() const
+    {
+        return levels_.size() > 1 ? enabled_[1] != 0 : true;
+    }
     const PgStatsMap &pgStats() const { return pgStats_; }
     SimMemory &image() { return image_; }
     std::uint64_t intervalsElapsed() const { return intervals_; }
     /** The registry this core's counters live in (the caller's, or
      *  the private fallback). */
     const obs::MetricRegistry &metrics() const { return *metrics_; }
+    /** @} */
+
+    /** @{ Engine-stack introspection (conformance harness, tests). */
+    std::size_t engineCount() const { return engines_.size(); }
+    const PrefetchEngine &engine(std::size_t i) const
+    {
+        return *engines_[i];
+    }
+    /** Counter-scope instance name of slot @p i ("primary", "lds",
+     *  "<engine><slot>"). */
+    const std::string &engineInstanceName(std::size_t i) const
+    {
+        return instanceNames_[i];
+    }
+    bool engineEnabled(std::size_t i) const { return enabled_[i] != 0; }
+    AggLevel engineLevel(std::size_t i) const { return levels_[i]; }
+    /** Test hook: force a slot's enable bit (what a selector-style
+     *  throttler does). The conformance harness uses it to prove a
+     *  disabled engine issues nothing. */
+    void setEngineEnabled(std::size_t i, bool on)
+    {
+        enabled_[i] = on ? 1 : 0;
+    }
+    /** Test hook: apply an aggressiveness level to one slot. */
+    void setEngineLevel(std::size_t i, AggLevel level)
+    {
+        applyLevel(i, level);
+    }
     /** @} */
 
   private:
@@ -139,7 +181,7 @@ class MemorySystem : public CoreMemoryInterface
     /** Ideal-no-pollution side buffer entry. */
     struct SideEntry
     {
-        PrefetchSource source = PrefetchSource::None;
+        std::uint8_t engine = kNoPrefetchOwner;
         bool pgValid = false;
         PgId pg{};
         Cycle latency{};
@@ -147,7 +189,7 @@ class MemorySystem : public CoreMemoryInterface
     };
 
     /**
-     * Per-source prefetch counters, bound once at construction. The
+     * Per-engine prefetch counters, bound once at construction. The
      * lifecycle identities the conservation tests audit:
      *   generated == queued + drop[QueueFull]
      *   queued == issued + other drops + in_queue_end
@@ -179,26 +221,10 @@ class MemorySystem : public CoreMemoryInterface
         /** @} */
     };
 
-    static unsigned srcIndex(PrefetchSource source)
-    {
-        return source == PrefetchSource::Lds ? 1u : 0u;
-    }
-
-    bool contentDirected() const
-    {
-        return cfg_.lds == LdsKind::Cdp || cfg_.lds == LdsKind::Ecdp;
-    }
-
-    bool sourceEnabled(PrefetchSource source) const
-    {
-        return source == PrefetchSource::Lds ? ldsEnabled_
-                                             : primaryEnabled_;
-    }
-
     /** Register this core's counters under "core<id>." once. */
     void bindCounters();
     /** Count + trace one discarded prefetch request. */
-    void dropPrefetch(PrefetchSource source, obs::DropReason reason,
+    void dropPrefetch(std::uint8_t engine, obs::DropReason reason,
                       Addr block_addr, Cycle now);
     /** Count an MSHR-full demand rejection; traces burst starts. */
     void noteMshrStall(Cycle now);
@@ -216,32 +242,51 @@ class MemorySystem : public CoreMemoryInterface
     void onDemandUseOfPrefetch(CacheBlock *block, Addr block_addr,
                                Cycle now);
     void trainOnDemandMiss(const TraceEntry &entry, Cycle now);
-    void dbpComplete(const TraceEntry &entry, Cycle ready);
+    /** Route a completed pointer load to the load-value engines
+     *  (dependence-based prefetching). */
+    void notifyLoadComplete(const TraceEntry &entry, Cycle ready);
     void enqueuePrefetch(const PrefetchRequest &req, Cycle ready_at,
                          Cycle now);
+    /** Stamp requests appended since @p base with their slot. */
+    void stampScratch(std::size_t base, std::uint8_t engine);
     void drainScratch(Cycle ready_at, Cycle now);
     void processFills(Cycle now);
     void installFill(Mshr &mshr, Cycle now);
-    void scanAndEnqueue(Addr block_addr,
+    void scanAndEnqueue(std::uint8_t engine, Addr block_addr,
                         const ContentDirectedPrefetcher::ScanContext &ctx,
                         Cycle now);
     void handleVictim(const Cache::Victim &victim,
-                      PrefetchSource insert_source, Cycle now);
+                      std::uint8_t insert_owner, Cycle now);
     void issuePrefetches(Cycle now);
+    /** Is any fill-scanning engine currently enabled? (Gates the
+     *  demand-MSHR scanOnFill bit.) */
+    bool anyFillScanEnabled() const;
     void endInterval(Cycle now);
     /** Snapshot from explicit (possibly copied) interval counters. */
     static FeedbackSnapshot makeSnapshot(const PrefetcherFeedback &fb,
                                          std::uint64_t aged_misses,
                                          std::uint64_t aged_pollution);
-    FeedbackSnapshot snapshot(unsigned which) const;
-    void applyPrimaryLevel(AggLevel level);
-    void applyLdsLevel(AggLevel level);
-    void pabRecord(unsigned which, bool used);
+    FeedbackSnapshot snapshot(std::size_t which) const;
+    void applyLevel(std::size_t which, AggLevel level);
+    void pabRecord(std::size_t which, bool used);
 
     SystemConfig cfg_;
     unsigned coreId_;
     SimMemory image_;
     DramSystem *dram_;
+
+    /** @{ The engine stack: registry names, stats instance names, and
+     *  the engine objects, all indexed by slot. */
+    std::vector<std::string> stackNames_;
+    std::vector<std::string> instanceNames_;
+    std::vector<std::unique_ptr<PrefetchEngine>> engines_;
+    /** ldsClass_[i] != 0 iff slot i's engine is LDS-class (sits
+     *  behind the hardware filter). */
+    std::vector<std::uint8_t> ldsClass_;
+    /** Slots whose engines observe load values / scan fills. */
+    std::vector<std::uint8_t> loadValueEngines_;
+    std::vector<std::uint8_t> fillScanEngines_;
+    /** @} */
 
     /** @{ Observability: the caller's registry/tracer, or a private
      *  fallback registry so the counters always exist. */
@@ -249,33 +294,26 @@ class MemorySystem : public CoreMemoryInterface
     obs::MetricRegistry *metrics_;
     obs::EventTracer *tracer_;
     obs::PhaseProfiler *phases_;
-    obs::ThrottleMonitor primaryMonitor_;
-    obs::ThrottleMonitor ldsMonitor_;
+    std::vector<obs::ThrottleMonitor> monitors_;
     /** @} */
 
     Cache l1_;
     Cache l2_;
     MshrFile mshrs_;
 
-    StreamPrefetcher stream_;
-    GhbPrefetcher ghb_;
-    ContentDirectedPrefetcher cdp_;
-    DependenceBasedPrefetcher dbp_;
-    std::unique_ptr<MarkovPrefetcher> markov_;
     std::unique_ptr<HardwareFilter> hwFilter_;
     PabSelector pab_;
 
     CoordinatedThrottler coordinated_;
     FdpThrottler fdp_;
-    PrefetcherFeedback feedback_[2];
+    std::vector<PrefetcherFeedback> feedback_;
     IntervalCounter demandMissCounter_;
-    IntervalCounter pollutionEvents_[2];
-    PollutionFilter pollutionFilter_[2];
+    std::vector<IntervalCounter> pollutionEvents_;
+    std::vector<PollutionFilter> pollutionFilter_;
 
-    AggLevel primaryLevel_;
-    AggLevel ldsLevel_;
-    bool primaryEnabled_ = true;
-    bool ldsEnabled_ = true;
+    /** Per-slot aggressiveness and enable state. */
+    std::vector<AggLevel> levels_;
+    std::vector<std::uint8_t> enabled_;
 
     std::deque<QueuedPrefetch> readyQueue_;
     std::priority_queue<QueuedPrefetch, std::vector<QueuedPrefetch>,
@@ -303,7 +341,7 @@ class MemorySystem : public CoreMemoryInterface
     obs::Counter *mshrReleasesCtr_ = nullptr;
     obs::Counter *mshrInFlightEndCtr_ = nullptr;
     obs::Counter *mshrStallCyclesCtr_ = nullptr;
-    PfCounters pf_[2];
+    std::vector<PfCounters> pf_;
     /** @} */
 
     /** Last cycle a demand was rejected on full MSHRs (dedupes the

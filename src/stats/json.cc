@@ -70,7 +70,22 @@ writeRunStatsJson(std::ostream &os, const RunStats &stats,
            << ",\"primaryEnabled\":"
            << (s.primaryEnabled ? "true" : "false")
            << ",\"ldsEnabled\":"
-           << (s.ldsEnabled ? "true" : "false") << "}";
+           << (s.ldsEnabled ? "true" : "false");
+        // Slots beyond the legacy pair. Omitted when empty so the
+        // two-slot schema stays byte-identical to the pinned goldens.
+        if (!s.extra.empty()) {
+            os << ",\"extra\":[";
+            for (std::size_t e = 0; e < s.extra.size(); ++e) {
+                const EngineIntervalExtra &x = s.extra[e];
+                os << (e ? "," : "") << "{\"accuracy\":" << x.accuracy
+                   << ",\"coverage\":" << x.coverage
+                   << ",\"level\":" << static_cast<int>(x.level)
+                   << ",\"enabled\":" << (x.enabled ? "true" : "false")
+                   << "}";
+            }
+            os << "]";
+        }
+        os << "}";
     }
     os << "],"
        << "\"prefetchers\":{";
@@ -90,7 +105,25 @@ writeRunStatsJson(std::ostream &os, const RunStats &stats,
     os << "},\"finalLevels\":{\"primary\":"
        << static_cast<int>(stats.finalPrimaryLevel)
        << ",\"lds\":" << static_cast<int>(stats.finalLdsLevel)
-       << "}}";
+       << "}";
+    // Per-slot engine totals. The legacy two-slot layout is fully
+    // described by the "prefetchers" object above; only wider (or
+    // narrower) stacks add the "engines" array, so two-slot output —
+    // and with it the pinned goldens — is byte-identical to the
+    // pre-registry schema.
+    if (stats.engineStats.size() != 2) {
+        os << ",\"engines\":[";
+        for (std::size_t i = 0; i < stats.engineStats.size(); ++i) {
+            const RunStats::EngineRunStats &es = stats.engineStats[i];
+            os << (i ? "," : "") << "{\"instance\":\""
+               << jsonEscape(es.instance) << "\",\"engine\":\""
+               << jsonEscape(es.engine) << "\",\"issued\":" << es.issued
+               << ",\"used\":" << es.used << ",\"late\":" << es.late
+               << ",\"dropped\":" << es.dropped << "}";
+        }
+        os << "]";
+    }
+    os << "}";
 }
 
 // --- JsonValue -------------------------------------------------------

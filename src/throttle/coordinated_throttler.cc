@@ -43,6 +43,23 @@ CoordinatedThrottler::decide(const FeedbackSnapshot &self,
     return ThrottleDecision::Nothing;
 }
 
+FeedbackSnapshot
+CoordinatedThrottler::rival(const std::vector<FeedbackSnapshot> &all,
+                           std::size_t self)
+{
+    FeedbackSnapshot best;
+    best.coverage = -1.0;
+    for (std::size_t j = 0; j < all.size(); ++j) {
+        if (j == self)
+            continue;
+        if (all[j].coverage > best.coverage)
+            best = all[j];
+    }
+    if (best.coverage < 0.0)
+        return FeedbackSnapshot{}; // no rival: neutral snapshot
+    return best;
+}
+
 AggLevel
 CoordinatedThrottler::apply(AggLevel level, ThrottleDecision decision)
 {

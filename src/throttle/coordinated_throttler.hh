@@ -12,6 +12,9 @@
 #ifndef ECDP_THROTTLE_COORDINATED_THROTTLER_HH
 #define ECDP_THROTTLE_COORDINATED_THROTTLER_HH
 
+#include <cstddef>
+#include <vector>
+
 #include "prefetch/prefetcher.hh"
 #include "throttle/feedback.hh"
 
@@ -47,6 +50,17 @@ class CoordinatedThrottler
      */
     ThrottleDecision decide(const FeedbackSnapshot &self,
                             const FeedbackSnapshot &rival) const;
+
+    /**
+     * The rival snapshot for stack slot @p self in an N-engine stack:
+     * the Table 3 rules only consume the rival's *coverage*, so the
+     * rival of an engine is the best-covering other engine (ties to
+     * the lowest slot). For the legacy pair this is exactly "the other
+     * prefetcher"; an engine running alone gets a neutral
+     * (zero-coverage) rival and throttles on its own feedback.
+     */
+    static FeedbackSnapshot
+    rival(const std::vector<FeedbackSnapshot> &all, std::size_t self);
 
     /** Apply a decision to an aggressiveness level, clamped to the
      *  four Table 2 levels. */

@@ -81,7 +81,7 @@ TEST(Cache, ReinsertSameBlockIsRefreshNotEviction)
 TEST(Cache, VictimCarriesDirtyAndPrefetchState)
 {
     Cache cache = smallCache();
-    cache.insert(0x40000000, PrefetchSource::Lds);
+    cache.insert(0x40000000, 1);
     cache.lookup(0x40000000, false)->dirty = true;
     for (unsigned i = 1; i <= 4; ++i)
         cache.insert(0x40000000 + i * 1024);
@@ -89,17 +89,15 @@ TEST(Cache, VictimCarriesDirtyAndPrefetchState)
     EXPECT_EQ(cache.evictions(), 1u);
 }
 
-TEST(Cache, PrefetchSourceSetsTagBits)
+TEST(Cache, PrefetchOwnerSetsTag)
 {
     Cache cache = smallCache();
-    cache.insert(0x40000000, PrefetchSource::Primary);
-    cache.insert(0x40000080, PrefetchSource::Lds);
-    cache.insert(0x40000100, PrefetchSource::None);
-    EXPECT_TRUE(cache.lookup(0x40000000)->prefetchedPrimary);
-    EXPECT_FALSE(cache.lookup(0x40000000)->prefetchedLds);
-    EXPECT_TRUE(cache.lookup(0x40000080)->prefetchedLds);
-    EXPECT_FALSE(cache.lookup(0x40000100)->prefetchedPrimary);
-    EXPECT_FALSE(cache.lookup(0x40000100)->prefetchedLds);
+    cache.insert(0x40000000, 0);
+    cache.insert(0x40000080, 1);
+    cache.insert(0x40000100);
+    EXPECT_EQ(cache.lookup(0x40000000)->prefetchOwner, 0);
+    EXPECT_EQ(cache.lookup(0x40000080)->prefetchOwner, 1);
+    EXPECT_EQ(cache.lookup(0x40000100)->prefetchOwner, kNoPrefetchOwner);
 }
 
 TEST(Cache, InvalidateRemovesBlock)
@@ -252,7 +250,7 @@ TEST(MshrFile, ReallocationReusesReleasedEntries)
     // The recycled entry must carry no stale state.
     EXPECT_FALSE(again.demand);
     EXPECT_FALSE(again.dirty);
-    EXPECT_EQ(again.source, PrefetchSource::None);
+    EXPECT_EQ(again.engine, kNoPrefetchOwner);
 }
 
 } // namespace

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -154,6 +155,112 @@ TEST_P(GoldenStatsTest, MatchesPinnedJson)
 INSTANTIATE_TEST_SUITE_P(
     TinyRuns, GoldenStatsTest, ::testing::ValuesIn(kCases),
     [](const ::testing::TestParamInfo<GoldenCase> &info) {
+        std::string name = std::string(info.param.bench) + "_" +
+                           info.param.config;
+        for (char &ch : name) {
+            if (ch == '+' || ch == '-')
+                ch = '_';
+        }
+        return name;
+    });
+
+// ---------------------------------------------------------------------
+// Differential golden: an explicit cfg.engines stack equal to the
+// legacy derivation must reproduce the legacy two-slot run
+// byte-for-byte. Together with the pinned files above, this proves
+// explicit stacks reproduce the pre-registry simulator exactly over
+// the full workload x config matrix (plus the 64 B block edge case).
+// ---------------------------------------------------------------------
+
+struct DifferentialCase
+{
+    const char *bench;
+    const char *config;
+};
+
+constexpr DifferentialCase kDifferentialCases[] = {
+    {"health", "baseline"},      {"mst", "cdp+throttle"},
+    {"bisort", "full"},          {"perimeter", "ecdp+fdp"},
+    {"health", "cdp+pab"},       {"mst", "dbp"},
+    {"bisort", "markov"},        {"health", "side-buffer"},
+    {"mst", "noprefetch"},       {"health", "small-blocks"},
+};
+
+const HintTable &
+trainHints(const std::string &bench)
+{
+    static std::map<std::string, HintTable> cache;
+    auto it = cache.find(bench);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(bench,
+                          ProfilingCompiler::profile(
+                              buildWorkload(bench, InputSet::Train)))
+                 .first;
+    }
+    return it->second;
+}
+
+SystemConfig
+differentialConfig(const std::string &config, const std::string &bench)
+{
+    if (config == "baseline")
+        return configs::baseline();
+    if (config == "cdp+throttle")
+        return configs::streamCdpThrottled();
+    if (config == "full")
+        return configs::fullProposal(&trainHints(bench));
+    if (config == "ecdp+fdp")
+        return configs::streamEcdpFdp(&trainHints(bench));
+    if (config == "cdp+pab")
+        return configs::streamCdpPab();
+    if (config == "dbp")
+        return configs::streamDbp();
+    if (config == "markov")
+        return configs::streamMarkov();
+    if (config == "side-buffer") {
+        SystemConfig cfg = configs::streamCdp();
+        cfg.idealNoPollution = true;
+        return cfg;
+    }
+    if (config == "noprefetch")
+        return configs::noPrefetch();
+    if (config == "small-blocks") {
+        SystemConfig cfg = configs::baseline();
+        cfg.l1BlockBytes = 64;
+        cfg.l2BlockBytes = 64;
+        return cfg;
+    }
+    throw std::runtime_error("unknown differential config " + config);
+}
+
+class EngineStackDifferentialTest
+    : public ::testing::TestWithParam<DifferentialCase>
+{
+};
+
+TEST_P(EngineStackDifferentialTest, ExplicitStackIsByteIdentical)
+{
+    const DifferentialCase &c = GetParam();
+    const Workload workload = buildWorkload(c.bench, InputSet::Train);
+
+    const SystemConfig legacy = differentialConfig(c.config, c.bench);
+    SystemConfig explicitStack = legacy;
+    explicitStack.engines = effectiveEngineStack(legacy);
+
+    auto json = [&](const SystemConfig &cfg) {
+        RunStats stats = simulate(cfg, workload);
+        std::ostringstream os;
+        writeRunStatsJson(os, stats, c.config);
+        return os.str();
+    };
+    EXPECT_EQ(json(legacy), json(explicitStack));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EngineStackDifferentialTest,
+    ::testing::ValuesIn(kDifferentialCases),
+    [](const ::testing::TestParamInfo<DifferentialCase> &info) {
         std::string name = std::string(info.param.bench) + "_" +
                            info.param.config;
         for (char &ch : name) {

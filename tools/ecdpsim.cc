@@ -7,10 +7,17 @@
  *   ecdpsim --bench mst --config cdp --input train --json
  *   ecdpsim --multicore health,milc,mst,lbm --config baseline
  *   ecdpsim --bench astar --config full --tcov 0.2 --interval 8192
+ *   ecdpsim --bench health --config cdp+throttle \
+ *       --engines stream,cdp,isb --json
  *
  * Configs: noprefetch, baseline, cdp, ecdp, cdp+throttle, full,
  *          dbp, markov, ghb, ghb+ecdp, cdp+filter, ecdp+fdp,
  *          cdp+pab, grp, ideal-lds.
+ *
+ * --engines replaces the chosen config's engine stack with an
+ * explicit registry-name list (any length), keeping the config's
+ * throttling/feedback knobs — the N-engine hybrid recipe in
+ * EXPERIMENTS.md builds on it.
  */
 
 #include <cstring>
@@ -21,8 +28,11 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "compiler/profiling_compiler.hh"
 #include "obs/trace_session.hh"
+#include "prefetch/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/multicore.hh"
 #include "sim/simulator.hh"
@@ -41,6 +51,8 @@ struct Options
     std::string bench;
     std::vector<std::string> multicore;
     std::string config = "baseline";
+    /** Explicit engine stack overriding the config's (empty: keep). */
+    std::vector<std::string> engines;
     InputSet input = InputSet::Ref;
     double tcov = -1.0;
     long interval = -1;
@@ -51,18 +63,33 @@ usage(std::ostream &os)
 {
     os << "usage: ecdpsim [--list] [--bench NAME | --multicore "
           "A,B,...]\n"
-          "               [--config CFG] [--input ref|train] "
-          "[--json]\n"
+          "               [--config CFG] [--engines A,B,...] "
+          "[--input ref|train] [--json]\n"
           "               [--tcov X] [--alow X] [--ahigh X] "
           "[--interval N]\n";
 }
 
 bool
-needsHints(const std::string &config)
+needsHints(const Options &opts)
 {
+    const std::string &config = opts.config;
     return config == "ecdp" || config == "full" ||
            config == "ghb+ecdp" || config == "ecdp+fdp" ||
-           config == "grp";
+           config == "grp" ||
+           std::find(opts.engines.begin(), opts.engines.end(),
+                     "ecdp") != opts.engines.end();
+}
+
+/** "cdp+throttle[stream,cdp,isb]" when --engines is given. */
+std::string
+configLabel(const Options &opts)
+{
+    if (opts.engines.empty())
+        return opts.config;
+    std::string label = opts.config + "[";
+    for (std::size_t i = 0; i < opts.engines.size(); ++i)
+        label += (i ? "," : "") + opts.engines[i];
+    return label + "]";
 }
 
 SystemConfig
@@ -126,11 +153,13 @@ int
 runSingle(const Options &opts)
 {
     HintTable hints;
-    if (needsHints(opts.config)) {
+    if (needsHints(opts)) {
         hints = ProfilingCompiler::profile(
             buildWorkload(opts.bench, InputSet::Train));
     }
     SystemConfig cfg = makeConfig(opts.config, &hints);
+    if (!opts.engines.empty())
+        cfg.engines = opts.engines;
     if (opts.tcov >= 0.0)
         cfg.coordThresholds.tCoverage = opts.tcov;
     if (opts.interval > 0)
@@ -143,15 +172,16 @@ runSingle(const Options &opts)
         obs::MetricRegistry metrics;
         stats = simulate(cfg, workload,
                          Observability{&metrics, &tracer});
-        session->flush(opts.bench + ":" + opts.config, tracer);
+        session->flush(opts.bench + ":" + configLabel(opts),
+                       tracer);
     } else {
         stats = simulate(cfg, workload);
     }
     if (opts.json) {
-        writeRunStatsJson(std::cout, stats, opts.config);
+        writeRunStatsJson(std::cout, stats, configLabel(opts));
         std::cout << '\n';
     } else {
-        printHuman(stats, opts.config);
+        printHuman(stats, configLabel(opts));
     }
     return 0;
 }
@@ -162,7 +192,7 @@ runMulti(const Options &opts)
     HintTable merged;
     std::vector<Workload> workloads;
     for (const std::string &name : opts.multicore) {
-        if (needsHints(opts.config)) {
+        if (needsHints(opts)) {
             HintTable hints = ProfilingCompiler::profile(
                 buildWorkload(name, InputSet::Train));
             for (const auto &[pc, hint] : hints)
@@ -171,6 +201,8 @@ runMulti(const Options &opts)
         workloads.push_back(buildWorkload(name, opts.input));
     }
     SystemConfig cfg = makeConfig(opts.config, &merged);
+    if (!opts.engines.empty())
+        cfg.engines = opts.engines;
     std::vector<const Workload *> ptrs;
     std::vector<double> alone;
     for (const Workload &workload : workloads) {
@@ -187,12 +219,12 @@ runMulti(const Options &opts)
         std::string label;
         for (const std::string &name : opts.multicore)
             label += (label.empty() ? "" : "+") + name;
-        session->flush(label + ":" + opts.config, tracer);
+        session->flush(label + ":" + configLabel(opts), tracer);
     } else {
         result = simulateMultiCore(cfg, ptrs, alone);
     }
     if (opts.json) {
-        std::cout << "{\"config\":\"" << jsonEscape(opts.config)
+        std::cout << "{\"config\":\"" << jsonEscape(configLabel(opts))
                   << "\",\"weightedSpeedup\":"
                   << result.weightedSpeedup
                   << ",\"hmeanSpeedup\":" << result.hmeanSpeedup
@@ -206,7 +238,7 @@ runMulti(const Options &opts)
         std::cout << "]}\n";
     } else {
         std::cout << opts.multicore.size() << "-core run ["
-                  << opts.config << "]\n";
+                  << configLabel(opts) << "]\n";
         for (std::size_t i = 0; i < result.perCore.size(); ++i) {
             const RunStats &s = result.perCore[i];
             std::cout << "  core " << i << " (" << s.workload
@@ -257,6 +289,19 @@ main(int argc, char **argv)
                 std::string name;
                 while (std::getline(ss, name, ','))
                     opts.multicore.push_back(name);
+            } else if (arg == "--engines") {
+                std::stringstream ss(value("--engines"));
+                std::string name;
+                while (std::getline(ss, name, ','))
+                    opts.engines.push_back(name);
+                // Fail here with the registry's diagnostic (it lists
+                // every known name) instead of mid-simulation.
+                for (const std::string &engine : opts.engines) {
+                    if (!EngineRegistry::instance().contains(engine)) {
+                        EngineRegistry::instance().create(
+                            engine, EngineContext{});
+                    }
+                }
             } else if (arg == "--tcov") {
                 opts.tcov = std::stod(value("--tcov"));
             } else if (arg == "--interval") {

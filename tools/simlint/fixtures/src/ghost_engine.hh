@@ -1,0 +1,32 @@
+// Intentionally-broken header seeding both legs of the
+// engine-conformance rule (see fixtures/README.md):
+//   - GhostEngine inherits PrefetchEngine but no make_unique<...>
+//     anywhere in this fixture tree constructs it, so it could never
+//     come out of the registry.
+//   - "phantom" is registered but has no {"phantom", WorkloadKind...}
+//     fixture row under tests/, so the conformance battery would
+//     never exercise it.
+// (Never built; only scanned.)
+
+#ifndef ECDP_SIMLINT_FIXTURE_GHOST_ENGINE_HH
+#define ECDP_SIMLINT_FIXTURE_GHOST_ENGINE_HH
+
+namespace fixture
+{
+
+class PrefetchEngine;
+class EngineRegistry;
+
+class GhostEngine final : public PrefetchEngine
+{
+};
+
+inline void
+wireGhost(EngineRegistry &registry)
+{
+    registry.add("phantom", nullptr);
+}
+
+} // namespace fixture
+
+#endif // ECDP_SIMLINT_FIXTURE_GHOST_ENGINE_HH

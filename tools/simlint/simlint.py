@@ -29,6 +29,15 @@ classes fail CI instead of corrupting experiments:
                         the test target or gtest discovery fails —
                         either way a "green" run simply isn't running
                         those tests.
+  engine-conformance    Every class inheriting PrefetchEngine in src/
+                        must be constructed by a registry factory
+                        (a make_unique<Class> somewhere in src/, i.e.
+                        prefetch/engines.cc), and every name passed to
+                        registry.add("...") must have a conformance
+                        fixture row ({"name", WorkloadKind...}) in
+                        tests/engine_harness.hh — so a new engine
+                        cannot ship outside the registry or dodge the
+                        conformance battery.
   hot-path-vector       In files tagged '// simlint: hot-path', no
                         line may construct a std::vector by value: a
                         per-event heap allocation is exactly the bug
@@ -67,6 +76,7 @@ RULES = (
     "raw-addr-param",
     "unregistered-counter",
     "test-registration",
+    "engine-conformance",
     "hot-path-vector",
 )
 
@@ -247,6 +257,64 @@ def check_test_registration(root, build_dir):
     return out
 
 
+# --- engine-conformance -----------------------------------------------
+
+ENGINE_CLASS_RE = re.compile(
+    r"class\s+(\w+)\s*(?:final)?\s*:\s*public\s+PrefetchEngine\b")
+MAKE_UNIQUE_RE = re.compile(r"make_unique<\s*(\w+)\s*>")
+REGISTER_NAME_RE = re.compile(
+    r"\bregistry\s*\.\s*add\(\s*\"([a-z0-9_]+)\"")
+FIXTURE_ROW_RE = re.compile(
+    r"\{\s*\"([a-z0-9_]+)\"\s*,\s*WorkloadKind")
+
+
+def check_engine_conformance(root):
+    classes = []     # (rel, line_no, class name)
+    registered = []  # (rel, line_no, engine name)
+    instantiated = set()
+    fixture_rows = set()
+    for path in iter_source_files(root, "src"):
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        for i, line in enumerate(lines):
+            code = line.split("//", 1)[0]
+            m = ENGINE_CLASS_RE.search(code)
+            if m and not allowed(lines, i, "engine-conformance"):
+                classes.append((rel, i + 1, m.group(1)))
+            for m in MAKE_UNIQUE_RE.finditer(code):
+                instantiated.add(m.group(1))
+            for m in REGISTER_NAME_RE.finditer(code):
+                if not allowed(lines, i, "engine-conformance"):
+                    registered.append((rel, i + 1, m.group(1)))
+    for path in iter_source_files(root, "tests"):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for m in FIXTURE_ROW_RE.finditer(text):
+            fixture_rows.add(m.group(1))
+
+    out = []
+    for rel, line_no, name in classes:
+        if name in instantiated:
+            continue
+        out.append(Violation(
+            rel, line_no, "engine-conformance",
+            "class '%s' inherits PrefetchEngine but no registry "
+            "factory constructs it (no make_unique<%s> in src/); "
+            "register it in prefetch/engines.cc so configured stacks "
+            "and the conformance battery can reach it" % (name, name)))
+    for rel, line_no, name in registered:
+        if name in fixture_rows:
+            continue
+        out.append(Violation(
+            rel, line_no, "engine-conformance",
+            "registered engine '%s' has no conformance fixture row "
+            "('{\"%s\", WorkloadKind...}' in "
+            "tests/engine_harness.hh); the conformance battery "
+            "cannot exercise it" % (name, name)))
+    return out
+
+
 # --- hot-path-vector --------------------------------------------------
 
 HOT_PATH_MARK_RE = re.compile(r"//\s*simlint:\s*hot-path\b")
@@ -364,6 +432,8 @@ def main(argv):
         violations += check_unregistered_counter(root)
     if "test-registration" in rules:
         violations += check_test_registration(root, args.build_dir)
+    if "engine-conformance" in rules:
+        violations += check_engine_conformance(root)
     if "hot-path-vector" in rules:
         violations += check_hot_path_vector(root)
 
