@@ -169,6 +169,11 @@ ResultCache::load(const std::string &name, std::uint64_t hash) const
                 extra.enabled = x.at("enabled").asBool();
                 sample.extra.push_back(extra);
             }
+            // Optional (written only when non-empty): find(), not
+            // at() — at() would turn every pre-policy cache entry
+            // into a miss.
+            if (const JsonValue *p = item.find("policy"))
+                sample.policy = p->asString();
             stats.intervalSeries.push_back(sample);
         }
         for (const JsonValue &item : doc.at("engines").asArray()) {
@@ -181,6 +186,13 @@ ResultCache::load(const std::string &name, std::uint64_t hash) const
             es.dropped = item.at("dropped").asU64();
             stats.engineStats.push_back(std::move(es));
         }
+        // Optional policy fields (written only for stateful
+        // policies): conditional access keeps pre-policy entries
+        // loadable.
+        if (const JsonValue *p = doc.find("throttlePolicy"))
+            stats.throttlePolicy = p->asString();
+        if (const JsonValue *p = doc.find("throttlePolicyState"))
+            stats.throttlePolicyState = p->asString();
         return stats;
     } catch (const JsonError &) {
         return std::nullopt; // malformed entry: treat as a miss
@@ -284,7 +296,14 @@ ResultCache::store(const std::string &name, std::uint64_t hash,
                    << ",\"enabled\":"
                    << (x.enabled ? "true" : "false") << "}";
             }
-            os << "]}";
+            os << "]";
+            // The raw policy blob round-trips as an escaped string
+            // (the cache's JsonValue reader has no re-serializer).
+            if (!s.policy.empty()) {
+                os << ",\"policy\":\"" << jsonEscape(s.policy)
+                   << "\"";
+            }
+            os << "}";
         }
         os << "],\"engines\":[";
         for (std::size_t i = 0; i < stats.engineStats.size(); ++i) {
@@ -295,7 +314,14 @@ ResultCache::store(const std::string &name, std::uint64_t hash,
                << ",\"used\":" << es.used << ",\"late\":" << es.late
                << ",\"dropped\":" << es.dropped << "}";
         }
-        os << "]}\n";
+        os << "]";
+        if (!stats.throttlePolicyState.empty()) {
+            os << ",\"throttlePolicy\":\""
+               << jsonEscape(stats.throttlePolicy)
+               << "\",\"throttlePolicyState\":\""
+               << jsonEscape(stats.throttlePolicyState) << "\"";
+        }
+        os << "}\n";
         if (!os)
             return;
     }

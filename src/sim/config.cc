@@ -133,6 +133,17 @@ configHash(const SystemConfig &cfg)
     h.u64(cfg.fdpThresholds.intervalEvictions);
     h.u64(cfg.fdpThresholds.pollutionFilterEntries);
     h.u64(cfg.pabWindow);
+    // The throttle policy (and its seed) is hashed only when it
+    // overrides the legacy ThrottleKind dispatch: a default (empty)
+    // policy names exactly the configuration the kind already hashed
+    // above, and folding the empty string in unconditionally would
+    // shift every pre-policy hash and orphan existing result caches.
+    if (!cfg.throttlePolicy.empty()) {
+        h.u64(cfg.throttlePolicy.size());
+        for (char c : cfg.throttlePolicy)
+            h.u64(static_cast<unsigned char>(c));
+        h.u64(cfg.throttleRlSeed);
+    }
 
     h.u64(cfg.idealLds ? 1 : 0);
     h.u64(cfg.idealNoPollution ? 1 : 0);
@@ -166,6 +177,22 @@ effectiveEngineStack(const SystemConfig &cfg)
       case LdsKind::Markov: stack[1] = "markov"; break;
     }
     return stack;
+}
+
+std::string
+effectiveThrottlePolicy(const SystemConfig &cfg)
+{
+    if (!cfg.throttlePolicy.empty())
+        return cfg.throttlePolicy;
+    switch (cfg.throttle) {
+      case ThrottleKind::None: return "static";
+      case ThrottleKind::Coordinated: return "coordinated";
+      case ThrottleKind::Fdp: return "fdp";
+      // PAB flips enable bits instead of levels; the level policy of
+      // a PAB run is the do-nothing one.
+      case ThrottleKind::Pab: return "static";
+    }
+    return "static";
 }
 
 std::vector<std::string>

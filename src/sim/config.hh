@@ -107,6 +107,27 @@ struct SystemConfig
     CoordinatedThrottler::Thresholds coordThresholds{0.3, 0.4, 0.7};
     FdpThrottler::Thresholds fdpThresholds{};
     unsigned pabWindow = 64;
+    /**
+     * Decision policy for the per-slot aggressiveness levels, by
+     * PolicyRegistry name ("static", "coordinated", "fdp",
+     * "tabular-rl"). Empty (the default) derives the policy from the
+     * ThrottleKind above — None/Pab -> "static", Coordinated ->
+     * "coordinated", Fdp -> "fdp" — reproducing the legacy rule
+     * dispatch byte-identically (see effectiveThrottlePolicy()). A
+     * non-empty name overrides the level rules for every kind; PAB's
+     * enable-bit selector still keys on the kind and runs alongside.
+     * Excluded from configHash() when default so pre-policy hashes
+     * (and with them memo/result-cache keys) are unchanged.
+     */
+    std::string throttlePolicy;
+    /**
+     * Exploration seed for randomized policies ("tabular-rl"), folded
+     * into configHash() together with the (non-default) policy name.
+     * Policies derive all randomness from it — never from wall clock —
+     * so equal seeds give byte-identical runs (enforced by the
+     * seeded-determinism tests).
+     */
+    std::uint64_t throttleRlSeed = 1;
     /** @} */
 
     /** @{ Oracle modes. */
@@ -169,6 +190,16 @@ std::uint64_t configHash(const SystemConfig &cfg);
 std::vector<std::string> effectiveEngineStack(const SystemConfig &cfg);
 
 /**
+ * The PolicyRegistry name of the throttle policy a configuration
+ * actually runs: cfg.throttlePolicy when non-empty, otherwise the
+ * legacy ThrottleKind's rule set (None/Pab -> "static", Coordinated ->
+ * "coordinated", Fdp -> "fdp"). Pab maps to "static" because PAB
+ * selects enable bits rather than levels; its selector keys on the
+ * kind and runs regardless of the level policy.
+ */
+std::string effectiveThrottlePolicy(const SystemConfig &cfg);
+
+/**
  * Stats/counter instance name of each stack slot: slot 0 is always
  * "primary" and slot 1 "lds" (the accounting tests and JSON schema key
  * on those), further slots are "<engine><slot>" — unique even when
@@ -207,6 +238,10 @@ struct IntervalSample
     bool ldsEnabled = true;
     /** Slots 2.. of an N-engine stack (empty for legacy pairs). */
     std::vector<EngineIntervalExtra> extra;
+    /** Raw JSON blob of per-interval policy state (tabular-rl action
+     *  trace); empty — and omitted from the stats JSON — for the
+     *  built-in rule policies, keeping the goldens byte-identical. */
+    std::string policy;
 };
 
 /** Statistics of one single-core run. */
@@ -253,6 +288,15 @@ struct RunStats
     /** Per-interval feedback/throttle time series (one entry per
      *  completed interval, in order). */
     std::vector<IntervalSample> intervalSeries;
+
+    /** @{ Throttle policy of the run (effectiveThrottlePolicy()) and
+     *  its final serialized state. Emitted to the stats JSON only
+     *  when the state blob is non-empty — the built-in rule policies
+     *  serialize nothing, so default runs stay byte-identical to the
+     *  pinned goldens. */
+    std::string throttlePolicy;
+    std::string throttlePolicyState;
+    /** @} */
 
     /** Lifetime totals of one engine-stack slot (all slots, including
      *  the legacy pair, in stack order). */

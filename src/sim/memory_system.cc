@@ -29,12 +29,22 @@ MemorySystem::MemorySystem(const SystemConfig &cfg, unsigned core_id,
       mshrs_(cfg.l2Mshrs),
       pab_(cfg.pabWindow,
            static_cast<unsigned>(stackNames_.size())),
-      coordinated_(cfg.coordThresholds),
-      fdp_(cfg.fdpThresholds),
+      policyName_(effectiveThrottlePolicy(cfg)),
       blockBuf_(cfg.l2BlockBytes, 0)
 {
     assert(dram_);
     assert(!stackNames_.empty());
+
+    PolicyContext pctx;
+    pctx.coord = cfg_.coordThresholds;
+    pctx.fdp = cfg_.fdpThresholds;
+    // Decorrelate per-core exploration streams in multi-core runs
+    // without adding a per-core config knob (core 0 keeps the plain
+    // seed's stream only up to the constructor's remapping).
+    pctx.seed = cfg_.throttleRlSeed +
+                0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(
+                                            core_id);
+    policy_ = PolicyRegistry::instance().create(policyName_, pctx);
 
     EngineContext ectx;
     ectx.geom = l2_.geom();
@@ -104,6 +114,18 @@ MemorySystem::bindCounters()
     mshrReleasesCtr_ = &mshr.counter("releases");
     mshrInFlightEndCtr_ = &mshr.counter("in_flight_end");
     mshrStallCyclesCtr_ = &mshr.counter("demand_stall_cycles");
+
+    // Decision counters live under the policy's own scope so a
+    // policy-comparison sweep can diff them by path; the policy
+    // additionally binds its private counters (Q-table visits,
+    // explorations, ...) in the same scope.
+    obs::MetricScope throttle =
+        core.scope("throttle." + policyName_ + ".");
+    throttleIntervalsCtr_ = &throttle.counter("intervals");
+    throttleUpCtr_ = &throttle.counter("decisions.up");
+    throttleDownCtr_ = &throttle.counter("decisions.down");
+    throttleNothingCtr_ = &throttle.counter("decisions.nothing");
+    policy_->bindCounters(throttle);
 
     static const char *const kDropName[6] = {
         "queue_full",  "source_disabled", "cached",
@@ -773,31 +795,51 @@ MemorySystem::endInterval(Cycle now)
     for (std::size_t i = 0; i < n; ++i)
         snaps[i] = snapshot(i);
 
-    switch (cfg_.throttle) {
-      case ThrottleKind::None:
-        break;
-      case ThrottleKind::Coordinated:
-        for (std::size_t i = 0; i < n; ++i) {
-            applyLevel(i, CoordinatedThrottler::apply(
-                              levels_[i],
-                              coordinated_.decide(
-                                  snaps[i],
-                                  CoordinatedThrottler::rival(snaps,
-                                                              i))));
-        }
-        break;
-      case ThrottleKind::Fdp:
-        for (std::size_t i = 0; i < n; ++i) {
-            applyLevel(i, CoordinatedThrottler::apply(
-                              levels_[i], fdp_.decide(snaps[i])));
-        }
-        break;
-      case ThrottleKind::Pab: {
+    // Interval-level progress deltas for the policy. The rule
+    // policies never read them; the tabular-rl reward does.
+    IntervalContext ictx;
+    ictx.cycle = now;
+    ictx.deltaCycles = now.raw() - lastIntervalCycle_.raw();
+    const std::uint64_t retired =
+        progressCore_ ? progressCore_->retired() : 0;
+    const std::uint64_t bus = dram_->busTransactions(coreId_);
+    ictx.deltaInstructions = retired - lastIntervalInstructions_;
+    ictx.deltaBusTransactions = bus - lastIntervalBus_;
+    lastIntervalCycle_ = now;
+    lastIntervalInstructions_ = retired;
+    lastIntervalBus_ = bus;
+
+    // PAB selects enable bits and keys on the ThrottleKind; the level
+    // policy below runs regardless (a PAB run's default level policy
+    // is "static", a no-op).
+    if (cfg_.throttle == ThrottleKind::Pab) {
         const unsigned keep = pab_.select();
         for (std::size_t i = 0; i < n; ++i)
             enabled_[i] = i == keep ? 1 : 0;
-        break;
-      }
+    }
+
+    // Uniform per-slot level decisions through the policy. Applying a
+    // "Nothing" decision re-applies the unchanged level; every
+    // engine's setAggressiveness is an idempotent parameter set, so
+    // this is behaviourally identical to the pre-policy code that
+    // skipped applyLevel entirely for ThrottleKind::None.
+    throttleIntervalsCtr_->inc();
+    for (std::size_t i = 0; i < n; ++i) {
+        const ThrottleDecision decision =
+            policy_->onIntervalEnd(i, snaps, ictx);
+        switch (decision) {
+          case ThrottleDecision::Up:
+            throttleUpCtr_->inc();
+            break;
+          case ThrottleDecision::Down:
+            throttleDownCtr_->inc();
+            break;
+          case ThrottleDecision::Nothing:
+            throttleNothingCtr_->inc();
+            break;
+        }
+        applyLevel(i,
+                   CoordinatedThrottler::apply(levels_[i], decision));
     }
 
     IntervalSample sample;
@@ -820,6 +862,7 @@ MemorySystem::endInterval(Cycle now)
         extra.enabled = enabled_[i] != 0;
         sample.extra.push_back(extra);
     }
+    sample.policy = policy_->intervalStateJson();
     intervalSeries_.push_back(sample);
 
     if (tracer_) {
@@ -968,6 +1011,11 @@ MemorySystem::collectStats(RunStats &out, Cycle now)
     }
     out.intervals = intervals_;
     out.intervalSeries = intervalSeries_;
+    out.throttlePolicy = policyName_;
+    // The rule policies serialize nothing; the JSON writer keys the
+    // new fields on a non-empty state blob, keeping default-policy
+    // output byte-identical to the pinned goldens.
+    out.throttlePolicyState = policy_->stateJson();
 
     // Trailing partial interval: interval ends are only detected via
     // the eviction delta in tick(), so a run that stops mid-interval
@@ -1021,6 +1069,31 @@ MemorySystem::collectStats(RunStats &out, Cycle now)
         }
         out.intervalSeries.push_back(sample);
     }
+}
+
+void
+MemorySystem::resetEngineStack()
+{
+    const std::size_t n = engines_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        engines_[i]->reset();
+        feedback_[i].reset();
+        pollutionEvents_[i].reset();
+        pollutionFilter_[i].clear();
+        enabled_[i] = 1;
+    }
+    demandMissCounter_.reset();
+    applyLevel(0, cfg_.primaryStartLevel);
+    for (std::size_t i = 1; i < n; ++i)
+        applyLevel(i, i == 1 ? cfg_.ldsStartLevel
+                             : AggLevel::Aggressive);
+    policy_->reset();
+    // Re-arm the interval machinery at the current counts so the
+    // first post-reset interval measures only post-reset activity.
+    lastIntervalEvictions_ = l2_.evictions();
+    lastIntervalInstructions_ =
+        progressCore_ ? progressCore_->retired() : 0;
+    lastIntervalBus_ = dram_->busTransactions(coreId_);
 }
 
 } // namespace ecdp

@@ -48,8 +48,8 @@
 #include "prefetch/pab_selector.hh"
 #include "sim/config.hh"
 #include "throttle/coordinated_throttler.hh"
-#include "throttle/fdp_throttler.hh"
 #include "throttle/feedback.hh"
+#include "throttle/throttle_policy.hh"
 
 namespace ecdp
 {
@@ -160,7 +160,41 @@ class MemorySystem : public CoreMemoryInterface
     {
         applyLevel(i, level);
     }
+    /** Test hook: one slot's feedback lane (reset-path assertions). */
+    const PrefetcherFeedback &feedbackLane(std::size_t i) const
+    {
+        return feedback_[i];
+    }
+    /** PolicyRegistry name of the running throttle policy. */
+    const std::string &throttlePolicyName() const
+    {
+        return policyName_;
+    }
     /** @} */
+
+    /**
+     * Attach the owning core as the progress source for the policy's
+     * interval-level IPC deltas (the tabular-rl reward signal). Pure
+     * observation: the built-in rule policies never read the deltas,
+     * so attaching (or not) cannot change legacy behaviour. Without a
+     * core, deltaInstructions reads 0 (tests driving a bare
+     * MemorySystem).
+     */
+    void attachCore(const Core *core) { progressCore_ = core; }
+
+    /**
+     * Fresh-replay reset of the adaptive machinery: every engine
+     * forgets its learned state, all feedback lanes (interval
+     * counters AND the latched held accuracy), the shared miss
+     * counter, pollution filters/counters, aggressiveness levels,
+     * enable bits and the policy's learned state return to their
+     * construction values, and the interval baselines re-arm at the
+     * current eviction/bus/instruction counts. Cache contents, MSHRs
+     * and lifetime obs counters are deliberately untouched: the hook
+     * models replaying the *throttling* machinery, not a machine
+     * reset.
+     */
+    void resetEngineStack();
 
   private:
     struct QueuedPrefetch
@@ -304,8 +338,16 @@ class MemorySystem : public CoreMemoryInterface
     std::unique_ptr<HardwareFilter> hwFilter_;
     PabSelector pab_;
 
-    CoordinatedThrottler coordinated_;
-    FdpThrottler fdp_;
+    /** The level-decision policy (effectiveThrottlePolicy(cfg)). */
+    std::string policyName_;
+    std::unique_ptr<ThrottlePolicy> policy_;
+    /** Progress source for interval IPC deltas (attachCore()). */
+    const Core *progressCore_ = nullptr;
+    /** @{ Baselines for the IntervalContext deltas. */
+    Cycle lastIntervalCycle_{};
+    std::uint64_t lastIntervalInstructions_ = 0;
+    std::uint64_t lastIntervalBus_ = 0;
+    /** @} */
     std::vector<PrefetcherFeedback> feedback_;
     IntervalCounter demandMissCounter_;
     std::vector<IntervalCounter> pollutionEvents_;
@@ -341,6 +383,12 @@ class MemorySystem : public CoreMemoryInterface
     obs::Counter *mshrReleasesCtr_ = nullptr;
     obs::Counter *mshrInFlightEndCtr_ = nullptr;
     obs::Counter *mshrStallCyclesCtr_ = nullptr;
+    /** @{ Policy decision counters ("core<N>.throttle.<policy>."). */
+    obs::Counter *throttleIntervalsCtr_ = nullptr;
+    obs::Counter *throttleUpCtr_ = nullptr;
+    obs::Counter *throttleDownCtr_ = nullptr;
+    obs::Counter *throttleNothingCtr_ = nullptr;
+    /** @} */
     std::vector<PfCounters> pf_;
     /** @} */
 

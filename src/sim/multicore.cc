@@ -43,6 +43,9 @@ simulateMultiCore(const SystemConfig &cfg,
         cores.push_back(std::make_unique<Core>(
             workloads[i], memories.back().get(), cfg.core));
         cores.back()->setWrapAround(true);
+        // Progress source for the throttle policy's interval IPC
+        // deltas (pure observation; rule policies ignore it).
+        memories.back()->attachCore(cores.back().get());
     }
 
     Cycle cycle{};

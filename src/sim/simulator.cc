@@ -23,6 +23,9 @@ simulate(const SystemConfig &cfg, const Workload &workload,
     dram.attachObservability(obs);
     MemorySystem memory(cfg, 0, workload.image.clone(), &dram, &obs);
     Core core(&workload, &memory, cfg.core);
+    // Progress source for the throttle policy's interval IPC deltas
+    // (pure observation; rule policies ignore it).
+    memory.attachCore(&core);
 
     using Phase = obs::PhaseProfiler::Phase;
     obs::PhaseProfiler *prof = obs.phases;

@@ -85,6 +85,12 @@ writeRunStatsJson(std::ostream &os, const RunStats &stats,
             }
             os << "]";
         }
+        // Per-interval policy state (raw JSON blob). The built-in
+        // rule policies emit none, so default-policy output — and
+        // with it the pinned goldens — is byte-identical to the
+        // pre-policy schema.
+        if (!s.policy.empty())
+            os << ",\"policy\":" << s.policy;
         os << "}";
     }
     os << "],"
@@ -122,6 +128,16 @@ writeRunStatsJson(std::ostream &os, const RunStats &stats,
                << ",\"dropped\":" << es.dropped << "}";
         }
         os << "]";
+    }
+    // Throttle policy identification + final state, keyed on the
+    // state blob: rule policies serialize nothing and stay invisible
+    // here (goldens unchanged); stateful policies (tabular-rl) record
+    // which policy/seed produced the run and what it learned.
+    if (!stats.throttlePolicyState.empty()) {
+        os << ",\"throttlePolicy\":\""
+           << jsonEscape(stats.throttlePolicy)
+           << "\",\"throttlePolicyState\":"
+           << stats.throttlePolicyState;
     }
     os << "}";
 }

@@ -57,6 +57,15 @@ CoordinatedThrottler::rival(const std::vector<FeedbackSnapshot> &all,
     }
     if (best.coverage < 0.0)
         return FeedbackSnapshot{}; // no rival: neutral snapshot
+    // Normalize an idle best rival (issued nothing, covers nothing)
+    // to the same neutral snapshot a lone engine gets: decide() only
+    // reads the rival's coverage, which is 0.0 either way, but
+    // without this a slot in an N-engine stack whose rivals are all
+    // idle would see the idle rival's held accuracy/lateness leak
+    // through where a lone engine sees defaults — the asymmetry the
+    // rival property tests pin down.
+    if (!best.anyPrefetches && best.coverage == 0.0)
+        return FeedbackSnapshot{};
     return best;
 }
 

@@ -95,6 +95,19 @@ class PrefetcherFeedback
                late_.during() > 0;
     }
 
+    /** Fresh-replay reset: clears the aged, in-flight and lifetime
+     *  counters AND the latched accuracy that endInterval()
+     *  deliberately holds across zero-issue stretches. Without the
+     *  latter a replayed engine inherits the previous run's accuracy
+     *  and the throttler starts from a stale measurement. */
+    void reset()
+    {
+        issued_.reset();
+        used_.reset();
+        late_.reset();
+        heldAccuracy_ = 1.0;
+    }
+
   private:
     IntervalCounter issued_;
     IntervalCounter used_;
@@ -122,9 +135,21 @@ class PollutionFilter
   private:
     std::size_t index(BlockAddr block) const
     {
-        std::uint32_t v = block.raw();
-        v ^= v >> 13;
-        return v % bits_.size();
+        // Full-width xorshift-multiply mixer (the splitmix64
+        // finalizer). The old single-shift hash (v ^= v >> 13, then
+        // modulo) dropped every block-number bit above bit 24: one
+        // 13-bit shift moves the high bits no further down than bit
+        // 12 of the table index, so any two blocks differing only in
+        // high-order bits aliased deterministically — phantom
+        // pollution for large heaps that stride in high bits. The
+        // regression test pins that every input bit reaches the index.
+        std::uint64_t v = block.raw();
+        v ^= v >> 33;
+        v *= 0xff51afd7ed558ccdull;
+        v ^= v >> 33;
+        v *= 0xc4ceb9fe1a85ec53ull;
+        v ^= v >> 33;
+        return static_cast<std::size_t>(v % bits_.size());
     }
 
     std::vector<bool> bits_;

@@ -1,0 +1,67 @@
+#include "throttle/throttle_policy.hh"
+
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace ecdp
+{
+
+PolicyRegistry &
+PolicyRegistry::instance()
+{
+    static PolicyRegistry policies;
+    static std::once_flag builtins;
+    std::call_once(builtins, [] { registerBuiltinPolicies(policies); });
+    return policies;
+}
+
+void
+PolicyRegistry::add(const std::string &name, Factory factory)
+{
+    auto [it, inserted] = factories_.emplace(name, std::move(factory));
+    (void)it;
+    if (!inserted) {
+        throw std::logic_error("throttle policy \"" + name +
+                               "\" is already registered");
+    }
+}
+
+bool
+PolicyRegistry::contains(const std::string &name) const
+{
+    return factories_.count(name) != 0;
+}
+
+std::vector<std::string>
+PolicyRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &[name, factory] : factories_) {
+        (void)factory;
+        out.push_back(name); // std::map iterates sorted
+    }
+    return out;
+}
+
+std::unique_ptr<ThrottlePolicy>
+PolicyRegistry::create(const std::string &name,
+                       const PolicyContext &ctx) const
+{
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+        std::string known;
+        for (const auto &[key, factory] : factories_) {
+            (void)factory;
+            known += known.empty() ? "" : ", ";
+            known += key;
+        }
+        throw std::invalid_argument("unknown throttle policy \"" +
+                                    name + "\" (known policies: " +
+                                    known + ")");
+    }
+    return it->second(ctx);
+}
+
+} // namespace ecdp

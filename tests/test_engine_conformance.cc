@@ -169,6 +169,51 @@ TEST_P(EngineConformance, DisabledSlotGeneratesNothing)
     EXPECT_EQ(metrics.value("core0.pf.primary.issued"), 0u);
 }
 
+TEST_P(EngineConformance, ResetEngineStackRestoresFreshFeedback)
+{
+    // Drive a throttled single-engine system far enough to latch
+    // feedback and move the aggressiveness level, then reset the
+    // stack: the level must return to the configured start level and
+    // the feedback lane must read as never-used (the
+    // PrefetcherFeedback::reset() fix — the held accuracy used to
+    // leak across replays).
+    const EngineFixture &f = fixture();
+    SystemConfig cfg = f.cfg;
+    cfg.throttle = ThrottleKind::Coordinated;
+    obs::MetricRegistry metrics;
+    Observability obs{&metrics, nullptr};
+    DramSystem dram(cfg.dram, 1);
+    MemorySystem mem(cfg, 0, f.workload.image.clone(), &dram, &obs);
+    ASSERT_EQ(mem.engineCount(), 1u);
+
+    Cycle now{0};
+    const std::size_t limit =
+        std::min<std::size_t>(f.workload.trace.size(), 2048);
+    for (std::size_t i = 0; i < limit; ++i) {
+        const TraceEntry &entry = f.workload.trace[i];
+        for (unsigned c = 0; c < 4; ++c) {
+            mem.tick(now);
+            now = now + 1;
+        }
+        if (entry.kind == AccessKind::Store)
+            mem.store(entry, now);
+        else
+            mem.load(entry, now);
+    }
+    for (unsigned c = 0; c < 2000; ++c) {
+        mem.tick(now);
+        now = now + 1;
+    }
+
+    mem.resetEngineStack();
+    EXPECT_EQ(mem.engineLevel(0), cfg.primaryStartLevel);
+    const PrefetcherFeedback &lane = mem.feedbackLane(0);
+    EXPECT_DOUBLE_EQ(lane.accuracy(), 1.0);
+    EXPECT_FALSE(lane.anyPrefetches());
+    EXPECT_FALSE(lane.currentIntervalActive());
+    EXPECT_EQ(lane.lifetimeIssued(), 0u);
+}
+
 TEST_P(EngineConformance, FiresWhenExpectedAndConserves)
 {
     const EngineFixture &f = fixture();

@@ -1,0 +1,503 @@
+/**
+ * @file
+ * ThrottlePolicy registry, conformance and byte-identity tests.
+ *
+ *  - PolicyRegistry semantics (builtins, duplicate add, unknown
+ *    create) — mirrors the PR-7 EngineRegistry tests.
+ *  - A conformance battery instantiated over every registered policy
+ *    (creatable, deterministic over a scripted snapshot sequence,
+ *    reset() restores fresh behaviour, serialized state parses).
+ *  - A differential golden matrix: routing the legacy ThrottleKind
+ *    configurations through an explicit `throttlePolicy` override
+ *    must reproduce the pre-policy simulator byte-for-byte over the
+ *    full workload x config matrix (plus the 64 B block edge case).
+ *  - Seeded-determinism tests for tabular-rl: equal seeds give
+ *    byte-identical runs, different seeds diverge, and the seed
+ *    folds into configHash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/profiling_compiler.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+#include "stats/json.hh"
+#include "throttle/tabular_rl_policy.hh"
+#include "throttle/throttle_policy.hh"
+#include "workloads/workload.hh"
+
+namespace ecdp
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Per-policy fixture table. The simlint `policy-conformance` rule
+// greps these rows: every registered policy must have one, so a new
+// policy cannot dodge the battery below.
+// ---------------------------------------------------------------
+
+enum class PolicyProbe { RuleBased, Learned };
+
+struct PolicyFixtureRow
+{
+    const char *policy;
+    PolicyProbe probe;
+};
+
+constexpr PolicyFixtureRow kPolicyFixtures[] = {
+    {"static", PolicyProbe::RuleBased},
+    {"coordinated", PolicyProbe::RuleBased},
+    {"fdp", PolicyProbe::RuleBased},
+    {"tabular-rl", PolicyProbe::Learned},
+};
+
+const PolicyFixtureRow &
+fixtureRow(const std::string &policy)
+{
+    for (const PolicyFixtureRow &row : kPolicyFixtures) {
+        if (policy == row.policy)
+            return row;
+    }
+    throw std::logic_error("no policy fixture row for " + policy);
+}
+
+// ---------------------------------------------------------------
+// Registry semantics.
+// ---------------------------------------------------------------
+
+TEST(PolicyRegistry_, ContainsAllBuiltins)
+{
+    PolicyRegistry &reg = PolicyRegistry::instance();
+    EXPECT_TRUE(reg.contains("static"));
+    EXPECT_TRUE(reg.contains("coordinated"));
+    EXPECT_TRUE(reg.contains("fdp"));
+    EXPECT_TRUE(reg.contains("tabular-rl"));
+    EXPECT_FALSE(reg.contains("nonsense"));
+}
+
+TEST(PolicyRegistry_, NamesAreSorted)
+{
+    const std::vector<std::string> names =
+        PolicyRegistry::instance().names();
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    EXPECT_EQ(names.size(), std::size(kPolicyFixtures));
+}
+
+TEST(PolicyRegistry_, DuplicateAddThrows)
+{
+    EXPECT_THROW(PolicyRegistry::instance().add(
+                     "coordinated",
+                     [](const PolicyContext &)
+                         -> std::unique_ptr<ThrottlePolicy> {
+                         return nullptr;
+                     }),
+                 std::logic_error);
+}
+
+TEST(PolicyRegistry_, UnknownCreateListsKnownNames)
+{
+    try {
+        PolicyRegistry::instance().create("no-such-policy",
+                                          PolicyContext{});
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("no-such-policy"), std::string::npos);
+        EXPECT_NE(what.find("coordinated"), std::string::npos);
+        EXPECT_NE(what.find("tabular-rl"), std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------
+// Conformance battery over every registered policy.
+// ---------------------------------------------------------------
+
+/** Deterministic scripted feedback history: `intervals` interval
+ *  boundaries of a two-slot stack with LCG-varied snapshots. Returns
+ *  the flat decision sequence the policy produced. */
+std::vector<ThrottleDecision>
+driveScript(ThrottlePolicy &policy, unsigned intervals = 64)
+{
+    std::uint64_t lcg = 99991;
+    auto next01 = [&lcg] {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>(lcg >> 40) /
+               static_cast<double>(1 << 24);
+    };
+    std::vector<ThrottleDecision> decisions;
+    for (unsigned n = 0; n < intervals; ++n) {
+        std::vector<FeedbackSnapshot> snaps(2);
+        for (FeedbackSnapshot &s : snaps) {
+            s.accuracy = next01();
+            s.coverage = next01() * 0.5;
+            s.lateness = next01() * 0.3;
+            s.pollution = next01() * 0.1;
+            s.anyPrefetches = next01() > 0.2;
+        }
+        IntervalContext ictx;
+        ictx.cycle = Cycle{(n + 1) * 10000ull};
+        ictx.deltaCycles = 10000;
+        ictx.deltaInstructions =
+            static_cast<std::uint64_t>(next01() * 20000.0);
+        ictx.deltaBusTransactions =
+            static_cast<std::uint64_t>(next01() * 600.0);
+        for (std::size_t slot = 0; slot < snaps.size(); ++slot)
+            decisions.push_back(
+                policy.onIntervalEnd(slot, snaps, ictx));
+    }
+    return decisions;
+}
+
+class PolicyConformance : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    std::unique_ptr<ThrottlePolicy> create() const
+    {
+        return PolicyRegistry::instance().create(GetParam(),
+                                                 PolicyContext{});
+    }
+};
+
+TEST_P(PolicyConformance, RegistryCreatesWellFormedPolicy)
+{
+    std::unique_ptr<ThrottlePolicy> policy = create();
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), GetParam());
+    // The fixture table must know the policy (simlint pins this too).
+    EXPECT_NO_THROW(fixtureRow(GetParam()));
+}
+
+TEST_P(PolicyConformance, DeterministicOverScriptedHistory)
+{
+    std::unique_ptr<ThrottlePolicy> a = create();
+    std::unique_ptr<ThrottlePolicy> b = create();
+    EXPECT_EQ(driveScript(*a), driveScript(*b));
+}
+
+TEST_P(PolicyConformance, ResetRestoresFreshBehaviour)
+{
+    std::unique_ptr<ThrottlePolicy> fresh = create();
+    const std::vector<ThrottleDecision> expected =
+        driveScript(*fresh);
+
+    std::unique_ptr<ThrottlePolicy> recycled = create();
+    driveScript(*recycled);
+    recycled->reset();
+    EXPECT_EQ(driveScript(*recycled), expected)
+        << GetParam() << " carries state across reset()";
+}
+
+TEST_P(PolicyConformance, SerializedStateIsValidJsonOrEmpty)
+{
+    std::unique_ptr<ThrottlePolicy> policy = create();
+    driveScript(*policy);
+    for (const std::string &blob :
+         {policy->intervalStateJson(), policy->stateJson()}) {
+        if (blob.empty())
+            continue;
+        JsonValue parsed = parseJson(blob);
+        EXPECT_EQ(parsed.kind(), JsonValue::Kind::Object);
+    }
+    // Rule policies must serialize nothing: the pinned goldens depend
+    // on default-policy JSON keeping its exact legacy shape.
+    if (fixtureRow(GetParam()).probe == PolicyProbe::RuleBased) {
+        EXPECT_TRUE(policy->intervalStateJson().empty());
+        EXPECT_TRUE(policy->stateJson().empty());
+    } else {
+        EXPECT_FALSE(policy->stateJson().empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredPolicies, PolicyConformance,
+    ::testing::ValuesIn(PolicyRegistry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &ch : name) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return name;
+    });
+
+/** Every registry entry must have a fixture row, and vice versa. */
+TEST(PolicyConformanceCoverage, FixtureTableMatchesRegistry)
+{
+    const std::vector<std::string> names =
+        PolicyRegistry::instance().names();
+    for (const std::string &name : names)
+        EXPECT_NO_THROW(fixtureRow(name)) << name;
+    EXPECT_EQ(std::size(kPolicyFixtures), names.size())
+        << "stale fixture row for an unregistered policy";
+}
+
+// ---------------------------------------------------------------
+// Differential golden matrix: explicit `throttlePolicy` overrides
+// must reproduce the legacy ThrottleKind-routed runs byte-for-byte.
+// Cases mirror the PR-7 engine-stack differential matrix (9 cases +
+// the 64 B block edge case).
+// ---------------------------------------------------------------
+
+struct DifferentialCase
+{
+    const char *bench;
+    const char *config;
+};
+
+constexpr DifferentialCase kDifferentialCases[] = {
+    {"health", "baseline"},      {"mst", "cdp+throttle"},
+    {"bisort", "full"},          {"perimeter", "ecdp+fdp"},
+    {"health", "cdp+pab"},       {"mst", "dbp"},
+    {"bisort", "markov"},        {"health", "side-buffer"},
+    {"mst", "noprefetch"},       {"health", "small-blocks"},
+};
+
+const HintTable &
+trainHints(const std::string &bench)
+{
+    static std::map<std::string, HintTable> cache;
+    auto it = cache.find(bench);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(bench,
+                          ProfilingCompiler::profile(
+                              buildWorkload(bench, InputSet::Train)))
+                 .first;
+    }
+    return it->second;
+}
+
+SystemConfig
+differentialConfig(const std::string &config, const std::string &bench)
+{
+    if (config == "baseline")
+        return configs::baseline();
+    if (config == "cdp+throttle")
+        return configs::streamCdpThrottled();
+    if (config == "full")
+        return configs::fullProposal(&trainHints(bench));
+    if (config == "ecdp+fdp")
+        return configs::streamEcdpFdp(&trainHints(bench));
+    if (config == "cdp+pab")
+        return configs::streamCdpPab();
+    if (config == "dbp")
+        return configs::streamDbp();
+    if (config == "markov")
+        return configs::streamMarkov();
+    if (config == "side-buffer") {
+        SystemConfig cfg = configs::streamCdp();
+        cfg.idealNoPollution = true;
+        return cfg;
+    }
+    if (config == "noprefetch")
+        return configs::noPrefetch();
+    if (config == "small-blocks") {
+        SystemConfig cfg = configs::baseline();
+        cfg.l1BlockBytes = 64;
+        cfg.l2BlockBytes = 64;
+        return cfg;
+    }
+    throw std::runtime_error("unknown differential config " + config);
+}
+
+class ThrottlePolicyDifferentialTest
+    : public ::testing::TestWithParam<DifferentialCase>
+{
+};
+
+TEST_P(ThrottlePolicyDifferentialTest, ExplicitPolicyIsByteIdentical)
+{
+    const DifferentialCase &c = GetParam();
+    const Workload workload = buildWorkload(c.bench, InputSet::Train);
+
+    const SystemConfig legacy = differentialConfig(c.config, c.bench);
+    SystemConfig explicit_policy = legacy;
+    explicit_policy.throttlePolicy = effectiveThrottlePolicy(legacy);
+    // The policy override carries the whole level-decision behaviour,
+    // so the kind can drop to None — except for PAB, whose enable-bit
+    // selector stays keyed on the kind by design.
+    if (legacy.throttle != ThrottleKind::Pab)
+        explicit_policy.throttle = ThrottleKind::None;
+
+    auto json = [&](const SystemConfig &cfg) {
+        RunStats stats = simulate(cfg, workload);
+        std::ostringstream os;
+        writeRunStatsJson(os, stats, c.config);
+        return os.str();
+    };
+    EXPECT_EQ(json(legacy), json(explicit_policy));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ThrottlePolicyDifferentialTest,
+    ::testing::ValuesIn(kDifferentialCases),
+    [](const ::testing::TestParamInfo<DifferentialCase> &info) {
+        std::string name = std::string(info.param.bench) + "_" +
+                           info.param.config;
+        for (char &ch : name) {
+            if (ch == '+' || ch == '-')
+                ch = '_';
+        }
+        return name;
+    });
+
+// ---------------------------------------------------------------
+// Tabular-RL: discretization corners, seeded determinism, stats
+// plumbing, and the configHash fold.
+// ---------------------------------------------------------------
+
+IntervalContext
+busContext(std::uint64_t bus, std::uint64_t cycles = 10000)
+{
+    IntervalContext ictx;
+    ictx.cycle = Cycle{cycles};
+    ictx.deltaCycles = cycles;
+    ictx.deltaBusTransactions = bus;
+    return ictx;
+}
+
+FeedbackSnapshot
+rlSnap(double accuracy, double coverage)
+{
+    FeedbackSnapshot s;
+    s.accuracy = accuracy;
+    s.coverage = coverage;
+    s.anyPrefetches = true;
+    return s;
+}
+
+TEST(TabularRlPolicyTest, DiscretizeCoversEncodingCorners)
+{
+    TabularRlPolicy policy{PolicyContext{}};
+    // Defaults: aLow 0.4, aHigh 0.7, tCoverage 0.2; bw cuts at
+    // 8/24/48 transactions per kilocycle. State index is
+    // (acc * 4 + cov) * 4 + bw.
+    EXPECT_EQ(policy.discretize(rlSnap(0.0, 0.0), busContext(0)), 0u);
+    // acc High (2), cov >= 2T (3), bw saturated (3) -> last state.
+    EXPECT_EQ(policy.discretize(rlSnap(0.9, 0.5), busContext(1000)),
+              TabularRlPolicy::kStates - 1);
+    // acc Medium (1), cov in [T/2, T) (1), bw light (1).
+    EXPECT_EQ(policy.discretize(rlSnap(0.5, 0.15), busContext(100)),
+              (1u * 4 + 1) * 4 + 1);
+    // Threshold edges are half-open: accuracy aHigh is High, coverage
+    // exactly T lands in bucket 2, bus exactly 8/kc in bucket 1.
+    EXPECT_EQ(policy.discretize(rlSnap(0.7, 0.2), busContext(80)),
+              (2u * 4 + 2) * 4 + 1);
+}
+
+TEST(TabularRlPolicyTest, ExplorationRateTracksEpsilon)
+{
+    PolicyContext ctx;
+    ctx.seed = 42;
+    TabularRlPolicy policy{ctx};
+    driveScript(policy, 500);
+    ASSERT_EQ(policy.intervalsSeen(), 500u);
+    // 1000 decisions at epsilon = 0.1: expect ~100 explorations;
+    // a generous 3-sigma band keeps this deterministic-seed test
+    // meaningful without being brittle.
+    EXPECT_GT(policy.explorations(), 60u);
+    EXPECT_LT(policy.explorations(), 150u);
+}
+
+std::string
+tabularRlRunJson(std::uint64_t seed)
+{
+    SystemConfig cfg = configs::streamCdpThrottled();
+    cfg.throttlePolicy = "tabular-rl";
+    cfg.throttleRlSeed = seed;
+    RunStats stats =
+        simulate(cfg, buildWorkload("mst", InputSet::Train));
+    std::ostringstream os;
+    writeRunStatsJson(os, stats, "tabular-rl");
+    return os.str();
+}
+
+TEST(TabularRlPolicyTest, SameSeedIsByteIdentical)
+{
+    EXPECT_EQ(tabularRlRunJson(7), tabularRlRunJson(7));
+}
+
+TEST(TabularRlPolicyTest, DifferentSeedsDiverge)
+{
+    EXPECT_NE(tabularRlRunJson(7), tabularRlRunJson(8));
+}
+
+TEST(TabularRlPolicyTest, RunStatsCarryPolicyState)
+{
+    SystemConfig cfg = configs::streamCdpThrottled();
+    cfg.throttlePolicy = "tabular-rl";
+    RunStats stats =
+        simulate(cfg, buildWorkload("mst", InputSet::Train));
+
+    EXPECT_EQ(stats.throttlePolicy, "tabular-rl");
+    ASSERT_FALSE(stats.throttlePolicyState.empty());
+    JsonValue state = parseJson(stats.throttlePolicyState);
+    EXPECT_EQ(state.at("policy").asString(), "tabular-rl");
+    EXPECT_GT(state.at("intervals").asU64(), 0u);
+
+    // Per-interval policy blobs ride along in the interval series and
+    // in the emitted JSON.
+    ASSERT_FALSE(stats.intervalSeries.empty());
+    bool any_policy_blob = false;
+    for (const IntervalSample &s : stats.intervalSeries) {
+        if (s.policy.empty())
+            continue;
+        any_policy_blob = true;
+        JsonValue blob = parseJson(s.policy);
+        EXPECT_EQ(blob.kind(), JsonValue::Kind::Object);
+    }
+    EXPECT_TRUE(any_policy_blob);
+
+    std::ostringstream os;
+    writeRunStatsJson(os, stats, "tabular-rl");
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"throttlePolicyState\":"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"policy\":{"), std::string::npos);
+    // The whole document still parses with the embedded blobs.
+    EXPECT_NO_THROW(parseJson(json));
+}
+
+TEST(TabularRlPolicyTest, DefaultRunsCarryNoPolicyState)
+{
+    // The rule policies serialize nothing, so a default coordinated
+    // run keeps the exact legacy JSON shape the goldens pin.
+    RunStats stats =
+        simulate(configs::streamCdpThrottled(),
+                 buildWorkload("mst", InputSet::Train));
+    EXPECT_TRUE(stats.throttlePolicyState.empty());
+    std::ostringstream os;
+    writeRunStatsJson(os, stats, "cdp+throttle");
+    EXPECT_EQ(os.str().find("throttlePolicy"), std::string::npos);
+}
+
+TEST(TabularRlPolicyTest, SeedFoldsIntoConfigHash)
+{
+    SystemConfig a = configs::streamCdpThrottled();
+    a.throttlePolicy = "tabular-rl";
+    a.throttleRlSeed = 1;
+    SystemConfig b = a;
+    b.throttleRlSeed = 2;
+    EXPECT_NE(configHash(a), configHash(b));
+
+    SystemConfig c = a;
+    c.throttlePolicy = "coordinated";
+    EXPECT_NE(configHash(a), configHash(c));
+
+    // With the policy defaulted (empty), the seed is inert and the
+    // hash matches the pre-policy config space.
+    SystemConfig d = configs::streamCdpThrottled();
+    SystemConfig e = d;
+    e.throttleRlSeed = 99;
+    EXPECT_EQ(configHash(d), configHash(e));
+}
+
+} // namespace
+} // namespace ecdp

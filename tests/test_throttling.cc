@@ -291,5 +291,152 @@ TEST(FdpThrottlerTest, IgnoresRivalByDesign)
     EXPECT_EQ(fdp.decide(s), ThrottleDecision::Up);
 }
 
+// ---------------------------------------------------------------
+// PollutionFilter hashing: every block-number bit must reach the
+// index. The old single-shift hash (v ^= v >> 13, modulo table
+// size) discarded bits above bit 24, so blocks differing only in
+// high-order bits aliased deterministically.
+// ---------------------------------------------------------------
+
+TEST(PollutionFilterTest, HighOrderBitsReachTheIndex)
+{
+    PollutionFilter filter(4096);
+    // Pairs differing only in bits the old hash discarded (>= 25).
+    // A good mixer makes each pair collide with probability
+    // 1/4096; the old hash collided on every single one.
+    unsigned collisions = 0;
+    const unsigned kPairs = 64;
+    for (unsigned i = 0; i < kPairs; ++i) {
+        const std::uint32_t base = 0x1000u + i * 257u;
+        const BlockAddr low{base};
+        const BlockAddr high{base | (0x7Fu << 25)};
+        filter.clear();
+        filter.onPrefetchEvictedDemandBlock(low);
+        if (filter.test(high))
+            ++collisions;
+    }
+    EXPECT_LE(collisions, 2u)
+        << "high-order block bits do not influence the filter index";
+}
+
+TEST(PollutionFilterTest, StillDeterministicPerBlock)
+{
+    // The mixer is a pure function: same block, same bit.
+    PollutionFilter filter(64);
+    const BlockAddr block{0xABCDE123u};
+    filter.onPrefetchEvictedDemandBlock(block);
+    EXPECT_TRUE(filter.test(block));
+    EXPECT_TRUE(filter.test(block));
+}
+
+// ---------------------------------------------------------------
+// PrefetcherFeedback::reset(): the fresh-replay path must clear the
+// latched accuracy, not only the aged counters.
+// ---------------------------------------------------------------
+
+TEST(Feedback, ResetClearsCountersAndHeldAccuracy)
+{
+    PrefetcherFeedback fb;
+    for (int i = 0; i < 16; ++i)
+        fb.onPrefetchIssued();
+    fb.onPrefetchUsed();
+    fb.endInterval();
+    ASSERT_LT(fb.accuracy(), 0.2);
+    // Age the issued count to zero: accuracy() now reports the
+    // latched measurement.
+    for (int i = 0; i < 8; ++i)
+        fb.endInterval();
+    ASSERT_FALSE(fb.anyPrefetches());
+    ASSERT_LT(fb.accuracy(), 0.2) << "latch should hold";
+
+    fb.reset();
+    EXPECT_DOUBLE_EQ(fb.accuracy(), 1.0)
+        << "reset must clear the held accuracy";
+    EXPECT_FALSE(fb.anyPrefetches());
+    EXPECT_FALSE(fb.currentIntervalActive());
+    EXPECT_EQ(fb.lifetimeIssued(), 0u);
+    EXPECT_EQ(fb.lifetimeUsed(), 0u);
+    EXPECT_EQ(fb.lifetimeLate(), 0u);
+}
+
+// ---------------------------------------------------------------
+// CoordinatedThrottler::rival over N-slot stacks: the neutral-rival
+// path (lone engine) and the all-idle-stack path must agree, ties
+// break to the lowest slot, and idle slots are decision-inert.
+// ---------------------------------------------------------------
+
+FeedbackSnapshot
+idleSnap()
+{
+    // What a slot that issued nothing reports: default accuracy 1.0,
+    // zero coverage, anyPrefetches false — but possibly a stale held
+    // accuracy/lateness, which rival() must not leak through.
+    FeedbackSnapshot s;
+    s.accuracy = 0.55; // stale latched measurement
+    s.lateness = 0.4;
+    s.coverage = 0.0;
+    s.anyPrefetches = false;
+    return s;
+}
+
+TEST(CoordinatedRival, LoneEngineAndIdleStackAgree)
+{
+    // A lone engine gets the neutral default snapshot; a slot whose
+    // three rivals are all idle must get a fieldwise-identical one.
+    const FeedbackSnapshot lone = CoordinatedThrottler::rival(
+        {snap(0.3, 0.8)}, 0);
+    const FeedbackSnapshot crowded = CoordinatedThrottler::rival(
+        {snap(0.3, 0.8), idleSnap(), idleSnap(), idleSnap()}, 0);
+    EXPECT_DOUBLE_EQ(lone.accuracy, crowded.accuracy);
+    EXPECT_DOUBLE_EQ(lone.coverage, crowded.coverage);
+    EXPECT_DOUBLE_EQ(lone.lateness, crowded.lateness);
+    EXPECT_DOUBLE_EQ(lone.pollution, crowded.pollution);
+    EXPECT_EQ(lone.anyPrefetches, crowded.anyPrefetches);
+}
+
+TEST(CoordinatedRival, TieBreaksToLowestSlot)
+{
+    // Equal best coverage in slots 1 and 3: strict > keeps slot 1.
+    std::vector<FeedbackSnapshot> stack = {
+        snap(0.1, 0.9), snap(0.3, 0.5), snap(0.2, 0.6),
+        snap(0.3, 0.8)};
+    const FeedbackSnapshot r = CoordinatedThrottler::rival(stack, 0);
+    EXPECT_DOUBLE_EQ(r.coverage, 0.3);
+    EXPECT_DOUBLE_EQ(r.accuracy, 0.5) << "tie must keep slot 1";
+}
+
+TEST(CoordinatedRival, IdleSlotsAreDecisionInert)
+{
+    // Property: appending idle engines to a stack never changes any
+    // existing slot's decision. Randomized stacks via a fixed LCG —
+    // deterministic, no wall-clock entropy.
+    CoordinatedThrottler throttler;
+    std::uint64_t lcg = 12345;
+    auto next01 = [&lcg] {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>(lcg >> 40) /
+               static_cast<double>(1 << 24);
+    };
+    for (unsigned trial = 0; trial < 200; ++trial) {
+        const std::size_t n = 1 + static_cast<std::size_t>(
+                                      next01() * 4.0);
+        std::vector<FeedbackSnapshot> stack;
+        for (std::size_t i = 0; i < n; ++i)
+            stack.push_back(snap(next01(), next01()));
+        std::vector<FeedbackSnapshot> extended = stack;
+        extended.push_back(idleSnap());
+        extended.push_back(idleSnap());
+        for (std::size_t i = 0; i < n; ++i) {
+            const ThrottleDecision before = throttler.decide(
+                stack[i], CoordinatedThrottler::rival(stack, i));
+            const ThrottleDecision after = throttler.decide(
+                extended[i],
+                CoordinatedThrottler::rival(extended, i));
+            EXPECT_EQ(before, after)
+                << "trial " << trial << " slot " << i;
+        }
+    }
+}
+
 } // namespace
 } // namespace ecdp

@@ -18,6 +18,10 @@
  * explicit registry-name list (any length), keeping the config's
  * throttling/feedback knobs — the N-engine hybrid recipe in
  * EXPERIMENTS.md builds on it.
+ *
+ * --throttle-policy overrides the interval-end aggressiveness policy
+ * (static, coordinated, fdp, tabular-rl) independent of the config's
+ * ThrottleKind; --rl-seed seeds the tabular-rl explorer.
  */
 
 #include <cstring>
@@ -37,6 +41,7 @@
 #include "sim/multicore.hh"
 #include "sim/simulator.hh"
 #include "stats/json.hh"
+#include "throttle/throttle_policy.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -53,6 +58,9 @@ struct Options
     std::string config = "baseline";
     /** Explicit engine stack overriding the config's (empty: keep). */
     std::vector<std::string> engines;
+    /** Throttle-policy override (empty: derive from ThrottleKind). */
+    std::string throttlePolicy;
+    long rlSeed = -1;
     InputSet input = InputSet::Ref;
     double tcov = -1.0;
     long interval = -1;
@@ -65,6 +73,7 @@ usage(std::ostream &os)
           "A,B,...]\n"
           "               [--config CFG] [--engines A,B,...] "
           "[--input ref|train] [--json]\n"
+          "               [--throttle-policy NAME] [--rl-seed N]\n"
           "               [--tcov X] [--alow X] [--ahigh X] "
           "[--interval N]\n";
 }
@@ -80,16 +89,32 @@ needsHints(const Options &opts)
                      "ecdp") != opts.engines.end();
 }
 
-/** "cdp+throttle[stream,cdp,isb]" when --engines is given. */
+/**
+ * "cdp+throttle[stream,cdp,isb]" when --engines is given;
+ * "cdp+throttle{tabular-rl}" when --throttle-policy is given.
+ */
 std::string
 configLabel(const Options &opts)
 {
-    if (opts.engines.empty())
-        return opts.config;
-    std::string label = opts.config + "[";
-    for (std::size_t i = 0; i < opts.engines.size(); ++i)
-        label += (i ? "," : "") + opts.engines[i];
-    return label + "]";
+    std::string label = opts.config;
+    if (!opts.engines.empty()) {
+        label += "[";
+        for (std::size_t i = 0; i < opts.engines.size(); ++i)
+            label += (i ? "," : "") + opts.engines[i];
+        label += "]";
+    }
+    if (!opts.throttlePolicy.empty())
+        label += "{" + opts.throttlePolicy + "}";
+    return label;
+}
+
+void
+applyThrottleOverrides(SystemConfig &cfg, const Options &opts)
+{
+    if (!opts.throttlePolicy.empty())
+        cfg.throttlePolicy = opts.throttlePolicy;
+    if (opts.rlSeed >= 0)
+        cfg.throttleRlSeed = static_cast<std::uint64_t>(opts.rlSeed);
 }
 
 SystemConfig
@@ -160,6 +185,7 @@ runSingle(const Options &opts)
     SystemConfig cfg = makeConfig(opts.config, &hints);
     if (!opts.engines.empty())
         cfg.engines = opts.engines;
+    applyThrottleOverrides(cfg, opts);
     if (opts.tcov >= 0.0)
         cfg.coordThresholds.tCoverage = opts.tcov;
     if (opts.interval > 0)
@@ -203,6 +229,7 @@ runMulti(const Options &opts)
     SystemConfig cfg = makeConfig(opts.config, &merged);
     if (!opts.engines.empty())
         cfg.engines = opts.engines;
+    applyThrottleOverrides(cfg, opts);
     std::vector<const Workload *> ptrs;
     std::vector<double> alone;
     for (const Workload &workload : workloads) {
@@ -302,6 +329,17 @@ main(int argc, char **argv)
                             engine, EngineContext{});
                     }
                 }
+            } else if (arg == "--throttle-policy") {
+                opts.throttlePolicy = value("--throttle-policy");
+                // Fail here with the registry's diagnostic (it lists
+                // every known name) instead of mid-simulation.
+                if (!PolicyRegistry::instance().contains(
+                        opts.throttlePolicy)) {
+                    PolicyRegistry::instance().create(
+                        opts.throttlePolicy, PolicyContext{});
+                }
+            } else if (arg == "--rl-seed") {
+                opts.rlSeed = std::stol(value("--rl-seed"));
             } else if (arg == "--tcov") {
                 opts.tcov = std::stod(value("--tcov"));
             } else if (arg == "--interval") {

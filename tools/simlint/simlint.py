@@ -38,6 +38,15 @@ classes fail CI instead of corrupting experiments:
                         tests/engine_harness.hh — so a new engine
                         cannot ship outside the registry or dodge the
                         conformance battery.
+  policy-conformance    Every class inheriting ThrottlePolicy in src/
+                        must be constructed by a registry factory
+                        (a make_unique<Class> somewhere in src/, i.e.
+                        throttle/policies.cc), and every name passed
+                        to policies.add("...") must have a fixture row
+                        ({"name", PolicyProbe...}) in
+                        tests/test_throttle_policy.cc — so a new
+                        throttle policy cannot ship outside the
+                        registry or dodge the conformance battery.
   hot-path-vector       In files tagged '// simlint: hot-path', no
                         line may construct a std::vector by value: a
                         per-event heap allocation is exactly the bug
@@ -77,6 +86,7 @@ RULES = (
     "unregistered-counter",
     "test-registration",
     "engine-conformance",
+    "policy-conformance",
     "hot-path-vector",
 )
 
@@ -315,6 +325,63 @@ def check_engine_conformance(root):
     return out
 
 
+# --- policy-conformance -----------------------------------------------
+
+POLICY_CLASS_RE = re.compile(
+    r"class\s+(\w+)\s*(?:final)?\s*:\s*public\s+ThrottlePolicy\b")
+POLICY_REGISTER_RE = re.compile(
+    r"\bpolicies\s*\.\s*add\(\s*\"([a-z0-9_-]+)\"")
+POLICY_FIXTURE_ROW_RE = re.compile(
+    r"\{\s*\"([a-z0-9_-]+)\"\s*,\s*PolicyProbe")
+
+
+def check_policy_conformance(root):
+    classes = []     # (rel, line_no, class name)
+    registered = []  # (rel, line_no, policy name)
+    instantiated = set()
+    fixture_rows = set()
+    for path in iter_source_files(root, "src"):
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        for i, line in enumerate(lines):
+            code = line.split("//", 1)[0]
+            m = POLICY_CLASS_RE.search(code)
+            if m and not allowed(lines, i, "policy-conformance"):
+                classes.append((rel, i + 1, m.group(1)))
+            for m in MAKE_UNIQUE_RE.finditer(code):
+                instantiated.add(m.group(1))
+            for m in POLICY_REGISTER_RE.finditer(code):
+                if not allowed(lines, i, "policy-conformance"):
+                    registered.append((rel, i + 1, m.group(1)))
+    for path in iter_source_files(root, "tests"):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for m in POLICY_FIXTURE_ROW_RE.finditer(text):
+            fixture_rows.add(m.group(1))
+
+    out = []
+    for rel, line_no, name in classes:
+        if name in instantiated:
+            continue
+        out.append(Violation(
+            rel, line_no, "policy-conformance",
+            "class '%s' inherits ThrottlePolicy but no registry "
+            "factory constructs it (no make_unique<%s> in src/); "
+            "register it in throttle/policies.cc so configurations "
+            "and the conformance battery can reach it" % (name, name)))
+    for rel, line_no, name in registered:
+        if name in fixture_rows:
+            continue
+        out.append(Violation(
+            rel, line_no, "policy-conformance",
+            "registered throttle policy '%s' has no conformance "
+            "fixture row ('{\"%s\", PolicyProbe...}' in "
+            "tests/test_throttle_policy.cc); the conformance battery "
+            "cannot exercise it" % (name, name)))
+    return out
+
+
 # --- hot-path-vector --------------------------------------------------
 
 HOT_PATH_MARK_RE = re.compile(r"//\s*simlint:\s*hot-path\b")
@@ -434,6 +501,8 @@ def main(argv):
         violations += check_test_registration(root, args.build_dir)
     if "engine-conformance" in rules:
         violations += check_engine_conformance(root)
+    if "policy-conformance" in rules:
+        violations += check_policy_conformance(root)
     if "hot-path-vector" in rules:
         violations += check_hot_path_vector(root)
 
