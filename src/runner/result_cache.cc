@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <iostream>
 #include <limits>
 #include <sstream>
 #include <thread>
@@ -76,23 +77,40 @@ ResultCache::entryPath(const std::string &name,
 std::optional<RunStats>
 ResultCache::load(const std::string &name, std::uint64_t hash) const
 {
-    std::ifstream in(entryPath(name, hash));
+    const std::string path = entryPath(name, hash);
+    std::ifstream in(path);
     if (!in)
-        return std::nullopt;
+        return std::nullopt; // plain miss
     std::ostringstream buf;
     buf << in.rdbuf();
+    in.close();
+
+    // A truncated or corrupt entry (killed process, full disk,
+    // botched copy) must never poison the cache: warn, drop the
+    // file and report a miss so the result is rebuilt cleanly.
+    auto corrupt = [&](const std::string &why) {
+        std::cerr << "ecdp: result cache: corrupt entry " << path
+                  << " (" << why << "); removing and rebuilding\n";
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        return std::nullopt;
+    };
 
     std::optional<JsonValue> parsed = tryParseJson(buf.str());
     if (!parsed)
-        return std::nullopt;
+        return corrupt("unparsable JSON");
     try {
         const JsonValue &doc = *parsed;
+        // A version mismatch is a stale format, not corruption:
+        // stay silent and leave the file for whoever wrote it.
         if (doc.at("version").asI64() != kVersion)
             return std::nullopt;
+        // The file name embeds workload and hash, so a disagreeing
+        // stamp means the bytes are not what the name promises.
         if (doc.at("configHash").asString() != hashHex(hash))
-            return std::nullopt;
+            return corrupt("configHash stamp mismatch");
         if (doc.at("workload").asString() != name)
-            return std::nullopt;
+            return corrupt("workload stamp mismatch");
 
         RunStats stats;
         stats.workload = name;
@@ -194,10 +212,10 @@ ResultCache::load(const std::string &name, std::uint64_t hash) const
         if (const JsonValue *p = doc.find("throttlePolicyState"))
             stats.throttlePolicyState = p->asString();
         return stats;
-    } catch (const JsonError &) {
-        return std::nullopt; // malformed entry: treat as a miss
-    } catch (const std::out_of_range &) {
-        return std::nullopt;
+    } catch (const JsonError &e) {
+        return corrupt(e.what());
+    } catch (const std::out_of_range &e) {
+        return corrupt(e.what());
     }
 }
 

@@ -21,6 +21,7 @@
 
 #include <deque>
 #include <functional>
+#include <future>
 #include <iosfwd>
 #include <mutex>
 #include <string>
@@ -67,8 +68,15 @@ class ExperimentRunner
     /** Progress sink (default stderr); nullptr silences progress. */
     void setProgressStream(std::ostream *os);
 
-    /** Queue one simulation; returns immediately. */
-    void submit(std::string name, std::string key, ConfigFn make);
+    /**
+     * Queue one simulation; returns immediately with a future for
+     * THIS job: it resolves to the memoized stats on success and
+     * carries the worker's original exception (not a flattened
+     * string) on failure. Callers that only care about the whole
+     * grid can ignore it and use wait().
+     */
+    std::shared_future<const RunStats *>
+    submit(std::string name, std::string key, ConfigFn make);
 
     /**
      * Block until every submitted job finished; results are in
@@ -80,7 +88,8 @@ class ExperimentRunner
     unsigned threadCount() const { return pool_.threadCount(); }
 
   private:
-    void runJob(JobResult *slot, const ConfigFn &make);
+    void runJob(JobResult *slot, const ConfigFn &make,
+                std::promise<const RunStats *> &promise);
 
     ExperimentContext &ctx_;
     ThreadPool pool_;

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 namespace ecdp
 {
@@ -32,7 +33,7 @@ ThreadPool::ThreadPool(unsigned threads)
 
 ThreadPool::~ThreadPool()
 {
-    wait();
+    waitIdle(); // never throws: a pending job error dies with us
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
@@ -54,10 +55,22 @@ ThreadPool::submit(std::function<void()> job)
 }
 
 void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allIdle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
 ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     allIdle_.wait(lock, [this] { return pending_ == 0; });
+    if (firstError_) {
+        std::exception_ptr error = std::exchange(firstError_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 void
@@ -72,8 +85,18 @@ ThreadPool::workerLoop()
         std::function<void()> job = std::move(queue_.front());
         queue_.pop_front();
         lock.unlock();
-        job();
+        // A throwing job must not take its worker thread (and with
+        // it the whole process) down: capture the first exception
+        // for wait() to rethrow on the submitting thread.
+        std::exception_ptr error;
+        try {
+            job();
+        } catch (...) {
+            error = std::current_exception();
+        }
         lock.lock();
+        if (error && !firstError_)
+            firstError_ = error;
         if (--pending_ == 0)
             allIdle_.notify_all();
     }

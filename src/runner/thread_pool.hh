@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -42,7 +43,12 @@ class ThreadPool
 
     void submit(std::function<void()> job);
 
-    /** Block until every submitted job has finished. */
+    /**
+     * Block until every submitted job has finished. A job that threw
+     * does NOT kill its worker thread: the first escaped exception
+     * is captured and rethrown here (then cleared, so the pool stays
+     * usable); later ones are dropped.
+     */
     void wait();
 
     unsigned threadCount() const
@@ -52,6 +58,8 @@ class ThreadPool
 
   private:
     void workerLoop();
+    /** wait() without the rethrow, for the destructor. */
+    void waitIdle();
 
     std::mutex mutex_;
     std::condition_variable workReady_;
@@ -60,6 +68,7 @@ class ThreadPool
     std::vector<std::thread> workers_;
     unsigned pending_ = 0; // queued + running jobs
     bool stopping_ = false;
+    std::exception_ptr firstError_;
 };
 
 } // namespace runner

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * ecdpd — the simulation-as-a-service daemon. Glues the subsystem
+ * together: the epoll HTTP front door (http_server), the
+ * content-addressed single-flight result store (result_store) and
+ * the work-stealing pool of crash-isolated worker processes
+ * (worker_pool).
+ *
+ * Request lifecycle of one grid cell:
+ *
+ *   POST /v1/grids ──▶ admission + quota check (429 on overflow)
+ *     └▶ parse + canonicalize every cell (400 on any bad one)
+ *        └▶ store.fetchOrAttach(key):
+ *             Hit       cell completes immediately (0 simulations)
+ *             Follower  rides an in-flight leader (0 simulations)
+ *             Leader    one worker process simulates, then
+ *                       store.complete() fans out to every follower
+ *
+ * so N identical concurrent submissions cost exactly one simulation
+ * and everyone gets byte-identical stats JSON. Responses for
+ * wait-mode submissions and blocking results polls are deferred
+ * through the server's thread-safe Responder — no thread is parked
+ * per pending request, which is how thousands of cells stay in
+ * flight on a handful of threads.
+ *
+ * Endpoints (all JSON):
+ *
+ *   GET  /healthz                     liveness probe
+ *   GET  /metrics                     counters via obs::MetricRegistry
+ *   POST /v1/grids                    {client, cells:[...], wait?}
+ *   GET  /v1/grids/<id>               status summary
+ *   GET  /v1/grids/<id>/results       full results; ?wait=1 blocks
+ *   GET  /v1/cells/<hexkey>           raw stored stats bytes
+ *   POST /v1/shutdown                 graceful stop
+ */
+
+#ifndef ECDP_SERVER_DAEMON_HH
+#define ECDP_SERVER_DAEMON_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/cell.hh"
+#include "server/http_server.hh"
+#include "server/result_store.hh"
+#include "server/worker_pool.hh"
+
+namespace ecdp
+{
+namespace obs
+{
+class MetricRegistry;
+} // namespace obs
+
+namespace server
+{
+
+struct DaemonOptions
+{
+    /** Port to bind (0 = ephemeral; read back via Daemon::port()). */
+    std::uint16_t port = 0;
+    /** Worker-pool shards (concurrent worker processes). */
+    unsigned workers = 4;
+    /** Daemon-wide bound on admitted-but-incomplete cells; a grid
+     *  that would exceed it is rejected whole with 429. */
+    std::size_t admissionLimit = 4096;
+    /** Same bound per client name (0 = no per-client quota). */
+    std::size_t perClientLimit = 0;
+    /** Result-store spill directory ("" = memory-only). */
+    std::string storeDir;
+    /** Worker argv, e.g. {"/path/to/ecdpd", "--worker"}. */
+    std::vector<std::string> workerArgv;
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonOptions opts);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /** Bind and serve. Throws std::runtime_error on bind failure. */
+    void start();
+
+    /** Stop serving (idempotent; also run by the destructor). */
+    void stop();
+
+    /** Bound port (valid after start()). */
+    std::uint16_t port() const { return server_.port(); }
+
+    /** Block until POST /v1/shutdown or stop(). */
+    void waitForShutdown();
+
+    /** True once POST /v1/shutdown or stop() happened. */
+    bool shutdownRequested() const
+    {
+        std::lock_guard<std::mutex> lock(shutdownMutex_);
+        return shutdownRequested_;
+    }
+
+    /** @{ Diagnostics for tests and serverbench. */
+    const ResultStore &store() const { return store_; }
+    const WorkerPool &pool() const { return pool_; }
+    std::uint64_t cellsInflight() const { return inflight_.load(); }
+    std::uint64_t inflightPeak() const
+    {
+        return inflightPeak_.load();
+    }
+    /** @} */
+
+    /** Snapshot every daemon counter into @p registry under
+     *  "ecdpd.*" — the /metrics endpoint renders exactly this. */
+    void exportMetrics(obs::MetricRegistry &registry) const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Cell
+    {
+        CellSpec spec;
+        std::uint64_t key = 0;
+        enum class State { Pending, Done, Failed };
+        State state = State::Pending;
+        std::string error;
+    };
+
+    struct Grid
+    {
+        std::string id;
+        std::string client;
+        std::vector<Cell> cells;
+        std::size_t remaining = 0;
+        Clock::time_point submitted;
+        /** wait-mode submitters and blocked results polls. */
+        std::vector<HttpServer::Responder> waiters;
+    };
+
+    void handle(const HttpRequest &req, HttpServer::Responder respond);
+    void handleSubmitGrid(const HttpRequest &req,
+                          HttpServer::Responder &respond);
+    void handleGridStatus(const std::string &id,
+                          HttpServer::Responder &respond);
+    void handleGridResults(const HttpRequest &req,
+                           const std::string &id,
+                           HttpServer::Responder &respond);
+    void handleCellFetch(const std::string &hexKey,
+                         HttpServer::Responder &respond);
+    void handleMetrics(HttpServer::Responder &respond);
+    /** Counted error reply (increments requests.bad). */
+    void respondError(HttpServer::Responder &respond, int status,
+                      const std::string &message);
+
+    void launchCell(const std::string &gridId, std::size_t index,
+                    const CellSpec &spec, std::uint64_t key);
+    void onCellReady(const std::string &gridId, std::size_t index,
+                     const ResultStore::Bytes &bytes,
+                     const std::string &error);
+
+    /** Results JSON; caller must hold mutex_. */
+    std::string gridResultsJsonLocked(const Grid &grid);
+    /** Status JSON; caller must hold mutex_. */
+    std::string gridStatusJsonLocked(const Grid &grid) const;
+
+    DaemonOptions opts_;
+    // Declaration order is load-bearing: the pool is destroyed first
+    // (its teardown fails pending jobs, whose completion callbacks
+    // respond through the server), the server last.
+    HttpServer server_;
+    ResultStore store_;
+    WorkerPool pool_;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Grid> grids_;
+    std::map<std::string, std::size_t> clientInflight_;
+    std::uint64_t nextGridId_ = 1;
+
+    std::atomic<std::uint64_t> inflight_{0};
+    std::atomic<std::uint64_t> inflightPeak_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> badRequests_{0};
+    std::atomic<std::uint64_t> gridsSubmitted_{0};
+    std::atomic<std::uint64_t> cellsSubmitted_{0};
+    std::atomic<std::uint64_t> cellsCompleted_{0};
+    std::atomic<std::uint64_t> cellsFailed_{0};
+    std::atomic<std::uint64_t> admissionRejected_{0};
+    std::atomic<std::uint64_t> quotaRejected_{0};
+    /** Cell latency (admission to completion), microseconds. */
+    std::atomic<std::uint64_t> latencyUsSum_{0};
+    std::atomic<std::uint64_t> latencyUsCount_{0};
+    std::atomic<std::uint64_t> latencyUsMax_{0};
+
+    mutable std::mutex shutdownMutex_;
+    std::condition_variable shutdownCv_;
+    bool shutdownRequested_ = false;
+};
+
+} // namespace server
+} // namespace ecdp
+
+#endif // ECDP_SERVER_DAEMON_HH

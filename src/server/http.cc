@@ -1,0 +1,217 @@
+#include "server/http.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ecdp
+{
+namespace server
+{
+
+namespace
+{
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Trim ASCII whitespace from both ends. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+std::string
+HttpRequest::path() const
+{
+    std::size_t q = target.find('?');
+    return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::optional<std::string>
+HttpRequest::queryParam(const std::string &name) const
+{
+    std::size_t q = target.find('?');
+    if (q == std::string::npos)
+        return std::nullopt;
+    std::string query = target.substr(q + 1);
+    std::size_t pos = 0;
+    while (pos <= query.size()) {
+        std::size_t amp = query.find('&', pos);
+        std::string pair = query.substr(
+            pos, amp == std::string::npos ? std::string::npos
+                                          : amp - pos);
+        std::size_t eq = pair.find('=');
+        std::string key =
+            eq == std::string::npos ? pair : pair.substr(0, eq);
+        if (key == name) {
+            return eq == std::string::npos ? std::string()
+                                           : pair.substr(eq + 1);
+        }
+        if (amp == std::string::npos)
+            break;
+        pos = amp + 1;
+    }
+    return std::nullopt;
+}
+
+std::string
+HttpRequest::header(const std::string &name) const
+{
+    auto it = headers.find(name);
+    return it == headers.end() ? std::string() : it->second;
+}
+
+bool
+HttpRequest::keepAlive() const
+{
+    return toLower(header("connection")) != "close";
+}
+
+const char *
+httpStatusText(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 202:
+        return "Accepted";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 409:
+        return "Conflict";
+      case 413:
+        return "Payload Too Large";
+      case 429:
+        return "Too Many Requests";
+      case 431:
+        return "Request Header Fields Too Large";
+      case 500:
+        return "Internal Server Error";
+      case 503:
+        return "Service Unavailable";
+      default:
+        return "Unknown";
+    }
+}
+
+std::string
+serializeResponse(const HttpResponse &response)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(response.status) +
+                      " " + httpStatusText(response.status) + "\r\n";
+    out += "Content-Type: " + response.contentType + "\r\n";
+    out += "Content-Length: " +
+           std::to_string(response.body.size()) + "\r\n";
+    if (response.closeConnection)
+        out += "Connection: close\r\n";
+    out += "\r\n";
+    out += response.body;
+    return out;
+}
+
+void
+HttpRequestParser::feed(const char *data, std::size_t len)
+{
+    if (failed())
+        return;
+    buffer_.append(data, len);
+}
+
+std::optional<HttpRequest>
+HttpRequestParser::next()
+{
+    if (failed())
+        return std::nullopt;
+    std::size_t headEnd = buffer_.find("\r\n\r\n");
+    if (headEnd == std::string::npos) {
+        if (buffer_.size() > kMaxHeadBytes)
+            fail(431);
+        return std::nullopt;
+    }
+    if (headEnd > kMaxHeadBytes) {
+        fail(431);
+        return std::nullopt;
+    }
+
+    HttpRequest req;
+    std::size_t lineStart = 0;
+    std::size_t lineEnd = buffer_.find("\r\n", lineStart);
+    {
+        std::string line = buffer_.substr(lineStart, lineEnd);
+        std::size_t sp1 = line.find(' ');
+        std::size_t sp2 =
+            sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+        if (sp2 == std::string::npos ||
+            line.compare(sp2 + 1, std::string::npos, "HTTP/1.1") !=
+                0) {
+            fail(400);
+            return std::nullopt;
+        }
+        req.method = line.substr(0, sp1);
+        req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        if (req.method.empty() || req.target.empty() ||
+            req.target[0] != '/') {
+            fail(400);
+            return std::nullopt;
+        }
+    }
+    lineStart = lineEnd + 2;
+    while (lineStart < headEnd) {
+        lineEnd = buffer_.find("\r\n", lineStart);
+        std::string line =
+            buffer_.substr(lineStart, lineEnd - lineStart);
+        lineStart = lineEnd + 2;
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos) {
+            fail(400);
+            return std::nullopt;
+        }
+        req.headers[toLower(trim(line.substr(0, colon)))] =
+            trim(line.substr(colon + 1));
+    }
+
+    std::size_t bodyLen = 0;
+    auto it = req.headers.find("content-length");
+    if (it != req.headers.end()) {
+        char *end = nullptr;
+        unsigned long long v =
+            std::strtoull(it->second.c_str(), &end, 10);
+        if (end == it->second.c_str() || *end != '\0') {
+            fail(400);
+            return std::nullopt;
+        }
+        if (v > kMaxBodyBytes) {
+            fail(413);
+            return std::nullopt;
+        }
+        bodyLen = static_cast<std::size_t>(v);
+    }
+
+    std::size_t total = headEnd + 4 + bodyLen;
+    if (buffer_.size() < total)
+        return std::nullopt; // body still in flight
+    req.body = buffer_.substr(headEnd + 4, bodyLen);
+    buffer_.erase(0, total);
+    return req;
+}
+
+} // namespace server
+} // namespace ecdp

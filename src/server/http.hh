@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal embedded HTTP/1.1 message layer for the ecdpd daemon — no
+ * external dependencies. One incremental request parser per
+ * connection (bytes in, complete requests out) and a response
+ * serializer. Only what the daemon's JSON API needs is implemented:
+ * GET/POST, Content-Length bodies, keep-alive, and hard limits on
+ * header/body size so a hostile peer cannot balloon the daemon.
+ */
+
+#ifndef ECDP_SERVER_HTTP_HH
+#define ECDP_SERVER_HTTP_HH
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace ecdp
+{
+namespace server
+{
+
+/** One parsed request. Header names are lower-cased on parse. */
+struct HttpRequest
+{
+    std::string method;
+    /** Path only (no scheme/host); the query string stays attached
+     *  and is split on demand via queryParam(). */
+    std::string target;
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /** Path without the query string. */
+    std::string path() const;
+
+    /** Value of ?name=... in the target, or nullopt. */
+    std::optional<std::string> queryParam(
+        const std::string &name) const;
+
+    /** Header value (name given lower-case), or empty string. */
+    std::string header(const std::string &name) const;
+
+    /** True unless the peer sent "Connection: close". */
+    bool keepAlive() const;
+};
+
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+    bool closeConnection = false;
+};
+
+/** Standard reason phrase for @p status ("OK", "Too Many Requests"). */
+const char *httpStatusText(int status);
+
+/** Serialize @p response as an HTTP/1.1 message with Content-Length. */
+std::string serializeResponse(const HttpResponse &response);
+
+/**
+ * Incremental request parser. Feed raw bytes as they arrive; when a
+ * full request (head + Content-Length body) has accumulated, next()
+ * yields it and consumes its bytes, leaving any pipelined remainder
+ * buffered. A malformed or oversized request puts the parser in a
+ * terminal error state — the connection should answer with
+ * errorStatus() and close.
+ */
+class HttpRequestParser
+{
+  public:
+    /** @{ Hard limits; a peer exceeding them gets 431/413. */
+    static constexpr std::size_t kMaxHeadBytes = 64 * 1024;
+    static constexpr std::size_t kMaxBodyBytes = 16 * 1024 * 1024;
+    /** @} */
+
+    void feed(const char *data, std::size_t len);
+
+    /** The next complete request, if one is buffered. */
+    std::optional<HttpRequest> next();
+
+    bool failed() const { return errorStatus_ != 0; }
+
+    /** HTTP status describing the parse failure (400/413/431). */
+    int errorStatus() const { return errorStatus_; }
+
+    /** Bytes buffered but not yet consumed (diagnostics). */
+    std::size_t buffered() const { return buffer_.size(); }
+
+  private:
+    void fail(int status) { errorStatus_ = status; }
+
+    std::string buffer_;
+    int errorStatus_ = 0;
+};
+
+} // namespace server
+} // namespace ecdp
+
+#endif // ECDP_SERVER_HTTP_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tiny blocking HTTP/1.1 client for talking to a local ecdpd —
+ * shared by tools/ecdp-client, bench/serverbench and the server
+ * integration tests. One connection per object, keep-alive reused
+ * across requests.
+ */
+
+#ifndef ECDP_SERVER_HTTP_CLIENT_HH
+#define ECDP_SERVER_HTTP_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "server/http.hh"
+
+namespace ecdp
+{
+namespace server
+{
+
+class HttpClient
+{
+  public:
+    /** Connects to 127.0.0.1:@p port. Throws on refusal. */
+    explicit HttpClient(std::uint16_t port);
+    ~HttpClient();
+
+    HttpClient(const HttpClient &) = delete;
+    HttpClient &operator=(const HttpClient &) = delete;
+
+    /**
+     * Send one request and block for the response. Throws
+     * std::runtime_error on transport failure (connection reset,
+     * malformed response).
+     */
+    HttpResponse get(const std::string &target);
+    HttpResponse post(const std::string &target,
+                      const std::string &body);
+
+  private:
+    HttpResponse roundTrip(const std::string &method,
+                           const std::string &target,
+                           const std::string &body);
+
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::string pending_; // bytes read past the previous response
+};
+
+} // namespace server
+} // namespace ecdp
+
+#endif // ECDP_SERVER_HTTP_CLIENT_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Child-process plumbing for the ecdpd worker pool — the only place
+ * in the tree allowed to fork/exec (enforced by the simlint
+ * raw-process-spawn rule). Everything here is checked: a failed
+ * fork/exec/pipe surfaces as an exception or a populated error
+ * field, never as a silently missing child, and wait status is
+ * always decoded (exit code vs. terminating signal) so a crashed
+ * simulation is reported, not confused with an empty result.
+ */
+
+#ifndef ECDP_SERVER_PROCESS_UTIL_HH
+#define ECDP_SERVER_PROCESS_UTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace ecdp
+{
+namespace server
+{
+
+/** Outcome of one child run. */
+struct ChildResult
+{
+    /** True when the child exited normally with status 0. */
+    bool ok = false;
+    /** Exit code when the child exited normally, else -1. */
+    int exitCode = -1;
+    /** Terminating signal when the child was killed, else 0. */
+    int signal = 0;
+    /** Everything the child wrote to stdout. */
+    std::string out;
+    /** Everything the child wrote to stderr (diagnostics). */
+    std::string err;
+
+    /** Human-readable failure description ("" when ok). */
+    std::string describeFailure() const;
+};
+
+/**
+ * Run @p argv (argv[0] = executable path) to completion: write
+ * @p input to its stdin, close it, then collect stdout and stderr
+ * concurrently (poll-based, so a chatty child cannot deadlock the
+ * parent) and reap the child. Throws std::runtime_error when the
+ * child could not be started at all (bad path, fork failure);
+ * abnormal child termination is reported through the result instead.
+ */
+ChildResult runChild(const std::vector<std::string> &argv,
+                     const std::string &input);
+
+/**
+ * Absolute path of the running executable (/proc/self/exe), falling
+ * back to @p argv0 when the proc link is unavailable. The daemon
+ * re-executes itself in --worker mode through this.
+ */
+std::string selfExePath(const char *argv0);
+
+} // namespace server
+} // namespace ecdp
+
+#endif // ECDP_SERVER_PROCESS_UTIL_HH

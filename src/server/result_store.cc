@@ -1,0 +1,231 @@
+#include "server/result_store.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "stats/json.hh"
+
+namespace ecdp
+{
+namespace server
+{
+
+namespace
+{
+
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ResultStore::entryFileName(std::uint64_t key)
+{
+    return "cell-" + hexKey(key) + ".bin";
+}
+
+std::size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_.size();
+}
+
+ResultStore::Bytes
+ResultStore::lookup(std::uint64_t key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = results_.find(key);
+        if (it != results_.end()) {
+            memoryHits_.fetch_add(1);
+            return it->second;
+        }
+    }
+    return loadFromDisk(key);
+}
+
+ResultStore::Role
+ResultStore::fetchOrAttach(std::uint64_t key, Ready cb)
+{
+    // Memory/flight check, then (on miss) a lock-free disk probe,
+    // then a re-check: a racing submitter either also probes the
+    // disk (harmless double read) or finds our flight entry.
+    for (bool probedDisk : {false, true}) {
+        Bytes hitBytes;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto hit = results_.find(key);
+            if (hit != results_.end()) {
+                memoryHits_.fetch_add(1);
+                hitBytes = hit->second;
+            } else {
+                auto flight = flights_.find(key);
+                if (flight != flights_.end()) {
+                    flight->second.waiters.push_back(std::move(cb));
+                    dedupAttached_.fetch_add(1);
+                    return Role::Follower;
+                }
+                if (probedDisk) {
+                    flights_[key].waiters.push_back(std::move(cb));
+                    leaders_.fetch_add(1);
+                    return Role::Leader;
+                }
+            }
+        }
+        // Callbacks fire outside the lock (they may re-enter).
+        if (hitBytes) {
+            cb(std::move(hitBytes), "");
+            return Role::Hit;
+        }
+        if (Bytes fromDisk = loadFromDisk(key)) {
+            cb(std::move(fromDisk), "");
+            return Role::Hit;
+        }
+    }
+    // Unreachable: the second pass always leads or attaches.
+    return Role::Leader;
+}
+
+void
+ResultStore::complete(std::uint64_t key, std::string bytes)
+{
+    Bytes shared = std::make_shared<const std::string>(
+        std::move(bytes));
+    spillToDisk(key, *shared);
+
+    std::vector<Ready> waiters;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        results_[key] = shared;
+        auto it = flights_.find(key);
+        if (it != flights_.end()) {
+            waiters = std::move(it->second.waiters);
+            flights_.erase(it);
+        }
+    }
+    for (Ready &cb : waiters)
+        cb(shared, "");
+}
+
+void
+ResultStore::fail(std::uint64_t key, const std::string &error)
+{
+    std::vector<Ready> waiters;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = flights_.find(key);
+        if (it != flights_.end()) {
+            waiters = std::move(it->second.waiters);
+            flights_.erase(it);
+        }
+    }
+    for (Ready &cb : waiters)
+        cb(nullptr, error);
+}
+
+ResultStore::Bytes
+ResultStore::loadFromDisk(std::uint64_t key)
+{
+    if (dir_.empty())
+        return nullptr;
+    const std::string path = dir_ + "/" + entryFileName(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return nullptr; // plain miss
+
+    // Entry layout: one JSON header line carrying the key and the
+    // exact payload length, then the raw payload bytes. The frame
+    // makes truncation detectable: a partial write can never pass
+    // the length check.
+    auto corrupt = [&](const std::string &why) -> Bytes {
+        std::cerr << "ecdpd: result store: corrupt entry " << path
+                  << " (" << why << "); removing and rebuilding\n";
+        corruptRebuilds_.fetch_add(1);
+        in.close();
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        return nullptr;
+    };
+
+    std::string header;
+    if (!std::getline(in, header))
+        return corrupt("empty file");
+    std::optional<JsonValue> parsed = tryParseJson(header);
+    if (!parsed)
+        return corrupt("unparsable header");
+    std::string payload;
+    try {
+        if (parsed->at("version").asI64() != 1)
+            return corrupt("unknown version");
+        if (parsed->at("key").asString() != hexKey(key))
+            return corrupt("key mismatch");
+        std::uint64_t length = parsed->at("bytes").asU64();
+        payload.resize(length);
+        in.read(payload.data(),
+                static_cast<std::streamsize>(length));
+        if (static_cast<std::uint64_t>(in.gcount()) != length)
+            return corrupt("truncated payload");
+        // Exactly the framed bytes and nothing more.
+        if (in.peek() != std::char_traits<char>::eof())
+            return corrupt("trailing bytes");
+    } catch (const JsonError &e) {
+        return corrupt(e.what());
+    }
+
+    Bytes shared =
+        std::make_shared<const std::string>(std::move(payload));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto [it, inserted] = results_.emplace(key, shared);
+        if (!inserted)
+            shared = it->second; // racing loader won; share theirs
+    }
+    diskHits_.fetch_add(1);
+    return shared;
+}
+
+void
+ResultStore::spillToDisk(std::uint64_t key, const std::string &bytes)
+{
+    if (dir_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        return;
+    const std::string path = dir_ + "/" + entryFileName(key);
+    std::ostringstream id;
+    id << std::hash<std::thread::id>{}(std::this_thread::get_id());
+    const std::string tmp = path + ".tmp." + id.str();
+    {
+        std::ofstream os(tmp, std::ios::binary);
+        if (!os)
+            return;
+        os << "{\"version\":1,\"key\":\"" << hexKey(key)
+           << "\",\"bytes\":" << bytes.size() << "}\n"
+           << bytes;
+        if (!os)
+            return;
+    }
+    // Atomic publish: concurrent daemons (or a reader mid-crash)
+    // never observe a half-written entry.
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+} // namespace server
+} // namespace ecdp

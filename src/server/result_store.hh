@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Content-addressed result store with single-flight dedup — the
+ * shared successor of the per-process configHash result cache
+ * (src/runner/result_cache).
+ *
+ * Results are immutable byte strings (stats JSON, exactly as the
+ * worker produced them) keyed by the 64-bit content hash of the
+ * canonical cell spec that produced them. The store answers three
+ * questions atomically:
+ *
+ *   - is the result already materialized (memory or disk)?
+ *   - is somebody already computing it (attach, don't recompute)?
+ *   - am I the first (become the leader and compute exactly once)?
+ *
+ * so N concurrent identical submissions cost exactly one simulation.
+ * Completion callbacks fire outside the store lock, on the thread
+ * that completed (or, for cache hits, the caller's thread).
+ *
+ * The optional spill directory makes the store durable: entries are
+ * length-framed, key-stamped files published by atomic rename.
+ * Truncated or corrupt files are detected on load, logged, removed
+ * and rebuilt — never trusted, never fatal.
+ */
+
+#ifndef ECDP_SERVER_RESULT_STORE_HH
+#define ECDP_SERVER_RESULT_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ecdp
+{
+namespace server
+{
+
+class ResultStore
+{
+  public:
+    using Bytes = std::shared_ptr<const std::string>;
+
+    /**
+     * Completion callback: exactly one of @p bytes (success) or
+     * @p error (non-empty) is set. May fire before fetchOrAttach
+     * returns (cache hit) or later from the completing thread.
+     */
+    using Ready =
+        std::function<void(Bytes bytes, const std::string &error)>;
+
+    /** What fetchOrAttach decided. */
+    enum class Role
+    {
+        /** Result was already materialized; cb has fired. */
+        Hit,
+        /** Someone else is computing; cb fires on their completion. */
+        Follower,
+        /** Caller must compute and then complete() or fail(). */
+        Leader,
+    };
+
+    /** @param dir Spill directory; empty = memory-only. */
+    explicit ResultStore(std::string dir = "");
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    Role fetchOrAttach(std::uint64_t key, Ready cb);
+
+    /** Publish @p bytes under @p key and fire every attached cb. */
+    void complete(std::uint64_t key, std::string bytes);
+
+    /** Abort the flight: fire every attached cb with @p error. The
+     *  key stays uncached, so a later submission retries. */
+    void fail(std::uint64_t key, const std::string &error);
+
+    /** Materialized result, or nullptr (never joins a flight). */
+    Bytes lookup(std::uint64_t key);
+
+    /** @{ Monotonic statistics. */
+    std::uint64_t memoryHits() const { return memoryHits_.load(); }
+    std::uint64_t diskHits() const { return diskHits_.load(); }
+    std::uint64_t dedupAttached() const
+    {
+        return dedupAttached_.load();
+    }
+    std::uint64_t leaders() const { return leaders_.load(); }
+    std::uint64_t corruptRebuilds() const
+    {
+        return corruptRebuilds_.load();
+    }
+    /** @} */
+
+    /** Entries materialized in memory (diagnostics). */
+    std::size_t size() const;
+
+    static std::string entryFileName(std::uint64_t key);
+
+  private:
+    struct Flight
+    {
+        std::vector<Ready> waiters;
+    };
+
+    Bytes loadFromDisk(std::uint64_t key);
+    void spillToDisk(std::uint64_t key, const std::string &bytes);
+
+    std::string dir_;
+
+    mutable std::mutex mutex_;
+    std::map<std::uint64_t, Bytes> results_;
+    std::map<std::uint64_t, Flight> flights_;
+
+    std::atomic<std::uint64_t> memoryHits_{0};
+    std::atomic<std::uint64_t> diskHits_{0};
+    std::atomic<std::uint64_t> dedupAttached_{0};
+    std::atomic<std::uint64_t> leaders_{0};
+    std::atomic<std::uint64_t> corruptRebuilds_{0};
+};
+
+} // namespace server
+} // namespace ecdp
+
+#endif // ECDP_SERVER_RESULT_STORE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Work-stealing pool of worker *processes*. Each job is one
+ * simulation: a cell-spec JSON document piped to the stdin of a
+ * freshly spawned `ecdpd --worker` child, whose stdout is the stats
+ * JSON. Crash isolation is the point — a simulation that segfaults
+ * or aborts kills its child and surfaces as a failed job, never as a
+ * dead daemon.
+ *
+ * Scheduling: jobs are submitted round-robin across per-shard
+ * deques. A shard thread pops its own deque from the front (FIFO for
+ * fairness) and, when empty, steals from the *back* of a sibling's
+ * deque — the classic split that keeps owners and thieves off the
+ * same end.
+ */
+
+#ifndef ECDP_SERVER_WORKER_POOL_HH
+#define ECDP_SERVER_WORKER_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ecdp
+{
+namespace server
+{
+
+class WorkerPool
+{
+  public:
+    /**
+     * Completion callback. On success @p output is the child's
+     * stdout and @p error is empty; on failure @p error describes
+     * what happened (nonzero exit, signal, exec failure) including a
+     * tail of the child's stderr. Runs on a shard thread — keep it
+     * cheap and never let it throw.
+     */
+    using Done =
+        std::function<void(std::string output, std::string error)>;
+
+    /**
+     * @p workerArgv is the argv of one worker invocation (e.g.
+     * {"/path/to/ecdpd", "--worker"}); @p shards is the number of
+     * shard threads (>= 1), each running at most one child at a
+     * time.
+     */
+    WorkerPool(std::vector<std::string> workerArgv, unsigned shards);
+
+    /** Fails every job still queued with "worker pool shut down". */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Enqueue @p input for some shard; @p done fires exactly once. */
+    void submit(std::string input, Done done);
+
+    unsigned shards() const { return unsigned(shards_.size()); }
+
+    /** Children spawned (== jobs executed, one process per job). */
+    std::uint64_t spawned() const { return spawned_.load(); }
+
+    /** Jobs whose child died on a signal. */
+    std::uint64_t crashed() const { return crashed_.load(); }
+
+    /** Jobs a shard stole from a sibling's deque. */
+    std::uint64_t stolen() const { return stolen_.load(); }
+
+    /** Jobs queued but not yet picked up (the queue depth). */
+    std::size_t queued() const;
+
+  private:
+    struct Job
+    {
+        std::string input;
+        Done done;
+    };
+
+    void shardLoop(unsigned self);
+    bool takeJob(unsigned self, Job &job);
+    void runJob(const Job &job);
+
+    std::vector<std::string> workerArgv_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<std::deque<Job>> queues_;
+    unsigned nextShard_ = 0;
+    bool stopping_ = false;
+
+    std::atomic<std::uint64_t> spawned_{0};
+    std::atomic<std::uint64_t> crashed_{0};
+    std::atomic<std::uint64_t> stolen_{0};
+
+    std::vector<std::thread> shards_;
+};
+
+} // namespace server
+} // namespace ecdp
+
+#endif // ECDP_SERVER_WORKER_POOL_HH

@@ -140,6 +140,65 @@ idealLds()
     return cfg;
 }
 
+SystemConfig
+byName(const std::string &name, const HintTable *hints)
+{
+    if (name == "noprefetch")
+        return noPrefetch();
+    if (name == "baseline")
+        return baseline();
+    if (name == "cdp")
+        return streamCdp();
+    if (name == "ecdp")
+        return streamEcdp(hints);
+    if (name == "cdp+throttle")
+        return streamCdpThrottled();
+    if (name == "full")
+        return fullProposal(hints);
+    if (name == "dbp")
+        return streamDbp();
+    if (name == "markov")
+        return streamMarkov();
+    if (name == "ghb")
+        return ghbAlone();
+    if (name == "ghb+ecdp")
+        return ghbEcdp(hints, true);
+    if (name == "cdp+filter")
+        return streamCdpHwFilter(true);
+    if (name == "ecdp+fdp")
+        return streamEcdpFdp(hints);
+    if (name == "cdp+pab")
+        return streamCdpPab();
+    if (name == "grp")
+        return streamGrpCoarse(hints);
+    if (name == "ideal-lds")
+        return idealLds();
+    std::string known;
+    for (const std::string &k : knownNames())
+        known += (known.empty() ? "" : ", ") + k;
+    throw std::runtime_error("unknown config '" + name +
+                             "' (known: " + known + ")");
+}
+
+bool
+nameNeedsHints(const std::string &name)
+{
+    return name == "ecdp" || name == "full" || name == "ghb+ecdp" ||
+           name == "ecdp+fdp" || name == "grp";
+}
+
+const std::vector<std::string> &
+knownNames()
+{
+    static const std::vector<std::string> names = {
+        "noprefetch", "baseline",   "cdp",      "ecdp",
+        "cdp+throttle", "full",     "dbp",      "markov",
+        "ghb",        "ghb+ecdp",   "cdp+filter", "ecdp+fdp",
+        "cdp+pab",    "grp",        "ideal-lds",
+    };
+    return names;
+}
+
 } // namespace configs
 
 ExperimentContext::ExperimentContext()

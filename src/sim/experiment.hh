@@ -14,6 +14,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "compiler/profiling_compiler.hh"
 #include "sim/config.hh"
@@ -81,6 +82,21 @@ SystemConfig streamGrpCoarse(const HintTable *hints);
 
 /** Baseline + the Figure 1 ideal-LDS oracle. */
 SystemConfig idealLds();
+
+/**
+ * The named configuration the CLI tools and the ecdpd wire format
+ * share ("baseline", "cdp+throttle", "full", ...). Throws
+ * std::runtime_error listing the known names on an unknown one.
+ * Configurations that consume compiler hints take them from
+ * @p hints; the caller profiles (see nameNeedsHints()).
+ */
+SystemConfig byName(const std::string &name, const HintTable *hints);
+
+/** True when byName(@p name) wires a hint table into the config. */
+bool nameNeedsHints(const std::string &name);
+
+/** Every name byName() accepts, in canonical order. */
+const std::vector<std::string> &knownNames();
 
 } // namespace configs
 

@@ -364,10 +364,12 @@ class Parser
     JsonValue object()
     {
         expect('{');
+        enterNested();
         std::map<std::string, JsonValue> members;
         skipWs();
         if (peek() == '}') {
             ++pos_;
+            --depth_;
             return JsonValue::makeObject(std::move(members));
         }
         while (true) {
@@ -375,6 +377,9 @@ class Parser
             std::string key = string();
             skipWs();
             expect(':');
+            // emplace: on duplicate keys the FIRST wins, documented
+            // and tested — attacker-supplied later duplicates can't
+            // shadow already-validated members.
             members.emplace(std::move(key), value());
             skipWs();
             if (peek() == ',') {
@@ -382,6 +387,7 @@ class Parser
                 continue;
             }
             expect('}');
+            --depth_;
             return JsonValue::makeObject(std::move(members));
         }
     }
@@ -389,10 +395,12 @@ class Parser
     JsonValue array()
     {
         expect('[');
+        enterNested();
         std::vector<JsonValue> items;
         skipWs();
         if (peek() == ']') {
             ++pos_;
+            --depth_;
             return JsonValue::makeArray(std::move(items));
         }
         while (true) {
@@ -403,8 +411,20 @@ class Parser
                 continue;
             }
             expect(']');
+            --depth_;
             return JsonValue::makeArray(std::move(items));
         }
+    }
+
+    /** The parser recurses per nesting level; a hostile "[[[[..."
+     *  must fail as JsonError, not exhaust the stack (tryParseJson
+     *  cannot catch a stack overflow). kMaxDepth is far beyond any
+     *  document the stats writers produce. */
+    void enterNested()
+    {
+        if (++depth_ > kMaxDepth)
+            fail("JSON nesting deeper than " +
+                 std::to_string(kMaxDepth) + " levels");
     }
 
     std::string string()
@@ -507,8 +527,11 @@ class Parser
             text_.substr(start, pos_ - start));
     }
 
+    static constexpr int kMaxDepth = 192;
+
     const std::string &text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 } // namespace

@@ -1,0 +1,82 @@
+// Child-process plumbing: stdin/stdout/stderr round trips, exit and
+// signal decoding, exec-failure reporting, and the concurrent-drain
+// guarantee that a chatty child cannot deadlock the parent.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "server/process_util.hh"
+
+namespace
+{
+
+using namespace ecdp::server;
+
+TEST(ProcessUtil, RoundTripsStdinToStdout)
+{
+    ChildResult result = runChild({"/bin/cat"}, "hello worker");
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_EQ(result.signal, 0);
+    EXPECT_EQ(result.out, "hello worker");
+    EXPECT_EQ(result.describeFailure(), "");
+}
+
+TEST(ProcessUtil, CapturesStderrSeparately)
+{
+    ChildResult result = runChild(
+        {"/bin/sh", "-c", "echo OUT; echo ERR >&2"}, "");
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.out, "OUT\n");
+    EXPECT_EQ(result.err, "ERR\n");
+}
+
+TEST(ProcessUtil, ReportsNonZeroExit)
+{
+    ChildResult result = runChild(
+        {"/bin/sh", "-c", "echo why >&2; exit 3"}, "");
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exitCode, 3);
+    EXPECT_EQ(result.signal, 0);
+    // The failure description carries the stderr tail.
+    EXPECT_NE(result.describeFailure().find("why"),
+              std::string::npos);
+}
+
+TEST(ProcessUtil, DecodesTerminatingSignal)
+{
+    ChildResult result =
+        runChild({"/bin/sh", "-c", "kill -SEGV $$"}, "");
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.signal, 11);
+    EXPECT_NE(result.describeFailure().find("signal"),
+              std::string::npos);
+}
+
+TEST(ProcessUtil, ThrowsWhenExecutableMissing)
+{
+    EXPECT_THROW(runChild({"/no/such/binary/anywhere"}, ""),
+                 std::runtime_error);
+}
+
+TEST(ProcessUtil, LargeBidirectionalTrafficDoesNotDeadlock)
+{
+    // 4 MB in, 4 MB out on stdout AND stderr: far beyond any pipe
+    // buffer, so this hangs unless all three pipes are drained
+    // concurrently.
+    const std::string input(4 * 1024 * 1024, 'x');
+    ChildResult result = runChild(
+        {"/bin/sh", "-c", "tee /dev/stderr"}, input);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.out.size(), input.size());
+    EXPECT_EQ(result.err.size(), input.size());
+}
+
+TEST(ProcessUtil, SelfExePathPointsAtThisBinary)
+{
+    const std::string path = selfExePath("fallback");
+    EXPECT_NE(path.find("ecdp_tests"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,251 @@
+// The content-addressed single-flight result store: exactly one
+// leader per key under concurrency, follower fan-out, disk spill and
+// reload, and the corrupt-entry detect/log/rebuild path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/result_store.hh"
+
+namespace
+{
+
+using namespace ecdp::server;
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(ResultStore, LeaderComputesThenHitsServeFromMemory)
+{
+    ResultStore store;
+    std::string got;
+    ResultStore::Role role = store.fetchOrAttach(
+        7, [&](ResultStore::Bytes bytes, const std::string &error) {
+            ASSERT_TRUE(bytes);
+            EXPECT_EQ(error, "");
+            got = *bytes;
+        });
+    ASSERT_EQ(role, ResultStore::Role::Leader);
+    EXPECT_EQ(store.leaders(), 1u);
+    store.complete(7, "payload");
+    EXPECT_EQ(got, "payload");
+
+    // Second fetch is a memory hit whose callback fires inline.
+    got.clear();
+    role = store.fetchOrAttach(
+        7, [&](ResultStore::Bytes bytes, const std::string &) {
+            got = *bytes;
+        });
+    EXPECT_EQ(role, ResultStore::Role::Hit);
+    EXPECT_EQ(got, "payload");
+    EXPECT_EQ(store.memoryHits(), 1u);
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ResultStore, ExactlyOneLeaderAmongConcurrentFetches)
+{
+    // N threads race fetchOrAttach on the same key while the leader's
+    // completion is deliberately delayed until every thread has
+    // attached — the single-flight core of the daemon.
+    ResultStore store;
+    constexpr int kThreads = 16;
+    std::atomic<int> leaders{0};
+    std::atomic<int> attached{0};
+    std::atomic<int> delivered{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            ResultStore::Role role = store.fetchOrAttach(
+                42, [&](ResultStore::Bytes bytes,
+                        const std::string &error) {
+                    EXPECT_TRUE(bytes);
+                    EXPECT_EQ(error, "");
+                    if (bytes && *bytes == "the-one-result")
+                        delivered.fetch_add(1);
+                });
+            if (role == ResultStore::Role::Leader) {
+                leaders.fetch_add(1);
+                // Wait for every other thread to attach before
+                // completing, so none of them can be a memory Hit.
+                std::unique_lock<std::mutex> lock(mutex);
+                cv.wait(lock, [&] {
+                    return attached.load() == kThreads - 1;
+                });
+                store.complete(42, "the-one-result");
+            } else {
+                EXPECT_EQ(role, ResultStore::Role::Follower);
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    attached.fetch_add(1);
+                }
+                cv.notify_one();
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(leaders.load(), 1);
+    EXPECT_EQ(delivered.load(), kThreads);
+    EXPECT_EQ(store.leaders(), 1u);
+    EXPECT_EQ(store.dedupAttached(), std::uint64_t(kThreads - 1));
+}
+
+TEST(ResultStore, FailedFlightLeavesKeyUncachedForRetry)
+{
+    ResultStore store;
+    std::string firstError;
+    ResultStore::Role role = store.fetchOrAttach(
+        9, [&](ResultStore::Bytes bytes, const std::string &error) {
+            EXPECT_FALSE(bytes);
+            firstError = error;
+        });
+    ASSERT_EQ(role, ResultStore::Role::Leader);
+
+    std::string followerError;
+    EXPECT_EQ(store.fetchOrAttach(
+                  9,
+                  [&](ResultStore::Bytes, const std::string &error) {
+                      followerError = error;
+                  }),
+              ResultStore::Role::Follower);
+
+    store.fail(9, "worker crashed");
+    EXPECT_EQ(firstError, "worker crashed");
+    EXPECT_EQ(followerError, "worker crashed");
+    EXPECT_FALSE(store.lookup(9));
+
+    // A later submission must get to retry as a fresh leader.
+    EXPECT_EQ(store.fetchOrAttach(
+                  9, [](ResultStore::Bytes, const std::string &) {}),
+              ResultStore::Role::Leader);
+    store.complete(9, "second try");
+    ASSERT_TRUE(store.lookup(9));
+    EXPECT_EQ(*store.lookup(9), "second try");
+}
+
+TEST(ResultStore, SpillsToDiskAndReloadsInFreshStore)
+{
+    const std::string dir = freshDir("ecdp_store_spill");
+    const std::string payload = "{\"workload\":\"mst\"}";
+    {
+        ResultStore store(dir);
+        ASSERT_EQ(store.fetchOrAttach(0xabcdef,
+                                      [](ResultStore::Bytes,
+                                         const std::string &) {}),
+                  ResultStore::Role::Leader);
+        store.complete(0xabcdef, payload);
+    }
+    EXPECT_TRUE(std::filesystem::exists(
+        std::filesystem::path(dir) /
+        ResultStore::entryFileName(0xabcdef)));
+
+    // A brand-new store over the same directory serves the entry
+    // from disk without any flight.
+    ResultStore reopened(dir);
+    std::string got;
+    EXPECT_EQ(reopened.fetchOrAttach(
+                  0xabcdef,
+                  [&](ResultStore::Bytes bytes, const std::string &) {
+                      got = *bytes;
+                  }),
+              ResultStore::Role::Hit);
+    EXPECT_EQ(got, payload);
+    EXPECT_EQ(reopened.diskHits(), 1u);
+}
+
+TEST(ResultStore, EntryFileNameEncodesKeyAsHex16)
+{
+    EXPECT_EQ(ResultStore::entryFileName(0x1a2b),
+              "cell-0000000000001a2b.bin");
+    EXPECT_EQ(ResultStore::entryFileName(~0ull),
+              "cell-ffffffffffffffff.bin");
+}
+
+TEST(ResultStore, CorruptDiskEntryIsRemovedAndRebuilt)
+{
+    const std::string dir = freshDir("ecdp_store_corrupt");
+    const std::uint64_t key = 0x77;
+    {
+        ResultStore store(dir);
+        store.fetchOrAttach(
+            key, [](ResultStore::Bytes, const std::string &) {});
+        store.complete(key, "good bytes");
+    }
+    const std::filesystem::path file =
+        std::filesystem::path(dir) / ResultStore::entryFileName(key);
+    ASSERT_TRUE(std::filesystem::exists(file));
+
+    // Truncate the entry mid-payload: the fresh store must detect
+    // it, drop the file and hand the caller a Leader role so the
+    // result is rebuilt rather than trusted.
+    {
+        std::ofstream out(file, std::ios::binary | std::ios::trunc);
+        out << "cell";
+    }
+    ResultStore reopened(dir);
+    EXPECT_EQ(reopened.fetchOrAttach(
+                  key, [](ResultStore::Bytes, const std::string &) {}),
+              ResultStore::Role::Leader);
+    EXPECT_EQ(reopened.corruptRebuilds(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(file));
+
+    reopened.complete(key, "rebuilt");
+    EXPECT_TRUE(std::filesystem::exists(file));
+    ResultStore third(dir);
+    ASSERT_TRUE(third.lookup(key));
+    EXPECT_EQ(*third.lookup(key), "rebuilt");
+}
+
+TEST(ResultStore, KeyStampMismatchCountsAsCorrupt)
+{
+    // A file whose embedded key disagrees with its name (e.g. a
+    // botched manual copy) must also be rejected and rebuilt.
+    const std::string dir = freshDir("ecdp_store_stamp");
+    const std::uint64_t key = 0x1234;
+    {
+        ResultStore store(dir);
+        store.fetchOrAttach(
+            key, [](ResultStore::Bytes, const std::string &) {});
+        store.complete(key, "stamped");
+    }
+    const std::filesystem::path wrongName =
+        std::filesystem::path(dir) /
+        ResultStore::entryFileName(key + 1);
+    std::filesystem::copy_file(
+        std::filesystem::path(dir) / ResultStore::entryFileName(key),
+        wrongName);
+
+    ResultStore reopened(dir);
+    EXPECT_FALSE(reopened.lookup(key + 1));
+    EXPECT_EQ(reopened.corruptRebuilds(), 1u);
+}
+
+TEST(ResultStore, LookupNeverJoinsAFlight)
+{
+    ResultStore store;
+    store.fetchOrAttach(5,
+                        [](ResultStore::Bytes, const std::string &) {});
+    EXPECT_FALSE(store.lookup(5)); // in flight, not materialized
+    store.complete(5, "done");
+    ASSERT_TRUE(store.lookup(5));
+    EXPECT_EQ(*store.lookup(5), "done");
+}
+
+} // namespace

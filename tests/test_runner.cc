@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "runner/result_cache.hh"
@@ -52,6 +53,23 @@ TEST(ThreadPoolTest, WaitIsReusable)
     pool.submit([&count] { ++count; });
     pool.wait();
     EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, JobExceptionSurfacesInWaitNotTerminate)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ++ran; });
+    pool.submit([] { throw std::logic_error("boom in worker"); });
+    pool.submit([&ran] { ++ran; });
+    // The original exception type crosses to the waiting thread.
+    EXPECT_THROW(pool.wait(), std::logic_error);
+    EXPECT_EQ(ran.load(), 2); // the other jobs still ran
+
+    // The pool survives: the error was cleared, workers are alive.
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 3);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsTheQueue)
@@ -303,6 +321,42 @@ TEST(ExperimentRunnerTest, FailedJobsSurfaceInWait)
     EXPECT_THROW(parallel.wait(), std::runtime_error);
 }
 
+TEST(ExperimentRunnerTest, SubmitFutureCarriesStatsOrException)
+{
+    ExperimentContext ctx;
+    ExperimentRunner parallel(ctx, 2);
+    parallel.setProgressStream(nullptr);
+    std::shared_future<const RunStats *> good = parallel.submit(
+        "parser", "np",
+        [](ExperimentContext &, const std::string &) {
+            return configs::noPrefetch();
+        });
+    std::shared_future<const RunStats *> bad = parallel.submit(
+        "parser", "boom",
+        [](ExperimentContext &,
+           const std::string &) -> SystemConfig {
+            throw std::logic_error("deliberately broken config");
+        });
+
+    // The success future resolves to the memoized stats object.
+    const RunStats *stats = good.get();
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats, &ctx.run("parser", configs::noPrefetch(), "np"));
+
+    // The failure future rethrows the worker's ORIGINAL exception
+    // (std::logic_error, not a flattened runtime_error).
+    EXPECT_THROW(bad.get(), std::logic_error);
+    try {
+        bad.get();
+        FAIL() << "expected the job exception";
+    } catch (const std::logic_error &e) {
+        EXPECT_STREQ(e.what(), "deliberately broken config");
+    }
+
+    // wait() still reports the grid-level failure.
+    EXPECT_THROW(parallel.wait(), std::runtime_error);
+}
+
 TEST(ResultCacheTest, RoundTripsExactly)
 {
     const std::string dir =
@@ -359,6 +413,63 @@ TEST(ResultCacheTest, StaleVersionOrGarbageReadsAsMiss)
         out << "this is not json";
     }
     EXPECT_FALSE(cache.load("parser", hash).has_value());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheTest, CorruptEntryIsWarnedRemovedAndRebuilt)
+{
+    const std::string dir =
+        testing::TempDir() + "/ecdp_cache_corrupt";
+    std::filesystem::remove_all(dir);
+    ResultCache cache(dir);
+    ExperimentContext ctx;
+    SystemConfig cfg = configs::noPrefetch();
+    const std::uint64_t hash = configHash(cfg);
+    const std::string path = cache.entryPath("parser", hash);
+
+    RunStats stats = simulate(cfg, ctx.ref("parser"));
+    cache.store("parser", hash, stats);
+    ASSERT_TRUE(cache.load("parser", hash).has_value());
+
+    // Truncate the entry mid-JSON — the classic killed-process /
+    // full-disk shape. The load must warn, remove the poisoned
+    // file and report a miss instead of trusting or keeping it.
+    std::string full;
+    {
+        std::ifstream in(path);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        full = buf.str();
+    }
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << full.substr(0, full.size() / 2);
+    }
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(cache.load("parser", hash).has_value());
+    const std::string warning =
+        testing::internal::GetCapturedStderr();
+    EXPECT_NE(warning.find("corrupt entry"), std::string::npos)
+        << warning;
+    EXPECT_FALSE(std::filesystem::exists(path));
+
+    // A valid file under the wrong name is a stamp mismatch: also
+    // corrupt, also removed.
+    {
+        std::ofstream out(cache.entryPath("parser", hash + 1));
+        out << full;
+    }
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(cache.load("parser", hash + 1).has_value());
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "stamp mismatch"),
+              std::string::npos);
+    EXPECT_FALSE(std::filesystem::exists(
+        cache.entryPath("parser", hash + 1)));
+
+    // The rebuild path: store again, load cleanly.
+    cache.store("parser", hash, stats);
+    EXPECT_TRUE(cache.load("parser", hash).has_value());
     std::filesystem::remove_all(dir);
 }
 

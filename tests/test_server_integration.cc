@@ -1,0 +1,270 @@
+// End-to-end daemon tests over real HTTP with real forked worker
+// processes (`ecdpd --worker`): the byte-identity contract against
+// the in-process ExperimentRunner path, the single-flight guarantee
+// (N identical concurrent submissions -> exactly 1 simulation),
+// store replay, admission/quota backpressure and the error surface.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/cell.hh"
+#include "server/daemon.hh"
+#include "server/http_client.hh"
+#include "stats/json.hh"
+
+#ifndef ECDPD_BIN
+#error "test_server_integration needs -DECDPD_BIN=\"path/to/ecdpd\""
+#endif
+
+namespace
+{
+
+using namespace ecdp;
+using namespace ecdp::server;
+
+DaemonOptions
+workerOptions()
+{
+    DaemonOptions opts;
+    opts.workers = 2;
+    opts.workerArgv = {ECDPD_BIN, "--worker"};
+    return opts;
+}
+
+std::string
+hex16(std::uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+/** The cells-array tail of a results body — identical across
+ *  submissions of the same cells even though the grid id differs. */
+std::string
+cellsTail(const std::string &body)
+{
+    const std::size_t at = body.find("\"cells\"");
+    EXPECT_NE(at, std::string::npos) << body.substr(0, 200);
+    return at == std::string::npos ? body : body.substr(at);
+}
+
+TEST(ServerIntegration, WorkerResultsAreByteIdenticalToInProcess)
+{
+    // The contract: bytes served by the daemon (computed by a forked
+    // `ecdpd --worker`) are exactly the bytes the in-process
+    // ExperimentContext path produces for the same cell.
+    const CellSpec spec = parseCellSpec(
+        parseJson("{\"bench\":\"mst\",\"input\":\"train\"}"));
+    ExperimentContext ctx;
+    const std::string expected =
+        cellStatsJson(spec, runCell(spec, ctx));
+
+    Daemon daemon(workerOptions());
+    daemon.start();
+    HttpClient client(daemon.port());
+
+    HttpResponse submit = client.post(
+        "/v1/grids",
+        "{\"wait\":true,\"cells\":[{\"bench\":\"mst\","
+        "\"input\":\"train\"}]}");
+    ASSERT_EQ(submit.status, 200) << submit.body;
+    JsonValue doc = parseJson(submit.body);
+    const JsonValue &cell = doc.at("cells").asArray().at(0);
+    EXPECT_EQ(cell.at("status").asString(), "done");
+    EXPECT_EQ(cell.at("key").asString(), hex16(cellKey(spec)));
+
+    HttpResponse raw =
+        client.get("/v1/cells/" + hex16(cellKey(spec)));
+    ASSERT_EQ(raw.status, 200);
+    EXPECT_EQ(raw.body, expected); // byte-for-byte
+    EXPECT_EQ(daemon.pool().spawned(), 1u);
+}
+
+TEST(ServerIntegration, ConcurrentIdenticalSubmissionsCostOneSim)
+{
+    Daemon daemon(workerOptions());
+    daemon.start();
+    const std::uint16_t port = daemon.port();
+
+    constexpr int kSubmitters = 8;
+    std::vector<std::string> bodies(kSubmitters);
+    std::vector<int> statuses(kSubmitters, 0);
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kSubmitters; ++t) {
+            threads.emplace_back([&, t] {
+                HttpClient client(port);
+                HttpResponse response = client.post(
+                    "/v1/grids",
+                    "{\"wait\":true,\"cells\":[{\"bench\":"
+                    "\"health\",\"input\":\"train\"}]}");
+                statuses[std::size_t(t)] = response.status;
+                bodies[std::size_t(t)] = response.body;
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+
+    // Exactly one simulation ran, and every submitter got
+    // byte-identical results (modulo its own grid id).
+    EXPECT_EQ(daemon.pool().spawned(), 1u);
+    EXPECT_EQ(daemon.store().leaders(), 1u);
+    const std::string reference = cellsTail(bodies[0]);
+    for (int t = 0; t < kSubmitters; ++t) {
+        EXPECT_EQ(statuses[std::size_t(t)], 200);
+        EXPECT_EQ(cellsTail(bodies[std::size_t(t)]), reference);
+    }
+}
+
+TEST(ServerIntegration, ResubmissionIsServedEntirelyFromStore)
+{
+    Daemon daemon(workerOptions());
+    daemon.start();
+    HttpClient client(daemon.port());
+    const std::string body =
+        "{\"wait\":true,\"cells\":[{\"bench\":\"perimeter\","
+        "\"input\":\"train\"},{\"bench\":\"mst\","
+        "\"input\":\"train\"}]}";
+
+    HttpResponse first = client.post("/v1/grids", body);
+    ASSERT_EQ(first.status, 200) << first.body;
+    EXPECT_EQ(daemon.pool().spawned(), 2u);
+
+    HttpResponse replay = client.post("/v1/grids", body);
+    ASSERT_EQ(replay.status, 200) << replay.body;
+    EXPECT_EQ(daemon.pool().spawned(), 2u); // zero new simulations
+    EXPECT_EQ(cellsTail(replay.body), cellsTail(first.body));
+    EXPECT_GE(daemon.store().memoryHits(), 2u);
+}
+
+TEST(ServerIntegration, AdmissionLimitRejectsOversizedGrid)
+{
+    DaemonOptions opts = workerOptions();
+    opts.admissionLimit = 1;
+    Daemon daemon(opts);
+    daemon.start();
+    HttpClient client(daemon.port());
+
+    HttpResponse response = client.post(
+        "/v1/grids",
+        "{\"cells\":[{\"bench\":\"mst\",\"input\":\"train\"},"
+        "{\"bench\":\"health\",\"input\":\"train\"}]}");
+    EXPECT_EQ(response.status, 429);
+    EXPECT_NE(response.body.find("admission"), std::string::npos);
+    // The rejected grid was never registered.
+    EXPECT_EQ(client.get("/v1/grids/g1").status, 404);
+
+    // A grid that fits is admitted fine.
+    HttpResponse ok = client.post(
+        "/v1/grids",
+        "{\"wait\":true,\"cells\":[{\"bench\":\"mst\","
+        "\"input\":\"train\"}]}");
+    EXPECT_EQ(ok.status, 200) << ok.body;
+}
+
+TEST(ServerIntegration, PerClientQuotaIsEnforcedPerName)
+{
+    DaemonOptions opts = workerOptions();
+    opts.perClientLimit = 1;
+    Daemon daemon(opts);
+    daemon.start();
+    HttpClient client(daemon.port());
+
+    HttpResponse rejected = client.post(
+        "/v1/grids",
+        "{\"client\":\"alice\",\"cells\":["
+        "{\"bench\":\"mst\",\"input\":\"train\"},"
+        "{\"bench\":\"health\",\"input\":\"train\"}]}");
+    EXPECT_EQ(rejected.status, 429);
+    EXPECT_NE(rejected.body.find("quota"), std::string::npos);
+    EXPECT_NE(rejected.body.find("alice"), std::string::npos);
+
+    // The quota is per client name: bob is unaffected.
+    HttpResponse ok = client.post(
+        "/v1/grids",
+        "{\"client\":\"bob\",\"wait\":true,\"cells\":["
+        "{\"bench\":\"mst\",\"input\":\"train\"}]}");
+    EXPECT_EQ(ok.status, 200) << ok.body;
+}
+
+TEST(ServerIntegration, CrashedWorkerSurfacesAsFailedCellNotCache)
+{
+    // A worker argv that always dies: the cell fails with the
+    // worker's stderr in the error, the daemon survives, and the
+    // failure is NOT cached — a resubmission retries with a fresh
+    // worker process.
+    DaemonOptions opts = workerOptions();
+    opts.workerArgv = {"/bin/sh", "-c", "echo boom >&2; exit 3"};
+    Daemon daemon(opts);
+    daemon.start();
+    HttpClient client(daemon.port());
+    const std::string body =
+        "{\"wait\":true,\"cells\":[{\"bench\":\"mst\","
+        "\"input\":\"train\"}]}";
+
+    HttpResponse first = client.post("/v1/grids", body);
+    ASSERT_EQ(first.status, 200) << first.body;
+    SCOPED_TRACE("results body: " + first.body);
+    JsonValue firstDoc = parseJson(first.body);
+    const JsonValue &cell = firstDoc.at("cells").asArray().at(0);
+    EXPECT_EQ(cell.at("status").asString(), "failed");
+    EXPECT_NE(cell.at("error").asString().find("boom"),
+              std::string::npos);
+    EXPECT_EQ(daemon.pool().spawned(), 1u);
+
+    // Status endpoint agrees, and the daemon still answers.
+    JsonValue status = parseJson(client.get("/v1/grids/g1").body);
+    EXPECT_EQ(status.at("failed").asI64(), 1);
+    EXPECT_EQ(client.get("/healthz").status, 200);
+
+    HttpResponse retry = client.post("/v1/grids", body);
+    ASSERT_EQ(retry.status, 200);
+    EXPECT_EQ(daemon.pool().spawned(), 2u); // retried, not cached
+}
+
+TEST(ServerIntegration, ErrorSurfaceAndMetrics)
+{
+    Daemon daemon(workerOptions());
+    daemon.start();
+    HttpClient client(daemon.port());
+
+    EXPECT_EQ(client.get("/healthz").body, "{\"ok\":true}");
+    EXPECT_EQ(client.get("/nope").status, 404);
+    EXPECT_EQ(client.get("/v1/grids/g999").status, 404);
+    EXPECT_EQ(client.post("/v1/grids", "not json").status, 400);
+    EXPECT_EQ(client.post("/v1/grids", "{\"cells\":[]}").status,
+              400);
+    EXPECT_EQ(client.post("/v1/grids",
+                          "{\"cells\":[{\"bench\":\"mst\","
+                          "\"frobnicate\":1}]}")
+                  .status,
+              400);
+    EXPECT_EQ(client.get("/v1/cells/not-hex").status, 400);
+    EXPECT_EQ(client.get("/v1/cells/0123456789abcdef").status, 404);
+
+    JsonValue metrics = parseJson(client.get("/metrics").body);
+    EXPECT_GE(metrics.at("ecdpd.requests.total").asI64(), 8);
+    EXPECT_GE(metrics.at("ecdpd.requests.bad").asI64(), 6);
+    EXPECT_EQ(metrics.at("ecdpd.pool.shards").asI64(), 2);
+    EXPECT_EQ(metrics.at("ecdpd.cells.inflight").asI64(), 0);
+}
+
+TEST(ServerIntegration, ShutdownEndpointUnblocksWaiters)
+{
+    Daemon daemon(workerOptions());
+    daemon.start();
+    EXPECT_FALSE(daemon.shutdownRequested());
+    HttpClient client(daemon.port());
+    EXPECT_EQ(client.post("/v1/shutdown", "").status, 200);
+    daemon.waitForShutdown(); // returns promptly
+    EXPECT_TRUE(daemon.shutdownRequested());
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * ecdpd — the simulation daemon and, via --worker, its worker mode.
+ *
+ *   ecdpd [--port N] [--workers N] [--admission-limit N]
+ *         [--client-limit N] [--store DIR]
+ *   ecdpd --worker     # cell-spec JSON on stdin -> stats JSON on
+ *                      # stdout (the daemon fork/execs this)
+ *
+ * The daemon prints exactly one line to stdout once it is serving:
+ *
+ *   ecdpd: listening on 127.0.0.1:<port>
+ *
+ * so scripts can bind port 0 and scrape the ephemeral port. Stop it
+ * with SIGINT/SIGTERM or POST /v1/shutdown.
+ *
+ * Crash isolation is why the worker is a separate *process*: a
+ * simulation that segfaults kills only its worker, and the daemon
+ * reports the cell as failed (with the signal and the stderr tail)
+ * instead of dying.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <iostream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "server/cell.hh"
+#include "server/daemon.hh"
+#include "server/process_util.hh"
+#include "stats/json.hh"
+
+namespace
+{
+
+using namespace ecdp;
+
+std::atomic<bool> gStop{false};
+
+void
+onSignal(int)
+{
+    gStop.store(true);
+}
+
+int
+runWorker()
+{
+    std::string input{std::istreambuf_iterator<char>(std::cin),
+                      std::istreambuf_iterator<char>()};
+    try {
+        server::CellSpec spec =
+            server::parseCellSpec(parseJson(input));
+        ExperimentContext ctx;
+        RunStats stats = server::runCell(spec, ctx);
+        std::cout << server::cellStatsJson(spec, stats);
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "ecdpd worker: " << e.what() << '\n';
+        return 1;
+    }
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: ecdpd [--port N] [--workers N] "
+          "[--admission-limit N]\n"
+          "             [--client-limit N] [--store DIR]\n"
+          "       ecdpd --worker\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    server::DaemonOptions opts;
+    opts.workers = std::max(2u, std::thread::hardware_concurrency() / 2);
+    bool worker = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                throw std::runtime_error(std::string(flag) +
+                                         " needs a value");
+            }
+            return argv[++i];
+        };
+        try {
+            if (arg == "--worker") {
+                worker = true;
+            } else if (arg == "--port") {
+                opts.port = static_cast<std::uint16_t>(
+                    std::stoul(value("--port")));
+            } else if (arg == "--workers") {
+                opts.workers = static_cast<unsigned>(
+                    std::stoul(value("--workers")));
+            } else if (arg == "--admission-limit") {
+                opts.admissionLimit =
+                    std::stoul(value("--admission-limit"));
+            } else if (arg == "--client-limit") {
+                opts.perClientLimit =
+                    std::stoul(value("--client-limit"));
+            } else if (arg == "--store") {
+                opts.storeDir = value("--store");
+            } else if (arg == "--help" || arg == "-h") {
+                usage(std::cout);
+                return 0;
+            } else {
+                throw std::runtime_error("unknown flag " + arg);
+            }
+        } catch (const std::exception &e) {
+            std::cerr << "error: " << e.what() << '\n';
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    if (worker)
+        return runWorker();
+
+    opts.workerArgv = {server::selfExePath(argv[0]), "--worker"};
+    try {
+        server::Daemon daemon(opts);
+        daemon.start();
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        std::cout << "ecdpd: listening on 127.0.0.1:" << daemon.port()
+                  << std::endl;
+        while (!gStop.load() && !daemon.shutdownRequested()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+        daemon.stop();
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "ecdpd: " << e.what() << '\n';
+        return 1;
+    }
+}

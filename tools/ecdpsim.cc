@@ -81,10 +81,7 @@ usage(std::ostream &os)
 bool
 needsHints(const Options &opts)
 {
-    const std::string &config = opts.config;
-    return config == "ecdp" || config == "full" ||
-           config == "ghb+ecdp" || config == "ecdp+fdp" ||
-           config == "grp" ||
+    return configs::nameNeedsHints(opts.config) ||
            std::find(opts.engines.begin(), opts.engines.end(),
                      "ecdp") != opts.engines.end();
 }
@@ -120,37 +117,9 @@ applyThrottleOverrides(SystemConfig &cfg, const Options &opts)
 SystemConfig
 makeConfig(const std::string &config, const HintTable *hints)
 {
-    if (config == "noprefetch")
-        return configs::noPrefetch();
-    if (config == "baseline")
-        return configs::baseline();
-    if (config == "cdp")
-        return configs::streamCdp();
-    if (config == "ecdp")
-        return configs::streamEcdp(hints);
-    if (config == "cdp+throttle")
-        return configs::streamCdpThrottled();
-    if (config == "full")
-        return configs::fullProposal(hints);
-    if (config == "dbp")
-        return configs::streamDbp();
-    if (config == "markov")
-        return configs::streamMarkov();
-    if (config == "ghb")
-        return configs::ghbAlone();
-    if (config == "ghb+ecdp")
-        return configs::ghbEcdp(hints, true);
-    if (config == "cdp+filter")
-        return configs::streamCdpHwFilter(true);
-    if (config == "ecdp+fdp")
-        return configs::streamEcdpFdp(hints);
-    if (config == "cdp+pab")
-        return configs::streamCdpPab();
-    if (config == "grp")
-        return configs::streamGrpCoarse(hints);
-    if (config == "ideal-lds")
-        return configs::idealLds();
-    throw std::runtime_error("unknown config '" + config + "'");
+    // Shared with the ecdpd wire format (server/cell.cc): one name
+    // table for the CLI, the daemon and the workers.
+    return configs::byName(config, hints);
 }
 
 void

@@ -1,0 +1,28 @@
+// Intentionally-broken source: seeded raw-process-spawn violations.
+// See fixtures/README.md.
+
+#include <cstdlib>
+
+#include <unistd.h>
+
+namespace fixture
+{
+
+// raw-process-spawn: shells out directly instead of going through
+// src/server/process_util's supervised spawn path.
+int
+rebuildStore()
+{
+    return std::system("echo rebuild");
+}
+
+// raw-process-spawn: an unchecked fork + exec with no status pipe —
+// an exec failure here leaves a silent zombie child.
+void
+spawnHelper()
+{
+    if (fork() == 0)
+        execlp("true", "true", static_cast<char *>(nullptr));
+}
+
+} // namespace fixture

@@ -47,6 +47,17 @@ classes fail CI instead of corrupting experiments:
                         tests/test_throttle_policy.cc — so a new
                         throttle policy cannot ship outside the
                         registry or dodge the conformance battery.
+  raw-process-spawn     No system()/fork()/vfork()/popen()/exec*()/
+                        posix_spawn() call anywhere in src/, tools/,
+                        bench/, tests/ or examples/ outside
+                        src/server/process_util.*. Process spawning
+                        must go through runChild()/spawnChild() so
+                        exec failures, exit/signal decoding, fd
+                        hygiene (CLOEXEC status pipe, non-blocking
+                        stdin feed) and SIGPIPE handling live in one
+                        audited place — a raw fork that forgets any
+                        of these hangs or leaks a child only under
+                        load.
   hot-path-vector       In files tagged '// simlint: hot-path', no
                         line may construct a std::vector by value: a
                         per-event heap allocation is exactly the bug
@@ -87,6 +98,7 @@ RULES = (
     "test-registration",
     "engine-conformance",
     "policy-conformance",
+    "raw-process-spawn",
     "hot-path-vector",
 )
 
@@ -382,6 +394,51 @@ def check_policy_conformance(root):
     return out
 
 
+# --- raw-process-spawn ------------------------------------------------
+
+SPAWN_RE = re.compile(
+    r"(?<![\w:.>])(?:std\s*::\s*|::\s*)?"
+    r"(system|fork|vfork|popen|exec(?:l|lp|le|v|vp|vpe)|"
+    r"posix_spawnp?)\s*\(")
+SPAWN_EXEMPT_PREFIX = os.path.join("src", "server", "process_util")
+SPAWN_SUBDIRS = ("src", "tools", "bench", "tests", "examples")
+# The seeded-violation fixture tree lives under tools/; the clean run
+# over the real repository must not trip on it.
+SPAWN_SKIP_PREFIX = os.path.join("tools", "simlint")
+
+
+def check_raw_process_spawn(root):
+    out = []
+    for subdir in SPAWN_SUBDIRS:
+        for path in iter_source_files(root, subdir):
+            rel = relpath(root, path)
+            if rel.startswith(SPAWN_EXEMPT_PREFIX) or \
+                    rel.startswith(SPAWN_SKIP_PREFIX):
+                continue
+            with open(path, encoding="utf-8") as f:
+                lines = f.read().splitlines()
+            for i, line in enumerate(lines):
+                code = line.split("//", 1)[0]
+                # Block-comment bodies ("* ... system (...") are prose.
+                if code.lstrip().startswith(("*", "/*")):
+                    continue
+                m = SPAWN_RE.search(code)
+                if not m:
+                    continue
+                if allowed(lines, i, "raw-process-spawn"):
+                    continue
+                out.append(Violation(
+                    rel, i + 1, "raw-process-spawn",
+                    "raw process spawn '%s()' outside "
+                    "src/server/process_util; use runChild()/"
+                    "spawnChild() so exec failure reporting, exit/"
+                    "signal decoding and fd hygiene stay in one "
+                    "audited place, or add "
+                    "'simlint-allow(raw-process-spawn): <reason>'"
+                    % m.group(1)))
+    return out
+
+
 # --- hot-path-vector --------------------------------------------------
 
 HOT_PATH_MARK_RE = re.compile(r"//\s*simlint:\s*hot-path\b")
@@ -503,6 +560,8 @@ def main(argv):
         violations += check_engine_conformance(root)
     if "policy-conformance" in rules:
         violations += check_policy_conformance(root)
+    if "raw-process-spawn" in rules:
+        violations += check_raw_process_spawn(root)
     if "hot-path-vector" in rules:
         violations += check_hot_path_vector(root)
 
