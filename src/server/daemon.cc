@@ -86,7 +86,8 @@ Daemon::Daemon(DaemonOptions opts)
                      HttpServer::Responder respond) {
           handle(req, std::move(respond));
       }),
-      store_(opts_.storeDir), pool_(opts_.workerArgv, opts_.workers)
+      store_(opts_.storeDir, opts_.storeMemoryCap),
+      pool_(opts_.workerArgv, opts_.workers)
 {}
 
 Daemon::~Daemon()
@@ -103,7 +104,15 @@ Daemon::start()
 void
 Daemon::stop()
 {
+    // Teardown order matters: first the server (no new requests;
+    // late Responder calls are dropped), then the pool — joining it
+    // fails every queued job, and those completion callbacks run
+    // through store_ into onCellReady while mutex_/grids_ are still
+    // fully alive — then any flight the pool somehow left behind.
+    // After this, member destruction finds everything quiesced.
     server_.stop();
+    pool_.stop();
+    store_.failAllFlights("daemon shutting down");
     {
         std::lock_guard<std::mutex> lock(shutdownMutex_);
         shutdownRequested_ = true;
@@ -207,7 +216,12 @@ Daemon::handleSubmitGrid(const HttpRequest &req,
                          " max)"));
             return;
         }
-        std::size_t &clientNow = clientInflight_[client];
+        // Look up without inserting: a rejected submission must not
+        // leave a zero-count quota entry behind.
+        auto clientIt = clientInflight_.find(client);
+        const std::size_t clientNow =
+            clientIt == clientInflight_.end() ? 0
+                                              : clientIt->second;
         if (opts_.perClientLimit != 0 &&
             clientNow + n > opts_.perClientLimit) {
             quotaRejected_.fetch_add(1);
@@ -218,7 +232,7 @@ Daemon::handleSubmitGrid(const HttpRequest &req,
                          " max for \"" + client + "\")"));
             return;
         }
-        clientNow += n;
+        clientInflight_[client] = clientNow + n;
         const std::uint64_t inflightNew = inflight_.fetch_add(n) + n;
         std::uint64_t peak = inflightPeak_.load();
         while (inflightNew > peak &&
@@ -302,8 +316,14 @@ Daemon::onCellReady(const std::string &gridId, std::size_t index,
         --grid.remaining;
         inflight_.fetch_sub(1);
         auto client = clientInflight_.find(grid.client);
-        if (client != clientInflight_.end() && client->second > 0)
-            --client->second;
+        if (client != clientInflight_.end()) {
+            // Drop zero-count entries so one-shot client names don't
+            // accumulate forever.
+            if (client->second > 1)
+                --client->second;
+            else
+                clientInflight_.erase(client);
+        }
 
         const auto us =
             std::chrono::duration_cast<std::chrono::microseconds>(
@@ -318,14 +338,34 @@ Daemon::onCellReady(const std::string &gridId, std::size_t index,
                !latencyUsMax_.compare_exchange_weak(prev, latency)) {
         }
 
-        if (grid.remaining == 0 && !grid.waiters.empty()) {
-            waiters = std::move(grid.waiters);
-            grid.waiters.clear();
-            resultsJson = gridResultsJsonLocked(grid);
+        if (grid.remaining == 0) {
+            if (!grid.waiters.empty()) {
+                waiters = std::move(grid.waiters);
+                grid.waiters.clear();
+                resultsJson = gridResultsJsonLocked(grid);
+            }
+            // Last: may erase grids_ entries (including this one's
+            // siblings), so no grid references survive past it.
+            noteGridCompletedLocked(gridId);
         }
     }
     for (HttpServer::Responder &respond : waiters)
         respond(jsonResponse(200, resultsJson));
+}
+
+void
+Daemon::noteGridCompletedLocked(const std::string &gridId)
+{
+    if (opts_.completedGridCap == 0)
+        return; // keep every grid forever
+    completedGrids_.push_back(gridId);
+    while (completedGrids_.size() > opts_.completedGridCap) {
+        const std::string victim =
+            std::move(completedGrids_.front());
+        completedGrids_.pop_front();
+        if (grids_.erase(victim) != 0)
+            gridsEvicted_.fetch_add(1);
+    }
 }
 
 std::string
@@ -450,6 +490,10 @@ Daemon::exportMetrics(obs::MetricRegistry &registry) const
         .set(admissionRejected_.load());
     registry.counter("ecdpd.quota.rejected")
         .set(quotaRejected_.load());
+    registry.counter("ecdpd.grids.tracked").set(gridsTracked());
+    registry.counter("ecdpd.grids.evicted")
+        .set(gridsEvicted_.load());
+    registry.counter("ecdpd.clients.tracked").set(clientsTracked());
     registry.counter("ecdpd.latency.us.sum")
         .set(latencyUsSum_.load());
     registry.counter("ecdpd.latency.us.count")
@@ -468,6 +512,7 @@ Daemon::exportMetrics(obs::MetricRegistry &registry) const
     registry.counter("ecdpd.store.corrupt_rebuilds")
         .set(store_.corruptRebuilds());
     registry.counter("ecdpd.store.entries").set(store_.size());
+    registry.counter("ecdpd.store.evicted").set(store_.evicted());
     registry.counter("ecdpd.pool.shards").set(pool_.shards());
     registry.counter("ecdpd.pool.spawned").set(pool_.spawned());
     registry.counter("ecdpd.pool.crashed").set(pool_.crashed());

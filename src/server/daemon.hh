@@ -41,6 +41,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -73,6 +74,13 @@ struct DaemonOptions
     std::size_t admissionLimit = 4096;
     /** Same bound per client name (0 = no per-client quota). */
     std::size_t perClientLimit = 0;
+    /** Completed grids kept queryable before the oldest is evicted
+     *  (0 = keep forever). Evicted grids 404; their cells stay
+     *  fetchable via /v1/cells/<key> while stored. */
+    std::size_t completedGridCap = 1024;
+    /** Result-store in-memory entry bound (0 = unbounded); evicted
+     *  entries reload from storeDir when one is set. */
+    std::size_t storeMemoryCap = ResultStore::kDefaultMemoryCap;
     /** Result-store spill directory ("" = memory-only). */
     std::string storeDir;
     /** Worker argv, e.g. {"/path/to/ecdpd", "--worker"}. */
@@ -114,6 +122,18 @@ class Daemon
     std::uint64_t inflightPeak() const
     {
         return inflightPeak_.load();
+    }
+    /** Client names with nonzero in-flight quota entries. */
+    std::size_t clientsTracked() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return clientInflight_.size();
+    }
+    /** Grids currently queryable (admitted minus evicted). */
+    std::size_t gridsTracked() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return grids_.size();
     }
     /** @} */
 
@@ -164,6 +184,10 @@ class Daemon
     void onCellReady(const std::string &gridId, std::size_t index,
                      const ResultStore::Bytes &bytes,
                      const std::string &error);
+    /** Record @p gridId as completed and evict the oldest completed
+     *  grids beyond opts_.completedGridCap; caller must hold mutex_
+     *  and not touch grid references afterwards. */
+    void noteGridCompletedLocked(const std::string &gridId);
 
     /** Results JSON; caller must hold mutex_. */
     std::string gridResultsJsonLocked(const Grid &grid);
@@ -171,15 +195,19 @@ class Daemon
     std::string gridStatusJsonLocked(const Grid &grid) const;
 
     DaemonOptions opts_;
-    // Declaration order is load-bearing: the pool is destroyed first
-    // (its teardown fails pending jobs, whose completion callbacks
-    // respond through the server), the server last.
-    HttpServer server_;
-    ResultStore store_;
-    WorkerPool pool_;
 
+    // Declaration order is load-bearing. All state that completion
+    // callbacks (onCellReady) touch — mutex_, grids_,
+    // clientInflight_, the counters below — is declared BEFORE the
+    // server/store/pool, so it is destroyed after them: ~WorkerPool
+    // fails any still-queued job, and those callbacks run through
+    // store_ into onCellReady, which must find this state alive.
+    // stop() tears the subsystems down in the same order (server,
+    // then pool, then store flights) before destruction even starts.
     mutable std::mutex mutex_;
     std::map<std::string, Grid> grids_;
+    /** Completed grid ids, oldest first, for cap eviction. */
+    std::deque<std::string> completedGrids_;
     std::map<std::string, std::size_t> clientInflight_;
     std::uint64_t nextGridId_ = 1;
 
@@ -193,6 +221,7 @@ class Daemon
     std::atomic<std::uint64_t> cellsFailed_{0};
     std::atomic<std::uint64_t> admissionRejected_{0};
     std::atomic<std::uint64_t> quotaRejected_{0};
+    std::atomic<std::uint64_t> gridsEvicted_{0};
     /** Cell latency (admission to completion), microseconds. */
     std::atomic<std::uint64_t> latencyUsSum_{0};
     std::atomic<std::uint64_t> latencyUsCount_{0};
@@ -201,6 +230,13 @@ class Daemon
     mutable std::mutex shutdownMutex_;
     std::condition_variable shutdownCv_;
     bool shutdownRequested_ = false;
+
+    // Destroyed before the state above (see the ordering note): the
+    // pool first — its teardown fails pending jobs, whose completion
+    // callbacks respond through the server — the server last.
+    HttpServer server_;
+    ResultStore store_;
+    WorkerPool pool_;
 };
 
 } // namespace server

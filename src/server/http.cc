@@ -132,6 +132,15 @@ HttpRequestParser::feed(const char *data, std::size_t len)
 {
     if (failed())
         return;
+    if (buffer_.size() + len > kMaxBufferBytes) {
+        // A peer streaming bytes faster than requests complete (or
+        // never completing one) must not balloon the buffer. The
+        // failure is terminal, so drop what was buffered too.
+        fail(413);
+        buffer_.clear();
+        buffer_.shrink_to_fit();
+        return;
+    }
     buffer_.append(data, len);
 }
 

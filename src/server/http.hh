@@ -73,6 +73,12 @@ class HttpRequestParser
     /** @{ Hard limits; a peer exceeding them gets 431/413. */
     static constexpr std::size_t kMaxHeadBytes = 64 * 1024;
     static constexpr std::size_t kMaxBodyBytes = 16 * 1024 * 1024;
+    /** Cap on bytes buffered across feed() calls — one maximal
+     *  request plus headroom for a pipelined follow-up head. A feed
+     *  that would exceed it fails the parser with 413 instead of
+     *  growing without bound. */
+    static constexpr std::size_t kMaxBufferBytes =
+        kMaxBodyBytes + 2 * kMaxHeadBytes;
     /** @} */
 
     void feed(const char *data, std::size_t len);

@@ -204,6 +204,16 @@ HttpServer::acceptReady()
 void
 HttpServer::readReady(Connection &conn)
 {
+    // While a response is outstanding, don't read at all: the bytes
+    // stay in the kernel socket buffer (TCP backpressure), so a peer
+    // streaming a pipelined follow-up cannot grow the parser buffer
+    // while we are parked — and a malformed follow-up can never be
+    // answered before (or instead of) the pending response.
+    // updateEpoll() drops EPOLLIN for the duration; this guard covers
+    // events already reported before the interest change.
+    if (conn.awaiting)
+        return;
+
     char buf[16 * 1024];
     while (true) {
         ssize_t n = ::read(conn.fd, buf, sizeof(buf));
@@ -223,23 +233,23 @@ HttpServer::readReady(Connection &conn)
         return;
     }
 
+    // next() is what detects most malformed input, so check for
+    // failure after it — a failure answered here and not on some
+    // later readability event, which a parked peer may never cause.
+    std::optional<HttpRequest> req = conn.parser.next();
     if (conn.parser.failed()) {
-        HttpResponse err;
-        err.status = conn.parser.errorStatus();
-        err.body = "{\"error\":\"malformed request\"}";
-        err.closeConnection = true;
-        conn.out += serializeResponse(err);
-        conn.closeAfterWrite = true;
+        if (!conn.errorSent) {
+            conn.errorSent = true;
+            HttpResponse err;
+            err.status = conn.parser.errorStatus();
+            err.body = "{\"error\":\"malformed request\"}";
+            err.closeConnection = true;
+            conn.out += serializeResponse(err);
+            conn.closeAfterWrite = true;
+        }
         flush(conn);
         return;
     }
-
-    // One request outstanding per connection: a pipelined second
-    // request stays buffered in the parser until the response to the
-    // first has been queued.
-    if (conn.awaiting)
-        return;
-    std::optional<HttpRequest> req = conn.parser.next();
     if (!req)
         return;
     conn.awaiting = true;
@@ -261,6 +271,9 @@ HttpServer::readReady(Connection &conn)
             ::write(wakeFd_, &one, sizeof(one));
     };
     handler_(*req, std::move(respond));
+    // Stop polling EPOLLIN until the response has been written (the
+    // handler only queues completions, so conn is still valid).
+    updateEpoll(conn);
 }
 
 void
@@ -317,7 +330,11 @@ void
 HttpServer::updateEpoll(Connection &conn)
 {
     epoll_event ev{};
-    ev.events = EPOLLIN | (conn.out.empty() ? 0u : EPOLLOUT);
+    // No EPOLLIN while a response is pending (see readReady);
+    // EPOLLHUP/EPOLLERR are always reported, so a dying peer is
+    // still noticed.
+    ev.events = (conn.awaiting ? 0u : EPOLLIN) |
+                (conn.out.empty() ? 0u : EPOLLOUT);
     ev.data.fd = conn.fd;
     ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
 }

@@ -81,6 +81,7 @@ class HttpServer
         std::string out;       // unsent response bytes
         bool awaiting = false; // handler owes a response
         bool closeAfterWrite = false;
+        bool errorSent = false; // parse-failure 4xx already queued
     };
 
     struct Completion

@@ -6,6 +6,8 @@
 #include <iostream>
 #include <sstream>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "stats/json.hh"
 
@@ -28,7 +30,30 @@ hexKey(std::uint64_t key)
 
 } // namespace
 
-ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {}
+ResultStore::ResultStore(std::string dir, std::size_t memoryCap)
+    : dir_(std::move(dir)), memoryCap_(memoryCap)
+{}
+
+ResultStore::Bytes
+ResultStore::insertLocked(std::uint64_t key, Bytes bytes)
+{
+    auto [it, inserted] = results_.emplace(key, bytes);
+    if (!inserted) {
+        // Republishing an existing key (complete() after a disk
+        // reload, or a racing loader): the bytes are
+        // content-addressed, so both copies match — keep the newer.
+        it->second = std::move(bytes);
+        return it->second;
+    }
+    insertionOrder_.push_back(key);
+    while (memoryCap_ != 0 && results_.size() > memoryCap_) {
+        const std::uint64_t victim = insertionOrder_.front();
+        insertionOrder_.pop_front();
+        results_.erase(victim);
+        evicted_.fetch_add(1);
+    }
+    return bytes;
+}
 
 std::string
 ResultStore::entryFileName(std::uint64_t key)
@@ -109,7 +134,7 @@ ResultStore::complete(std::uint64_t key, std::string bytes)
     std::vector<Ready> waiters;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        results_[key] = shared;
+        insertLocked(key, shared);
         auto it = flights_.find(key);
         if (it != flights_.end()) {
             waiters = std::move(it->second.waiters);
@@ -134,6 +159,20 @@ ResultStore::fail(std::uint64_t key, const std::string &error)
     }
     for (Ready &cb : waiters)
         cb(nullptr, error);
+}
+
+void
+ResultStore::failAllFlights(const std::string &error)
+{
+    std::map<std::uint64_t, Flight> drained;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        drained.swap(flights_);
+    }
+    for (auto &[key, flight] : drained) {
+        for (Ready &cb : flight.waiters)
+            cb(nullptr, error);
+    }
 }
 
 ResultStore::Bytes
@@ -189,9 +228,7 @@ ResultStore::loadFromDisk(std::uint64_t key)
         std::make_shared<const std::string>(std::move(payload));
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        auto [it, inserted] = results_.emplace(key, shared);
-        if (!inserted)
-            shared = it->second; // racing loader won; share theirs
+        shared = insertLocked(key, std::move(shared));
     }
     diskHits_.fetch_add(1);
     return shared;

@@ -21,6 +21,12 @@
  * length-framed, key-stamped files published by atomic rename.
  * Truncated or corrupt files are detected on load, logged, removed
  * and rebuilt — never trusted, never fatal.
+ *
+ * The in-memory map is bounded (memoryCap entries, insertion-order
+ * eviction) so a long-running daemon cannot grow without limit: an
+ * evicted entry reloads from the spill directory when one is
+ * configured, and otherwise simply becomes a miss that re-simulates
+ * under a fresh single flight.
  */
 
 #ifndef ECDP_SERVER_RESULT_STORE_HH
@@ -28,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -64,8 +71,15 @@ class ResultStore
         Leader,
     };
 
-    /** @param dir Spill directory; empty = memory-only. */
-    explicit ResultStore(std::string dir = "");
+    /** Default bound on in-memory entries. */
+    static constexpr std::size_t kDefaultMemoryCap = 4096;
+
+    /**
+     * @param dir Spill directory; empty = memory-only.
+     * @param memoryCap Max entries held in memory (0 = unbounded).
+     */
+    explicit ResultStore(std::string dir = "",
+                         std::size_t memoryCap = kDefaultMemoryCap);
 
     ResultStore(const ResultStore &) = delete;
     ResultStore &operator=(const ResultStore &) = delete;
@@ -78,6 +92,10 @@ class ResultStore
     /** Abort the flight: fire every attached cb with @p error. The
      *  key stays uncached, so a later submission retries. */
     void fail(std::uint64_t key, const std::string &error);
+
+    /** Abort every in-flight key at once (shutdown drain): fire all
+     *  attached cbs with @p error. Nothing is cached. */
+    void failAllFlights(const std::string &error);
 
     /** Materialized result, or nullptr (never joins a flight). */
     Bytes lookup(std::uint64_t key);
@@ -94,6 +112,7 @@ class ResultStore
     {
         return corruptRebuilds_.load();
     }
+    std::uint64_t evicted() const { return evicted_.load(); }
     /** @} */
 
     /** Entries materialized in memory (diagnostics). */
@@ -109,18 +128,26 @@ class ResultStore
 
     Bytes loadFromDisk(std::uint64_t key);
     void spillToDisk(std::uint64_t key, const std::string &bytes);
+    /** Insert under mutex_, tracking eviction order and enforcing
+     *  the cap. Returns the entry actually stored (a racing inserter
+     *  may have won). */
+    Bytes insertLocked(std::uint64_t key, Bytes bytes);
 
     std::string dir_;
+    std::size_t memoryCap_;
 
     mutable std::mutex mutex_;
     std::map<std::uint64_t, Bytes> results_;
     std::map<std::uint64_t, Flight> flights_;
+    /** Keys of results_ in insertion order; 1:1 with results_. */
+    std::deque<std::uint64_t> insertionOrder_;
 
     std::atomic<std::uint64_t> memoryHits_{0};
     std::atomic<std::uint64_t> diskHits_{0};
     std::atomic<std::uint64_t> dedupAttached_{0};
     std::atomic<std::uint64_t> leaders_{0};
     std::atomic<std::uint64_t> corruptRebuilds_{0};
+    std::atomic<std::uint64_t> evicted_{0};
 };
 
 } // namespace server

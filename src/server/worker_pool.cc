@@ -26,6 +26,12 @@ WorkerPool::WorkerPool(std::vector<std::string> workerArgv,
 
 WorkerPool::~WorkerPool()
 {
+    stop();
+}
+
+void
+WorkerPool::stop()
+{
     std::vector<Job> orphans;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -37,8 +43,10 @@ WorkerPool::~WorkerPool()
         }
     }
     cv_.notify_all();
-    for (std::thread &shard : shards_)
-        shard.join();
+    for (std::thread &shard : shards_) {
+        if (shard.joinable())
+            shard.join();
+    }
     for (const Job &job : orphans)
         job.done("", "worker pool shut down");
 }

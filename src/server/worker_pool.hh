@@ -53,11 +53,20 @@ class WorkerPool
      */
     WorkerPool(std::vector<std::string> workerArgv, unsigned shards);
 
-    /** Fails every job still queued with "worker pool shut down". */
+    /** Runs stop(). */
     ~WorkerPool();
 
     WorkerPool(const WorkerPool &) = delete;
     WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Join every shard (waiting out jobs already running) and fail
+     * every job still queued with "worker pool shut down".
+     * Idempotent; lets an owner tear the pool down while state the
+     * completion callbacks touch is still alive, instead of relying
+     * on member-destruction order.
+     */
+    void stop();
 
     /** Enqueue @p input for some shard; @p done fires exactly once. */
     void submit(std::string input, Done done);

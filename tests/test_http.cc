@@ -6,9 +6,15 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "server/http.hh"
 #include "server/http_client.hh"
@@ -18,6 +24,64 @@ namespace
 {
 
 using namespace ecdp::server;
+
+/** Raw loopback socket for wire-level tests (pipelining, garbage). */
+class RawConn
+{
+  public:
+    explicit RawConn(std::uint16_t port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in sin{};
+        sin.sin_family = AF_INET;
+        sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        sin.sin_port = htons(port);
+        EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr *>(&sin),
+                            sizeof(sin)),
+                  0)
+            << std::strerror(errno);
+    }
+    ~RawConn()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    void send(const std::string &bytes)
+    {
+        ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(),
+                         MSG_NOSIGNAL),
+                  ssize_t(bytes.size()));
+    }
+
+    /** Read until the peer closes the connection. */
+    std::string readToEof()
+    {
+        std::string all;
+        char buf[4096];
+        ssize_t n;
+        while ((n = ::read(fd_, buf, sizeof(buf))) > 0)
+            all.append(buf, std::size_t(n));
+        return all;
+    }
+
+    /** Read until @p needle has arrived (or the peer closes). */
+    std::string readUntil(const std::string &needle)
+    {
+        std::string all;
+        char buf[4096];
+        while (all.find(needle) == std::string::npos) {
+            ssize_t n = ::read(fd_, buf, sizeof(buf));
+            if (n <= 0)
+                break;
+            all.append(buf, std::size_t(n));
+        }
+        return all;
+    }
+
+  private:
+    int fd_ = -1;
+};
 
 HttpRequest
 parseOne(const std::string &raw)
@@ -122,6 +186,21 @@ TEST(HttpParser, RejectsOversizedBody)
     EXPECT_EQ(parser.errorStatus(), 413);
 }
 
+TEST(HttpParser, FeedCapRejectsRunawayBuffering)
+{
+    // A peer streaming bytes without ever completing a request (or
+    // while its previous request is still being answered) must trip
+    // the buffer cap in feed() itself — no next() call required.
+    HttpRequestParser parser;
+    const std::string chunk(1024 * 1024, 'x');
+    for (int i = 0; i < 20 && !parser.failed(); ++i)
+        parser.feed(chunk.data(), chunk.size());
+    EXPECT_TRUE(parser.failed());
+    EXPECT_EQ(parser.errorStatus(), 413);
+    // The terminal failure also released what was buffered.
+    EXPECT_EQ(parser.buffered(), 0u);
+}
+
 TEST(HttpResponseFraming, SerializesStatusAndContentLength)
 {
     HttpResponse response;
@@ -223,6 +302,100 @@ TEST(HttpServerTest, LargeResponseBody)
     // And again on the same connection: framing survived.
     EXPECT_EQ(client.get("/big").body.size(), big.size());
     server.stop();
+}
+
+namespace
+{
+
+/** Server whose /slow handler parks its Responder for the test to
+ *  fire later; everything else answers inline. */
+class SlowServer
+{
+  public:
+    SlowServer()
+        : server([this](const HttpRequest &req,
+                        HttpServer::Responder respond) {
+              HttpResponse response;
+              response.body = "{\"path\":\"" + req.path() + "\"}";
+              if (req.path() == "/slow") {
+                  std::lock_guard<std::mutex> lock(mutex_);
+                  parked_ = std::move(respond);
+                  cv_.notify_one();
+              } else {
+                  respond(std::move(response));
+              }
+          })
+    {
+        server.start(0);
+    }
+
+    /** Block until /slow has been dispatched, then answer it. */
+    void releaseSlow()
+    {
+        HttpServer::Responder respond;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] { return bool(parked_); });
+            respond = std::move(parked_);
+            parked_ = nullptr;
+        }
+        HttpResponse response;
+        response.body = "{\"path\":\"/slow\"}";
+        respond(std::move(response));
+    }
+
+    HttpServer server;
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    HttpServer::Responder parked_;
+};
+
+} // namespace
+
+TEST(HttpServerTest, PendingResponsePrecedesPipelinedParseError)
+{
+    // A malformed pipelined follow-up must not jump the queue: the
+    // deferred response to the first request goes out first, then
+    // the 400, then close.
+    SlowServer slow;
+    RawConn conn(slow.server.port());
+    conn.send("GET /slow HTTP/1.1\r\n\r\n");
+    // Garbage streamed while the response is pending sits in the
+    // kernel buffer (EPOLLIN is off) or the parser tail.
+    conn.send("NOT-HTTP\r\n\r\n");
+    slow.releaseSlow();
+
+    const std::string wire = conn.readToEof();
+    const std::size_t ok = wire.find("HTTP/1.1 200");
+    const std::size_t bad = wire.find("HTTP/1.1 400");
+    ASSERT_NE(ok, std::string::npos) << wire;
+    ASSERT_NE(bad, std::string::npos) << wire;
+    EXPECT_LT(ok, bad);
+    EXPECT_NE(wire.find("{\"path\":\"/slow\"}"), std::string::npos);
+    slow.server.stop();
+}
+
+TEST(HttpServerTest, PipelinedRequestStillServedAfterDeferredFirst)
+{
+    // EPOLLIN is suppressed while a response is pending; a valid
+    // pipelined follow-up must still be picked up once the first
+    // response has been written.
+    SlowServer slow;
+    RawConn conn(slow.server.port());
+    conn.send("GET /slow HTTP/1.1\r\n\r\n"
+              "GET /second HTTP/1.1\r\n\r\n");
+    slow.releaseSlow();
+
+    const std::string wire =
+        conn.readUntil("{\"path\":\"/second\"}");
+    const std::size_t first = wire.find("{\"path\":\"/slow\"}");
+    const std::size_t second = wire.find("{\"path\":\"/second\"}");
+    ASSERT_NE(first, std::string::npos) << wire;
+    ASSERT_NE(second, std::string::npos) << wire;
+    EXPECT_LT(first, second);
+    slow.server.stop();
 }
 
 TEST(HttpServerTest, ResponderAfterStopIsDropped)

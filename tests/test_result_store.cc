@@ -237,6 +237,86 @@ TEST(ResultStore, KeyStampMismatchCountsAsCorrupt)
     EXPECT_EQ(reopened.corruptRebuilds(), 1u);
 }
 
+TEST(ResultStore, MemoryCapEvictsOldestInsertionFirst)
+{
+    // Memory-only store bounded to 2 entries: the third insert
+    // evicts the oldest, which then misses and re-leads.
+    ResultStore store("", 2);
+    for (std::uint64_t key : {1, 2, 3}) {
+        store.fetchOrAttach(
+            key, [](ResultStore::Bytes, const std::string &) {});
+        store.complete(key, "r" + std::to_string(key));
+    }
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.evicted(), 1u);
+    EXPECT_FALSE(store.lookup(1)); // the oldest went
+    ASSERT_TRUE(store.lookup(2));
+    ASSERT_TRUE(store.lookup(3));
+    EXPECT_EQ(store.fetchOrAttach(
+                  1, [](ResultStore::Bytes, const std::string &) {}),
+              ResultStore::Role::Leader);
+}
+
+TEST(ResultStore, EvictedEntryReloadsFromDisk)
+{
+    // With a spill directory the cap only bounds memory: an evicted
+    // entry comes back as a disk hit, not a recompute.
+    const std::string dir = freshDir("ecdp_store_cap");
+    ResultStore store(dir, 1);
+    for (std::uint64_t key : {10, 11}) {
+        store.fetchOrAttach(
+            key, [](ResultStore::Bytes, const std::string &) {});
+        store.complete(key, "k" + std::to_string(key));
+    }
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.evicted(), 1u);
+
+    std::string got;
+    EXPECT_EQ(store.fetchOrAttach(
+                  10,
+                  [&](ResultStore::Bytes bytes, const std::string &) {
+                      got = *bytes;
+                  }),
+              ResultStore::Role::Hit);
+    EXPECT_EQ(got, "k10");
+    EXPECT_EQ(store.diskHits(), 1u);
+    // The reload displaced key 11 in memory (cap still holds)...
+    EXPECT_EQ(store.size(), 1u);
+    // ...which is itself still durable on disk.
+    ASSERT_TRUE(store.lookup(11));
+    EXPECT_EQ(*store.lookup(11), "k11");
+}
+
+TEST(ResultStore, FailAllFlightsAbortsEveryWaiter)
+{
+    ResultStore store;
+    std::vector<std::string> errors;
+    store.fetchOrAttach(1, [&](ResultStore::Bytes bytes,
+                               const std::string &error) {
+        EXPECT_FALSE(bytes);
+        errors.push_back(error);
+    });
+    store.fetchOrAttach(1, [&](ResultStore::Bytes,
+                               const std::string &error) {
+        errors.push_back(error);
+    });
+    store.fetchOrAttach(2, [&](ResultStore::Bytes,
+                               const std::string &error) {
+        errors.push_back(error);
+    });
+
+    store.failAllFlights("daemon shutting down");
+    ASSERT_EQ(errors.size(), 3u);
+    for (const std::string &error : errors)
+        EXPECT_EQ(error, "daemon shutting down");
+
+    // Nothing was cached; both keys retry as fresh leaders.
+    EXPECT_FALSE(store.lookup(1));
+    EXPECT_EQ(store.fetchOrAttach(
+                  1, [](ResultStore::Bytes, const std::string &) {}),
+              ResultStore::Role::Leader);
+}
+
 TEST(ResultStore, LookupNeverJoinsAFlight)
 {
     ResultStore store;

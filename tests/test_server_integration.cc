@@ -256,6 +256,98 @@ TEST(ServerIntegration, ErrorSurfaceAndMetrics)
     EXPECT_EQ(metrics.at("ecdpd.cells.inflight").asI64(), 0);
 }
 
+TEST(ServerIntegration, DestructionWithCellsStillInFlightIsClean)
+{
+    // Regression for a destruction-order use-after-free: cells still
+    // pending when the Daemon dies used to reach onCellReady (via
+    // ~WorkerPool's orphan callbacks) after the grid state was
+    // already destroyed. One slow 1-shard worker plus a queue of
+    // distinct cells forces exactly that teardown path.
+    DaemonOptions opts = workerOptions();
+    opts.workers = 1;
+    opts.workerArgv = {"/bin/sh", "-c", "sleep 0.3; echo spun"};
+    {
+        Daemon daemon(opts);
+        daemon.start();
+        HttpClient client(daemon.port());
+        HttpResponse submit = client.post(
+            "/v1/grids",
+            "{\"cells\":[{\"bench\":\"mst\",\"input\":\"train\"},"
+            "{\"bench\":\"health\",\"input\":\"train\"},"
+            "{\"bench\":\"perimeter\",\"input\":\"train\"},"
+            "{\"bench\":\"bisort\",\"input\":\"train\"}]}");
+        ASSERT_EQ(submit.status, 202) << submit.body;
+        EXPECT_GE(daemon.cellsInflight(), 1u);
+        // Destructor runs with cells pending, queued and in flight.
+    }
+}
+
+TEST(ServerIntegration, CompletedGridsEvictBeyondCap)
+{
+    DaemonOptions opts = workerOptions();
+    opts.completedGridCap = 1;
+    Daemon daemon(opts);
+    daemon.start();
+    HttpClient client(daemon.port());
+
+    ASSERT_EQ(client.post("/v1/grids",
+                          "{\"wait\":true,\"cells\":[{\"bench\":"
+                          "\"mst\",\"input\":\"train\"}]}")
+                  .status,
+              200);
+    EXPECT_EQ(client.get("/v1/grids/g1").status, 200);
+
+    ASSERT_EQ(client.post("/v1/grids",
+                          "{\"wait\":true,\"cells\":[{\"bench\":"
+                          "\"health\",\"input\":\"train\"}]}")
+                  .status,
+              200);
+    // g2's completion pushed g1 (the oldest completed grid) out.
+    EXPECT_EQ(client.get("/v1/grids/g1").status, 404);
+    EXPECT_EQ(client.get("/v1/grids/g2").status, 200);
+    EXPECT_EQ(daemon.gridsTracked(), 1u);
+
+    // The evicted grid's result bytes are still content-addressed
+    // in the store.
+    const CellSpec spec = parseCellSpec(
+        parseJson("{\"bench\":\"mst\",\"input\":\"train\"}"));
+    EXPECT_EQ(client.get("/v1/cells/" + hex16(cellKey(spec))).status,
+              200);
+
+    JsonValue metrics = parseJson(client.get("/metrics").body);
+    EXPECT_EQ(metrics.at("ecdpd.grids.evicted").asI64(), 1);
+    EXPECT_EQ(metrics.at("ecdpd.grids.tracked").asI64(), 1);
+}
+
+TEST(ServerIntegration, DrainedClientQuotaEntriesAreDropped)
+{
+    // Quota bookkeeping must not leak an entry per client name: a
+    // completed grid drains its client to zero (entry erased), and a
+    // rejected submission never creates one.
+    DaemonOptions opts = workerOptions();
+    opts.perClientLimit = 1;
+    Daemon daemon(opts);
+    daemon.start();
+    HttpClient client(daemon.port());
+
+    ASSERT_EQ(client.post("/v1/grids",
+                          "{\"client\":\"alice\",\"wait\":true,"
+                          "\"cells\":[{\"bench\":\"mst\","
+                          "\"input\":\"train\"}]}")
+                  .status,
+              200);
+    EXPECT_EQ(client.post("/v1/grids",
+                          "{\"client\":\"carol\",\"cells\":["
+                          "{\"bench\":\"mst\",\"input\":\"train\"},"
+                          "{\"bench\":\"health\","
+                          "\"input\":\"train\"}]}")
+                  .status,
+              429);
+    EXPECT_EQ(daemon.clientsTracked(), 0u);
+    JsonValue metrics = parseJson(client.get("/metrics").body);
+    EXPECT_EQ(metrics.at("ecdpd.clients.tracked").asI64(), 0);
+}
+
 TEST(ServerIntegration, ShutdownEndpointUnblocksWaiters)
 {
     Daemon daemon(workerOptions());

@@ -151,6 +151,35 @@ TEST(WorkerPool, DestructorFailsQueuedJobs)
     EXPECT_GE(shutDown, 2u);
 }
 
+TEST(WorkerPool, ExplicitStopIsIdempotentAndFailsLateSubmits)
+{
+    // An owner can quiesce the pool explicitly (the daemon does this
+    // in stop(), while the state its callbacks touch is still
+    // alive); a second stop and post-stop submits are harmless.
+    WorkerPool pool({"/bin/sh"}, 1);
+    Collector collector;
+    pool.submit("sleep 0.2; echo ran\n", collector.done());
+    for (int i = 0; i < 2; ++i)
+        pool.submit("echo queued\n", collector.done());
+    collector.waitFor(1);
+    pool.stop();
+    ASSERT_EQ(collector.outputs.size(), 3u);
+    pool.stop(); // idempotent: no double callbacks, no deadlock
+    ASSERT_EQ(collector.outputs.size(), 3u);
+
+    pool.submit("echo late\n", collector.done());
+    collector.waitFor(4);
+    EXPECT_NE(collector.errors[3].find("shut down"),
+              std::string::npos);
+    // Every job either ran or was failed — exactly one callback
+    // each, none lost.
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_TRUE(collector.errors[i].empty() !=
+                    collector.outputs[i].empty())
+            << i;
+    }
+}
+
 TEST(WorkerPool, QueueDepthDrainsToZero)
 {
     WorkerPool pool({"/bin/cat"}, 2);

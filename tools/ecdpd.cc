@@ -71,7 +71,9 @@ usage(std::ostream &os)
 {
     os << "usage: ecdpd [--port N] [--workers N] "
           "[--admission-limit N]\n"
-          "             [--client-limit N] [--store DIR]\n"
+          "             [--client-limit N] [--grid-cap N] "
+          "[--store-cap N]\n"
+          "             [--store DIR]\n"
           "       ecdpd --worker\n";
 }
 
@@ -107,6 +109,12 @@ main(int argc, char **argv)
             } else if (arg == "--client-limit") {
                 opts.perClientLimit =
                     std::stoul(value("--client-limit"));
+            } else if (arg == "--grid-cap") {
+                opts.completedGridCap =
+                    std::stoul(value("--grid-cap"));
+            } else if (arg == "--store-cap") {
+                opts.storeMemoryCap =
+                    std::stoul(value("--store-cap"));
             } else if (arg == "--store") {
                 opts.storeDir = value("--store");
             } else if (arg == "--help" || arg == "-h") {
