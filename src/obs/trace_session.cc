@@ -159,7 +159,7 @@ unsigned
 TraceSession::flush(const std::string &label,
                     const EventTracer &tracer)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const unsigned pid = nextPid_++;
     if (!ok_ || closed_)
         return pid;
@@ -174,6 +174,7 @@ TraceSession::flush(const std::string &label,
             << tracer.overwritten() << "}}";
     }
     tracer.forEach([this, pid](const TraceEvent &event) {
+        mutex_.assertHeld(); // flush() holds the lock around forEach
         comma();
         writeChromeTraceEvent(os_, pid, event);
     });
@@ -183,7 +184,7 @@ TraceSession::flush(const std::string &label,
 void
 TraceSession::close()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_)
         return;
     closed_ = true;

@@ -29,9 +29,9 @@
 #define ECDP_OBS_TRACE_SESSION_HH
 
 #include <fstream>
-#include <mutex>
 #include <string>
 
+#include "memsim/thread_annotations.hh"
 #include "obs/event_tracer.hh"
 
 namespace ecdp
@@ -67,10 +67,11 @@ class TraceSession
      * whose process_name metadata is @p label. Thread-safe.
      * @return The pid assigned to this run.
      */
-    unsigned flush(const std::string &label, const EventTracer &tracer);
+    unsigned flush(const std::string &label, const EventTracer &tracer)
+        ECDP_EXCLUDES(mutex_);
 
     /** Write the footer and close the file (idempotent). */
-    void close();
+    void close() ECDP_EXCLUDES(mutex_);
 
     const std::string &path() const { return path_; }
 
@@ -78,18 +79,22 @@ class TraceSession
     bool ok() const { return ok_; }
 
     /** Runs flushed so far. */
-    unsigned runsFlushed() const { return nextPid_; }
+    unsigned runsFlushed() const ECDP_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return nextPid_;
+    }
 
   private:
-    void comma();
+    void comma() ECDP_REQUIRES(mutex_);
 
     std::string path_;
-    std::ofstream os_;
-    std::mutex mutex_;
-    bool ok_ = false;
-    bool closed_ = false;
-    bool any_ = false;
-    unsigned nextPid_ = 0;
+    mutable AnnotatedMutex mutex_;
+    std::ofstream os_ ECDP_GUARDED_BY(mutex_);
+    bool ok_ = false; // written once in the ctor, then read-only
+    bool closed_ ECDP_GUARDED_BY(mutex_) = false;
+    bool any_ ECDP_GUARDED_BY(mutex_) = false;
+    unsigned nextPid_ ECDP_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace obs

@@ -13,7 +13,7 @@ namespace runner
 
 ExperimentRunner::ExperimentRunner(ExperimentContext &ctx,
                                    unsigned jobs)
-    : ctx_(ctx), pool_(jobs), progress_(&std::cerr)
+    : ctx_(ctx), progress_(&std::cerr), pool_(jobs)
 {}
 
 ExperimentRunner::~ExperimentRunner()
@@ -24,7 +24,7 @@ ExperimentRunner::~ExperimentRunner()
 void
 ExperimentRunner::setProgressStream(std::ostream *os)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     progress_ = os;
 }
 
@@ -34,7 +34,7 @@ ExperimentRunner::submit(std::string name, std::string key,
 {
     JobResult *slot;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         // deque: pointers to existing slots stay valid while the
         // workers fill them and later submits grow the container.
         results_.push_back(
@@ -76,7 +76,7 @@ ExperimentRunner::runJob(JobResult *slot, const ConfigFn &make,
                        Clock::now() - start)
                        .count();
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++completed_;
     if (!progress_)
         return;
@@ -97,6 +97,10 @@ const std::deque<JobResult> &
 ExperimentRunner::wait()
 {
     pool_.wait();
+    // Every worker is idle now, but take the lock anyway: the scan
+    // below reads guarded state, and "the pool is quiet" is a fact
+    // the analysis (rightly) refuses to take on faith.
+    MutexLock lock(mutex_);
     for (const JobResult &result : results_) {
         if (!result.error.empty()) {
             throw std::runtime_error("experiment job " + result.name +

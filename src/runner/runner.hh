@@ -23,9 +23,9 @@
 #include <functional>
 #include <future>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 
+#include "memsim/thread_annotations.hh"
 #include "runner/thread_pool.hh"
 #include "sim/experiment.hh"
 
@@ -66,7 +66,7 @@ class ExperimentRunner
     ~ExperimentRunner();
 
     /** Progress sink (default stderr); nullptr silences progress. */
-    void setProgressStream(std::ostream *os);
+    void setProgressStream(std::ostream *os) ECDP_EXCLUDES(mutex_);
 
     /**
      * Queue one simulation; returns immediately with a future for
@@ -76,14 +76,15 @@ class ExperimentRunner
      * grid can ignore it and use wait().
      */
     std::shared_future<const RunStats *>
-    submit(std::string name, std::string key, ConfigFn make);
+    submit(std::string name, std::string key, ConfigFn make)
+        ECDP_EXCLUDES(mutex_);
 
     /**
      * Block until every submitted job finished; results are in
      * submission order. Throws std::runtime_error describing the
      * first failed job, if any.
      */
-    const std::deque<JobResult> &wait();
+    const std::deque<JobResult> &wait() ECDP_EXCLUDES(mutex_);
 
     unsigned threadCount() const { return pool_.threadCount(); }
 
@@ -92,13 +93,17 @@ class ExperimentRunner
                 std::promise<const RunStats *> &promise);
 
     ExperimentContext &ctx_;
-    ThreadPool pool_;
 
-    std::mutex mutex_; // guards results_ growth, counters, progress
-    std::deque<JobResult> results_;
-    unsigned submitted_ = 0;
-    unsigned completed_ = 0;
-    std::ostream *progress_;
+    AnnotatedMutex mutex_;
+    std::deque<JobResult> results_ ECDP_GUARDED_BY(mutex_);
+    unsigned submitted_ ECDP_GUARDED_BY(mutex_) = 0;
+    unsigned completed_ ECDP_GUARDED_BY(mutex_) = 0;
+    std::ostream *progress_ ECDP_GUARDED_BY(mutex_);
+
+    // Last member: worker threads store into results_ and bump the
+    // counters above, so the pool must be joined (and destroyed)
+    // before any of that state goes away.
+    ThreadPool pool_;
 };
 
 } // namespace runner

@@ -35,7 +35,7 @@ ThreadPool::~ThreadPool()
 {
     waitIdle(); // never throws: a pending job error dies with us
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     workReady_.notify_all();
@@ -47,7 +47,7 @@ void
 ThreadPool::submit(std::function<void()> job)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         queue_.push_back(std::move(job));
         ++pending_;
     }
@@ -57,15 +57,21 @@ ThreadPool::submit(std::function<void()> job)
 void
 ThreadPool::waitIdle()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    allIdle_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(mutex_);
+    allIdle_.wait(lock.native(), [this] {
+        mutex_.assertHeld(); // the wait predicate runs locked
+        return pending_ == 0;
+    });
 }
 
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    allIdle_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(mutex_);
+    allIdle_.wait(lock.native(), [this] {
+        mutex_.assertHeld(); // the wait predicate runs locked
+        return pending_ == 0;
+    });
     if (firstError_) {
         std::exception_ptr error = std::exchange(firstError_, nullptr);
         lock.unlock();
@@ -76,10 +82,12 @@ ThreadPool::wait()
 void
 ThreadPool::workerLoop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     while (true) {
-        workReady_.wait(
-            lock, [this] { return stopping_ || !queue_.empty(); });
+        workReady_.wait(lock.native(), [this] {
+            mutex_.assertHeld(); // the wait predicate runs locked
+            return stopping_ || !queue_.empty();
+        });
         if (queue_.empty())
             return; // stopping_ and drained
         std::function<void()> job = std::move(queue_.front());

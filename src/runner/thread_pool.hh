@@ -13,9 +13,10 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "memsim/thread_annotations.hh"
 
 namespace ecdp
 {
@@ -41,7 +42,7 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    void submit(std::function<void()> job);
+    void submit(std::function<void()> job) ECDP_EXCLUDES(mutex_);
 
     /**
      * Block until every submitted job has finished. A job that threw
@@ -49,7 +50,7 @@ class ThreadPool
      * is captured and rethrown here (then cleared, so the pool stays
      * usable); later ones are dropped.
      */
-    void wait();
+    void wait() ECDP_EXCLUDES(mutex_);
 
     unsigned threadCount() const
     {
@@ -59,16 +60,19 @@ class ThreadPool
   private:
     void workerLoop();
     /** wait() without the rethrow, for the destructor. */
-    void waitIdle();
+    void waitIdle() ECDP_EXCLUDES(mutex_);
 
-    std::mutex mutex_;
+    AnnotatedMutex mutex_;
     std::condition_variable workReady_;
     std::condition_variable allIdle_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<std::function<void()>> queue_ ECDP_GUARDED_BY(mutex_);
+    unsigned pending_ ECDP_GUARDED_BY(mutex_) = 0; // queued + running
+    bool stopping_ ECDP_GUARDED_BY(mutex_) = false;
+    std::exception_ptr firstError_ ECDP_GUARDED_BY(mutex_);
+
+    // Last member: workers touch everything above, so they must be
+    // joined (and destroyed) first.
     std::vector<std::thread> workers_;
-    unsigned pending_ = 0; // queued + running jobs
-    bool stopping_ = false;
-    std::exception_ptr firstError_;
 };
 
 } // namespace runner

@@ -86,7 +86,8 @@ Daemon::Daemon(DaemonOptions opts)
                      HttpServer::Responder respond) {
           handle(req, std::move(respond));
       }),
-      store_(opts_.storeDir, opts_.storeMemoryCap),
+      store_(opts_.storeDir, opts_.storeMemoryCap,
+             opts_.storeDiskCap),
       pool_(opts_.workerArgv, opts_.workers)
 {}
 
@@ -114,7 +115,7 @@ Daemon::stop()
     pool_.stop();
     store_.failAllFlights("daemon shutting down");
     {
-        std::lock_guard<std::mutex> lock(shutdownMutex_);
+        MutexLock lock(shutdownMutex_);
         shutdownRequested_ = true;
     }
     shutdownCv_.notify_all();
@@ -123,8 +124,11 @@ Daemon::stop()
 void
 Daemon::waitForShutdown()
 {
-    std::unique_lock<std::mutex> lock(shutdownMutex_);
-    shutdownCv_.wait(lock, [&] { return shutdownRequested_; });
+    MutexLock lock(shutdownMutex_);
+    shutdownCv_.wait(lock.native(), [&] {
+        shutdownMutex_.assertHeld(); // the wait predicate runs locked
+        return shutdownRequested_;
+    });
 }
 
 void
@@ -148,7 +152,7 @@ Daemon::handle(const HttpRequest &req, HttpServer::Responder respond)
         if (req.method == "POST" && path == "/v1/shutdown") {
             respond(jsonResponse(200, "{\"ok\":true}"));
             {
-                std::lock_guard<std::mutex> lock(shutdownMutex_);
+                MutexLock lock(shutdownMutex_);
                 shutdownRequested_ = true;
             }
             shutdownCv_.notify_all();
@@ -203,58 +207,67 @@ Daemon::handleSubmitGrid(const HttpRequest &req,
     }
     const std::size_t n = specs.size();
 
+    // Admission decisions are made under mutex_, but the rejection
+    // response fires after it is released: respond() is a deferred
+    // callback into the HTTP server, and callbacks never run under a
+    // daemon lock (ecdplint: callback-under-lock).
     std::string gridId;
+    std::string rejectWhy;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const std::uint64_t inflightNow = inflight_.load();
-        if (inflightNow + n > opts_.admissionLimit) {
-            admissionRejected_.fetch_add(1);
-            respond(errorResponse(
-                429, "admission queue full (" +
-                         std::to_string(inflightNow) + " in flight, " +
-                         std::to_string(opts_.admissionLimit) +
-                         " max)"));
-            return;
-        }
         // Look up without inserting: a rejected submission must not
         // leave a zero-count quota entry behind.
         auto clientIt = clientInflight_.find(client);
         const std::size_t clientNow =
             clientIt == clientInflight_.end() ? 0
                                               : clientIt->second;
-        if (opts_.perClientLimit != 0 &&
-            clientNow + n > opts_.perClientLimit) {
+        if (inflightNow + n > opts_.admissionLimit) {
+            admissionRejected_.fetch_add(1);
+            rejectWhy = "admission queue full (" +
+                        std::to_string(inflightNow) +
+                        " in flight, " +
+                        std::to_string(opts_.admissionLimit) +
+                        " max)";
+        } else if (opts_.perClientLimit != 0 &&
+                   clientNow + n > opts_.perClientLimit) {
             quotaRejected_.fetch_add(1);
-            respond(errorResponse(
-                429, "client quota exceeded (" +
-                         std::to_string(clientNow) + " in flight, " +
-                         std::to_string(opts_.perClientLimit) +
-                         " max for \"" + client + "\")"));
-            return;
-        }
-        clientInflight_[client] = clientNow + n;
-        const std::uint64_t inflightNew = inflight_.fetch_add(n) + n;
-        std::uint64_t peak = inflightPeak_.load();
-        while (inflightNew > peak &&
-               !inflightPeak_.compare_exchange_weak(peak,
-                                                    inflightNew)) {
-        }
+            rejectWhy = "client quota exceeded (" +
+                        std::to_string(clientNow) + " in flight, " +
+                        std::to_string(opts_.perClientLimit) +
+                        " max for \"" + client + "\")";
+        } else {
+            // Check and admit in one critical section, so racing
+            // submitters can never both squeeze past the limit.
+            clientInflight_[client] = clientNow + n;
+            const std::uint64_t inflightNew =
+                inflight_.fetch_add(n) + n;
+            std::uint64_t peak = inflightPeak_.load();
+            while (inflightNew > peak &&
+                   !inflightPeak_.compare_exchange_weak(
+                       peak, inflightNew)) {
+            }
 
-        gridId = "g" + std::to_string(nextGridId_++);
-        Grid &grid = grids_[gridId];
-        grid.id = gridId;
-        grid.client = client;
-        grid.remaining = n;
-        grid.submitted = Clock::now();
-        grid.cells.resize(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            grid.cells[i].spec = specs[i];
-            grid.cells[i].key = keys[i];
+            gridId = "g" + std::to_string(nextGridId_++);
+            Grid &grid = grids_[gridId];
+            grid.id = gridId;
+            grid.client = client;
+            grid.remaining = n;
+            grid.submitted = Clock::now();
+            grid.cells.resize(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                grid.cells[i].spec = specs[i];
+                grid.cells[i].key = keys[i];
+            }
+            if (wait)
+                grid.waiters.push_back(respond);
+            gridsSubmitted_.fetch_add(1);
+            cellsSubmitted_.fetch_add(n);
         }
-        if (wait)
-            grid.waiters.push_back(respond);
-        gridsSubmitted_.fetch_add(1);
-        cellsSubmitted_.fetch_add(n);
+    }
+    if (!rejectWhy.empty()) {
+        respond(errorResponse(429, rejectWhy));
+        return;
     }
 
     if (!wait) {
@@ -297,7 +310,7 @@ Daemon::onCellReady(const std::string &gridId, std::size_t index,
     std::vector<HttpServer::Responder> waiters;
     std::string resultsJson;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = grids_.find(gridId);
         if (it == grids_.end())
             return;
@@ -419,13 +432,20 @@ void
 Daemon::handleGridStatus(const std::string &id,
                          HttpServer::Responder &respond)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = grids_.find(id);
-    if (it == grids_.end()) {
+    // Render under the lock, respond after it: respond() is a
+    // callback into the HTTP server and never runs under mutex_.
+    std::string statusJson;
+    {
+        MutexLock lock(mutex_);
+        auto it = grids_.find(id);
+        if (it != grids_.end())
+            statusJson = gridStatusJsonLocked(it->second);
+    }
+    if (statusJson.empty()) {
         respondError(respond, 404, "no such grid: " + id);
         return;
     }
-    respond(jsonResponse(200, gridStatusJsonLocked(it->second)));
+    respond(jsonResponse(200, statusJson));
 }
 
 void
@@ -433,24 +453,50 @@ Daemon::handleGridResults(const HttpRequest &req,
                           const std::string &id,
                           HttpServer::Responder &respond)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = grids_.find(id);
-    if (it == grids_.end()) {
+    // Decide (and, for ?wait=1, park the responder) under the lock;
+    // every actual respond() call fires after it is released.
+    enum class Outcome
+    {
+        NotFound,
+        Done,
+        Parked,
+        Pending,
+    };
+    Outcome outcome = Outcome::NotFound;
+    std::string resultsJson;
+    std::size_t remaining = 0;
+    {
+        MutexLock lock(mutex_);
+        auto it = grids_.find(id);
+        if (it != grids_.end()) {
+            Grid &grid = it->second;
+            if (grid.remaining == 0) {
+                outcome = Outcome::Done;
+                resultsJson = gridResultsJsonLocked(grid);
+            } else if (req.queryParam("wait") == "1") {
+                outcome = Outcome::Parked;
+                grid.waiters.push_back(respond);
+            } else {
+                outcome = Outcome::Pending;
+                remaining = grid.remaining;
+            }
+        }
+    }
+    switch (outcome) {
+      case Outcome::NotFound:
         respondError(respond, 404, "no such grid: " + id);
         return;
-    }
-    Grid &grid = it->second;
-    if (grid.remaining == 0) {
-        respond(jsonResponse(200, gridResultsJsonLocked(grid)));
+      case Outcome::Done:
+        respond(jsonResponse(200, resultsJson));
+        return;
+      case Outcome::Parked:
+        return; // the final cell completion answers it
+      case Outcome::Pending:
+        respond(jsonResponse(
+            202, "{\"status\":\"pending\",\"remaining\":" +
+                     std::to_string(remaining) + "}"));
         return;
     }
-    if (req.queryParam("wait") == "1") {
-        grid.waiters.push_back(respond);
-        return;
-    }
-    respond(jsonResponse(
-        202, "{\"status\":\"pending\",\"remaining\":" +
-                 std::to_string(grid.remaining) + "}"));
 }
 
 void
@@ -513,6 +559,8 @@ Daemon::exportMetrics(obs::MetricRegistry &registry) const
         .set(store_.corruptRebuilds());
     registry.counter("ecdpd.store.entries").set(store_.size());
     registry.counter("ecdpd.store.evicted").set(store_.evicted());
+    registry.counter("ecdpd.store.disk_evicted")
+        .set(store_.diskEvicted());
     registry.counter("ecdpd.pool.shards").set(pool_.shards());
     registry.counter("ecdpd.pool.spawned").set(pool_.spawned());
     registry.counter("ecdpd.pool.crashed").set(pool_.crashed());

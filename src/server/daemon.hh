@@ -44,10 +44,10 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "memsim/thread_annotations.hh"
 #include "server/cell.hh"
 #include "server/http_server.hh"
 #include "server/result_store.hh"
@@ -81,12 +81,16 @@ struct DaemonOptions
     /** Result-store in-memory entry bound (0 = unbounded); evicted
      *  entries reload from storeDir when one is set. */
     std::size_t storeMemoryCap = ResultStore::kDefaultMemoryCap;
+    /** Result-store spill-file bound on disk (0 = unbounded),
+     *  enforced oldest-first; evicted files re-simulate on demand. */
+    std::size_t storeDiskCap = 0;
     /** Result-store spill directory ("" = memory-only). */
     std::string storeDir;
     /** Worker argv, e.g. {"/path/to/ecdpd", "--worker"}. */
     std::vector<std::string> workerArgv;
 };
 
+// ecdplint: long-lived
 class Daemon
 {
   public:
@@ -100,18 +104,18 @@ class Daemon
     void start();
 
     /** Stop serving (idempotent; also run by the destructor). */
-    void stop();
+    void stop() ECDP_EXCLUDES(shutdownMutex_);
 
     /** Bound port (valid after start()). */
     std::uint16_t port() const { return server_.port(); }
 
     /** Block until POST /v1/shutdown or stop(). */
-    void waitForShutdown();
+    void waitForShutdown() ECDP_EXCLUDES(shutdownMutex_);
 
     /** True once POST /v1/shutdown or stop() happened. */
-    bool shutdownRequested() const
+    bool shutdownRequested() const ECDP_EXCLUDES(shutdownMutex_)
     {
-        std::lock_guard<std::mutex> lock(shutdownMutex_);
+        MutexLock lock(shutdownMutex_);
         return shutdownRequested_;
     }
 
@@ -124,15 +128,15 @@ class Daemon
         return inflightPeak_.load();
     }
     /** Client names with nonzero in-flight quota entries. */
-    std::size_t clientsTracked() const
+    std::size_t clientsTracked() const ECDP_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return clientInflight_.size();
     }
     /** Grids currently queryable (admitted minus evicted). */
-    std::size_t gridsTracked() const
+    std::size_t gridsTracked() const ECDP_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return grids_.size();
     }
     /** @} */
@@ -164,14 +168,21 @@ class Daemon
         std::vector<HttpServer::Responder> waiters;
     };
 
-    void handle(const HttpRequest &req, HttpServer::Responder respond);
+    void handle(const HttpRequest &req, HttpServer::Responder respond)
+        ECDP_EXCLUDES(mutex_, shutdownMutex_);
+    /** Handlers respond (a deferred callback that may re-enter the
+     *  server) strictly outside mutex_ — hence EXCLUDES, and the
+     *  compute-under-lock / respond-outside split in each body. */
     void handleSubmitGrid(const HttpRequest &req,
-                          HttpServer::Responder &respond);
+                          HttpServer::Responder &respond)
+        ECDP_EXCLUDES(mutex_);
     void handleGridStatus(const std::string &id,
-                          HttpServer::Responder &respond);
+                          HttpServer::Responder &respond)
+        ECDP_EXCLUDES(mutex_);
     void handleGridResults(const HttpRequest &req,
                            const std::string &id,
-                           HttpServer::Responder &respond);
+                           HttpServer::Responder &respond)
+        ECDP_EXCLUDES(mutex_);
     void handleCellFetch(const std::string &hexKey,
                          HttpServer::Responder &respond);
     void handleMetrics(HttpServer::Responder &respond);
@@ -180,19 +191,23 @@ class Daemon
                       const std::string &message);
 
     void launchCell(const std::string &gridId, std::size_t index,
-                    const CellSpec &spec, std::uint64_t key);
+                    const CellSpec &spec, std::uint64_t key)
+        ECDP_EXCLUDES(mutex_);
     void onCellReady(const std::string &gridId, std::size_t index,
                      const ResultStore::Bytes &bytes,
-                     const std::string &error);
+                     const std::string &error) ECDP_EXCLUDES(mutex_);
     /** Record @p gridId as completed and evict the oldest completed
-     *  grids beyond opts_.completedGridCap; caller must hold mutex_
-     *  and not touch grid references afterwards. */
-    void noteGridCompletedLocked(const std::string &gridId);
+     *  grids beyond opts_.completedGridCap; the caller must not
+     *  touch grid references afterwards. */
+    void noteGridCompletedLocked(const std::string &gridId)
+        ECDP_REQUIRES(mutex_);
 
-    /** Results JSON; caller must hold mutex_. */
-    std::string gridResultsJsonLocked(const Grid &grid);
-    /** Status JSON; caller must hold mutex_. */
-    std::string gridStatusJsonLocked(const Grid &grid) const;
+    /** Results JSON. */
+    std::string gridResultsJsonLocked(const Grid &grid)
+        ECDP_REQUIRES(mutex_);
+    /** Status JSON. */
+    std::string gridStatusJsonLocked(const Grid &grid) const
+        ECDP_REQUIRES(mutex_);
 
     DaemonOptions opts_;
 
@@ -204,12 +219,13 @@ class Daemon
     // store_ into onCellReady, which must find this state alive.
     // stop() tears the subsystems down in the same order (server,
     // then pool, then store flights) before destruction even starts.
-    mutable std::mutex mutex_;
-    std::map<std::string, Grid> grids_;
+    mutable AnnotatedMutex mutex_;
+    std::map<std::string, Grid> grids_ ECDP_GUARDED_BY(mutex_);
     /** Completed grid ids, oldest first, for cap eviction. */
-    std::deque<std::string> completedGrids_;
-    std::map<std::string, std::size_t> clientInflight_;
-    std::uint64_t nextGridId_ = 1;
+    std::deque<std::string> completedGrids_ ECDP_GUARDED_BY(mutex_);
+    std::map<std::string, std::size_t> clientInflight_
+        ECDP_GUARDED_BY(mutex_);
+    std::uint64_t nextGridId_ ECDP_GUARDED_BY(mutex_) = 1;
 
     std::atomic<std::uint64_t> inflight_{0};
     std::atomic<std::uint64_t> inflightPeak_{0};
@@ -227,9 +243,9 @@ class Daemon
     std::atomic<std::uint64_t> latencyUsCount_{0};
     std::atomic<std::uint64_t> latencyUsMax_{0};
 
-    mutable std::mutex shutdownMutex_;
+    mutable AnnotatedMutex shutdownMutex_;
     std::condition_variable shutdownCv_;
-    bool shutdownRequested_ = false;
+    bool shutdownRequested_ ECDP_GUARDED_BY(shutdownMutex_) = false;
 
     // Destroyed before the state above (see the ordering note): the
     // pool first — its teardown fails pending jobs, whose completion

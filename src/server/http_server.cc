@@ -106,7 +106,7 @@ HttpServer::stop()
     {
         // Closed under the completion lock so late Responder calls
         // (worker threads finishing after stop) see -1 and drop.
-        std::lock_guard<std::mutex> lock(completionMutex_);
+        MutexLock lock(completionMutex_);
         completions_.clear();
         if (wakeFd_ >= 0)
             ::close(wakeFd_);
@@ -261,7 +261,7 @@ HttpServer::readReady(Connection &conn)
         // The lock also guards wakeFd_ against stop(): once the
         // server is stopped the response is dropped instead of
         // touching a closed (possibly reused) descriptor.
-        std::lock_guard<std::mutex> lock(completionMutex_);
+        MutexLock lock(completionMutex_);
         if (wakeFd_ < 0)
             return;
         completions_.push_back(
@@ -281,7 +281,7 @@ HttpServer::drainCompletions()
 {
     std::deque<Completion> batch;
     {
-        std::lock_guard<std::mutex> lock(completionMutex_);
+        MutexLock lock(completionMutex_);
         batch.swap(completions_);
     }
     for (Completion &done : batch) {

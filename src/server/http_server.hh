@@ -25,9 +25,9 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "memsim/thread_annotations.hh"
 #include "server/http.hh"
 
 namespace ecdp
@@ -35,6 +35,7 @@ namespace ecdp
 namespace server
 {
 
+// ecdplint: long-lived
 class HttpServer
 {
   public:
@@ -103,18 +104,30 @@ class HttpServer
     Handler handler_;
     int listenFd_ = -1;
     int epollFd_ = -1;
+    // Owned by the loop thread for reads/wakes; stop() closes it
+    // under completionMutex_ (after the join) so a late Responder
+    // sees -1 and drops its response instead of touching a closed,
+    // possibly reused descriptor. Not GUARDED_BY: the loop thread
+    // reads it lock-free, which is safe only because the close
+    // happens after thread_.join().
     int wakeFd_ = -1;
     std::uint16_t port_ = 0;
+    // Loop-thread-only state; no lock by design (single owner).
     std::uint64_t nextGen_ = 1;
+    // ecdplint-cap(kMaxConnections): acceptReady() closes above cap
     std::map<int, Connection> conns_;
     std::atomic<std::size_t> connCount_{0};
 
-    std::mutex completionMutex_;
-    std::deque<Completion> completions_;
+    AnnotatedMutex completionMutex_;
+    std::deque<Completion> completions_
+        ECDP_GUARDED_BY(completionMutex_);
 
     std::atomic<bool> stopping_{false};
-    std::thread thread_;
     bool started_ = false;
+
+    // Last member: the loop thread touches everything above, so it
+    // must be joined (and destroyed) first.
+    std::thread thread_;
 };
 
 } // namespace server

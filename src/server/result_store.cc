@@ -1,5 +1,6 @@
 #include "server/result_store.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -30,9 +31,93 @@ hexKey(std::uint64_t key)
 
 } // namespace
 
-ResultStore::ResultStore(std::string dir, std::size_t memoryCap)
-    : dir_(std::move(dir)), memoryCap_(memoryCap)
-{}
+ResultStore::ResultStore(std::string dir, std::size_t memoryCap,
+                         std::size_t diskCap)
+    : dir_(std::move(dir)), memoryCap_(memoryCap), diskCap_(diskCap)
+{
+    if (!dir_.empty() && diskCap_ != 0)
+        scanSpillDir();
+}
+
+void
+ResultStore::scanSpillDir()
+{
+    // Collect pre-existing spill files so the cap covers them too:
+    // a restarted daemon must not treat yesterday's spill set as
+    // free. Sorted by mtime so eviction stays oldest-first across
+    // restarts.
+    std::vector<std::pair<std::filesystem::file_time_type,
+                          std::uint64_t>>
+        found;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        const std::string name = entry.path().filename().string();
+        // cell-<16 hex digits>.bin, nothing else.
+        if (name.size() != 25 || name.rfind("cell-", 0) != 0 ||
+            name.compare(21, 4, ".bin") != 0)
+            continue;
+        std::uint64_t key = 0;
+        bool hex = true;
+        for (std::size_t i = 5; i < 21; ++i) {
+            const char c = name[i];
+            int digit;
+            if (c >= '0' && c <= '9')
+                digit = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                digit = c - 'a' + 10;
+            else {
+                hex = false;
+                break;
+            }
+            key = (key << 4) | std::uint64_t(digit);
+        }
+        if (!hex)
+            continue;
+        std::error_code tec;
+        auto mtime = std::filesystem::last_write_time(entry.path(),
+                                                      tec);
+        if (tec)
+            mtime = std::filesystem::file_time_type::min();
+        found.emplace_back(mtime, key);
+    }
+    std::sort(found.begin(), found.end());
+
+    std::vector<std::uint64_t> victims;
+    {
+        MutexLock lock(mutex_);
+        for (const auto &[mtime, key] : found) {
+            if (diskKnown_.insert(key).second)
+                diskOrder_.push_back(key);
+        }
+        while (diskOrder_.size() > diskCap_) {
+            const std::uint64_t victim = diskOrder_.front();
+            diskOrder_.pop_front();
+            diskKnown_.erase(victim);
+            victims.push_back(victim);
+        }
+    }
+    for (std::uint64_t victim : victims) {
+        std::error_code rec;
+        std::filesystem::remove(dir_ + "/" + entryFileName(victim),
+                                rec);
+        diskEvicted_.fetch_add(1);
+    }
+}
+
+void
+ResultStore::noteSpilledLocked(std::uint64_t key,
+                               std::vector<std::uint64_t> &victims)
+{
+    if (diskKnown_.insert(key).second)
+        diskOrder_.push_back(key);
+    while (diskCap_ != 0 && diskOrder_.size() > diskCap_) {
+        const std::uint64_t victim = diskOrder_.front();
+        diskOrder_.pop_front();
+        diskKnown_.erase(victim);
+        victims.push_back(victim);
+    }
+}
 
 ResultStore::Bytes
 ResultStore::insertLocked(std::uint64_t key, Bytes bytes)
@@ -64,7 +149,7 @@ ResultStore::entryFileName(std::uint64_t key)
 std::size_t
 ResultStore::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return results_.size();
 }
 
@@ -72,7 +157,7 @@ ResultStore::Bytes
 ResultStore::lookup(std::uint64_t key)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = results_.find(key);
         if (it != results_.end()) {
             memoryHits_.fetch_add(1);
@@ -91,7 +176,7 @@ ResultStore::fetchOrAttach(std::uint64_t key, Ready cb)
     for (bool probedDisk : {false, true}) {
         Bytes hitBytes;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             auto hit = results_.find(key);
             if (hit != results_.end()) {
                 memoryHits_.fetch_add(1);
@@ -133,7 +218,7 @@ ResultStore::complete(std::uint64_t key, std::string bytes)
 
     std::vector<Ready> waiters;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         insertLocked(key, shared);
         auto it = flights_.find(key);
         if (it != flights_.end()) {
@@ -150,7 +235,7 @@ ResultStore::fail(std::uint64_t key, const std::string &error)
 {
     std::vector<Ready> waiters;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = flights_.find(key);
         if (it != flights_.end()) {
             waiters = std::move(it->second.waiters);
@@ -166,7 +251,7 @@ ResultStore::failAllFlights(const std::string &error)
 {
     std::map<std::uint64_t, Flight> drained;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         drained.swap(flights_);
     }
     for (auto &[key, flight] : drained) {
@@ -196,6 +281,15 @@ ResultStore::loadFromDisk(std::uint64_t key)
         in.close();
         std::error_code ec;
         std::filesystem::remove(path, ec);
+        // The file is gone; drop it from the disk-cap bookkeeping
+        // so the cap slot frees up.
+        MutexLock lock(mutex_);
+        if (diskKnown_.erase(key)) {
+            auto pos = std::find(diskOrder_.begin(),
+                                 diskOrder_.end(), key);
+            if (pos != diskOrder_.end())
+                diskOrder_.erase(pos);
+        }
         return nullptr;
     };
 
@@ -227,7 +321,7 @@ ResultStore::loadFromDisk(std::uint64_t key)
     Bytes shared =
         std::make_shared<const std::string>(std::move(payload));
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         shared = insertLocked(key, std::move(shared));
     }
     diskHits_.fetch_add(1);
@@ -260,8 +354,25 @@ ResultStore::spillToDisk(std::uint64_t key, const std::string &bytes)
     // Atomic publish: concurrent daemons (or a reader mid-crash)
     // never observe a half-written entry.
     std::filesystem::rename(tmp, path, ec);
-    if (ec)
+    if (ec) {
         std::filesystem::remove(tmp, ec);
+        return;
+    }
+
+    // Bookkeep the new file and enforce the disk cap. Victims are
+    // chosen under the lock but unlinked outside it: filesystem
+    // latency must not serialize the whole store.
+    std::vector<std::uint64_t> victims;
+    {
+        MutexLock lock(mutex_);
+        noteSpilledLocked(key, victims);
+    }
+    for (std::uint64_t victim : victims) {
+        std::error_code rec;
+        std::filesystem::remove(dir_ + "/" + entryFileName(victim),
+                                rec);
+        diskEvicted_.fetch_add(1);
+    }
 }
 
 } // namespace server

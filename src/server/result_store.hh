@@ -27,6 +27,13 @@
  * evicted entry reloads from the spill directory when one is
  * configured, and otherwise simply becomes a miss that re-simulates
  * under a fresh single flight.
+ *
+ * The spill directory itself is bounded the same way (diskCap
+ * entries, oldest-spill-first eviction): when a new spill pushes the
+ * file count over the cap, the oldest cell-*.bin files are removed.
+ * Pre-existing entries found at startup are seeded into the eviction
+ * order by file mtime, so a restarted daemon keeps honoring the cap.
+ * An evicted file is simply a disk miss that re-simulates.
  */
 
 #ifndef ECDP_SERVER_RESULT_STORE_HH
@@ -38,15 +45,18 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
+
+#include "memsim/thread_annotations.hh"
 
 namespace ecdp
 {
 namespace server
 {
 
+// ecdplint: long-lived
 class ResultStore
 {
   public:
@@ -77,28 +87,38 @@ class ResultStore
     /**
      * @param dir Spill directory; empty = memory-only.
      * @param memoryCap Max entries held in memory (0 = unbounded).
+     * @param diskCap Max spill files kept on disk (0 = unbounded).
+     *        Enforced oldest-spill-first; existing files are counted
+     *        (and trimmed) at construction.
      */
     explicit ResultStore(std::string dir = "",
-                         std::size_t memoryCap = kDefaultMemoryCap);
+                         std::size_t memoryCap = kDefaultMemoryCap,
+                         std::size_t diskCap = 0);
 
     ResultStore(const ResultStore &) = delete;
     ResultStore &operator=(const ResultStore &) = delete;
 
-    Role fetchOrAttach(std::uint64_t key, Ready cb);
+    /** Callbacks (including a Hit's immediate one) fire outside the
+     *  store lock — they may re-enter the store. */
+    Role fetchOrAttach(std::uint64_t key, Ready cb)
+        ECDP_EXCLUDES(mutex_);
 
     /** Publish @p bytes under @p key and fire every attached cb. */
-    void complete(std::uint64_t key, std::string bytes);
+    void complete(std::uint64_t key, std::string bytes)
+        ECDP_EXCLUDES(mutex_);
 
     /** Abort the flight: fire every attached cb with @p error. The
      *  key stays uncached, so a later submission retries. */
-    void fail(std::uint64_t key, const std::string &error);
+    void fail(std::uint64_t key, const std::string &error)
+        ECDP_EXCLUDES(mutex_);
 
     /** Abort every in-flight key at once (shutdown drain): fire all
      *  attached cbs with @p error. Nothing is cached. */
-    void failAllFlights(const std::string &error);
+    void failAllFlights(const std::string &error)
+        ECDP_EXCLUDES(mutex_);
 
     /** Materialized result, or nullptr (never joins a flight). */
-    Bytes lookup(std::uint64_t key);
+    Bytes lookup(std::uint64_t key) ECDP_EXCLUDES(mutex_);
 
     /** @{ Monotonic statistics. */
     std::uint64_t memoryHits() const { return memoryHits_.load(); }
@@ -113,10 +133,11 @@ class ResultStore
         return corruptRebuilds_.load();
     }
     std::uint64_t evicted() const { return evicted_.load(); }
+    std::uint64_t diskEvicted() const { return diskEvicted_.load(); }
     /** @} */
 
     /** Entries materialized in memory (diagnostics). */
-    std::size_t size() const;
+    std::size_t size() const ECDP_EXCLUDES(mutex_);
 
     static std::string entryFileName(std::uint64_t key);
 
@@ -126,21 +147,36 @@ class ResultStore
         std::vector<Ready> waiters;
     };
 
-    Bytes loadFromDisk(std::uint64_t key);
-    void spillToDisk(std::uint64_t key, const std::string &bytes);
+    Bytes loadFromDisk(std::uint64_t key) ECDP_EXCLUDES(mutex_);
+    void spillToDisk(std::uint64_t key, const std::string &bytes)
+        ECDP_EXCLUDES(mutex_);
     /** Insert under mutex_, tracking eviction order and enforcing
      *  the cap. Returns the entry actually stored (a racing inserter
      *  may have won). */
-    Bytes insertLocked(std::uint64_t key, Bytes bytes);
+    Bytes insertLocked(std::uint64_t key, Bytes bytes)
+        ECDP_REQUIRES(mutex_);
+    /** Record @p key as on disk and pop victims past diskCap_ into
+     *  @p victims (oldest first); the caller unlinks them unlocked. */
+    void noteSpilledLocked(std::uint64_t key,
+                           std::vector<std::uint64_t> &victims)
+        ECDP_REQUIRES(mutex_);
+    /** Seed disk bookkeeping from a directory listing (ctor only). */
+    void scanSpillDir() ECDP_EXCLUDES(mutex_);
 
     std::string dir_;
     std::size_t memoryCap_;
+    std::size_t diskCap_;
 
-    mutable std::mutex mutex_;
-    std::map<std::uint64_t, Bytes> results_;
-    std::map<std::uint64_t, Flight> flights_;
+    mutable AnnotatedMutex mutex_;
+    std::map<std::uint64_t, Bytes> results_ ECDP_GUARDED_BY(mutex_);
+    std::map<std::uint64_t, Flight> flights_ ECDP_GUARDED_BY(mutex_);
     /** Keys of results_ in insertion order; 1:1 with results_. */
-    std::deque<std::uint64_t> insertionOrder_;
+    std::deque<std::uint64_t> insertionOrder_
+        ECDP_GUARDED_BY(mutex_);
+    /** Keys with a spill file on disk, oldest spill first. */
+    std::deque<std::uint64_t> diskOrder_ ECDP_GUARDED_BY(mutex_);
+    /** Same keys as diskOrder_, for O(log n) membership. */
+    std::set<std::uint64_t> diskKnown_ ECDP_GUARDED_BY(mutex_);
 
     std::atomic<std::uint64_t> memoryHits_{0};
     std::atomic<std::uint64_t> diskHits_{0};
@@ -148,6 +184,7 @@ class ResultStore
     std::atomic<std::uint64_t> leaders_{0};
     std::atomic<std::uint64_t> corruptRebuilds_{0};
     std::atomic<std::uint64_t> evicted_{0};
+    std::atomic<std::uint64_t> diskEvicted_{0};
 };
 
 } // namespace server

@@ -34,7 +34,7 @@ WorkerPool::stop()
 {
     std::vector<Job> orphans;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
         for (std::deque<Job> &queue : queues_) {
             for (Job &job : queue)
@@ -55,7 +55,7 @@ void
 WorkerPool::submit(std::string input, Done done)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (stopping_) {
             // Fire outside the lock below, like any other failure.
         } else {
@@ -73,7 +73,7 @@ WorkerPool::submit(std::string input, Done done)
 std::size_t
 WorkerPool::queued() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::size_t depth = 0;
     for (const std::deque<Job> &queue : queues_)
         depth += queue.size();
@@ -83,8 +83,9 @@ WorkerPool::queued() const
 bool
 WorkerPool::takeJob(unsigned self, Job &job)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] {
+    MutexLock lock(mutex_);
+    cv_.wait(lock.native(), [&] {
+        mutex_.assertHeld(); // the wait predicate runs locked
         if (stopping_)
             return true;
         for (const std::deque<Job> &queue : queues_) {

@@ -22,16 +22,18 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "memsim/thread_annotations.hh"
 
 namespace ecdp
 {
 namespace server
 {
 
+// ecdplint: long-lived
 class WorkerPool
 {
   public:
@@ -66,10 +68,10 @@ class WorkerPool
      * completion callbacks touch is still alive, instead of relying
      * on member-destruction order.
      */
-    void stop();
+    void stop() ECDP_EXCLUDES(mutex_);
 
     /** Enqueue @p input for some shard; @p done fires exactly once. */
-    void submit(std::string input, Done done);
+    void submit(std::string input, Done done) ECDP_EXCLUDES(mutex_);
 
     unsigned shards() const { return unsigned(shards_.size()); }
 
@@ -93,21 +95,25 @@ class WorkerPool
     };
 
     void shardLoop(unsigned self);
-    bool takeJob(unsigned self, Job &job);
+    bool takeJob(unsigned self, Job &job) ECDP_EXCLUDES(mutex_);
     void runJob(const Job &job);
 
+    // ecdplint-allow(unbounded-container): written once at construction
     std::vector<std::string> workerArgv_;
 
-    mutable std::mutex mutex_;
+    mutable AnnotatedMutex mutex_;
     std::condition_variable cv_;
-    std::vector<std::deque<Job>> queues_;
-    unsigned nextShard_ = 0;
-    bool stopping_ = false;
+    std::vector<std::deque<Job>> queues_ ECDP_GUARDED_BY(mutex_);
+    unsigned nextShard_ ECDP_GUARDED_BY(mutex_) = 0;
+    bool stopping_ ECDP_GUARDED_BY(mutex_) = false;
 
     std::atomic<std::uint64_t> spawned_{0};
     std::atomic<std::uint64_t> crashed_{0};
     std::atomic<std::uint64_t> stolen_{0};
 
+    // Last member: shard threads touch everything above, so they
+    // must be joined (and destroyed) first.
+    // ecdplint-allow(unbounded-container): written once at construction
     std::vector<std::thread> shards_;
 };
 

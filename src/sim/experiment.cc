@@ -249,7 +249,7 @@ ExperimentContext::run(const std::string &name, const SystemConfig &cfg,
     // and a label reused with a different config is a harness bug
     // that used to silently return the first config's stats.
     {
-        std::lock_guard<std::mutex> lock(labelMutex_);
+        MutexLock lock(labelMutex_);
         auto [it, inserted] = labels_.emplace(name + ":" + key, hash);
         if (!inserted && it->second != hash) {
             throw std::logic_error(

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "compiler/profiling_compiler.hh"
+#include "memsim/thread_annotations.hh"
 #include "sim/config.hh"
 #include "sim/simulator.hh"
 #include "workloads/workload.hh"
@@ -179,10 +180,11 @@ class ExperimentContext
       public:
         template <typename Build>
         const V &get(const std::string &key, Build &&build)
+            ECDP_EXCLUDES(mutex_)
         {
             std::shared_ptr<Cell> cell;
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 std::shared_ptr<Cell> &slot = cells_[key];
                 if (!slot)
                     slot = std::make_shared<Cell>();
@@ -202,8 +204,9 @@ class ExperimentContext
             std::optional<V> value;
         };
 
-        std::mutex mutex_;
-        std::map<std::string, std::shared_ptr<Cell>> cells_;
+        AnnotatedMutex mutex_;
+        std::map<std::string, std::shared_ptr<Cell>> cells_
+            ECDP_GUARDED_BY(mutex_);
     };
 
     MemoTable<Workload> refs_;
@@ -213,8 +216,9 @@ class ExperimentContext
     MemoTable<RunStats> runs_;
 
     /** Diagnostic label registry: (name ":" key) -> config hash. */
-    std::mutex labelMutex_;
-    std::map<std::string, std::uint64_t> labels_;
+    AnnotatedMutex labelMutex_;
+    std::map<std::string, std::uint64_t> labels_
+        ECDP_GUARDED_BY(labelMutex_);
 
     /** Optional persistent result cache (ECDP_RESULT_CACHE). */
     std::unique_ptr<runner::ResultCache> resultCache_;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <filesystem>
 #include <fstream>
@@ -285,6 +286,109 @@ TEST(ResultStore, EvictedEntryReloadsFromDisk)
     // ...which is itself still durable on disk.
     ASSERT_TRUE(store.lookup(11));
     EXPECT_EQ(*store.lookup(11), "k11");
+}
+
+TEST(ResultStore, DiskCapEvictsOldestSpillFirst)
+{
+    // Disk bounded to 2 spill files: the third completion unlinks
+    // the oldest file, counted by diskEvicted().
+    const std::string dir = freshDir("ecdp_store_disk_cap");
+    ResultStore store(dir, ResultStore::kDefaultMemoryCap, 2);
+    for (std::uint64_t key : {1, 2, 3}) {
+        store.fetchOrAttach(
+            key, [](ResultStore::Bytes, const std::string &) {});
+        store.complete(key, "d" + std::to_string(key));
+    }
+    EXPECT_EQ(store.diskEvicted(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(
+        dir + "/" + ResultStore::entryFileName(1)));
+    EXPECT_TRUE(std::filesystem::exists(
+        dir + "/" + ResultStore::entryFileName(2)));
+    EXPECT_TRUE(std::filesystem::exists(
+        dir + "/" + ResultStore::entryFileName(3)));
+}
+
+TEST(ResultStore, DiskCapTrimsPreexistingFilesAtStartup)
+{
+    // A restarted daemon inherits yesterday's spill set: the startup
+    // scan seeds the eviction order by file mtime and trims straight
+    // down to the cap.
+    const std::string dir = freshDir("ecdp_store_disk_scan");
+    {
+        ResultStore store(dir); // unbounded: leave 3 files behind
+        for (std::uint64_t key : {21, 22, 23}) {
+            store.fetchOrAttach(
+                key, [](ResultStore::Bytes, const std::string &) {});
+            store.complete(key, "p" + std::to_string(key));
+        }
+    }
+    // Stamp distinct mtimes so oldest-first is deterministic even on
+    // coarse filesystem clocks: 21 oldest, 23 newest.
+    const auto now = std::filesystem::file_time_type::clock::now();
+    for (std::uint64_t key : {21, 22, 23}) {
+        std::filesystem::last_write_time(
+            dir + "/" + ResultStore::entryFileName(key),
+            now - std::chrono::seconds(10 * (24 - key)));
+    }
+
+    ResultStore reopened(dir, ResultStore::kDefaultMemoryCap, 1);
+    EXPECT_EQ(reopened.diskEvicted(), 2u);
+    EXPECT_FALSE(std::filesystem::exists(
+        dir + "/" + ResultStore::entryFileName(21)));
+    EXPECT_FALSE(std::filesystem::exists(
+        dir + "/" + ResultStore::entryFileName(22)));
+    ASSERT_TRUE(reopened.lookup(23));
+    EXPECT_EQ(*reopened.lookup(23), "p23");
+}
+
+TEST(ResultStore, DiskEvictedEntryMissesAndReleads)
+{
+    // Evicted from memory AND disk: the key is simply gone, and the
+    // next submission re-leads (re-simulates) instead of crashing on
+    // a dangling bookkeeping entry.
+    const std::string dir = freshDir("ecdp_store_disk_gone");
+    ResultStore store(dir, 1, 1);
+    for (std::uint64_t key : {31, 32}) {
+        store.fetchOrAttach(
+            key, [](ResultStore::Bytes, const std::string &) {});
+        store.complete(key, "g" + std::to_string(key));
+    }
+    EXPECT_EQ(store.diskEvicted(), 1u);
+    EXPECT_FALSE(store.lookup(31));
+    EXPECT_EQ(store.fetchOrAttach(
+                  31, [](ResultStore::Bytes, const std::string &) {}),
+              ResultStore::Role::Leader);
+}
+
+TEST(ResultStore, CorruptEntryRemovalFreesItsDiskCapSlot)
+{
+    // A corrupt file is removed on load; its bookkeeping slot must
+    // free up too, or the cap would evict a healthy file to make
+    // room for a ghost.
+    const std::string dir = freshDir("ecdp_store_disk_corrupt");
+    ResultStore store(dir, 1, 2);
+    for (std::uint64_t key : {41, 42}) {
+        store.fetchOrAttach(
+            key, [](ResultStore::Bytes, const std::string &) {});
+        store.complete(key, "c" + std::to_string(key));
+    }
+    {
+        std::ofstream os(dir + "/" + ResultStore::entryFileName(41),
+                         std::ios::binary | std::ios::trunc);
+        os << "garbage";
+    }
+    EXPECT_FALSE(store.lookup(41)); // memory-evicted -> disk -> corrupt
+    EXPECT_EQ(store.corruptRebuilds(), 1u);
+
+    store.fetchOrAttach(43,
+                        [](ResultStore::Bytes, const std::string &) {});
+    store.complete(43, "c43");
+    // Two files on disk (42, 43) fit the cap: nothing evicted.
+    EXPECT_EQ(store.diskEvicted(), 0u);
+    EXPECT_TRUE(std::filesystem::exists(
+        dir + "/" + ResultStore::entryFileName(42)));
+    EXPECT_TRUE(std::filesystem::exists(
+        dir + "/" + ResultStore::entryFileName(43)));
 }
 
 TEST(ResultStore, FailAllFlightsAbortsEveryWaiter)

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -346,6 +347,73 @@ TEST(ServerIntegration, DrainedClientQuotaEntriesAreDropped)
     EXPECT_EQ(daemon.clientsTracked(), 0u);
     JsonValue metrics = parseJson(client.get("/metrics").body);
     EXPECT_EQ(metrics.at("ecdpd.clients.tracked").asI64(), 0);
+}
+
+TEST(ServerIntegration, DiskCapBoundsSpillFilesAndExportsMetric)
+{
+    // --disk-cap end to end: two distinct cells spill two files, the
+    // cap of one evicts the older, and the eviction is visible both
+    // on disk and as ecdpd.store.disk_evicted in /metrics.
+    DaemonOptions opts = workerOptions();
+    opts.storeDir = testing::TempDir() + "/ecdpd_disk_cap";
+    std::filesystem::remove_all(opts.storeDir);
+    opts.storeDiskCap = 1;
+    Daemon daemon(opts);
+    daemon.start();
+    HttpClient client(daemon.port());
+
+    ASSERT_EQ(client.post("/v1/grids",
+                          "{\"wait\":true,\"cells\":[{\"bench\":"
+                          "\"mst\",\"input\":\"train\"},{\"bench\":"
+                          "\"health\",\"input\":\"train\"}]}")
+                  .status,
+              200);
+    JsonValue metrics = parseJson(client.get("/metrics").body);
+    EXPECT_EQ(metrics.at("ecdpd.store.disk_evicted").asI64(), 1);
+
+    std::size_t spillFiles = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(opts.storeDir)) {
+        spillFiles +=
+            entry.path().filename().string().rfind("cell-", 0) == 0;
+    }
+    EXPECT_EQ(spillFiles, 1u);
+}
+
+TEST(ServerIntegration, PendingPollsAnswerOutsideTheDaemonLock)
+{
+    // Regression for the respond-under-lock rework: the pending 202
+    // poll, the status snapshot and the parked ?wait=1 poll all go
+    // through the compute-under-lock / respond-outside split now —
+    // this drives every branch of it against a deliberately slow
+    // worker.
+    DaemonOptions opts = workerOptions();
+    opts.workers = 1;
+    opts.workerArgv = {"/bin/sh", "-c", "sleep 0.3; echo {}"};
+    Daemon daemon(opts);
+    daemon.start();
+    HttpClient client(daemon.port());
+
+    ASSERT_EQ(client.post("/v1/grids",
+                          "{\"cells\":[{\"bench\":\"mst\","
+                          "\"input\":\"train\"}]}")
+                  .status,
+              202);
+    HttpResponse poll = client.get("/v1/grids/g1/results");
+    // The worker sleeps 300 ms, so the immediate poll is pending
+    // (tolerate a pathologically slow test host finishing first).
+    ASSERT_TRUE(poll.status == 202 || poll.status == 200)
+        << poll.body;
+    if (poll.status == 202)
+        EXPECT_NE(poll.body.find("\"remaining\":1"),
+                  std::string::npos);
+    EXPECT_EQ(client.get("/v1/grids/g1").status, 200);
+
+    // Parked waiter: answered by the final cell completion.
+    HttpResponse done = client.get("/v1/grids/g1/results?wait=1");
+    ASSERT_EQ(done.status, 200) << done.body;
+    EXPECT_NE(done.body.find("\"status\":\"done\""),
+              std::string::npos);
 }
 
 TEST(ServerIntegration, ShutdownEndpointUnblocksWaiters)

@@ -73,7 +73,7 @@ usage(std::ostream &os)
           "[--admission-limit N]\n"
           "             [--client-limit N] [--grid-cap N] "
           "[--store-cap N]\n"
-          "             [--store DIR]\n"
+          "             [--store DIR] [--disk-cap N]\n"
           "       ecdpd --worker\n";
 }
 
@@ -115,6 +115,8 @@ main(int argc, char **argv)
             } else if (arg == "--store-cap") {
                 opts.storeMemoryCap =
                     std::stoul(value("--store-cap"));
+            } else if (arg == "--disk-cap") {
+                opts.storeDiskCap = std::stoul(value("--disk-cap"));
             } else if (arg == "--store") {
                 opts.storeDir = value("--store");
             } else if (arg == "--help" || arg == "-h") {

@@ -1,0 +1,58 @@
+// Seeded fixture: the callback-under-lock rule must flag exactly the
+// invocation marked BAD below, and nothing else in this file.
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+using Done = std::function<void(const std::string &)>;
+
+class Notifier
+{
+  public:
+    void
+    fireUnderLock(const std::string &what)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_(what); // BAD: deferred callback invoked under the lock
+    }
+
+    void
+    fireAfterLock(const std::string &what)
+    {
+        Done copy;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            copy = done_;
+        }
+        copy(what); // ok: the guard's scope closed above
+    }
+
+    void
+    fireBetweenUnlockLock(const std::string &what)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        lock.unlock();
+        done_(what); // ok: guard exists but is not held here
+        lock.lock();
+    }
+
+    void
+    drainWaiters()
+    {
+        std::vector<Done> waiters;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            waiters.swap(waiters_); // ok: collect under the lock...
+        }
+        for (const Done &w : waiters)
+            w("drained"); // ...invoke outside it
+    }
+
+  private:
+    std::mutex mutex_;
+    Done done_;
+    std::vector<Done> waiters_;
+};

@@ -1,0 +1,36 @@
+// Seeded fixture: mutex-unannotated must flag the two raw mutex
+// members and leave the annotated/allowed/unrelated ones alone.
+
+#ifndef ECDPLINT_FIXTURE_BAD_RAW_MUTEX_HH
+#define ECDPLINT_FIXTURE_BAD_RAW_MUTEX_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+class AnnotatedMutex; // stand-in for memsim/thread_annotations.hh
+
+class Counter
+{
+  private:
+    std::mutex mutex_; // BAD: invisible to -Wthread-safety
+    long n_ = 0;
+};
+
+class Index
+{
+  private:
+    mutable std::shared_mutex rw_; // BAD: raw std mutex flavour
+    int entries_ = 0;
+};
+
+class Annotated
+{
+  private:
+    AnnotatedMutex *mutex_ = nullptr; // ok: the annotated wrapper
+    std::condition_variable cv_;      // ok: not a mutex
+    // ecdplint-allow(mutex-unannotated): FFI needs the raw type
+    std::mutex ffiMutex_; // ok: explicit allow
+};
+
+#endif

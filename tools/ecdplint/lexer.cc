@@ -1,0 +1,183 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace ecdp
+{
+namespace lint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentBody(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+LexResult
+lex(const std::string &src)
+{
+    LexResult out;
+    const std::size_t n = src.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool atLineStart = true;
+
+    auto addComment = [&](int atLine, const std::string &text) {
+        std::string &slot = out.comments[atLine];
+        if (!slot.empty() && !text.empty())
+            slot += ' ';
+        slot += text;
+    };
+    auto push = [&](TokKind kind, std::string text) {
+        out.tokens.push_back({kind, std::move(text), line});
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            atLineStart = true;
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+            c == '\f') {
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            std::size_t j = i + 2;
+            while (j < n && src[j] != '\n')
+                ++j;
+            addComment(line, src.substr(i + 2, j - i - 2));
+            i = j;
+            continue;
+        }
+        // Block comment (may span lines).
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            std::size_t j = i + 2;
+            std::string text;
+            int startLine = line;
+            while (j + 1 < n &&
+                   !(src[j] == '*' && src[j + 1] == '/')) {
+                if (src[j] == '\n') {
+                    ++line;
+                    addComment(line, "");
+                }
+                text += src[j];
+                ++j;
+            }
+            addComment(startLine, text);
+            i = (j + 1 < n) ? j + 2 : n;
+            continue;
+        }
+        // Preprocessor directive: swallow the logical line,
+        // honouring backslash continuations.
+        if (c == '#' && atLineStart) {
+            std::size_t j = i;
+            while (j < n) {
+                if (src[j] == '\n') {
+                    std::size_t b = j;
+                    while (b > i && src[b - 1] == '\r')
+                        --b;
+                    if (b > i && src[b - 1] == '\\') {
+                        ++line;
+                        ++j;
+                        continue;
+                    }
+                    break;
+                }
+                ++j;
+            }
+            i = j;
+            continue;
+        }
+        atLineStart = false;
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && src[j] != '(' && src[j] != '\n')
+                delim += src[j++];
+            std::string close = ")" + delim + "\"";
+            std::size_t end = src.find(close, j);
+            std::size_t stop =
+                (end == std::string::npos) ? n : end + close.size();
+            int startLine = line;
+            for (std::size_t k = i; k < stop; ++k) {
+                if (src[k] == '\n')
+                    ++line;
+            }
+            out.tokens.push_back(
+                {TokKind::String, src.substr(i, stop - i), startLine});
+            i = stop;
+            continue;
+        }
+        // Ordinary string / char literal with escapes.
+        if (c == '"' || c == '\'') {
+            std::size_t j = i + 1;
+            while (j < n && src[j] != c) {
+                if (src[j] == '\\' && j + 1 < n)
+                    ++j;
+                else if (src[j] == '\n')
+                    ++line;
+                ++j;
+            }
+            std::size_t stop = (j < n) ? j + 1 : n;
+            push(c == '"' ? TokKind::String : TokKind::CharLit,
+                 src.substr(i, stop - i));
+            i = stop;
+            continue;
+        }
+        if (isIdentStart(c)) {
+            std::size_t j = i;
+            while (j < n && isIdentBody(src[j]))
+                ++j;
+            push(TokKind::Identifier, src.substr(i, j - i));
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < n &&
+                   (isIdentBody(src[j]) || src[j] == '.' ||
+                    src[j] == '\'' ||
+                    ((src[j] == '+' || src[j] == '-') &&
+                     (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                      src[j - 1] == 'p' || src[j - 1] == 'P'))))
+                ++j;
+            push(TokKind::Number, src.substr(i, j - i));
+            i = j;
+            continue;
+        }
+        // The two multi-character punctuators the rules inspect.
+        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+            push(TokKind::Punct, "::");
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+            push(TokKind::Punct, "->");
+            i += 2;
+            continue;
+        }
+        push(TokKind::Punct, std::string(1, c));
+        ++i;
+    }
+    return out;
+}
+
+} // namespace lint
+} // namespace ecdp

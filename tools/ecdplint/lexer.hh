@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Token-level C++ lexer for ecdplint.
+ *
+ * This is deliberately not a parser for the whole language: the lint
+ * rules only need a faithful token stream (so string literals,
+ * comments and preprocessor lines can never masquerade as code) plus
+ * the comment text per line (the ecdplint tags live in comments).
+ * Handles line and block comments, ordinary/char/raw string literals
+ * (R"delim(...)delim"), digit separators, preprocessor directives
+ * with backslash continuations, and the two multi-character
+ * punctuators the rules care about ("::" and "->"). Everything else
+ * is emitted as single-character punctuation.
+ */
+
+#ifndef ECDP_TOOLS_ECDPLINT_LEXER_HH
+#define ECDP_TOOLS_ECDPLINT_LEXER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ecdp
+{
+namespace lint
+{
+
+enum class TokKind
+{
+    Identifier,
+    Number,
+    String,
+    CharLit,
+    Punct,
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line;
+};
+
+struct LexResult
+{
+    std::vector<Token> tokens;
+
+    /**
+     * Comment text by line, concatenated when a line holds several.
+     * A block comment records its text on its first line and an
+     * (empty) entry on every further line it spans, so "is this line
+     * inside a comment block" stays answerable.
+     */
+    std::map<int, std::string> comments;
+};
+
+/** Tokenize @p source. Never throws on malformed input; it simply
+ *  tokenizes as far as the text allows. */
+LexResult lex(const std::string &source);
+
+} // namespace lint
+} // namespace ecdp
+
+#endif // ECDP_TOOLS_ECDPLINT_LEXER_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * ecdplint — token-level concurrency lint for this repository.
+ *
+ *   ecdplint [--root DIR] [--rules r1,r2] [--list-rules] [file...]
+ *
+ * With no file arguments, scans every .hh/.cc under <root>/src (the
+ * concurrent half of the tree). Exit status: 0 clean, 1 violations,
+ * 2 usage error. The ctest gates wire this up twice: ecdplint.clean
+ * over the real tree, and a WILL_FAIL run per rule over its seeded
+ * fixture (tools/ecdplint/fixtures/<rule>/src), proving each rule
+ * actually fires.
+ */
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using namespace ecdp::lint;
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: ecdplint [--root DIR] [--rules r1,r2] "
+          "[--list-rules] [file...]\n";
+}
+
+std::vector<std::string>
+sourcesUnder(const fs::path &root)
+{
+    std::vector<std::string> paths;
+    fs::path srcDir = root / "src";
+    if (!fs::is_directory(srcDir))
+        return paths;
+    for (const fs::directory_entry &e :
+         fs::recursive_directory_iterator(srcDir)) {
+        if (!e.is_regular_file())
+            continue;
+        fs::path ext = e.path().extension();
+        if (ext == ".hh" || ext == ".cc")
+            paths.push_back(e.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::set<std::string> selected;
+    std::vector<std::string> explicitFiles;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root") {
+            if (++i >= argc) {
+                usage(std::cerr);
+                return 2;
+            }
+            root = argv[i];
+        } else if (arg == "--rules") {
+            if (++i >= argc) {
+                usage(std::cerr);
+                return 2;
+            }
+            std::stringstream ss(argv[i]);
+            std::string name;
+            while (std::getline(ss, name, ','))
+                if (!name.empty())
+                    selected.insert(name);
+        } else if (arg == "--list-rules") {
+            for (const Rule &r : rules())
+                std::cout << r.name << ": " << r.description
+                          << '\n';
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "ecdplint: unknown flag " << arg << '\n';
+            usage(std::cerr);
+            return 2;
+        } else {
+            explicitFiles.push_back(arg);
+        }
+    }
+    for (const std::string &name : selected) {
+        bool known = false;
+        for (const Rule &r : rules())
+            known = known || name == r.name;
+        if (!known) {
+            std::cerr << "ecdplint: unknown rule " << name << '\n';
+            return 2;
+        }
+    }
+
+    std::vector<std::string> paths = explicitFiles;
+    if (paths.empty())
+        paths = sourcesUnder(root);
+    if (paths.empty()) {
+        std::cerr << "ecdplint: nothing to scan under " << root
+                  << "/src\n";
+        return 2;
+    }
+
+    std::vector<SourceFile> files;
+    try {
+        for (const std::string &p : paths)
+            files.push_back(loadSource(p));
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+    }
+
+    Analysis analysis(std::move(files));
+    std::vector<Violation> violations;
+    for (const Rule &r : rules()) {
+        if (!selected.empty() && !selected.count(r.name))
+            continue;
+        r.check(analysis, violations);
+    }
+    std::sort(violations.begin(), violations.end(),
+              [](const Violation &a, const Violation &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    for (const Violation &v : violations)
+        std::cout << v.file << ':' << v.line << ": [" << v.rule
+                  << "] " << v.message << '\n';
+    if (!violations.empty()) {
+        std::cerr << "ecdplint: " << violations.size()
+                  << " violation(s) in " << paths.size()
+                  << " file(s)\n";
+        return 1;
+    }
+    std::cerr << "ecdplint: OK (" << paths.size() << " files)\n";
+    return 0;
+}

@@ -5,6 +5,7 @@
 #define ECDP_SIMLINT_FIXTURE_BAD_EXAMPLE_HH
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 // simlint: hot-path
@@ -33,6 +34,10 @@ class BadExample
   private:
     // unregistered-counter: declared, never wired to the registry.
     obs::Counter *lostEventsCtr_ = nullptr;
+
+    // raw-mutex: invisible to clang -Wthread-safety; should be the
+    // AnnotatedMutex from memsim/thread_annotations.hh.
+    mutable std::mutex statsMutex_;
 };
 
 } // namespace fixture

@@ -58,6 +58,16 @@ classes fail CI instead of corrupting experiments:
                         audited place — a raw fork that forgets any
                         of these hangs or leaks a child only under
                         load.
+  raw-mutex             No raw std::mutex (or shared/recursive/timed
+                        flavour) declaration anywhere in src/, tools/,
+                        bench/ or examples/ outside
+                        src/memsim/thread_annotations.hh. Use
+                        AnnotatedMutex/MutexLock from that header so
+                        clang -Wthread-safety sees every lock and the
+                        ecdplint mutex-unannotated rule stays
+                        vacuously true. tests/ are exempt (test-local
+                        synchronization is fine), as are the lint
+                        tools' own fixture trees.
   hot-path-vector       In files tagged '// simlint: hot-path', no
                         line may construct a std::vector by value: a
                         per-event heap allocation is exactly the bug
@@ -99,6 +109,7 @@ RULES = (
     "engine-conformance",
     "policy-conformance",
     "raw-process-spawn",
+    "raw-mutex",
     "hot-path-vector",
 )
 
@@ -439,6 +450,51 @@ def check_raw_process_spawn(root):
     return out
 
 
+# --- raw-mutex --------------------------------------------------------
+
+# A mutex type followed by a declarator name. Template arguments
+# (std::lock_guard<std::mutex>) and return-by-reference
+# (std::mutex &native()) do not match: both lack the
+# whitespace-then-identifier tail.
+RAW_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex)\s+\w+")
+MUTEX_EXEMPT = os.path.join("src", "memsim", "thread_annotations.hh")
+MUTEX_SUBDIRS = ("src", "tools", "bench", "examples")
+MUTEX_SKIP_PREFIXES = (
+    os.path.join("tools", "simlint"),
+    os.path.join("tools", "ecdplint"),
+)
+
+
+def check_raw_mutex(root):
+    out = []
+    for subdir in MUTEX_SUBDIRS:
+        for path in iter_source_files(root, subdir):
+            rel = relpath(root, path)
+            if rel == MUTEX_EXEMPT or \
+                    rel.startswith(MUTEX_SKIP_PREFIXES):
+                continue
+            with open(path, encoding="utf-8") as f:
+                lines = f.read().splitlines()
+            for i, line in enumerate(lines):
+                code = line.split("//", 1)[0]
+                m = RAW_MUTEX_RE.search(code)
+                if not m:
+                    continue
+                if allowed(lines, i, "raw-mutex"):
+                    continue
+                out.append(Violation(
+                    rel, i + 1, "raw-mutex",
+                    "raw std::%s declared outside "
+                    "memsim/thread_annotations.hh; use "
+                    "AnnotatedMutex/MutexLock so clang "
+                    "-Wthread-safety sees the lock, or add "
+                    "'simlint-allow(raw-mutex): <reason>'"
+                    % m.group(1)))
+    return out
+
+
 # --- hot-path-vector --------------------------------------------------
 
 HOT_PATH_MARK_RE = re.compile(r"//\s*simlint:\s*hot-path\b")
@@ -562,6 +618,8 @@ def main(argv):
         violations += check_policy_conformance(root)
     if "raw-process-spawn" in rules:
         violations += check_raw_process_spawn(root)
+    if "raw-mutex" in rules:
+        violations += check_raw_mutex(root)
     if "hot-path-vector" in rules:
         violations += check_hot_path_vector(root)
 
